@@ -1,0 +1,122 @@
+package sesame_test
+
+// One benchmark per evaluation artefact of the paper, as required by
+// the reproduction harness: Fig. 1 (ConSert network), Fig. 5 / §V-A
+// (battery failure PoF + availability), §V-B (SAR accuracy), Fig. 6
+// (spoofing trajectory + detection), Fig. 7 (collaborative landing),
+// the Fig. 4 platform tick, and the DESIGN.md ablations.
+
+import (
+	"testing"
+
+	"sesame"
+	"sesame/internal/experiments"
+)
+
+func BenchmarkFig1ConSertEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5BatteryFailure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig5(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ThresholdCrossS < 0 {
+			b.Fatal("threshold never crossed")
+		}
+	}
+}
+
+func BenchmarkSARAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAccuracy(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.AdaptiveAccuracy <= 0 {
+			b.Fatal("no adaptive accuracy")
+		}
+	}
+}
+
+func BenchmarkFig6Spoofing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.DetectionS < 0 {
+			b.Fatal("attack undetected")
+		}
+	}
+}
+
+func BenchmarkFig7CollaborativeLanding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig7(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.LandedOK {
+			b.Fatal("victim did not land")
+		}
+	}
+}
+
+func BenchmarkCoveragePatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPatterns(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblations(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformMissionTick measures the steady-state cost of one
+// integrated platform tick with three UAVs and the full EDDI stack —
+// the Fig. 4 runtime loop.
+func BenchmarkPlatformMissionTick(b *testing.B) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, 1)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a := sesame.Destination(home, 45, 80)
+	bb := sesame.Destination(a, 90, 3000)
+	c := sesame.Destination(bb, 0, 3000)
+	d := sesame.Destination(a, 0, 3000)
+	area := sesame.Polygon{a, bb, c, d}
+	scene, err := sesame.NewRandomScene(area, 20, 0.2, world, "scene")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := sesame.NewPlatform(world, scene, sesame.DefaultPlatformConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.StartMission(area); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command sesame-gcs runs the ground-control-station view of the
+// platform: a live simulated SAR mission served over HTTP as JSON —
+// the data feed behind the paper's Fig. 4 web GUI.
+//
+//	sesame-gcs -addr :8080
+//	curl localhost:8080/          # fleet status snapshot
+//	curl localhost:8080/events    # EDDI event history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"sesame"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	tickMS := flag.Int("tick-ms", 200, "wall-clock milliseconds per simulated second")
+	spoofAt := flag.Float64("spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
+	flag.Parse()
+
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, *seed)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
+			fail(err)
+		}
+	}
+	a := sesame.Destination(home, 45, 80)
+	b := sesame.Destination(a, 90, 400)
+	c := sesame.Destination(b, 0, 400)
+	d := sesame.Destination(a, 0, 400)
+	area := sesame.Polygon{a, b, c, d}
+	scene, err := sesame.NewRandomScene(area, 10, 0.2, world, "scene")
+	if err != nil {
+		fail(err)
+	}
+	p, err := sesame.NewPlatform(world, scene, sesame.DefaultPlatformConfig())
+	if err != nil {
+		fail(err)
+	}
+	defer p.Close()
+	if err := p.StartMission(area); err != nil {
+		fail(err)
+	}
+	if *spoofAt > 0 {
+		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+*spoofAt, "u2", 135, 3)); err != nil {
+			fail(err)
+		}
+	}
+
+	// Drive the simulation in the background; HTTP reads snapshots.
+	// The platform is not internally synchronized, so one mutex
+	// serializes ticks against request handling.
+	var mu sync.Mutex
+	go func() {
+		ticker := time.NewTicker(time.Duration(*tickMS) * time.Millisecond)
+		defer ticker.Stop()
+		for range ticker.C {
+			mu.Lock()
+			err := p.Tick()
+			mu.Unlock()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sesame-gcs: tick:", err)
+				return
+			}
+		}
+	}()
+
+	inner := sesame.PlatformHandler(p)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/ui" {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write([]byte(uiPage))
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		inner.ServeHTTP(w, r)
+	})
+	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui)\n", *addr)
+	if err := http.ListenAndServe(*addr, handler); err != nil {
+		fail(err)
+	}
+}
+
+// uiPage is the minimal Fig. 4 web GUI: fleet tracks on a canvas plus
+// the per-UAV status boxes and the EDDI event feed, polling the JSON
+// endpoints once per second.
+const uiPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>SESAME multi-UAV GCS</title>
+<style>
+ body { font-family: monospace; background: #10141a; color: #dde; margin: 1em; }
+ h1 { font-size: 1.1em; }
+ #layout { display: flex; gap: 1em; }
+ canvas { background: #1a222e; border: 1px solid #334; }
+ .uav { border: 1px solid #345; padding: .4em .6em; margin-bottom: .5em; }
+ .uav.compromised { border-color: #e33; }
+ #events { max-height: 220px; overflow-y: auto; font-size: .85em; margin-top: 1em; }
+ .sev1 { color: #f66; } .sevmid { color: #fc6; } .sevlow { color: #9c9; }
+</style></head><body>
+<h1>SESAME multi-UAV platform &mdash; live fleet (Fig. 4 view)</h1>
+<div id="layout">
+ <canvas id="map" width="560" height="560"></canvas>
+ <div id="panel" style="min-width:320px"></div>
+</div>
+<div id="events"></div>
+<script>
+const tracks = {};
+const colors = ["#e74c3c", "#e67e22", "#2ecc71", "#3498db", "#9b59b6"];
+let colorOf = {};
+function color(id) {
+  if (!(id in colorOf)) colorOf[id] = colors[Object.keys(colorOf).length % colors.length];
+  return colorOf[id];
+}
+async function refresh() {
+  const s = await (await fetch("/")).json();
+  const panel = document.getElementById("panel");
+  panel.innerHTML = "<div>t=" + s.time.toFixed(0) + "s &mdash; " + s.mission_decision + "</div>";
+  for (const u of s.uavs) {
+    (tracks[u.id] = tracks[u.id] || []).push([u.position.Lng, u.position.Lat]);
+    if (tracks[u.id].length > 2000) tracks[u.id].shift();
+    const div = document.createElement("div");
+    div.className = "uav" + (u.compromised ? " compromised" : "");
+    div.innerHTML = "<b style='color:" + color(u.id) + "'>" + u.id + "</b> " + u.mode +
+      "<br>batt " + u.battery_pct.toFixed(1) + "% | PoF " + u.pof.toFixed(3) +
+      " | rel " + u.reliability + " | wps " + u.waypoints_remaining +
+      (u.compromised ? "<br><b>COMPROMISED</b>" : "") +
+      (u.collaborative_landing ? "<br>collaborative landing" : "");
+    panel.appendChild(div);
+  }
+  draw(s);
+  const evs = await (await fetch("/events")).json();
+  const box = document.getElementById("events");
+  box.innerHTML = (evs || []).slice(-40).reverse().map(e => {
+    const cls = e.severity >= 0.9 ? "sev1" : (e.severity >= 0.5 ? "sevmid" : "sevlow");
+    return "<div class='" + cls + "'>[" + e.time.toFixed(0) + "s] " + e.kind + " " + e.uav + ": " + e.summary + "</div>";
+  }).join("");
+}
+function draw(s) {
+  const c = document.getElementById("map"), g = c.getContext("2d");
+  g.fillStyle = "#1a222e"; g.fillRect(0, 0, c.width, c.height);
+  let min = [Infinity, Infinity], max = [-Infinity, -Infinity];
+  for (const id in tracks) for (const p of tracks[id]) {
+    min[0] = Math.min(min[0], p[0]); min[1] = Math.min(min[1], p[1]);
+    max[0] = Math.max(max[0], p[0]); max[1] = Math.max(max[1], p[1]);
+  }
+  if (min[0] === Infinity) return;
+  const pad = 30;
+  const sx = x => pad + (x - min[0]) / Math.max(max[0] - min[0], 1e-9) * (c.width - 2 * pad);
+  const sy = y => c.height - pad - (y - min[1]) / Math.max(max[1] - min[1], 1e-9) * (c.height - 2 * pad);
+  for (const id in tracks) {
+    g.strokeStyle = color(id); g.beginPath();
+    tracks[id].forEach((p, i) => i ? g.lineTo(sx(p[0]), sy(p[1])) : g.moveTo(sx(p[0]), sy(p[1])));
+    g.stroke();
+    const last = tracks[id][tracks[id].length - 1];
+    g.fillStyle = color(id);
+    g.beginPath(); g.arc(sx(last[0]), sy(last[1]), 5, 0, 7); g.fill();
+  }
+}
+setInterval(refresh, 1000); refresh();
+</script></body></html>`
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sesame-gcs:", err)
+	os.Exit(1)
+}

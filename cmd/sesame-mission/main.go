@@ -1,0 +1,136 @@
+// Command sesame-mission runs a full three-UAV SAR mission on the
+// integrated platform — the Fig. 4 scenario — printing fleet status
+// snapshots as the mission progresses. Optional fault flags reproduce
+// the paper's scenarios in one run.
+//
+// Usage:
+//
+//	sesame-mission                         # nominal mission, SESAME on
+//	sesame-mission -sesame=false           # reactive baseline
+//	sesame-mission -battery-fault=60       # §V-A battery collapse at t=60
+//	sesame-mission -spoof=30 -spoof-uav=u2 # §V-C spoofing attack at t=30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sesame"
+)
+
+func main() {
+	sesameOn := flag.Bool("sesame", true, "enable the SESAME EDDI stack")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	batteryFault := flag.Float64("battery-fault", 0, "inject a battery collapse on u1 at this mission time (0 = off)")
+	spoofAt := flag.Float64("spoof", 0, "start a GPS spoofing attack at this mission time (0 = off)")
+	spoofUAV := flag.String("spoof-uav", "u2", "victim of the spoofing attack")
+	persons := flag.Int("persons", 10, "persons scattered in the search area")
+	horizon := flag.Float64("horizon", 1500, "maximum mission time in seconds")
+	every := flag.Float64("status-every", 60, "status print interval in seconds")
+	asJSON := flag.Bool("json", false, "print status snapshots as JSON")
+	flag.Parse()
+
+	if err := run(*sesameOn, *seed, *batteryFault, *spoofAt, *spoofUAV, *persons, *horizon, *every, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "sesame-mission:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sesameOn bool, seed int64, batteryFault, spoofAt float64, spoofUAV string, persons int, horizon, every float64, asJSON bool) error {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, seed)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
+			return err
+		}
+	}
+	a := sesame.Destination(home, 45, 80)
+	b := sesame.Destination(a, 90, 400)
+	c := sesame.Destination(b, 0, 400)
+	d := sesame.Destination(a, 0, 400)
+	area := sesame.Polygon{a, b, c, d}
+
+	var scene *sesame.Scene
+	if persons > 0 {
+		var err error
+		scene, err = sesame.NewRandomScene(area, persons, 0.2, world, "scene")
+		if err != nil {
+			return err
+		}
+	}
+	cfg := sesame.DefaultPlatformConfig()
+	cfg.SESAME = sesameOn
+	p, err := sesame.NewPlatform(world, scene, cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := p.StartMission(area); err != nil {
+		return err
+	}
+	if batteryFault > 0 {
+		if err := world.ScheduleFault(sesame.BatteryCollapseFault(world.Clock.Now()+batteryFault, "u1", 70, 40)); err != nil {
+			return err
+		}
+		fmt.Printf("scheduled: battery collapse on u1 at t=+%.0f s\n", batteryFault)
+	}
+	if spoofAt > 0 {
+		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+spoofAt, spoofUAV, 135, 3)); err != nil {
+			return err
+		}
+		fmt.Printf("scheduled: GPS spoofing on %s at t=+%.0f s\n", spoofUAV, spoofAt)
+	}
+
+	nextStatus := world.Clock.Now()
+	end := world.Clock.Now() + horizon
+	for world.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return err
+		}
+		if world.Clock.Now() >= nextStatus {
+			printStatus(p.Status(), asJSON)
+			nextStatus += every
+		}
+		if done(p) {
+			break
+		}
+	}
+	printStatus(p.Status(), asJSON)
+	if av, err := p.Availability(); err == nil {
+		fmt.Printf("\nfleet availability: %.1f%%   mission decision: %s\n", av*100, p.Decision())
+	}
+	return nil
+}
+
+// done reports whether the whole fleet is inactive.
+func done(p *sesame.Platform) bool {
+	for _, u := range p.Status().UAVs {
+		switch u.Mode {
+		case "mission", "return-to-base", "landing", "emergency-landing":
+			return false
+		}
+	}
+	return true
+}
+
+func printStatus(s sesame.PlatformStatus, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		_ = enc.Encode(s)
+		return
+	}
+	fmt.Printf("t=%6.0f  decision=%s\n", s.Time, s.Decision)
+	for _, u := range s.UAVs {
+		fmt.Printf("  %-4s mode=%-18s batt=%5.1f%% PoF=%.3f rel=%-6s wps=%3d",
+			u.ID, u.Mode, u.BatteryPct, u.PoF, u.Reliability, u.Waypoints)
+		if u.Compromised {
+			fmt.Print("  [COMPROMISED]")
+		}
+		if u.CollocLand {
+			fmt.Print("  [collaborative landing]")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Quickstart: fly one simulated UAV, watch SafeDrones assess its
+// reliability in real time, and let the Fig. 1 ConSert network pick
+// the flight action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sesame"
+)
+
+func main() {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+
+	// A deterministic simulated world with one quadrotor.
+	world := sesame.NewWorld(home, 42)
+	uav, err := world.AddUAV(sesame.UAVConfig{ID: "u1", Home: home})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The SafeDrones runtime reliability monitor and the ConSert
+	// network that consumes its output.
+	monitor, err := sesame.NewSafetyMonitor("u1", sesame.DefaultSafetyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	conserts, err := sesame.BuildUAVComposition()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Take off and fly a short survey leg.
+	if err := uav.TakeOff(30); err != nil {
+		log.Fatal(err)
+	}
+	if err := world.Run(12, 1); err != nil {
+		log.Fatal(err)
+	}
+	wp := sesame.Destination(home, 90, 500)
+	if err := uav.FlyMission([]sesame.LatLng{wp}, 30); err != nil {
+		log.Fatal(err)
+	}
+
+	for t := 0; t < 60; t++ {
+		if err := world.Step(1); err != nil {
+			log.Fatal(err)
+		}
+		assessment, err := monitor.Observe(sesame.SafetyTelemetry{
+			Time:      world.Clock.Now(),
+			ChargePct: uav.Battery.ChargePct,
+			TempC:     uav.Battery.TempC,
+			CommsOK:   true,
+			Airborne:  uav.Mode().Airborne(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Map EDDI outputs onto ConSert runtime evidence.
+		action, _, err := sesame.EvaluateUAV(conserts, sesame.Evidence{
+			"gps-quality-ok":            true,
+			"no-spoofing":               true,
+			"camera-healthy":            true,
+			"perception-confident":      true,
+			"nearby-drone-detection-ok": true,
+			"comms-ok":                  true,
+			"neighbors-available":       false,
+			"reliability-high":          assessment.Level == sesame.ReliabilityHigh,
+			"reliability-medium":        assessment.Level == sesame.ReliabilityMedium,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if t%10 == 0 {
+			fmt.Printf("t=%3.0fs  pos=%v  battery=%.1f%%  PoF=%.4f  reliability=%s  action=%s\n",
+				world.Clock.Now(), uav.TruePosition(), uav.Battery.ChargePct,
+				assessment.PoF, assessment.Level, action)
+		}
+	}
+	fmt.Println("quickstart complete")
+}

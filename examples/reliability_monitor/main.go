@@ -1,0 +1,66 @@
+// Reliability monitor: the Fig. 5 experiment as a library user would
+// write it — feed the SafeDrones monitor the paper's battery-collapse
+// telemetry under both policies and print the PoF curves side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sesame"
+)
+
+func telemetryAt(t float64) sesame.SafetyTelemetry {
+	tel := sesame.SafetyTelemetry{Time: t, CommsOK: true, Airborne: true}
+	if t < 250 {
+		tel.ChargePct = 80
+		tel.TempC = 35
+	} else {
+		// The §V-A fault: charge collapses 80% -> 40%, pack overheats.
+		tel.ChargePct = 40
+		tel.TempC = 70
+		tel.Overheating = true
+	}
+	return tel
+}
+
+func main() {
+	eddiCfg := sesame.DefaultSafetyConfig()
+	eddiCfg.Policy = sesame.PolicyEDDI
+	reactiveCfg := sesame.DefaultSafetyConfig()
+	reactiveCfg.Policy = sesame.PolicyReactive
+
+	eddi, err := sesame.NewSafetyMonitor("u1", eddiCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reactive, err := sesame.NewSafetyMonitor("u1", reactiveCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("t(s)    PoF(EDDI)  advice(EDDI)      PoF(react)  advice(react)")
+	crossed := false
+	for t := 0.0; t <= 600; t++ {
+		tel := telemetryAt(t)
+		ae, err := eddi.Observe(tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar, err := reactive.Observe(tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if int(t)%50 == 0 {
+			fmt.Printf("%4.0f    %9.4f  %-16s  %10.4f  %s\n",
+				t, ae.PoF, ae.Advice, ar.PoF, ar.Advice)
+		}
+		if !crossed && ae.Advice == sesame.SafetyEmergencyLand {
+			fmt.Printf("---- EDDI emergency threshold (PoF 0.9) crossed at t=%.0f s (paper: ~510 s) ----\n", t)
+			crossed = true
+		}
+	}
+	if !crossed {
+		fmt.Println("threshold never crossed within 600 s")
+	}
+}

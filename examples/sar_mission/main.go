@@ -1,0 +1,81 @@
+// SAR mission: the paper's headline scenario — three UAVs sweep a
+// search area on the integrated platform with the full SESAME EDDI
+// stack active, a battery fault strikes one vehicle mid-mission, and
+// the fleet adapts (the §V-A behaviour).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sesame"
+)
+
+func main() {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, 7)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A 400 m x 400 m search area north-east of the launch point, with
+	// twelve persons to find.
+	a := sesame.Destination(home, 45, 80)
+	b := sesame.Destination(a, 90, 400)
+	c := sesame.Destination(b, 0, 400)
+	d := sesame.Destination(a, 0, 400)
+	area := sesame.Polygon{a, b, c, d}
+	scene, err := sesame.NewRandomScene(area, 12, 0.25, world, "scene")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p, err := sesame.NewPlatform(world, scene, sesame.DefaultPlatformConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.StartMission(area); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mission started: 3 UAVs sweeping", int(area.AreaSquareMeters()), "m^2")
+
+	// Battery collapse on u1 one minute in — the §V-A fault.
+	if err := world.ScheduleFault(sesame.BatteryCollapseFault(world.Clock.Now()+60, "u1", 70, 40)); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < 1200; i++ {
+		if err := p.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		if i%120 == 0 {
+			s := p.Status()
+			fmt.Printf("t=%5.0f decision=%s\n", s.Time, s.Decision)
+			for _, u := range s.UAVs {
+				fmt.Printf("   %-3s %-18s batt=%5.1f%% PoF=%.3f wps=%d\n",
+					u.ID, u.Mode, u.BatteryPct, u.PoF, u.Waypoints)
+			}
+		}
+		if allIdle(p) {
+			break
+		}
+	}
+	av, err := p.Availability()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmission over: fleet availability %.1f%%, decision %s\n", av*100, p.Decision())
+}
+
+func allIdle(p *sesame.Platform) bool {
+	for _, u := range p.Status().UAVs {
+		switch u.Mode {
+		case "mission", "return-to-base", "landing", "emergency-landing":
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+// Spoofing response: the §V-C security scenario wired by hand — a GPS
+// spoofing attack on a mapping UAV, detected by the IDS + attack-tree
+// Security EDDI, mitigated by Collaborative Localization landing the
+// victim at a safe point without GPS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sesame"
+)
+
+func main() {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, 11)
+
+	victim, err := world.AddUAV(sesame.UAVConfig{ID: "victim", Home: home, CruiseSpeedMS: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var observers []*sesame.Observer
+	for i, id := range []string{"assist1", "assist2"} {
+		a, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: sesame.Destination(home, float64(i)*180+60, 160)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.TakeOff(32); err != nil {
+			log.Fatal(err)
+		}
+		o, err := sesame.NewObserver(a, world, "obs/"+id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		observers = append(observers, o)
+	}
+
+	// Security chain: IDS taps the bus, alerts flow over the broker,
+	// the Security EDDI walks the attack tree.
+	broker := sesame.NewAlertBroker()
+	detector, err := sesame.NewIntrusionDetector(world, broker, sesame.DefaultIDSConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer detector.Close()
+	eddi, err := sesame.NewSecurityEDDI(broker)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eddi.Close()
+	tree, err := sesame.SpoofingAttackTree("victim")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eddi.Monitor("victim", tree); err != nil {
+		log.Fatal(err)
+	}
+
+	compromised := make(chan sesame.SecurityEvent, 1)
+	if err := eddi.OnEvent(func(ev sesame.SecurityEvent) {
+		if ev.RootReached {
+			select {
+			case compromised <- ev:
+			default:
+			}
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fly a mapping leg and start the attack at t=25.
+	if err := victim.TakeOff(25); err != nil {
+		log.Fatal(err)
+	}
+	if err := world.Run(10, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := victim.FlyMission([]sesame.LatLng{sesame.Destination(home, 90, 600)}, 25); err != nil {
+		log.Fatal(err)
+	}
+	if err := world.ScheduleFault(sesame.GPSSpoofFault(25, "victim", 225, 3)); err != nil {
+		log.Fatal(err)
+	}
+
+	var event sesame.SecurityEvent
+	for world.Clock.Now() < 120 {
+		if err := world.Step(1); err != nil {
+			log.Fatal(err)
+		}
+		select {
+		case event = <-compromised:
+		default:
+			continue
+		}
+		break
+	}
+	if event.Root == "" {
+		log.Fatal("attack was not detected")
+	}
+	fmt.Printf("t=%.0f: Security EDDI reports compromise %q\n", world.Clock.Now(), event.Root)
+	fmt.Printf("  attack path: %v\n", event.Path)
+	fmt.Printf("  mitigation:  %s\n", event.Mitigation)
+
+	// Mitigation: distrust GPS and land collaboratively.
+	victim.GPS.Mode = sesame.GPSModeDropout // no usable GPS, per the paper's Fig. 7
+	safe := sesame.Destination(home, 135, 130)
+	landing, err := sesame.NewAssistedLanding(victim, safe, observers, world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1200 && victim.Mode() != sesame.ModeLanded; i++ {
+		landing.Step()
+		if err := world.Step(0.5); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("t=%.0f: victim landed %.2f m from the designated safe point (GPS-denied)\n",
+		world.Clock.Now(), landing.LandingError())
+}

@@ -1,0 +1,3 @@
+module sesame
+
+go 1.22

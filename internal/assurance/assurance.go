@@ -1,0 +1,298 @@
+// Package assurance implements Goal Structuring Notation (GSN)
+// assurance cases — the core artefact of a Digital Dependability
+// Identity (paper §III: "The core of a DDI is an assurance case — a
+// clear, organized argument that demonstrates that the system meets
+// dependability requirements", linking models and evidence into a
+// cohesive narrative). Cases built here reference the executable
+// models of the other packages as their solutions/evidence.
+package assurance
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a GSN node.
+type Kind int
+
+// GSN node kinds.
+const (
+	Goal Kind = iota
+	Strategy
+	Solution
+	Context
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Goal:
+		return "goal"
+	case Strategy:
+		return "strategy"
+	case Solution:
+		return "solution"
+	case Context:
+		return "context"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+func kindFromString(s string) (Kind, error) {
+	for k := Goal; k <= Context; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("assurance: unknown kind %q", s)
+}
+
+// Node is one GSN element.
+type Node struct {
+	ID   string
+	Kind Kind
+	Text string
+	// SupportedBy are the children carrying the argument downward.
+	SupportedBy []*Node
+	// InContextOf attaches context nodes.
+	InContextOf []*Node
+	// Evidence names the executable model or experiment backing a
+	// solution (e.g. "fault-tree:uav-loss", "experiment:fig5").
+	Evidence string
+}
+
+// Case is a validated assurance case.
+type Case struct {
+	root *Node
+	byID map[string]*Node
+}
+
+// New validates the GSN structure under root:
+//   - ids unique and non-empty, root is a goal;
+//   - goals are supported by goals, strategies or solutions;
+//   - strategies are supported by goals (optionally solutions);
+//   - solutions and contexts are leaves;
+//   - context links attach only context nodes;
+//   - the support graph is acyclic.
+func New(root *Node) (*Case, error) {
+	if root == nil {
+		return nil, errors.New("assurance: nil root")
+	}
+	if root.Kind != Goal {
+		return nil, errors.New("assurance: root must be a goal")
+	}
+	c := &Case{root: root, byID: make(map[string]*Node)}
+	visiting := map[string]bool{}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.ID == "" {
+			return errors.New("assurance: node with empty id")
+		}
+		if visiting[n.ID] {
+			return fmt.Errorf("assurance: support cycle through %q", n.ID)
+		}
+		if seen, ok := c.byID[n.ID]; ok {
+			if seen != n {
+				return fmt.Errorf("assurance: duplicate id %q", n.ID)
+			}
+			return nil // shared subtree already validated
+		}
+		c.byID[n.ID] = n
+		visiting[n.ID] = true
+		defer delete(visiting, n.ID)
+
+		switch n.Kind {
+		case Solution, Context:
+			if len(n.SupportedBy) > 0 {
+				return fmt.Errorf("assurance: %s %q cannot have support", n.Kind, n.ID)
+			}
+		case Goal:
+			for _, ch := range n.SupportedBy {
+				if ch == nil {
+					return fmt.Errorf("assurance: goal %q has nil child", n.ID)
+				}
+				if ch.Kind == Context {
+					return fmt.Errorf("assurance: goal %q supported by context %q", n.ID, ch.ID)
+				}
+			}
+		case Strategy:
+			if len(n.SupportedBy) == 0 {
+				return fmt.Errorf("assurance: strategy %q has no support", n.ID)
+			}
+			for _, ch := range n.SupportedBy {
+				if ch == nil || (ch.Kind != Goal && ch.Kind != Solution) {
+					return fmt.Errorf("assurance: strategy %q must be supported by goals/solutions", n.ID)
+				}
+			}
+		default:
+			return fmt.Errorf("assurance: node %q has unknown kind", n.ID)
+		}
+		for _, ctx := range n.InContextOf {
+			if ctx == nil || ctx.Kind != Context {
+				return fmt.Errorf("assurance: %q has a non-context context link", n.ID)
+			}
+			if err := walk(ctx); err != nil {
+				return err
+			}
+		}
+		for _, ch := range n.SupportedBy {
+			if err := walk(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Root returns the case's top goal.
+func (c *Case) Root() *Node { return c.root }
+
+// Node looks up a node by id.
+func (c *Case) Node(id string) (*Node, bool) {
+	n, ok := c.byID[id]
+	return n, ok
+}
+
+// Undeveloped returns the ids of goals and strategies not (transitively)
+// backed by any solution — the open items a certifier flags.
+func (c *Case) Undeveloped() []string {
+	memo := map[string]bool{}
+	var developed func(n *Node) bool
+	developed = func(n *Node) bool {
+		if v, ok := memo[n.ID]; ok {
+			return v
+		}
+		memo[n.ID] = false // cycle guard; validated acyclic anyway
+		var ok bool
+		switch n.Kind {
+		case Solution:
+			ok = true
+		case Context:
+			ok = true // context is not part of the argument spine
+		default:
+			ok = len(n.SupportedBy) > 0
+			for _, ch := range n.SupportedBy {
+				if !developed(ch) {
+					ok = false
+				}
+			}
+		}
+		memo[n.ID] = ok
+		return ok
+	}
+	developed(c.root)
+	var out []string
+	for id, ok := range memo {
+		n := c.byID[id]
+		if !ok && (n.Kind == Goal || n.Kind == Strategy) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Solutions returns every solution node, sorted by id.
+func (c *Case) Solutions() []*Node {
+	var out []*Node
+	for _, n := range c.byID {
+		if n.Kind == Solution {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Render writes an indented text view of the argument.
+func (c *Case) Render(w io.Writer) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		tag := strings.ToUpper(n.Kind.String()[:1])
+		fmt.Fprintf(w, "%s[%s] %s: %s", indent, tag, n.ID, n.Text)
+		if n.Evidence != "" {
+			fmt.Fprintf(w, "  <- %s", n.Evidence)
+		}
+		fmt.Fprintln(w)
+		for _, ctx := range n.InContextOf {
+			fmt.Fprintf(w, "%s  (in context of %s: %s)\n", indent, ctx.ID, ctx.Text)
+		}
+		for _, ch := range n.SupportedBy {
+			rec(ch, depth+1)
+		}
+	}
+	rec(c.root, 0)
+}
+
+// ---- JSON exchange ----
+
+type nodeJSON struct {
+	ID          string     `json:"id"`
+	Kind        string     `json:"kind"`
+	Text        string     `json:"text"`
+	Evidence    string     `json:"evidence,omitempty"`
+	SupportedBy []nodeJSON `json:"supportedBy,omitempty"`
+	InContextOf []nodeJSON `json:"inContextOf,omitempty"`
+}
+
+func toJSON(n *Node) nodeJSON {
+	out := nodeJSON{ID: n.ID, Kind: n.Kind.String(), Text: n.Text, Evidence: n.Evidence}
+	for _, ch := range n.SupportedBy {
+		out.SupportedBy = append(out.SupportedBy, toJSON(ch))
+	}
+	for _, ctx := range n.InContextOf {
+		out.InContextOf = append(out.InContextOf, toJSON(ctx))
+	}
+	return out
+}
+
+func fromJSON(j nodeJSON) (*Node, error) {
+	kind, err := kindFromString(j.Kind)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: j.ID, Kind: kind, Text: j.Text, Evidence: j.Evidence}
+	for _, cj := range j.SupportedBy {
+		ch, err := fromJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		n.SupportedBy = append(n.SupportedBy, ch)
+	}
+	for _, cj := range j.InContextOf {
+		ctx, err := fromJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		n.InContextOf = append(n.InContextOf, ctx)
+	}
+	return n, nil
+}
+
+// MarshalJSON encodes the case as its exchange document. Shared
+// subtrees are expanded (the document is a tree).
+func (c *Case) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(toJSON(c.root), "", "  ")
+}
+
+// Parse decodes and validates a case document.
+func Parse(data []byte) (*Case, error) {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("assurance: decoding: %w", err)
+	}
+	root, err := fromJSON(j)
+	if err != nil {
+		return nil, err
+	}
+	return New(root)
+}

@@ -1,0 +1,154 @@
+package assurance
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestUAVCaseValidAndDeveloped(t *testing.T) {
+	c, err := UAVCase("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Root().ID != "u1/G1" {
+		t.Fatalf("root = %q", c.Root().ID)
+	}
+	if und := c.Undeveloped(); len(und) != 0 {
+		t.Fatalf("undeveloped items: %v", und)
+	}
+	sols := c.Solutions()
+	if len(sols) != 7 {
+		t.Fatalf("solutions = %d", len(sols))
+	}
+	for _, s := range sols {
+		if s.Evidence == "" {
+			t.Fatalf("solution %q has no evidence", s.ID)
+		}
+	}
+	if _, ok := c.Node("u1/G3"); !ok {
+		t.Fatal("security goal missing")
+	}
+}
+
+func TestUndevelopedDetection(t *testing.T) {
+	root := &Node{ID: "G1", Kind: Goal, Text: "top",
+		SupportedBy: []*Node{
+			{ID: "G2", Kind: Goal, Text: "open claim"}, // no support
+			{ID: "Sn1", Kind: Solution, Text: "done", Evidence: "x"},
+		},
+	}
+	c, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := c.Undeveloped()
+	// G2 is open, and therefore G1 is too.
+	if len(und) != 2 || und[0] != "G1" || und[1] != "G2" {
+		t.Fatalf("undeveloped = %v", und)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil root must fail")
+	}
+	if _, err := New(&Node{ID: "S", Kind: Strategy, Text: "x"}); err == nil {
+		t.Error("non-goal root must fail")
+	}
+	if _, err := New(&Node{ID: "", Kind: Goal}); err == nil {
+		t.Error("empty id must fail")
+	}
+	// Solution with support.
+	bad := &Node{ID: "G", Kind: Goal, SupportedBy: []*Node{
+		{ID: "Sn", Kind: Solution, SupportedBy: []*Node{{ID: "x", Kind: Solution}}},
+	}}
+	if _, err := New(bad); err == nil {
+		t.Error("solution with support must fail")
+	}
+	// Goal supported by context.
+	bad2 := &Node{ID: "G", Kind: Goal, SupportedBy: []*Node{{ID: "C", Kind: Context}}}
+	if _, err := New(bad2); err == nil {
+		t.Error("goal supported by context must fail")
+	}
+	// Strategy without support.
+	bad3 := &Node{ID: "G", Kind: Goal, SupportedBy: []*Node{{ID: "S", Kind: Strategy}}}
+	if _, err := New(bad3); err == nil {
+		t.Error("empty strategy must fail")
+	}
+	// Duplicate distinct ids.
+	bad4 := &Node{ID: "G", Kind: Goal, SupportedBy: []*Node{
+		{ID: "dup", Kind: Solution}, {ID: "dup", Kind: Solution},
+	}}
+	if _, err := New(bad4); err == nil {
+		t.Error("duplicate ids must fail")
+	}
+	// Non-context in context link.
+	bad5 := &Node{ID: "G", Kind: Goal, InContextOf: []*Node{{ID: "X", Kind: Goal}}}
+	if _, err := New(bad5); err == nil {
+		t.Error("non-context context link must fail")
+	}
+	// Cycle.
+	a := &Node{ID: "A", Kind: Goal}
+	b := &Node{ID: "B", Kind: Goal, SupportedBy: []*Node{a}}
+	a.SupportedBy = []*Node{b}
+	if _, err := New(a); err == nil {
+		t.Error("cycle must fail")
+	}
+}
+
+func TestRender(t *testing.T) {
+	c, _ := UAVCase("u1")
+	var buf bytes.Buffer
+	c.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"[G] u1/G1", "[S] u1/S1", "experiment:fig5", "in context of"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, _ := UAVCase("u1")
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Solutions()) != len(orig.Solutions()) {
+		t.Fatal("solutions lost")
+	}
+	if len(back.Undeveloped()) != 0 {
+		t.Fatal("round trip broke development status")
+	}
+	data2, _ := json.Marshal(back)
+	if string(data) != string(data2) {
+		t.Fatal("round trip not idempotent")
+	}
+	if _, err := Parse([]byte("{bad")); err == nil {
+		t.Fatal("malformed must fail")
+	}
+	if _, err := Parse([]byte(`{"id":"g","kind":"wat","text":"x"}`)); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Goal; k <= Context; k++ {
+		if k.String() == "" {
+			t.Fatal("kind name empty")
+		}
+		back, err := kindFromString(k.String())
+		if err != nil || back != k {
+			t.Fatalf("kind round trip failed for %v", k)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}

@@ -1,0 +1,84 @@
+package assurance
+
+// UAVCase builds the SESAME SAR-mission assurance case: the top-level
+// dependability claim argued over the safety, security and perception
+// branches, each bottoming out in the executable models and the
+// reproduced experiments of this repository.
+func UAVCase(uav string) (*Case, error) {
+	opsCtx := &Node{
+		ID: uav + "/C1", Kind: Context,
+		Text: "SAR missions over a defined area with up to 3 cooperating UAVs (paper §IV)",
+	}
+	root := &Node{
+		ID: uav + "/G1", Kind: Goal,
+		Text:        "The UAV is acceptably safe, secure and dependable during SAR missions",
+		InContextOf: []*Node{opsCtx},
+	}
+	strategy := &Node{
+		ID: uav + "/S1", Kind: Strategy,
+		Text: "Argue over each dependability attribute with a runtime EDDI monitor per attribute",
+	}
+	root.SupportedBy = []*Node{strategy}
+
+	safety := &Node{
+		ID: uav + "/G2", Kind: Goal,
+		Text: "Hardware/software failures are detected and mitigated before the probability of failure becomes unacceptable",
+		SupportedBy: []*Node{
+			{
+				ID: uav + "/Sn1", Kind: Solution,
+				Text:     "SafeDrones runtime reliability monitor over Markov complex basic events",
+				Evidence: "fault-tree:uav-loss",
+			},
+			{
+				ID: uav + "/Sn2", Kind: Solution,
+				Text:     "Battery-failure scenario: mission completed, availability preserved",
+				Evidence: "experiment:fig5",
+			},
+		},
+	}
+	security := &Node{
+		ID: uav + "/G3", Kind: Goal,
+		Text: "Cyber attacks on positioning and C2 are detected and mitigated",
+		SupportedBy: []*Node{
+			{
+				ID: uav + "/Sn3", Kind: Solution,
+				Text:     "IDS + attack-tree Security EDDI detects ROS/GNSS spoofing within seconds",
+				Evidence: "experiment:fig6",
+			},
+			{
+				ID: uav + "/Sn4", Kind: Solution,
+				Text:     "Collaborative Localization lands the attacked UAV precisely without GPS",
+				Evidence: "experiment:fig7",
+			},
+			{
+				ID: uav + "/Sn5", Kind: Solution,
+				Text:     "C2 hijack/jamming modelled and detected via link-silence",
+				Evidence: "attack-tree:c2-hijack",
+			},
+		},
+	}
+	perception := &Node{
+		ID: uav + "/G4", Kind: Goal,
+		Text: "Degraded perception is detected and the mission adapts to preserve SAR accuracy",
+		SupportedBy: []*Node{
+			{
+				ID: uav + "/Sn6", Kind: Solution,
+				Text:     "SafeML + DeepKnowledge uncertainty with SINADRA-driven altitude adaptation",
+				Evidence: "experiment:accuracy",
+			},
+		},
+	}
+	integration := &Node{
+		ID: uav + "/G5", Kind: Goal,
+		Text: "Attribute monitors compose into mission-level decisions",
+		SupportedBy: []*Node{
+			{
+				ID: uav + "/Sn7", Kind: Solution,
+				Text:     "Fig. 1 hierarchical ConSert network, machine-checked over all evidence combinations",
+				Evidence: "consert:uav-network",
+			},
+		},
+	}
+	strategy.SupportedBy = []*Node{safety, security, perception, integration}
+	return New(root)
+}

@@ -1,0 +1,387 @@
+// Package attacktree implements the attack-tree model behind the
+// Security EDDI (paper §III-B). A tree describes how low-level attack
+// steps (leaves, matched against IDS alert types) combine through
+// AND/OR gates into the adversary's ultimate goal (the root). Each
+// node carries the CAPEC-style metadata the paper lists: capecId,
+// title, description, severity, likelihood, and mitigation.
+//
+// The runtime question the Security EDDI asks — "given the alerts seen
+// so far, has the adversary's goal been reached, and along which
+// path?" — is answered by Evaluate.
+package attacktree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Severity grades an attack scenario.
+type Severity int
+
+// Severities in increasing order.
+const (
+	SeverityLow Severity = iota
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Gate is a node's combinator.
+type Gate int
+
+// Gate kinds. Leaves have GateLeaf and no children.
+const (
+	GateLeaf Gate = iota
+	GateAND
+	GateOR
+)
+
+func (g Gate) String() string {
+	switch g {
+	case GateLeaf:
+		return "LEAF"
+	case GateAND:
+		return "AND"
+	case GateOR:
+		return "OR"
+	default:
+		return fmt.Sprintf("Gate(%d)", int(g))
+	}
+}
+
+// Node is one attack step or sub-goal.
+type Node struct {
+	ID          string
+	CAPECID     string
+	Title       string
+	Description string
+	Severity    Severity
+	// Likelihood in [0,1] as estimated at design time.
+	Likelihood float64
+	Mitigation string
+	Gate       Gate
+	Children   []*Node
+	// AlertPattern is the IDS alert type that triggers this leaf;
+	// empty on gates.
+	AlertPattern string
+}
+
+// Tree is a validated attack tree.
+type Tree struct {
+	root      *Node
+	byID      map[string]*Node
+	byPattern map[string][]*Node
+	parents   map[string]*Node
+}
+
+// New validates and indexes the tree under root: IDs unique and
+// non-empty, leaves carry alert patterns and no children, gates carry
+// children and no pattern, likelihoods in range.
+func New(root *Node) (*Tree, error) {
+	if root == nil {
+		return nil, errors.New("attacktree: nil root")
+	}
+	t := &Tree{
+		root:      root,
+		byID:      make(map[string]*Node),
+		byPattern: make(map[string][]*Node),
+		parents:   make(map[string]*Node),
+	}
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if n.ID == "" {
+			return errors.New("attacktree: node with empty id")
+		}
+		if _, dup := t.byID[n.ID]; dup {
+			return fmt.Errorf("attacktree: duplicate node id %q", n.ID)
+		}
+		if n.Likelihood < 0 || n.Likelihood > 1 {
+			return fmt.Errorf("attacktree: node %q likelihood %v out of [0,1]", n.ID, n.Likelihood)
+		}
+		t.byID[n.ID] = n
+		switch n.Gate {
+		case GateLeaf:
+			if len(n.Children) > 0 {
+				return fmt.Errorf("attacktree: leaf %q has children", n.ID)
+			}
+			if n.AlertPattern == "" {
+				return fmt.Errorf("attacktree: leaf %q has no alert pattern", n.ID)
+			}
+			t.byPattern[n.AlertPattern] = append(t.byPattern[n.AlertPattern], n)
+		case GateAND, GateOR:
+			if len(n.Children) == 0 {
+				return fmt.Errorf("attacktree: gate %q has no children", n.ID)
+			}
+			if n.AlertPattern != "" {
+				return fmt.Errorf("attacktree: gate %q has an alert pattern", n.ID)
+			}
+			for _, c := range n.Children {
+				if c == nil {
+					return fmt.Errorf("attacktree: gate %q has nil child", n.ID)
+				}
+				t.parents[c.ID] = n
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("attacktree: node %q has unknown gate %v", n.ID, n.Gate)
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Root returns the tree's goal node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Node returns the node with the given id.
+func (t *Tree) Node(id string) (*Node, bool) {
+	n, ok := t.byID[id]
+	return n, ok
+}
+
+// LeavesForAlert returns the leaves triggered by the given alert type.
+func (t *Tree) LeavesForAlert(alertType string) []*Node {
+	return append([]*Node(nil), t.byPattern[alertType]...)
+}
+
+// AlertPatterns returns the sorted set of alert types the tree listens
+// for.
+func (t *Tree) AlertPatterns() []string {
+	out := make([]string, 0, len(t.byPattern))
+	for p := range t.byPattern {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Evaluation is the result of checking triggered leaves against the
+// tree.
+type Evaluation struct {
+	// RootReached reports whether the adversary goal is satisfied.
+	RootReached bool
+	// Reached lists ids of all satisfied nodes, sorted.
+	Reached []string
+	// Path is the chain of satisfied node ids from a satisfied leaf up
+	// to the root (leaf first); empty unless RootReached.
+	Path []string
+}
+
+// Evaluate computes which nodes are satisfied given the set of
+// triggered leaf ids (typically accumulated from IDS alerts).
+func (t *Tree) Evaluate(triggeredLeaves map[string]bool) Evaluation {
+	satisfied := make(map[string]bool)
+	var eval func(n *Node) bool
+	eval = func(n *Node) bool {
+		var ok bool
+		switch n.Gate {
+		case GateLeaf:
+			ok = triggeredLeaves[n.ID]
+		case GateAND:
+			ok = true
+			for _, c := range n.Children {
+				if !eval(c) {
+					ok = false
+				}
+			}
+		case GateOR:
+			for _, c := range n.Children {
+				if eval(c) {
+					ok = true
+				}
+			}
+		}
+		if ok {
+			satisfied[n.ID] = true
+		}
+		return ok
+	}
+	rootOK := eval(t.root)
+	ev := Evaluation{RootReached: rootOK}
+	for id := range satisfied {
+		ev.Reached = append(ev.Reached, id)
+	}
+	sort.Strings(ev.Reached)
+	if rootOK {
+		ev.Path = t.tracePath(satisfied)
+	}
+	return ev
+}
+
+// tracePath walks from some satisfied leaf up to the root through
+// satisfied nodes.
+func (t *Tree) tracePath(satisfied map[string]bool) []string {
+	// Find a satisfied leaf with a satisfied chain to the root.
+	var leaves []string
+	for id := range satisfied {
+		if n := t.byID[id]; n.Gate == GateLeaf {
+			leaves = append(leaves, id)
+		}
+	}
+	sort.Strings(leaves)
+	for _, leaf := range leaves {
+		var path []string
+		cur := t.byID[leaf]
+		ok := true
+		for cur != nil {
+			if !satisfied[cur.ID] {
+				ok = false
+				break
+			}
+			path = append(path, cur.ID)
+			cur = t.parents[cur.ID]
+		}
+		if ok && len(path) > 0 && path[len(path)-1] == t.root.ID {
+			return path
+		}
+	}
+	return nil
+}
+
+// HijackTree builds a second Security EDDI model: the adversary's goal
+// of seizing or severing command-and-control, reached either by
+// injecting commands after gaining network access, or by jamming the
+// C2 link outright.
+func HijackTree(uav string) (*Tree, error) {
+	leafAccess := &Node{
+		ID:           uav + "/c2-net-access",
+		CAPECID:      "CAPEC-94",
+		Title:        "Adversary-in-the-Middle on the C2 segment",
+		Description:  "Attacker positions on the network path carrying command traffic",
+		Severity:     SeverityMedium,
+		Likelihood:   0.35,
+		Mitigation:   "Mutual TLS on C2, network segmentation",
+		Gate:         GateLeaf,
+		AlertPattern: "unauthorized-node",
+	}
+	leafCmd := &Node{
+		ID:           uav + "/cmd-injection",
+		CAPECID:      "CAPEC-248",
+		Title:        "Command injection",
+		Description:  "Forged command messages race the ground station's",
+		Severity:     SeverityCritical,
+		Likelihood:   0.25,
+		Mitigation:   "Signed commands, sequence authentication",
+		Gate:         GateLeaf,
+		AlertPattern: "message-injection",
+	}
+	leafJam := &Node{
+		ID:           uav + "/link-jamming",
+		CAPECID:      "CAPEC-601",
+		Title:        "C2 link jamming",
+		Description:  "RF interference silences the command channel",
+		Severity:     SeverityHigh,
+		Likelihood:   0.3,
+		Mitigation:   "Frequency hopping, lost-link contingency behaviour",
+		Gate:         GateLeaf,
+		AlertPattern: "link-silence",
+	}
+	seize := &Node{
+		ID:          uav + "/c2-seizure",
+		CAPECID:     "CAPEC-248",
+		Title:       "Seize command and control",
+		Description: "Network access combined with command injection takes over the vehicle",
+		Severity:    SeverityCritical,
+		Likelihood:  0.2,
+		Mitigation:  "IDS on command topics, command allow-lists",
+		Gate:        GateAND,
+		Children:    []*Node{leafAccess, leafCmd},
+	}
+	root := &Node{
+		ID:          uav + "/c2-hijack",
+		CAPECID:     "CAPEC-248",
+		Title:       "Hijack or sever UAV command and control",
+		Severity:    SeverityCritical,
+		Likelihood:  0.15,
+		Mitigation:  "Lost-link return-to-base, collaborative supervision",
+		Gate:        GateOR,
+		Children:    []*Node{seize, leafJam},
+		Description: "Adversary controls or denies the C2 channel",
+	}
+	return New(root)
+}
+
+// SpoofingTree builds the ROS message spoofing attack tree used in the
+// §V-C scenario: the adversary's goal of manipulating the UAV's area
+// mapping is reached either by injecting falsified ROS messages (which
+// requires network access AND message injection) or by direct GPS
+// spoofing at the RF level.
+func SpoofingTree(uav string) (*Tree, error) {
+	leafAccess := &Node{
+		ID:           uav + "/net-access",
+		CAPECID:      "CAPEC-94",
+		Title:        "Adversary-in-the-Middle network access",
+		Description:  "Attacker joins the C2 network segment carrying ROS traffic",
+		Severity:     SeverityMedium,
+		Likelihood:   0.4,
+		Mitigation:   "Network segmentation, WPA3, certificate pinning",
+		Gate:         GateLeaf,
+		AlertPattern: "unauthorized-node",
+	}
+	leafInject := &Node{
+		ID:           uav + "/msg-injection",
+		CAPECID:      "CAPEC-594",
+		Title:        "ROS message injection",
+		Description:  "Falsified position/command messages published on UAV topics",
+		Severity:     SeverityHigh,
+		Likelihood:   0.3,
+		Mitigation:   "Authenticated pub/sub (SROS2), message signing",
+		Gate:         GateLeaf,
+		AlertPattern: "message-injection",
+	}
+	leafGPS := &Node{
+		ID:           uav + "/gps-spoof",
+		CAPECID:      "CAPEC-627",
+		Title:        "GNSS signal spoofing",
+		Description:  "Counterfeit GNSS signals displace the victim's position solution",
+		Severity:     SeverityCritical,
+		Likelihood:   0.2,
+		Mitigation:   "Multi-constellation consistency checks, collaborative localization",
+		Gate:         GateLeaf,
+		AlertPattern: "gps-anomaly",
+	}
+	rosPath := &Node{
+		ID:          uav + "/ros-spoofing",
+		CAPECID:     "CAPEC-148",
+		Title:       "ROS topic spoofing campaign",
+		Description: "Network access combined with message injection corrupts the mapping pipeline",
+		Severity:    SeverityHigh,
+		Likelihood:  0.25,
+		Mitigation:  "IDS on ROS graph, topic allow-lists",
+		Gate:        GateAND,
+		Children:    []*Node{leafAccess, leafInject},
+	}
+	root := &Node{
+		ID:          uav + "/map-manipulation",
+		CAPECID:     "CAPEC-148",
+		Title:       "Manipulate UAV area mapping",
+		Description: "Adversary displaces the UAV's believed position, corrupting SAR coverage",
+		Severity:    SeverityCritical,
+		Likelihood:  0.15,
+		Mitigation:  "Spoofing detection + collaborative localization safe landing",
+		Gate:        GateOR,
+		Children:    []*Node{rosPath, leafGPS},
+	}
+	return New(root)
+}

@@ -1,0 +1,159 @@
+package attacktree
+
+import (
+	"testing"
+)
+
+func TestSpoofingTreeStructure(t *testing.T) {
+	tr, err := SpoofingTree("uav1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID != "uav1/map-manipulation" {
+		t.Fatalf("root = %q", tr.Root().ID)
+	}
+	patterns := tr.AlertPatterns()
+	want := []string{"gps-anomaly", "message-injection", "unauthorized-node"}
+	if len(patterns) != len(want) {
+		t.Fatalf("patterns = %v", patterns)
+	}
+	for i := range want {
+		if patterns[i] != want[i] {
+			t.Fatalf("patterns = %v, want %v", patterns, want)
+		}
+	}
+	if _, ok := tr.Node("uav1/ros-spoofing"); !ok {
+		t.Fatal("missing AND node")
+	}
+	leaves := tr.LeavesForAlert("gps-anomaly")
+	if len(leaves) != 1 || leaves[0].CAPECID != "CAPEC-627" {
+		t.Fatalf("gps leaf lookup = %v", leaves)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	tr, _ := SpoofingTree("u")
+	ev := tr.Evaluate(nil)
+	if ev.RootReached || len(ev.Reached) != 0 || ev.Path != nil {
+		t.Fatalf("empty evaluation = %+v", ev)
+	}
+}
+
+func TestEvaluateANDRequiresBoth(t *testing.T) {
+	tr, _ := SpoofingTree("u")
+	ev := tr.Evaluate(map[string]bool{"u/net-access": true})
+	if ev.RootReached {
+		t.Fatal("one AND child must not reach root")
+	}
+	if len(ev.Reached) != 1 || ev.Reached[0] != "u/net-access" {
+		t.Fatalf("reached = %v", ev.Reached)
+	}
+	ev = tr.Evaluate(map[string]bool{"u/net-access": true, "u/msg-injection": true})
+	if !ev.RootReached {
+		t.Fatal("both AND children must reach root")
+	}
+	// Path runs leaf -> AND gate -> root.
+	if len(ev.Path) != 3 || ev.Path[2] != "u/map-manipulation" {
+		t.Fatalf("path = %v", ev.Path)
+	}
+	if ev.Path[1] != "u/ros-spoofing" {
+		t.Fatalf("path = %v", ev.Path)
+	}
+}
+
+func TestEvaluateORShortcut(t *testing.T) {
+	tr, _ := SpoofingTree("u")
+	ev := tr.Evaluate(map[string]bool{"u/gps-spoof": true})
+	if !ev.RootReached {
+		t.Fatal("GPS leaf alone satisfies the OR root")
+	}
+	if len(ev.Path) != 2 || ev.Path[0] != "u/gps-spoof" || ev.Path[1] != "u/map-manipulation" {
+		t.Fatalf("path = %v", ev.Path)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil root must fail")
+	}
+	if _, err := New(&Node{ID: "", Gate: GateLeaf, AlertPattern: "x"}); err == nil {
+		t.Error("empty id must fail")
+	}
+	if _, err := New(&Node{ID: "l", Gate: GateLeaf}); err == nil {
+		t.Error("leaf without pattern must fail")
+	}
+	if _, err := New(&Node{ID: "l", Gate: GateLeaf, AlertPattern: "x", Children: []*Node{{}}}); err == nil {
+		t.Error("leaf with children must fail")
+	}
+	if _, err := New(&Node{ID: "g", Gate: GateOR}); err == nil {
+		t.Error("gate without children must fail")
+	}
+	if _, err := New(&Node{ID: "g", Gate: GateOR, AlertPattern: "x",
+		Children: []*Node{{ID: "l", Gate: GateLeaf, AlertPattern: "y"}}}); err == nil {
+		t.Error("gate with pattern must fail")
+	}
+	dup := &Node{ID: "dup", Gate: GateLeaf, AlertPattern: "a"}
+	if _, err := New(&Node{ID: "g", Gate: GateOR, Children: []*Node{dup,
+		{ID: "dup", Gate: GateLeaf, AlertPattern: "b"}}}); err == nil {
+		t.Error("duplicate ids must fail")
+	}
+	if _, err := New(&Node{ID: "l", Gate: GateLeaf, AlertPattern: "x", Likelihood: 1.5}); err == nil {
+		t.Error("likelihood > 1 must fail")
+	}
+	if _, err := New(&Node{ID: "g", Gate: Gate(7), Children: []*Node{{ID: "l", Gate: GateLeaf, AlertPattern: "x"}}}); err == nil {
+		t.Error("unknown gate must fail")
+	}
+	if _, err := New(&Node{ID: "g", Gate: GateOR, Children: []*Node{nil}}); err == nil {
+		t.Error("nil child must fail")
+	}
+}
+
+func TestSharedPatternAcrossLeaves(t *testing.T) {
+	a := &Node{ID: "a", Gate: GateLeaf, AlertPattern: "shared"}
+	b := &Node{ID: "b", Gate: GateLeaf, AlertPattern: "shared"}
+	root := &Node{ID: "root", Gate: GateAND, Children: []*Node{a, b}}
+	tr, err := New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tr.LeavesForAlert("shared")
+	if len(leaves) != 2 {
+		t.Fatalf("shared pattern leaves = %d", len(leaves))
+	}
+	ev := tr.Evaluate(map[string]bool{"a": true, "b": true})
+	if !ev.RootReached {
+		t.Fatal("both shared leaves triggered must reach root")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SeverityCritical.String() != "critical" || GateAND.String() != "AND" {
+		t.Fatal("names wrong")
+	}
+	if Severity(9).String() == "" || Gate(9).String() == "" {
+		t.Fatal("unknown values must render")
+	}
+}
+
+func TestMetadataPreserved(t *testing.T) {
+	tr, _ := SpoofingTree("u")
+	n, ok := tr.Node("u/gps-spoof")
+	if !ok {
+		t.Fatal("node missing")
+	}
+	if n.Severity != SeverityCritical || n.Mitigation == "" || n.Description == "" || n.Title == "" {
+		t.Fatalf("metadata lost: %+v", n)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	tr, _ := SpoofingTree("u")
+	trig := map[string]bool{"u/net-access": true, "u/msg-injection": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := tr.Evaluate(trig)
+		if !ev.RootReached {
+			b.Fatal("expected root reached")
+		}
+	}
+}

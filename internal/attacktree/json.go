@@ -1,0 +1,120 @@
+package attacktree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the on-disk form of a node — the exchange format the
+// paper's attack-tree creation process emits ("capecId", "title",
+// "description", "severity", "likelihood", "mitigation" per scenario,
+// §III-B).
+type nodeJSON struct {
+	ID           string     `json:"id"`
+	CAPECID      string     `json:"capecId,omitempty"`
+	Title        string     `json:"title,omitempty"`
+	Description  string     `json:"description,omitempty"`
+	Severity     string     `json:"severity"`
+	Likelihood   float64    `json:"likelihood"`
+	Mitigation   string     `json:"mitigation,omitempty"`
+	Gate         string     `json:"gate"`
+	AlertPattern string     `json:"alertPattern,omitempty"`
+	Children     []nodeJSON `json:"children,omitempty"`
+}
+
+var severityNames = map[Severity]string{
+	SeverityLow:      "low",
+	SeverityMedium:   "medium",
+	SeverityHigh:     "high",
+	SeverityCritical: "critical",
+}
+
+func severityFromName(s string) (Severity, error) {
+	for k, v := range severityNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("attacktree: unknown severity %q", s)
+}
+
+var gateNames = map[Gate]string{
+	GateLeaf: "LEAF",
+	GateAND:  "AND",
+	GateOR:   "OR",
+}
+
+func gateFromName(s string) (Gate, error) {
+	for k, v := range gateNames {
+		if v == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("attacktree: unknown gate %q", s)
+}
+
+func toJSON(n *Node) nodeJSON {
+	out := nodeJSON{
+		ID:           n.ID,
+		CAPECID:      n.CAPECID,
+		Title:        n.Title,
+		Description:  n.Description,
+		Severity:     severityNames[n.Severity],
+		Likelihood:   n.Likelihood,
+		Mitigation:   n.Mitigation,
+		Gate:         gateNames[n.Gate],
+		AlertPattern: n.AlertPattern,
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, toJSON(c))
+	}
+	return out
+}
+
+func fromJSON(j nodeJSON) (*Node, error) {
+	sev, err := severityFromName(j.Severity)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := gateFromName(j.Gate)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		ID:           j.ID,
+		CAPECID:      j.CAPECID,
+		Title:        j.Title,
+		Description:  j.Description,
+		Severity:     sev,
+		Likelihood:   j.Likelihood,
+		Mitigation:   j.Mitigation,
+		Gate:         gate,
+		AlertPattern: j.AlertPattern,
+	}
+	for _, cj := range j.Children {
+		c, err := fromJSON(cj)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// MarshalJSON encodes the validated tree as its exchange document.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(toJSON(t.root), "", "  ")
+}
+
+// Parse decodes and validates an attack-tree exchange document.
+func Parse(data []byte) (*Tree, error) {
+	var j nodeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("attacktree: decoding: %w", err)
+	}
+	root, err := fromJSON(j)
+	if err != nil {
+		return nil, err
+	}
+	return New(root)
+}

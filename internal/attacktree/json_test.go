@@ -1,0 +1,91 @@
+package attacktree
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := SpoofingTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"capecId", "CAPEC-627", "mitigation", "alertPattern", "critical"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("document missing %q:\n%s", want, data)
+		}
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root().ID != orig.Root().ID {
+		t.Fatalf("root id changed: %q", back.Root().ID)
+	}
+	// Same behaviour after the round trip.
+	ev1 := orig.Evaluate(map[string]bool{"u1/gps-spoof": true})
+	ev2 := back.Evaluate(map[string]bool{"u1/gps-spoof": true})
+	if ev1.RootReached != ev2.RootReached || len(ev1.Path) != len(ev2.Path) {
+		t.Fatalf("behaviour changed: %+v vs %+v", ev1, ev2)
+	}
+	pat1 := strings.Join(orig.AlertPatterns(), ",")
+	pat2 := strings.Join(back.AlertPatterns(), ",")
+	if pat1 != pat2 {
+		t.Fatalf("alert patterns changed: %s vs %s", pat2, pat1)
+	}
+	// Marshal is stable.
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("round trip not idempotent")
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"id":"x","gate":"XOR","severity":"low"}`,
+		`{"id":"x","gate":"LEAF","severity":"catastrophic","alertPattern":"p"}`,
+		`{"id":"x","gate":"LEAF","severity":"low"}`,                   // leaf without pattern
+		`{"id":"","gate":"LEAF","severity":"low","alertPattern":"p"}`, // empty id
+		`{"id":"g","gate":"AND","severity":"low"}`,                    // gate without children
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("accepted invalid document: %s", c)
+		}
+	}
+}
+
+func TestParseHandwrittenTree(t *testing.T) {
+	doc := `{
+	  "id": "goal", "gate": "OR", "severity": "high", "likelihood": 0.2,
+	  "children": [
+	    {"id": "leaf-a", "gate": "LEAF", "severity": "low", "alertPattern": "alert-a"},
+	    {"id": "sub", "gate": "AND", "severity": "medium", "children": [
+	      {"id": "leaf-b", "gate": "LEAF", "severity": "low", "alertPattern": "alert-b"},
+	      {"id": "leaf-c", "gate": "LEAF", "severity": "low", "alertPattern": "alert-c"}
+	    ]}
+	  ]
+	}`
+	tr, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Evaluate(map[string]bool{"leaf-a": true}).RootReached {
+		t.Fatal("OR leaf must reach root")
+	}
+	if tr.Evaluate(map[string]bool{"leaf-b": true}).RootReached {
+		t.Fatal("half an AND must not reach root")
+	}
+	if !tr.Evaluate(map[string]bool{"leaf-b": true, "leaf-c": true}).RootReached {
+		t.Fatal("full AND must reach root")
+	}
+}

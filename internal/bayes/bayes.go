@@ -1,0 +1,509 @@
+// Package bayes implements discrete Bayesian networks with exact
+// inference by variable elimination. It is the engine behind SINADRA
+// (paper §III-A4), which models situation-specific risk factors and
+// their causal influences as a BN evaluated at runtime.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Network is a discrete Bayesian network. Build it by adding variables
+// and conditional probability tables, then query posterior marginals
+// with Posterior.
+type Network struct {
+	names  []string
+	index  map[string]int
+	states [][]string       // states[v] = state labels of variable v
+	stIdx  []map[string]int // stIdx[v][label] = state index
+	cpts   []*cpt           // cpts[v] = CPT of variable v (nil until set)
+}
+
+type cpt struct {
+	child   int
+	parents []int
+	// rows[r][s] = P(child = s | parent combo r); parent combos iterate
+	// with the LAST parent varying fastest.
+	rows [][]float64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{index: make(map[string]int)}
+}
+
+// AddVariable declares a variable with the given state labels.
+func (n *Network) AddVariable(name string, states ...string) error {
+	if name == "" {
+		return errors.New("bayes: empty variable name")
+	}
+	if _, dup := n.index[name]; dup {
+		return fmt.Errorf("bayes: duplicate variable %q", name)
+	}
+	if len(states) < 2 {
+		return fmt.Errorf("bayes: variable %q needs at least 2 states", name)
+	}
+	si := make(map[string]int, len(states))
+	for i, s := range states {
+		if s == "" {
+			return fmt.Errorf("bayes: variable %q has empty state label", name)
+		}
+		if _, dup := si[s]; dup {
+			return fmt.Errorf("bayes: variable %q has duplicate state %q", name, s)
+		}
+		si[s] = i
+	}
+	n.index[name] = len(n.names)
+	n.names = append(n.names, name)
+	n.states = append(n.states, append([]string(nil), states...))
+	n.stIdx = append(n.stIdx, si)
+	n.cpts = append(n.cpts, nil)
+	return nil
+}
+
+// varID resolves a variable name.
+func (n *Network) varID(name string) (int, error) {
+	id, ok := n.index[name]
+	if !ok {
+		return 0, fmt.Errorf("bayes: unknown variable %q", name)
+	}
+	return id, nil
+}
+
+// States returns the state labels of the named variable.
+func (n *Network) States(name string) ([]string, error) {
+	id, err := n.varID(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]string(nil), n.states[id]...), nil
+}
+
+// SetCPT installs the conditional probability table of child given
+// parents. rows iterates over parent state combinations with the last
+// parent varying fastest; each row is a distribution over the child's
+// states and must sum to 1.
+func (n *Network) SetCPT(child string, parents []string, rows [][]float64) error {
+	cid, err := n.varID(child)
+	if err != nil {
+		return err
+	}
+	pids := make([]int, len(parents))
+	combos := 1
+	for i, p := range parents {
+		pid, err := n.varID(p)
+		if err != nil {
+			return err
+		}
+		if pid == cid {
+			return fmt.Errorf("bayes: %q cannot be its own parent", child)
+		}
+		pids[i] = pid
+		combos *= len(n.states[pid])
+	}
+	if len(rows) != combos {
+		return fmt.Errorf("bayes: CPT for %q has %d rows, want %d", child, len(rows), combos)
+	}
+	nc := len(n.states[cid])
+	cp := make([][]float64, len(rows))
+	for r, row := range rows {
+		if len(row) != nc {
+			return fmt.Errorf("bayes: CPT row %d for %q has %d entries, want %d", r, child, len(row), nc)
+		}
+		var sum float64
+		for _, v := range row {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return fmt.Errorf("bayes: CPT for %q has invalid probability %v", child, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("bayes: CPT row %d for %q sums to %v", r, child, sum)
+		}
+		cp[r] = append([]float64(nil), row...)
+	}
+	n.cpts[cid] = &cpt{child: cid, parents: pids, rows: cp}
+	return nil
+}
+
+// SetPrior installs an unconditional distribution for a root variable.
+func (n *Network) SetPrior(name string, dist []float64) error {
+	return n.SetCPT(name, nil, [][]float64{dist})
+}
+
+// Validate checks that every variable has a CPT and the parent graph is
+// acyclic.
+func (n *Network) Validate() error {
+	for v, c := range n.cpts {
+		if c == nil {
+			return fmt.Errorf("bayes: variable %q has no CPT", n.names[v])
+		}
+	}
+	// Kahn's algorithm over child->parent edges.
+	indeg := make([]int, len(n.names))
+	children := make([][]int, len(n.names))
+	for v, c := range n.cpts {
+		indeg[v] = len(c.parents)
+		for _, p := range c.parents {
+			children[p] = append(children[p], v)
+		}
+	}
+	var queue []int
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, ch := range children[v] {
+			indeg[ch]--
+			if indeg[ch] == 0 {
+				queue = append(queue, ch)
+			}
+		}
+	}
+	if seen != len(n.names) {
+		return errors.New("bayes: parent graph has a cycle")
+	}
+	return nil
+}
+
+// Evidence maps variable names to observed state labels.
+type Evidence map[string]string
+
+// factor is a table over a set of variables.
+type factor struct {
+	vars []int // sorted network variable ids
+	card []int
+	vals []float64 // row-major, last variable fastest
+}
+
+func (n *Network) cptFactor(c *cpt) *factor {
+	// Variables: parents then child, but factor vars must be sorted;
+	// build via assignment enumeration for clarity (tables are small).
+	vars := append(append([]int(nil), c.parents...), c.child)
+	sorted := append([]int(nil), vars...)
+	sort.Ints(sorted)
+	card := make([]int, len(sorted))
+	size := 1
+	for i, v := range sorted {
+		card[i] = len(n.states[v])
+		size *= card[i]
+	}
+	f := &factor{vars: sorted, card: card, vals: make([]float64, size)}
+	pos := make(map[int]int, len(sorted)) // var id -> position in sorted
+	for i, v := range sorted {
+		pos[v] = i
+	}
+	assign := make([]int, len(sorted))
+	for idx := 0; idx < size; idx++ {
+		// Decode idx into assignment (last var fastest).
+		rem := idx
+		for i := len(sorted) - 1; i >= 0; i-- {
+			assign[i] = rem % card[i]
+			rem /= card[i]
+		}
+		// Row index in CPT: parents with last parent fastest.
+		row := 0
+		for _, p := range c.parents {
+			row = row*len(n.states[p]) + assign[pos[p]]
+		}
+		f.vals[idx] = c.rows[row][assign[pos[c.child]]]
+	}
+	return f
+}
+
+// reduce fixes variable v to state s, dropping v from the factor.
+func (f *factor) reduce(v, s int) *factor {
+	vi := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return f
+	}
+	nv := append(append([]int(nil), f.vars[:vi]...), f.vars[vi+1:]...)
+	nc := append(append([]int(nil), f.card[:vi]...), f.card[vi+1:]...)
+	size := 1
+	for _, c := range nc {
+		size *= c
+	}
+	out := &factor{vars: nv, card: nc, vals: make([]float64, size)}
+	assign := make([]int, len(f.vars))
+	for idx := range f.vals {
+		rem := idx
+		for i := len(f.vars) - 1; i >= 0; i-- {
+			assign[i] = rem % f.card[i]
+			rem /= f.card[i]
+		}
+		if assign[vi] != s {
+			continue
+		}
+		oidx := 0
+		for i := range nv {
+			ai := i
+			if i >= vi {
+				ai = i + 1
+			}
+			oidx = oidx*nc[i] + assign[ai]
+		}
+		out.vals[oidx] = f.vals[idx]
+	}
+	return out
+}
+
+// multiply returns the product factor of a and b.
+func multiply(a, b *factor) *factor {
+	// Union of variables, sorted.
+	union := append([]int(nil), a.vars...)
+	for _, v := range b.vars {
+		found := false
+		for _, u := range union {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			union = append(union, v)
+		}
+	}
+	sort.Ints(union)
+	cardOf := map[int]int{}
+	for i, v := range a.vars {
+		cardOf[v] = a.card[i]
+	}
+	for i, v := range b.vars {
+		cardOf[v] = b.card[i]
+	}
+	card := make([]int, len(union))
+	size := 1
+	for i, v := range union {
+		card[i] = cardOf[v]
+		size *= card[i]
+	}
+	out := &factor{vars: union, card: card, vals: make([]float64, size)}
+	assign := make(map[int]int, len(union))
+	idxAssign := make([]int, len(union))
+	for idx := 0; idx < size; idx++ {
+		rem := idx
+		for i := len(union) - 1; i >= 0; i-- {
+			idxAssign[i] = rem % card[i]
+			rem /= card[i]
+		}
+		for i, v := range union {
+			assign[v] = idxAssign[i]
+		}
+		out.vals[idx] = a.at(assign) * b.at(assign)
+	}
+	return out
+}
+
+// at returns the factor value under the given full assignment.
+func (f *factor) at(assign map[int]int) float64 {
+	idx := 0
+	for i, v := range f.vars {
+		idx = idx*f.card[i] + assign[v]
+	}
+	return f.vals[idx]
+}
+
+// sumOut marginalizes variable v out of the factor.
+func (f *factor) sumOut(v int) *factor {
+	vi := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		return f
+	}
+	nv := append(append([]int(nil), f.vars[:vi]...), f.vars[vi+1:]...)
+	nc := append(append([]int(nil), f.card[:vi]...), f.card[vi+1:]...)
+	size := 1
+	for _, c := range nc {
+		size *= c
+	}
+	out := &factor{vars: nv, card: nc, vals: make([]float64, size)}
+	assign := make([]int, len(f.vars))
+	for idx := range f.vals {
+		rem := idx
+		for i := len(f.vars) - 1; i >= 0; i-- {
+			assign[i] = rem % f.card[i]
+			rem /= f.card[i]
+		}
+		oidx := 0
+		for i := range nv {
+			ai := i
+			if i >= vi {
+				ai = i + 1
+			}
+			oidx = oidx*nc[i] + assign[ai]
+		}
+		out.vals[oidx] += f.vals[idx]
+	}
+	return out
+}
+
+// Posterior returns P(query | evidence) as a map from the query
+// variable's state labels to probabilities.
+func (n *Network) Posterior(query string, ev Evidence) (map[string]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	qid, err := n.varID(query)
+	if err != nil {
+		return nil, err
+	}
+	evIDs := make(map[int]int, len(ev))
+	for name, label := range ev {
+		vid, err := n.varID(name)
+		if err != nil {
+			return nil, err
+		}
+		sid, ok := n.stIdx[vid][label]
+		if !ok {
+			return nil, fmt.Errorf("bayes: variable %q has no state %q", name, label)
+		}
+		evIDs[vid] = sid
+	}
+	if s, isEv := evIDs[qid]; isEv {
+		// Querying an observed variable: point mass.
+		out := make(map[string]float64, len(n.states[qid]))
+		for i, label := range n.states[qid] {
+			if i == s {
+				out[label] = 1
+			} else {
+				out[label] = 0
+			}
+		}
+		return out, nil
+	}
+
+	// Build factors, reduce by evidence.
+	var factors []*factor
+	for _, c := range n.cpts {
+		f := n.cptFactor(c)
+		for v, s := range evIDs {
+			f = f.reduce(v, s)
+		}
+		factors = append(factors, f)
+	}
+	// Eliminate all hidden variables (min-width greedy order).
+	hidden := map[int]bool{}
+	for v := range n.names {
+		if v != qid {
+			if _, isEv := evIDs[v]; !isEv {
+				hidden[v] = true
+			}
+		}
+	}
+	for len(hidden) > 0 {
+		// Pick the hidden variable whose elimination factor is smallest.
+		best, bestSize := -1, math.MaxInt64
+		for v := range hidden {
+			size := 1
+			seen := map[int]bool{}
+			for _, f := range factors {
+				if !containsVar(f, v) {
+					continue
+				}
+				for i, fv := range f.vars {
+					if fv != v && !seen[fv] {
+						seen[fv] = true
+						size *= f.card[i]
+					}
+				}
+			}
+			if size < bestSize {
+				best, bestSize = v, size
+			}
+		}
+		v := best
+		delete(hidden, v)
+		var prod *factor
+		var rest []*factor
+		for _, f := range factors {
+			if containsVar(f, v) {
+				if prod == nil {
+					prod = f
+				} else {
+					prod = multiply(prod, f)
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		if prod != nil {
+			rest = append(rest, prod.sumOut(v))
+		}
+		factors = rest
+	}
+	// Multiply what remains and normalize over the query variable.
+	var joint *factor
+	for _, f := range factors {
+		if joint == nil {
+			joint = f
+		} else {
+			joint = multiply(joint, f)
+		}
+	}
+	if joint == nil || len(joint.vars) != 1 || joint.vars[0] != qid {
+		return nil, errors.New("bayes: internal error: elimination did not reduce to the query variable")
+	}
+	var z float64
+	for _, v := range joint.vals {
+		z += v
+	}
+	if z <= 0 {
+		return nil, errors.New("bayes: evidence has zero probability")
+	}
+	out := make(map[string]float64, len(joint.vals))
+	for i, label := range n.states[qid] {
+		out[label] = joint.vals[i] / z
+	}
+	return out, nil
+}
+
+func containsVar(f *factor, v int) bool {
+	for _, fv := range f.vars {
+		if fv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MostLikely returns the query variable's maximum-posterior state and
+// its probability.
+func (n *Network) MostLikely(query string, ev Evidence) (string, float64, error) {
+	post, err := n.Posterior(query, ev)
+	if err != nil {
+		return "", 0, err
+	}
+	// Deterministic tie-break: lexicographically smallest label wins.
+	labels := make([]string, 0, len(post))
+	for l := range post {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	best, bestP := "", -1.0
+	for _, l := range labels {
+		if post[l] > bestP {
+			best, bestP = l, post[l]
+		}
+	}
+	return best, bestP, nil
+}

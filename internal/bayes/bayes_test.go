@@ -1,0 +1,252 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+)
+
+// sprinkler builds the classic rain/sprinkler/grass-wet network.
+func sprinkler(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	mustOK(t, n.AddVariable("Rain", "yes", "no"))
+	mustOK(t, n.AddVariable("Sprinkler", "on", "off"))
+	mustOK(t, n.AddVariable("Wet", "yes", "no"))
+	mustOK(t, n.SetPrior("Rain", []float64{0.2, 0.8}))
+	mustOK(t, n.SetCPT("Sprinkler", []string{"Rain"}, [][]float64{
+		{0.01, 0.99}, // Rain=yes
+		{0.4, 0.6},   // Rain=no
+	}))
+	mustOK(t, n.SetCPT("Wet", []string{"Sprinkler", "Rain"}, [][]float64{
+		{0.99, 0.01}, // on, yes
+		{0.9, 0.1},   // on, no
+		{0.8, 0.2},   // off, yes
+		{0.0, 1.0},   // off, no
+	}))
+	return n
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSprinklerPosterior(t *testing.T) {
+	n := sprinkler(t)
+	// Known result: P(Rain=yes | Wet=yes) ~ 0.3577.
+	post, err := n.Posterior("Rain", Evidence{"Wet": "yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post["yes"]-0.3577) > 0.001 {
+		t.Fatalf("P(Rain|Wet) = %v, want ~0.3577", post["yes"])
+	}
+	if math.Abs(post["yes"]+post["no"]-1) > 1e-9 {
+		t.Fatalf("posterior not normalized: %v", post)
+	}
+}
+
+func TestPriorMarginal(t *testing.T) {
+	n := sprinkler(t)
+	post, err := n.Posterior("Rain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post["yes"]-0.2) > 1e-9 {
+		t.Fatalf("prior marginal = %v, want 0.2", post["yes"])
+	}
+}
+
+func TestMarginalOfChild(t *testing.T) {
+	n := sprinkler(t)
+	// P(Sprinkler=on) = 0.2*0.01 + 0.8*0.4 = 0.322.
+	post, err := n.Posterior("Sprinkler", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post["on"]-0.322) > 1e-9 {
+		t.Fatalf("P(Sprinkler=on) = %v, want 0.322", post["on"])
+	}
+}
+
+func TestExplainingAway(t *testing.T) {
+	n := sprinkler(t)
+	base, _ := n.Posterior("Rain", Evidence{"Wet": "yes"})
+	explained, _ := n.Posterior("Rain", Evidence{"Wet": "yes", "Sprinkler": "on"})
+	if explained["yes"] >= base["yes"] {
+		t.Fatalf("explaining away failed: %v -> %v", base["yes"], explained["yes"])
+	}
+}
+
+func TestQueryObservedVariable(t *testing.T) {
+	n := sprinkler(t)
+	post, err := n.Posterior("Wet", Evidence{"Wet": "no"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post["no"] != 1 || post["yes"] != 0 {
+		t.Fatalf("observed query = %v, want point mass", post)
+	}
+}
+
+func TestMostLikely(t *testing.T) {
+	n := sprinkler(t)
+	state, p, err := n.MostLikely("Rain", Evidence{"Wet": "yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != "no" {
+		t.Fatalf("MAP state = %q, want no (p=%v)", state, p)
+	}
+	if p < 0.6 || p > 0.7 {
+		t.Fatalf("MAP p = %v, want ~0.64", p)
+	}
+}
+
+func TestZeroProbabilityEvidence(t *testing.T) {
+	n := NewNetwork()
+	mustOK(t, n.AddVariable("A", "t", "f"))
+	mustOK(t, n.AddVariable("B", "t", "f"))
+	mustOK(t, n.SetPrior("A", []float64{1, 0}))
+	mustOK(t, n.SetCPT("B", []string{"A"}, [][]float64{
+		{1, 0},
+		{0, 1},
+	}))
+	if _, err := n.Posterior("A", Evidence{"B": "f"}); err == nil {
+		t.Fatal("impossible evidence must fail")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddVariable("", "a", "b"); err == nil {
+		t.Error("empty name must fail")
+	}
+	mustOK(t, n.AddVariable("X", "a", "b"))
+	if err := n.AddVariable("X", "a", "b"); err == nil {
+		t.Error("duplicate variable must fail")
+	}
+	if err := n.AddVariable("Y", "only"); err == nil {
+		t.Error("single state must fail")
+	}
+	if err := n.AddVariable("Y", "a", "a"); err == nil {
+		t.Error("duplicate state must fail")
+	}
+	if err := n.SetPrior("X", []float64{0.5, 0.6}); err == nil {
+		t.Error("non-normalized prior must fail")
+	}
+	if err := n.SetPrior("X", []float64{0.5}); err == nil {
+		t.Error("short prior must fail")
+	}
+	if err := n.SetCPT("X", []string{"X"}, nil); err == nil {
+		t.Error("self parent must fail")
+	}
+	if err := n.SetCPT("Z", nil, [][]float64{{1, 0}}); err == nil {
+		t.Error("unknown child must fail")
+	}
+	// Missing CPT caught by Validate.
+	if err := n.Validate(); err == nil {
+		t.Error("missing CPT must fail validation")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	n := NewNetwork()
+	mustOK(t, n.AddVariable("A", "t", "f"))
+	mustOK(t, n.AddVariable("B", "t", "f"))
+	mustOK(t, n.SetCPT("A", []string{"B"}, [][]float64{{0.5, 0.5}, {0.5, 0.5}}))
+	mustOK(t, n.SetCPT("B", []string{"A"}, [][]float64{{0.5, 0.5}, {0.5, 0.5}}))
+	if err := n.Validate(); err == nil {
+		t.Fatal("cycle must fail validation")
+	}
+}
+
+func TestUnknownQueryAndEvidence(t *testing.T) {
+	n := sprinkler(t)
+	if _, err := n.Posterior("Nope", nil); err == nil {
+		t.Error("unknown query must fail")
+	}
+	if _, err := n.Posterior("Rain", Evidence{"Nope": "x"}); err == nil {
+		t.Error("unknown evidence variable must fail")
+	}
+	if _, err := n.Posterior("Rain", Evidence{"Wet": "soggy"}); err == nil {
+		t.Error("unknown evidence state must fail")
+	}
+}
+
+func TestChainNetwork(t *testing.T) {
+	// A -> B -> C chain with deterministic CPTs propagates evidence
+	// through the hidden middle variable.
+	n := NewNetwork()
+	mustOK(t, n.AddVariable("A", "t", "f"))
+	mustOK(t, n.AddVariable("B", "t", "f"))
+	mustOK(t, n.AddVariable("C", "t", "f"))
+	mustOK(t, n.SetPrior("A", []float64{0.5, 0.5}))
+	mustOK(t, n.SetCPT("B", []string{"A"}, [][]float64{{0.9, 0.1}, {0.1, 0.9}}))
+	mustOK(t, n.SetCPT("C", []string{"B"}, [][]float64{{0.9, 0.1}, {0.1, 0.9}}))
+	post, err := n.Posterior("C", Evidence{"A": "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(C=t|A=t) = 0.9*0.9 + 0.1*0.1 = 0.82.
+	if math.Abs(post["t"]-0.82) > 1e-9 {
+		t.Fatalf("P(C|A) = %v, want 0.82", post["t"])
+	}
+}
+
+func TestThreeParentNetwork(t *testing.T) {
+	// SINADRA-shaped: Risk depends on three binary factors; CPT rows
+	// iterate last parent fastest.
+	n := NewNetwork()
+	mustOK(t, n.AddVariable("Alt", "high", "low"))
+	mustOK(t, n.AddVariable("Vis", "poor", "good"))
+	mustOK(t, n.AddVariable("Unc", "high", "low"))
+	mustOK(t, n.AddVariable("Risk", "high", "low"))
+	mustOK(t, n.SetPrior("Alt", []float64{0.5, 0.5}))
+	mustOK(t, n.SetPrior("Vis", []float64{0.3, 0.7}))
+	mustOK(t, n.SetPrior("Unc", []float64{0.4, 0.6}))
+	rows := [][]float64{
+		// Alt=high: Vis=poor {Unc=high, Unc=low}, Vis=good {...}
+		{0.95, 0.05}, {0.8, 0.2}, {0.7, 0.3}, {0.4, 0.6},
+		// Alt=low
+		{0.6, 0.4}, {0.3, 0.7}, {0.2, 0.8}, {0.05, 0.95},
+	}
+	mustOK(t, n.SetCPT("Risk", []string{"Alt", "Vis", "Unc"}, rows))
+	worst, err := n.Posterior("Risk", Evidence{"Alt": "high", "Vis": "poor", "Unc": "high"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worst["high"]-0.95) > 1e-9 {
+		t.Fatalf("worst case = %v, want 0.95", worst["high"])
+	}
+	best, _ := n.Posterior("Risk", Evidence{"Alt": "low", "Vis": "good", "Unc": "low"})
+	if math.Abs(best["high"]-0.05) > 1e-9 {
+		t.Fatalf("best case = %v, want 0.05", best["high"])
+	}
+	// Partial evidence marginalizes the rest.
+	partial, _ := n.Posterior("Risk", Evidence{"Alt": "high"})
+	if !(partial["high"] > 0.4 && partial["high"] < 0.95) {
+		t.Fatalf("partial evidence posterior = %v", partial["high"])
+	}
+}
+
+func BenchmarkSprinklerPosterior(b *testing.B) {
+	n := NewNetwork()
+	_ = n.AddVariable("Rain", "yes", "no")
+	_ = n.AddVariable("Sprinkler", "on", "off")
+	_ = n.AddVariable("Wet", "yes", "no")
+	_ = n.SetPrior("Rain", []float64{0.2, 0.8})
+	_ = n.SetCPT("Sprinkler", []string{"Rain"}, [][]float64{{0.01, 0.99}, {0.4, 0.6}})
+	_ = n.SetCPT("Wet", []string{"Sprinkler", "Rain"}, [][]float64{
+		{0.99, 0.01}, {0.9, 0.1}, {0.8, 0.2}, {0.0, 1.0},
+	})
+	ev := Evidence{"Wet": "yes"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Posterior("Rain", ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

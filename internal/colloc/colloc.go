@@ -1,0 +1,230 @@
+// Package colloc implements Collaborative Localization (paper §III-C,
+// Figs. 2, 3 and 7): nearby UAVs equipped with cameras detect an
+// affected (GPS-denied or spoofed) UAV, estimate bearing and monocular
+// depth to it in real time, and fuse those observations through
+// trigonometric triangulation and the Haversine formula into a position
+// estimate. The estimate then drives the affected UAV — which has no
+// usable GPS — to a safe landing at a designated high-precision point,
+// reproducing the Fig. 7 behaviour.
+package colloc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sesame/internal/geo"
+	"sesame/internal/uavsim"
+)
+
+// Observer is the detection-and-tracking stack running on one
+// assisting UAV: tinyYOLO-style drone detection plus monocular depth
+// estimation, modelled as bearing/range measurements with calibrated
+// noise.
+type Observer struct {
+	// Assistant is the UAV carrying the camera.
+	Assistant *uavsim.UAV
+	// BearingNoiseDeg is the 1-sigma bearing error.
+	BearingNoiseDeg float64
+	// RangeNoiseFrac is the 1-sigma relative monocular depth error.
+	RangeNoiseFrac float64
+	// MaxRangeM bounds visual detection range.
+	MaxRangeM float64
+
+	rng *rand.Rand
+}
+
+// NewObserver wires an observer on the assistant with default
+// camera/depth noise (2 deg bearing, 5% depth, 400 m range).
+func NewObserver(assistant *uavsim.UAV, rng *rand.Rand) (*Observer, error) {
+	if assistant == nil {
+		return nil, errors.New("colloc: nil assistant")
+	}
+	if rng == nil {
+		return nil, errors.New("colloc: nil rng")
+	}
+	return &Observer{
+		Assistant:       assistant,
+		BearingNoiseDeg: 2,
+		RangeNoiseFrac:  0.05,
+		MaxRangeM:       400,
+		rng:             rng,
+	}, nil
+}
+
+// Observe measures the target from the assistant's current position.
+// ok is false when the target is out of visual range or the
+// assistant's camera is down.
+func (o *Observer) Observe(target *uavsim.UAV) (geo.BearingObservation, bool) {
+	if target == nil || !o.Assistant.Camera.OK {
+		return geo.BearingObservation{}, false
+	}
+	from := o.Assistant.TruePosition()
+	to := target.TruePosition()
+	dist := geo.Haversine(from, to)
+	if dist > o.MaxRangeM || dist < 1 {
+		return geo.BearingObservation{}, false
+	}
+	bearing := geo.InitialBearing(from, to) + o.rng.NormFloat64()*o.BearingNoiseDeg
+	rng := dist * (1 + o.rng.NormFloat64()*o.RangeNoiseFrac)
+	if rng < 1 {
+		rng = 1
+	}
+	// Confidence falls off with distance (smaller target pixels).
+	w := 1 - dist/(2*o.MaxRangeM)
+	return geo.BearingObservation{
+		Observer: from,
+		Bearing:  bearing,
+		Range:    rng,
+		Weight:   w,
+	}, true
+}
+
+// Localizer fuses observations over time with exponential smoothing on
+// the local tangent plane.
+type Localizer struct {
+	// Alpha is the smoothing weight of the newest fix (0..1].
+	Alpha float64
+
+	est    geo.LatLng
+	hasEst bool
+}
+
+// NewLocalizer returns a fuser with the given smoothing factor.
+func NewLocalizer(alpha float64) (*Localizer, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("colloc: alpha %v out of (0,1]", alpha)
+	}
+	return &Localizer{Alpha: alpha}, nil
+}
+
+// Update fuses the instantaneous observations into the running
+// estimate and returns it.
+func (l *Localizer) Update(obs []geo.BearingObservation) (geo.LatLng, error) {
+	fix, err := geo.Triangulate(obs)
+	if err != nil {
+		return geo.LatLng{}, err
+	}
+	if !l.hasEst {
+		l.est = fix
+		l.hasEst = true
+		return l.est, nil
+	}
+	pr := geo.NewProjection(l.est)
+	delta := pr.ToENU(fix)
+	l.est = pr.ToLatLng(delta.Scale(l.Alpha))
+	return l.est, nil
+}
+
+// Estimate returns the current fused position, if any.
+func (l *Localizer) Estimate() (geo.LatLng, bool) { return l.est, l.hasEst }
+
+// Reset clears the estimate.
+func (l *Localizer) Reset() { l.hasEst = false }
+
+// Controller runs the full Fig. 7 assisted-landing loop: each tick it
+// collects observations of the affected UAV from every assistant,
+// fuses them, and steers the affected UAV toward the safe landing
+// point using only the fused estimate (never the UAV's own GPS). When
+// the estimate is within LandingRadiusM of the target, it commands the
+// landing.
+type Controller struct {
+	Affected  *uavsim.UAV
+	Target    geo.LatLng
+	Observers []*Observer
+	Localizer *Localizer
+	// GainPerS converts position error to commanded velocity.
+	GainPerS float64
+	// LandingRadiusM is the capture radius for the final descent.
+	LandingRadiusM float64
+
+	proj      *geo.Projection
+	desired   geo.ENU
+	landed    bool
+	lastObsOK int
+}
+
+// NewController wires the loop and installs the guidance override on
+// the affected UAV.
+func NewController(affected *uavsim.UAV, target geo.LatLng, observers []*Observer, world *uavsim.World) (*Controller, error) {
+	if affected == nil {
+		return nil, errors.New("colloc: nil affected UAV")
+	}
+	if world == nil {
+		return nil, errors.New("colloc: nil world")
+	}
+	if len(observers) == 0 {
+		return nil, errors.New("colloc: need at least one observer")
+	}
+	if !target.Valid() {
+		return nil, errors.New("colloc: invalid landing target")
+	}
+	loc, err := NewLocalizer(0.4)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		Affected:       affected,
+		Target:         target,
+		Observers:      observers,
+		Localizer:      loc,
+		GainPerS:       0.5,
+		LandingRadiusM: 3,
+		proj:           world.Projection(),
+	}
+	affected.GuidanceOverride = func(_ *uavsim.UAV, _ float64) geo.ENU {
+		return c.desired
+	}
+	return c, nil
+}
+
+// Step runs one observation/fusion/guidance cycle. It returns the
+// number of assistants that saw the affected UAV this tick.
+func (c *Controller) Step() int {
+	if c.landed {
+		c.desired = geo.ENU{}
+		return 0
+	}
+	var obs []geo.BearingObservation
+	for _, o := range c.Observers {
+		if m, ok := o.Observe(c.Affected); ok {
+			obs = append(obs, m)
+		}
+	}
+	c.lastObsOK = len(obs)
+	if len(obs) > 0 {
+		if _, err := c.Localizer.Update(obs); err == nil {
+			// fused estimate refreshed
+			_ = err
+		}
+	}
+	est, ok := c.Localizer.Estimate()
+	if !ok {
+		// No estimate yet: hold.
+		c.desired = geo.ENU{}
+		return c.lastObsOK
+	}
+	errVec := c.proj.ToENU(c.Target).Sub(c.proj.ToENU(est))
+	if errVec.Norm() <= c.LandingRadiusM {
+		c.desired = geo.ENU{}
+		c.Affected.GuidanceOverride = nil
+		c.Affected.Land()
+		c.landed = true
+		return c.lastObsOK
+	}
+	c.desired = errVec.Scale(c.GainPerS)
+	return c.lastObsOK
+}
+
+// LandingCommanded reports whether the final descent was initiated.
+func (c *Controller) LandingCommanded() bool { return c.landed }
+
+// LastObserverCount returns how many assistants saw the target on the
+// previous Step.
+func (c *Controller) LastObserverCount() int { return c.lastObsOK }
+
+// LandingError returns the ground distance from the affected UAV's
+// true position to the designated landing point.
+func (c *Controller) LandingError() float64 {
+	return geo.Haversine(c.Affected.TruePosition(), c.Target)
+}

@@ -1,0 +1,264 @@
+package colloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"sesame/internal/geo"
+	"sesame/internal/uavsim"
+)
+
+var origin = geo.LatLng{Lat: 35.1856, Lng: 33.3823}
+
+// fleet builds a world with one affected UAV and n assistants hovering
+// around it.
+func fleet(t *testing.T, n int) (*uavsim.World, *uavsim.UAV, []*Observer) {
+	t.Helper()
+	w := uavsim.NewWorld(origin, 21)
+	affected, err := w.AddUAV(uavsim.UAVConfig{ID: "affected", Home: origin, CruiseSpeedMS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := affected.TakeOff(25); err != nil {
+		t.Fatal(err)
+	}
+	var observers []*Observer
+	for i := 0; i < n; i++ {
+		home := geo.Destination(origin, float64(i)*360/float64(n)+45, 150)
+		a, err := w.AddUAV(uavsim.UAVConfig{ID: "assist" + string(rune('0'+i)), Home: home})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.TakeOff(30); err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewObserver(a, w.Clock.Stream("obs"+string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		observers = append(observers, o)
+	}
+	if err := w.Run(12, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return w, affected, observers
+}
+
+func TestNewObserverValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewObserver(nil, rng); err == nil {
+		t.Error("nil assistant must fail")
+	}
+	w := uavsim.NewWorld(origin, 1)
+	u, _ := w.AddUAV(uavsim.UAVConfig{ID: "a", Home: origin})
+	if _, err := NewObserver(u, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestObserveAccuracy(t *testing.T) {
+	_, affected, observers := fleet(t, 2)
+	truth := affected.TruePosition()
+	for _, o := range observers {
+		obs, ok := o.Observe(affected)
+		if !ok {
+			t.Fatal("observer in range must see the target")
+		}
+		fix, err := geo.RangeFix(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := geo.Haversine(fix, truth); d > 40 {
+			t.Fatalf("single observation fix %.1f m off", d)
+		}
+		if obs.Weight <= 0 || obs.Weight > 1 {
+			t.Fatalf("weight = %v", obs.Weight)
+		}
+	}
+}
+
+func TestObserveOutOfRange(t *testing.T) {
+	w := uavsim.NewWorld(origin, 2)
+	far := geo.Destination(origin, 90, 5000)
+	a, _ := w.AddUAV(uavsim.UAVConfig{ID: "a", Home: origin})
+	b, _ := w.AddUAV(uavsim.UAVConfig{ID: "b", Home: far})
+	o, _ := NewObserver(a, w.Clock.Stream("o"))
+	if _, ok := o.Observe(b); ok {
+		t.Fatal("5 km target must be invisible")
+	}
+	if _, ok := o.Observe(nil); ok {
+		t.Fatal("nil target must fail")
+	}
+	a.Camera.Fail()
+	if _, ok := o.Observe(b); ok {
+		t.Fatal("failed camera must not observe")
+	}
+}
+
+func TestLocalizerValidation(t *testing.T) {
+	if _, err := NewLocalizer(0); err == nil {
+		t.Error("alpha 0 must fail")
+	}
+	if _, err := NewLocalizer(1.5); err == nil {
+		t.Error("alpha > 1 must fail")
+	}
+}
+
+func TestLocalizerConvergesUnderNoise(t *testing.T) {
+	_, affected, observers := fleet(t, 3)
+	loc, err := NewLocalizer(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loc.Estimate(); ok {
+		t.Fatal("fresh localizer must have no estimate")
+	}
+	truth := affected.TruePosition()
+	for i := 0; i < 30; i++ {
+		var obs []geo.BearingObservation
+		for _, o := range observers {
+			if m, ok := o.Observe(affected); ok {
+				obs = append(obs, m)
+			}
+		}
+		if _, err := loc.Update(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, ok := loc.Estimate()
+	if !ok {
+		t.Fatal("estimate missing")
+	}
+	if d := geo.Haversine(est, truth); d > 8 {
+		t.Fatalf("fused estimate %.1f m off after smoothing", d)
+	}
+	loc.Reset()
+	if _, ok := loc.Estimate(); ok {
+		t.Fatal("reset must clear estimate")
+	}
+}
+
+func TestLocalizerNoObservations(t *testing.T) {
+	loc, _ := NewLocalizer(0.5)
+	if _, err := loc.Update(nil); err == nil {
+		t.Fatal("no observations must fail")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	w, affected, observers := fleet(t, 2)
+	if _, err := NewController(nil, origin, observers, w); err == nil {
+		t.Error("nil affected must fail")
+	}
+	if _, err := NewController(affected, origin, nil, w); err == nil {
+		t.Error("no observers must fail")
+	}
+	if _, err := NewController(affected, geo.LatLng{Lat: 999}, observers, w); err == nil {
+		t.Error("invalid target must fail")
+	}
+	if _, err := NewController(affected, origin, observers, nil); err == nil {
+		t.Error("nil world must fail")
+	}
+}
+
+// TestFig7AssistedLanding reproduces the paper's Fig. 7: the spoofed
+// UAV flies with no usable GPS, guided purely by the two assistants'
+// fused observations, and lands within metres of the designated safe
+// point.
+func TestFig7AssistedLanding(t *testing.T) {
+	w, affected, observers := fleet(t, 2)
+	// The attack is detected: GPS is cut off entirely (paper: "the
+	// spoofed UAV is operating without any GPS signal").
+	affected.GPS.Mode = uavsim.GPSModeDropout
+	safePoint := geo.Destination(origin, 135, 120)
+
+	ctrl, err := NewController(affected, safePoint, observers, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600 && affected.Mode() != uavsim.ModeLanded; i++ {
+		seen := ctrl.Step()
+		if i == 0 && seen == 0 {
+			t.Fatal("assistants must see the affected UAV at start")
+		}
+		if err := w.Step(0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if affected.Mode() != uavsim.ModeLanded {
+		t.Fatalf("UAV never landed (mode %v, err %.1f m)", affected.Mode(), ctrl.LandingError())
+	}
+	if !ctrl.LandingCommanded() {
+		t.Fatal("controller must have commanded the landing")
+	}
+	if e := ctrl.LandingError(); e > 10 {
+		t.Fatalf("landing error %.1f m, want high-precision (< 10 m)", e)
+	}
+}
+
+func TestMoreObserversImproveEstimation(t *testing.T) {
+	// Ablation ABL-b shape: the fused position estimate of a hovering
+	// target is more accurate with 3 observers than with 1 (mean error
+	// over many fusion ticks and seeds).
+	meanErr := func(n int, seed int64) float64 {
+		w := uavsim.NewWorld(origin, seed)
+		affected, _ := w.AddUAV(uavsim.UAVConfig{ID: "affected", Home: origin})
+		_ = affected.TakeOff(25)
+		var observers []*Observer
+		for i := 0; i < n; i++ {
+			home := geo.Destination(origin, float64(i)*120+30, 150)
+			a, _ := w.AddUAV(uavsim.UAVConfig{ID: "as" + string(rune('0'+i)), Home: home})
+			_ = a.TakeOff(30)
+			o, _ := NewObserver(a, w.Clock.Stream("obs"+string(rune('0'+i))))
+			observers = append(observers, o)
+		}
+		_ = w.Run(12, 0.5)
+		loc, _ := NewLocalizer(0.4)
+		var sum float64
+		count := 0
+		for i := 0; i < 100; i++ {
+			var obs []geo.BearingObservation
+			for _, o := range observers {
+				if m, ok := o.Observe(affected); ok {
+					obs = append(obs, m)
+				}
+			}
+			if _, err := loc.Update(obs); err != nil {
+				continue
+			}
+			if i >= 20 { // after smoothing warm-up
+				est, _ := loc.Estimate()
+				sum += geo.Haversine(est, affected.TruePosition())
+				count++
+			}
+		}
+		return sum / float64(count)
+	}
+	var one, three float64
+	for seed := int64(1); seed <= 6; seed++ {
+		one += meanErr(1, seed)
+		three += meanErr(3, seed)
+	}
+	if three >= one {
+		t.Fatalf("3 observers (%.2f m avg) not better than 1 (%.2f m avg)", three/6, one/6)
+	}
+}
+
+func BenchmarkControllerStep(b *testing.B) {
+	w := uavsim.NewWorld(origin, 9)
+	affected, _ := w.AddUAV(uavsim.UAVConfig{ID: "affected", Home: origin})
+	_ = affected.TakeOff(25)
+	var observers []*Observer
+	for i := 0; i < 2; i++ {
+		a, _ := w.AddUAV(uavsim.UAVConfig{ID: "as" + string(rune('0'+i)), Home: geo.Destination(origin, float64(i)*180+45, 150)})
+		_ = a.TakeOff(30)
+		o, _ := NewObserver(a, w.Clock.Stream("o"+string(rune('0'+i))))
+		observers = append(observers, o)
+	}
+	_ = w.Run(12, 0.5)
+	ctrl, _ := NewController(affected, geo.Destination(origin, 135, 120), observers, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Step()
+	}
+}

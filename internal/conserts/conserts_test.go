@@ -1,0 +1,316 @@
+package conserts
+
+import (
+	"testing"
+)
+
+func TestConSertValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *ConSert
+		ok   bool
+	}{
+		{"good", &ConSert{Name: "a", Guarantees: []Guarantee{{ID: "g"}}}, true},
+		{"empty name", &ConSert{Guarantees: []Guarantee{{ID: "g"}}}, false},
+		{"slash in name", &ConSert{Name: "a/b", Guarantees: []Guarantee{{ID: "g"}}}, false},
+		{"no guarantees", &ConSert{Name: "a"}, false},
+		{"empty guarantee id", &ConSert{Name: "a", Guarantees: []Guarantee{{}}}, false},
+		{"dup guarantee", &ConSert{Name: "a", Guarantees: []Guarantee{{ID: "g"}, {ID: "g"}}}, false},
+	}
+	for _, c := range cases {
+		if err := c.c.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+}
+
+func TestNewCompositionValidation(t *testing.T) {
+	if _, err := NewComposition(); err == nil {
+		t.Error("empty composition must fail")
+	}
+	if _, err := NewComposition(nil); err == nil {
+		t.Error("nil ConSert must fail")
+	}
+	a := &ConSert{Name: "a", Guarantees: []Guarantee{{ID: "g"}}}
+	if _, err := NewComposition(a, a); err == nil {
+		t.Error("duplicate names must fail")
+	}
+	// Unknown demand target.
+	b := &ConSert{Name: "b", Guarantees: []Guarantee{{ID: "g", Cond: Demand("ghost", "g")}}}
+	if _, err := NewComposition(b); err == nil {
+		t.Error("unknown provider must fail")
+	}
+	c := &ConSert{Name: "c", Guarantees: []Guarantee{{ID: "g", Cond: Demand("a", "nope")}}}
+	if _, err := NewComposition(a, c); err == nil {
+		t.Error("unknown guarantee must fail")
+	}
+}
+
+func TestCompositionCycleDetected(t *testing.T) {
+	a := &ConSert{Name: "a", Guarantees: []Guarantee{{ID: "g", Cond: Demand("b", "g")}}}
+	b := &ConSert{Name: "b", Guarantees: []Guarantee{{ID: "g", Cond: Demand("a", "g")}}}
+	if _, err := NewComposition(a, b); err == nil {
+		t.Fatal("cycle must fail")
+	}
+}
+
+func TestEvaluateChain(t *testing.T) {
+	lower := &ConSert{Name: "lower", Guarantees: []Guarantee{
+		{ID: "ok", Rank: 1, Cond: RtE("sensor")},
+	}}
+	upper := &ConSert{Name: "upper", Guarantees: []Guarantee{
+		{ID: "good", Rank: 2, Cond: Demand("lower", "ok")},
+		{ID: "fallback", Rank: 1},
+	}}
+	comp, err := NewComposition(lower, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := comp.Evaluate(Evidence{"sensor": true})
+	if res["upper"].Best == nil || res["upper"].Best.ID != "good" {
+		t.Fatalf("upper best = %+v", res["upper"].Best)
+	}
+	res = comp.Evaluate(Evidence{})
+	if res["upper"].Best.ID != "fallback" {
+		t.Fatalf("upper best = %+v, want fallback", res["upper"].Best)
+	}
+	if res["lower"].Best != nil {
+		t.Fatal("lower must offer nothing without evidence")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And(RtE("a"), Or(RtE("b"), Demand("c", "d")))
+	if e.String() == "" {
+		t.Fatal("expression must render")
+	}
+}
+
+// fullEvidence returns evidence with everything nominal.
+func fullEvidence() Evidence {
+	return Evidence{
+		EvGPSQualityOK:         true,
+		EvNoSpoofing:           true,
+		EvCameraHealthy:        true,
+		EvPerceptionConfident:  true,
+		EvNearbyDroneDetection: true,
+		EvCommsOK:              true,
+		EvNeighborsAvailable:   true,
+		EvReliabilityHigh:      true,
+		EvReliabilityMedium:    false,
+	}
+}
+
+func mustComp(t *testing.T) *Composition {
+	t.Helper()
+	comp, err := BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+func TestUAVNominalContinueTakeover(t *testing.T) {
+	comp := mustComp(t)
+	action, results, err := EvaluateUAV(comp, fullEvidence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionContinueTakeover {
+		t.Fatalf("action = %v, want continue+takeover", action)
+	}
+	if results[ConSertNav].Best.ID != GuaranteeNavHighPerf {
+		t.Fatalf("nav best = %v", results[ConSertNav].Best.ID)
+	}
+}
+
+func TestUAVSpoofingDegradesToCollaborative(t *testing.T) {
+	// §V-C: spoofing detected -> GPS localization guarantee lost ->
+	// collaborative navigation takes over; reliability still high ->
+	// continue (but not takeover).
+	comp := mustComp(t)
+	ev := fullEvidence()
+	ev[EvNoSpoofing] = false
+	action, results, err := EvaluateUAV(comp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[ConSertNav].Best.ID != GuaranteeNavCollaborative {
+		t.Fatalf("nav best = %v, want collaborative", results[ConSertNav].Best.ID)
+	}
+	if action != ActionContinue {
+		t.Fatalf("action = %v, want continue", action)
+	}
+}
+
+func TestUAVSpoofedAndIsolatedEmergency(t *testing.T) {
+	// No GPS trust, no comms, no vision: nothing satisfiable -> the
+	// Fig. 1 default, emergency landing.
+	comp := mustComp(t)
+	ev := Evidence{EvReliabilityHigh: true}
+	action, results, err := EvaluateUAV(comp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionEmergencyLand {
+		t.Fatalf("action = %v, want emergency-land", action)
+	}
+	if results[ConSertUAV].Best != nil {
+		t.Fatal("UAV ConSert must certify nothing")
+	}
+}
+
+func TestUAVVisionOnlyHolds(t *testing.T) {
+	comp := mustComp(t)
+	ev := Evidence{
+		EvCameraHealthy:       true,
+		EvPerceptionConfident: true,
+		EvReliabilityMedium:   true,
+	}
+	action, results, err := EvaluateUAV(comp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[ConSertNav].Best.ID != GuaranteeNavVision {
+		t.Fatalf("nav best = %v, want vision", results[ConSertNav].Best.ID)
+	}
+	if action != ActionHold {
+		t.Fatalf("action = %v, want hold", action)
+	}
+}
+
+func TestUAVLowReliabilityReturns(t *testing.T) {
+	// Good navigation but low reliability: only the return guarantee
+	// (which demands navigation, not reliability) holds; continue and
+	// hold demand at least medium reliability.
+	comp := mustComp(t)
+	ev := fullEvidence()
+	ev[EvReliabilityHigh] = false
+	ev[EvReliabilityMedium] = false
+	action, _, err := EvaluateUAV(comp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != ActionReturnToBase {
+		t.Fatalf("action = %v, want return-to-base", action)
+	}
+}
+
+func TestUAVCameraLossKeepsHighPerf(t *testing.T) {
+	// Camera failure alone: GPS navigation unaffected.
+	comp := mustComp(t)
+	ev := fullEvidence()
+	ev[EvCameraHealthy] = false
+	action, results, err := EvaluateUAV(comp, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[ConSertNav].Best.ID != GuaranteeNavHighPerf {
+		t.Fatalf("nav best = %v", results[ConSertNav].Best.ID)
+	}
+	if action != ActionContinueTakeover {
+		t.Fatalf("action = %v", action)
+	}
+}
+
+// TestUAVCompositionTruthTable sweeps all 512 evidence combinations and
+// checks global invariants of the Fig. 1 network.
+func TestUAVCompositionTruthTable(t *testing.T) {
+	comp := mustComp(t)
+	names := []string{
+		EvGPSQualityOK, EvNoSpoofing, EvCameraHealthy, EvPerceptionConfident,
+		EvNearbyDroneDetection, EvCommsOK, EvNeighborsAvailable,
+		EvReliabilityHigh, EvReliabilityMedium,
+	}
+	for mask := 0; mask < 1<<len(names); mask++ {
+		ev := Evidence{}
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				ev[n] = true
+			}
+		}
+		action, results, err := EvaluateUAV(comp, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nav := results[ConSertNav]
+		// Invariant 1: continue/takeover requires some navigation.
+		if action.CanContinue() && nav.Best == nil {
+			t.Fatalf("mask %b: continuing without navigation", mask)
+		}
+		// Invariant 2: takeover requires high reliability AND
+		// high-performance navigation.
+		if action == ActionContinueTakeover {
+			if !ev[EvReliabilityHigh] || nav.Best.ID != GuaranteeNavHighPerf {
+				t.Fatalf("mask %b: takeover without prerequisites", mask)
+			}
+		}
+		// Invariant 3: no navigation at all -> emergency land.
+		if nav.Best == nil && action != ActionEmergencyLand {
+			t.Fatalf("mask %b: action %v without navigation", mask, action)
+		}
+		// Invariant 4: removing spoofing trust never improves the action.
+		if ev[EvNoSpoofing] {
+			ev2 := Evidence{}
+			for k, v := range ev {
+				ev2[k] = v
+			}
+			ev2[EvNoSpoofing] = false
+			action2, _, err := EvaluateUAV(comp, ev2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if action2 > action {
+				t.Fatalf("mask %b: losing security trust improved %v -> %v", mask, action, action2)
+			}
+		}
+	}
+}
+
+func TestDecideMission(t *testing.T) {
+	if _, err := DecideMission(nil); err == nil {
+		t.Fatal("empty fleet must fail")
+	}
+	d, err := DecideMission(map[string]UAVAction{"a": ActionContinue, "b": ActionContinueTakeover})
+	if err != nil || d != MissionAsPlanned {
+		t.Fatalf("d = %v err = %v", d, err)
+	}
+	d, _ = DecideMission(map[string]UAVAction{"a": ActionContinue, "b": ActionReturnToBase})
+	if d != MissionRedistribute {
+		t.Fatalf("d = %v, want redistribute", d)
+	}
+	d, _ = DecideMission(map[string]UAVAction{"a": ActionEmergencyLand, "b": ActionHold})
+	if d != MissionAbort {
+		t.Fatalf("d = %v, want abort", d)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for a := ActionEmergencyLand; a <= ActionContinueTakeover; a++ {
+		if a.String() == "" {
+			t.Fatal("action name empty")
+		}
+	}
+	for d := MissionAbort; d <= MissionAsPlanned; d++ {
+		if d.String() == "" {
+			t.Fatal("decision name empty")
+		}
+	}
+	if UAVAction(9).String() == "" || MissionDecision(9).String() == "" {
+		t.Fatal("unknown values must render")
+	}
+}
+
+func BenchmarkEvaluateUAVComposition(b *testing.B) {
+	comp, err := BuildUAVComposition()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := fullEvidence()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EvaluateUAV(comp, ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

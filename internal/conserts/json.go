@@ -1,0 +1,166 @@
+package conserts
+
+// JSON exchange format for ConSert models, mirroring how the EDDI
+// toolchain ships ConSerts as design-time artefacts: a composition
+// document holds named ConSerts, each with ranked guarantees whose
+// conditions are nested and/or trees over runtime evidence references
+// and demands.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+type exprJSON struct {
+	RtE    string     `json:"rte,omitempty"`
+	Demand string     `json:"demand,omitempty"` // "consert/guarantee"
+	And    []exprJSON `json:"and,omitempty"`
+	Or     []exprJSON `json:"or,omitempty"`
+}
+
+type guaranteeJSON struct {
+	ID          string    `json:"id"`
+	Rank        int       `json:"rank"`
+	Description string    `json:"description,omitempty"`
+	Cond        *exprJSON `json:"cond,omitempty"`
+}
+
+type consertJSON struct {
+	Name       string          `json:"name"`
+	Guarantees []guaranteeJSON `json:"guarantees"`
+}
+
+type compositionJSON struct {
+	ConSerts []consertJSON `json:"conserts"`
+}
+
+func encodeExpr(e Expr) (*exprJSON, error) {
+	switch v := e.(type) {
+	case nil:
+		return nil, nil
+	case rte:
+		return &exprJSON{RtE: string(v)}, nil
+	case demand:
+		return &exprJSON{Demand: string(v)}, nil
+	case nary:
+		kids := make([]exprJSON, 0, len(v.kids))
+		for _, k := range v.kids {
+			ek, err := encodeExpr(k)
+			if err != nil {
+				return nil, err
+			}
+			if ek == nil {
+				return nil, errors.New("conserts: nil child expression")
+			}
+			kids = append(kids, *ek)
+		}
+		if v.op == "and" {
+			return &exprJSON{And: kids}, nil
+		}
+		return &exprJSON{Or: kids}, nil
+	default:
+		return nil, fmt.Errorf("conserts: cannot encode expression type %T", e)
+	}
+}
+
+func decodeExpr(j *exprJSON) (Expr, error) {
+	if j == nil {
+		return nil, nil
+	}
+	set := 0
+	if j.RtE != "" {
+		set++
+	}
+	if j.Demand != "" {
+		set++
+	}
+	if len(j.And) > 0 {
+		set++
+	}
+	if len(j.Or) > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, errors.New("conserts: expression must have exactly one of rte/demand/and/or")
+	}
+	switch {
+	case j.RtE != "":
+		return RtE(j.RtE), nil
+	case j.Demand != "":
+		i := strings.Index(j.Demand, "/")
+		if i <= 0 || i == len(j.Demand)-1 {
+			return nil, fmt.Errorf("conserts: demand %q must be consert/guarantee", j.Demand)
+		}
+		return Demand(j.Demand[:i], j.Demand[i+1:]), nil
+	case len(j.And) > 0:
+		kids, err := decodeKids(j.And)
+		if err != nil {
+			return nil, err
+		}
+		return And(kids...), nil
+	default:
+		kids, err := decodeKids(j.Or)
+		if err != nil {
+			return nil, err
+		}
+		return Or(kids...), nil
+	}
+}
+
+func decodeKids(js []exprJSON) ([]Expr, error) {
+	out := make([]Expr, 0, len(js))
+	for i := range js {
+		k, err := decodeExpr(&js[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// MarshalJSON encodes the composition as its exchange document, with
+// ConSerts in evaluation order.
+func (comp *Composition) MarshalJSON() ([]byte, error) {
+	doc := compositionJSON{}
+	for _, name := range comp.order {
+		c := comp.conserts[name]
+		cj := consertJSON{Name: c.Name}
+		for _, g := range c.Guarantees {
+			cond, err := encodeExpr(g.Cond)
+			if err != nil {
+				return nil, err
+			}
+			cj.Guarantees = append(cj.Guarantees, guaranteeJSON{
+				ID: g.ID, Rank: g.Rank, Description: g.Description, Cond: cond,
+			})
+		}
+		doc.ConSerts = append(doc.ConSerts, cj)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ParseComposition decodes and validates a composition document.
+func ParseComposition(data []byte) (*Composition, error) {
+	var doc compositionJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("conserts: decoding: %w", err)
+	}
+	var cs []*ConSert
+	for _, cj := range doc.ConSerts {
+		c := &ConSert{Name: cj.Name}
+		for _, gj := range cj.Guarantees {
+			cond, err := decodeExpr(gj.Cond)
+			if err != nil {
+				return nil, err
+			}
+			c.Guarantees = append(c.Guarantees, Guarantee{
+				ID: gj.ID, Rank: gj.Rank, Description: gj.Description, Cond: cond,
+			})
+		}
+		cs = append(cs, c)
+	}
+	return NewComposition(cs...)
+}

@@ -1,0 +1,101 @@
+package conserts
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCompositionJSONRoundTrip(t *testing.T) {
+	orig, err := BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"navigation", "high-performance-nav", "demand", "rte", "safedrones"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("document missing %q", want)
+		}
+	}
+	back, err := ParseComposition(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural equivalence over the full evidence truth table.
+	names := []string{
+		EvGPSQualityOK, EvNoSpoofing, EvCameraHealthy, EvPerceptionConfident,
+		EvNearbyDroneDetection, EvCommsOK, EvNeighborsAvailable,
+		EvReliabilityHigh, EvReliabilityMedium,
+	}
+	for mask := 0; mask < 1<<len(names); mask++ {
+		ev := Evidence{}
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				ev[n] = true
+			}
+		}
+		a1, _, err1 := EvaluateUAV(orig, ev)
+		a2, _, err2 := EvaluateUAV(back, ev)
+		if err1 != nil || err2 != nil || a1 != a2 {
+			t.Fatalf("mask %b: %v vs %v (%v/%v)", mask, a1, a2, err1, err2)
+		}
+	}
+	// Stable re-marshal.
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("round trip not idempotent")
+	}
+}
+
+func TestParseCompositionRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		`{bad`,
+		`{"conserts":[]}`,
+		`{"conserts":[{"name":"a","guarantees":[{"id":"g","cond":{}}]}]}`,                                        // empty expr
+		`{"conserts":[{"name":"a","guarantees":[{"id":"g","cond":{"rte":"x","demand":"b/c"}}]}]}`,                // two kinds
+		`{"conserts":[{"name":"a","guarantees":[{"id":"g","cond":{"demand":"nosep"}}]}]}`,                        // bad demand
+		`{"conserts":[{"name":"a","guarantees":[{"id":"g","cond":{"demand":"ghost/g"}}]}]}`,                      // unknown provider
+		`{"conserts":[{"name":"a","guarantees":[{"id":"g","cond":{"and":[{"rte":"x"},{"demand":"trail/"}]}}]}]}`, // trailing slash
+	}
+	for _, c := range cases {
+		if _, err := ParseComposition([]byte(c)); err == nil {
+			t.Errorf("accepted invalid document: %s", c)
+		}
+	}
+}
+
+func TestParseHandwrittenComposition(t *testing.T) {
+	doc := `{
+	  "conserts": [
+	    {"name": "sensor", "guarantees": [
+	      {"id": "good", "rank": 1, "cond": {"rte": "sensor-ok"}}
+	    ]},
+	    {"name": "system", "guarantees": [
+	      {"id": "full", "rank": 2, "cond": {"and": [
+	        {"demand": "sensor/good"}, {"rte": "power-ok"}
+	      ]}},
+	      {"id": "degraded", "rank": 1, "cond": {"or": [
+	        {"rte": "power-ok"}, {"rte": "battery-backup"}
+	      ]}}
+	    ]}
+	  ]
+	}`
+	comp, err := ParseComposition([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := comp.Evaluate(Evidence{"sensor-ok": true, "power-ok": true})
+	if res["system"].Best == nil || res["system"].Best.ID != "full" {
+		t.Fatalf("best = %+v", res["system"].Best)
+	}
+	res = comp.Evaluate(Evidence{"battery-backup": true})
+	if res["system"].Best == nil || res["system"].Best.ID != "degraded" {
+		t.Fatalf("best = %+v", res["system"].Best)
+	}
+}

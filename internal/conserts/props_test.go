@@ -1,0 +1,97 @@
+package conserts
+
+// Property-based tests of the Fig. 1 network: the ConSert conditions
+// are monotone boolean expressions over positive-polarity evidence, so
+// gaining evidence can never worsen the selected action.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var evidenceNames = []string{
+	EvGPSQualityOK, EvNoSpoofing, EvCameraHealthy, EvPerceptionConfident,
+	EvNearbyDroneDetection, EvCommsOK, EvNeighborsAvailable,
+	EvReliabilityHigh, EvReliabilityMedium,
+}
+
+func evidenceFromMask(mask uint16) Evidence {
+	ev := Evidence{}
+	for i, n := range evidenceNames {
+		if mask&(1<<i) != 0 {
+			ev[n] = true
+		}
+	}
+	return ev
+}
+
+func TestActionMonotoneInEvidence(t *testing.T) {
+	comp, err := BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(maskRaw uint16, flipRaw uint8) bool {
+		mask := maskRaw % (1 << len(evidenceNames))
+		flip := uint16(1) << (int(flipRaw) % len(evidenceNames))
+		withoutBit := mask &^ flip
+		withBit := mask | flip
+		a1, _, err := EvaluateUAV(comp, evidenceFromMask(withoutBit))
+		if err != nil {
+			return false
+		}
+		a2, _, err := EvaluateUAV(comp, evidenceFromMask(withBit))
+		if err != nil {
+			return false
+		}
+		return a2 >= a1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatisfiedSetMonotone(t *testing.T) {
+	comp, err := BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(maskRaw uint16, flipRaw uint8) bool {
+		mask := maskRaw % (1 << len(evidenceNames))
+		flip := uint16(1) << (int(flipRaw) % len(evidenceNames))
+		r1 := comp.Evaluate(evidenceFromMask(mask &^ flip))
+		r2 := comp.Evaluate(evidenceFromMask(mask | flip))
+		for name, res1 := range r1 {
+			sat2 := map[string]bool{}
+			for _, g := range r2[name].Satisfied {
+				sat2[g] = true
+			}
+			for _, g := range res1.Satisfied {
+				if !sat2[g] {
+					return false // a guarantee was lost by ADDING evidence
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluationDeterministic(t *testing.T) {
+	comp, err := BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		mask := uint16(rng.Intn(1 << len(evidenceNames)))
+		ev := evidenceFromMask(mask)
+		a1, _, err1 := EvaluateUAV(comp, ev)
+		a2, _, err2 := EvaluateUAV(comp, ev)
+		if err1 != nil || err2 != nil || a1 != a2 {
+			t.Fatalf("non-deterministic evaluation for mask %b: %v/%v", mask, a1, a2)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package deepknowledge implements a generalisation-driven white-box
+// testing and runtime-uncertainty surrogate for DNN perception models,
+// following DeepKnowledge (paper §III-A3; Missaoui et al. 2024). Where
+// SafeML compares model *inputs* against training data, DeepKnowledge
+// inspects the model's *internal neuron behaviours*:
+//
+//   - at design time it identifies transfer-knowledge (TK) neurons —
+//     hidden units whose activation statistics respond most strongly to
+//     domain shift, i.e. the units that carry generalisable semantics —
+//     and buckets their training activation ranges;
+//   - a test suite's coverage score is the fraction of (TK neuron,
+//     bucket) combinations it exercises;
+//   - at runtime, the uncertainty of a prediction is the fraction of TK
+//     neurons whose activations fall outside the calibrated training
+//     envelope.
+package deepknowledge
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sesame/internal/neural"
+)
+
+// NeuronStat holds the design-time statistics of one hidden neuron.
+type NeuronStat struct {
+	// Index is the neuron's position in the flattened hidden trace.
+	Index int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+	// Score is the knowledge-transfer score: standardized activation
+	// displacement under domain shift. Higher = more transfer
+	// knowledge.
+	Score float64
+}
+
+// Analysis is the design-time artefact: TK neuron set plus calibrated
+// activation envelopes, ready for coverage scoring and runtime
+// uncertainty estimation.
+type Analysis struct {
+	net     *neural.Network
+	stats   []NeuronStat // all hidden neurons
+	tk      []int        // indices (into stats) of TK neurons, by descending score
+	buckets int
+}
+
+// Analyze runs the design phase: collect hidden traces on the training
+// set and on a shifted (out-of-domain) set, score each hidden neuron's
+// knowledge transfer, and keep the topK neurons with buckets-way
+// coverage partitions.
+func Analyze(net *neural.Network, train, shifted [][]float64, topK, buckets int) (*Analysis, error) {
+	if net == nil {
+		return nil, errors.New("deepknowledge: nil network")
+	}
+	if len(train) == 0 || len(shifted) == 0 {
+		return nil, errors.New("deepknowledge: empty train or shifted set")
+	}
+	if topK <= 0 || buckets < 2 {
+		return nil, errors.New("deepknowledge: need topK >= 1 and buckets >= 2")
+	}
+	trainTraces, err := hiddenTraces(net, train)
+	if err != nil {
+		return nil, err
+	}
+	shiftTraces, err := hiddenTraces(net, shifted)
+	if err != nil {
+		return nil, err
+	}
+	width := len(trainTraces[0])
+	if topK > width {
+		topK = width
+	}
+	stats := make([]NeuronStat, width)
+	for j := 0; j < width; j++ {
+		var sum, sq float64
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, tr := range trainTraces {
+			v := tr[j]
+			sum += v
+			sq += v * v
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		n := float64(len(trainTraces))
+		mean := sum / n
+		variance := sq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		std := math.Sqrt(variance)
+
+		var shiftSum float64
+		for _, tr := range shiftTraces {
+			shiftSum += tr[j]
+		}
+		shiftMean := shiftSum / float64(len(shiftTraces))
+		score := math.Abs(shiftMean-mean) / (std + 1e-9)
+		stats[j] = NeuronStat{Index: j, Mean: mean, Std: std, Min: mn, Max: mx, Score: score}
+	}
+	order := make([]int, width)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return stats[order[a]].Score > stats[order[b]].Score })
+	return &Analysis{net: net, stats: stats, tk: order[:topK], buckets: buckets}, nil
+}
+
+func hiddenTraces(net *neural.Network, inputs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(inputs))
+	for i, x := range inputs {
+		_, tr, err := net.PredictTrace(x)
+		if err != nil {
+			return nil, fmt.Errorf("deepknowledge: input %d: %w", i, err)
+		}
+		out[i] = tr.Hidden()
+	}
+	return out, nil
+}
+
+// TKNeurons returns the selected transfer-knowledge neurons, strongest
+// first.
+func (a *Analysis) TKNeurons() []NeuronStat {
+	out := make([]NeuronStat, len(a.tk))
+	for i, idx := range a.tk {
+		out[i] = a.stats[idx]
+	}
+	return out
+}
+
+// bucketOf maps an activation to its coverage bucket for neuron s, or
+// -1 when outside the training range.
+func (a *Analysis) bucketOf(s NeuronStat, v float64) int {
+	if v < s.Min || v > s.Max {
+		return -1
+	}
+	span := s.Max - s.Min
+	if span <= 0 {
+		return 0
+	}
+	b := int((v - s.Min) / span * float64(a.buckets))
+	if b >= a.buckets {
+		b = a.buckets - 1
+	}
+	return b
+}
+
+// CoverageScore returns the fraction of (TK neuron, bucket)
+// combinations that the input set exercises — the DeepKnowledge test
+// adequacy measure in [0,1].
+func (a *Analysis) CoverageScore(inputs [][]float64) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, errors.New("deepknowledge: empty input set")
+	}
+	traces, err := hiddenTraces(a.net, inputs)
+	if err != nil {
+		return 0, err
+	}
+	hit := make(map[int]map[int]bool, len(a.tk))
+	for _, tr := range traces {
+		for _, idx := range a.tk {
+			s := a.stats[idx]
+			b := a.bucketOf(s, tr[s.Index])
+			if b < 0 {
+				continue
+			}
+			if hit[idx] == nil {
+				hit[idx] = make(map[int]bool, a.buckets)
+			}
+			hit[idx][b] = true
+		}
+	}
+	total := len(a.tk) * a.buckets
+	count := 0
+	for _, m := range hit {
+		count += len(m)
+	}
+	return float64(count) / float64(total), nil
+}
+
+// SelectForCoverage greedily picks up to k candidate inputs that
+// maximise the coverage score — DeepKnowledge's test-suite
+// augmentation use: given a pool of candidate images, choose the ones
+// that exercise TK-neuron behaviours the existing suite misses.
+// Returns the selected candidate indices in selection order.
+func (a *Analysis) SelectForCoverage(candidates [][]float64, k int) ([]int, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("deepknowledge: empty candidate pool")
+	}
+	if k <= 0 {
+		return nil, errors.New("deepknowledge: k must be positive")
+	}
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	traces, err := hiddenTraces(a.net, candidates)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute each candidate's (neuron, bucket) hits.
+	type hit struct{ neuron, bucket int }
+	hits := make([][]hit, len(candidates))
+	for i, tr := range traces {
+		for _, idx := range a.tk {
+			s := a.stats[idx]
+			if b := a.bucketOf(s, tr[s.Index]); b >= 0 {
+				hits[i] = append(hits[i], hit{idx, b})
+			}
+		}
+	}
+	covered := make(map[[2]int]bool)
+	var selected []int
+	taken := make([]bool, len(candidates))
+	for len(selected) < k {
+		best, bestGain := -1, -1
+		for i := range candidates {
+			if taken[i] {
+				continue
+			}
+			gain := 0
+			for _, h := range hits[i] {
+				if !covered[[2]int{h.neuron, h.bucket}] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		selected = append(selected, best)
+		for _, h := range hits[best] {
+			covered[[2]int{h.neuron, h.bucket}] = true
+		}
+		if bestGain == 0 && len(selected) >= 1 {
+			// Remaining candidates add nothing; stop early unless the
+			// caller insists on exactly k (we do not pad).
+			break
+		}
+	}
+	return selected, nil
+}
+
+// Uncertainty returns the runtime uncertainty of one input: the
+// fraction of TK neurons whose activation falls outside the training
+// envelope [mean - 3 std, mean + 3 std]. 0 means every TK neuron
+// behaves as it did on training data.
+func (a *Analysis) Uncertainty(input []float64) (float64, error) {
+	_, tr, err := a.net.PredictTrace(input)
+	if err != nil {
+		return 0, err
+	}
+	hidden := tr.Hidden()
+	outside := 0
+	for _, idx := range a.tk {
+		s := a.stats[idx]
+		lo := s.Mean - 3*s.Std
+		hi := s.Mean + 3*s.Std
+		v := hidden[s.Index]
+		if v < lo || v > hi {
+			outside++
+		}
+	}
+	return float64(outside) / float64(len(a.tk)), nil
+}
+
+// WindowUncertainty averages Uncertainty over a window of inputs — the
+// value fused with SafeML's score in the §V-B pipeline.
+func (a *Analysis) WindowUncertainty(inputs [][]float64) (float64, error) {
+	if len(inputs) == 0 {
+		return 0, errors.New("deepknowledge: empty window")
+	}
+	var sum float64
+	for _, x := range inputs {
+		u, err := a.Uncertainty(x)
+		if err != nil {
+			return 0, err
+		}
+		sum += u
+	}
+	return sum / float64(len(inputs)), nil
+}

@@ -1,0 +1,262 @@
+package deepknowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"sesame/internal/neural"
+)
+
+// trainedNet returns a small trained classifier plus in-distribution
+// and shifted sample generators.
+func trainedNet(t *testing.T) (*neural.Network, [][]float64, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	net, err := neural.New(4, rng,
+		neural.LayerSpec{Units: 12, Activation: neural.ReLU},
+		neural.LayerSpec{Units: 6, Activation: neural.ReLU},
+		neural.LayerSpec{Units: 1, Activation: neural.Sigmoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []neural.Sample
+	sample := func(shift float64) []float64 {
+		x := make([]float64, 4)
+		for i := range x {
+			x[i] = rng.NormFloat64() + shift
+		}
+		return x
+	}
+	for i := 0; i < 200; i++ {
+		x := sample(0)
+		y := 0.0
+		if x[0]+x[1] > 0 {
+			y = 1
+		}
+		data = append(data, neural.Sample{X: x, Y: []float64{y}})
+	}
+	if _, err := net.Train(data, 200, 0.05, rng); err != nil {
+		t.Fatal(err)
+	}
+	var train, shifted [][]float64
+	for i := 0; i < 150; i++ {
+		train = append(train, sample(0))
+		shifted = append(shifted, sample(3))
+	}
+	return net, train, shifted
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	if _, err := Analyze(nil, train, shifted, 5, 4); err == nil {
+		t.Error("nil net must fail")
+	}
+	if _, err := Analyze(net, nil, shifted, 5, 4); err == nil {
+		t.Error("empty train must fail")
+	}
+	if _, err := Analyze(net, train, nil, 5, 4); err == nil {
+		t.Error("empty shifted must fail")
+	}
+	if _, err := Analyze(net, train, shifted, 0, 4); err == nil {
+		t.Error("topK 0 must fail")
+	}
+	if _, err := Analyze(net, train, shifted, 5, 1); err == nil {
+		t.Error("1 bucket must fail")
+	}
+}
+
+func TestTKNeuronSelection(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, err := Analyze(net, train, shifted, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := a.TKNeurons()
+	if len(tk) != 6 {
+		t.Fatalf("TK count = %d", len(tk))
+	}
+	for i := 1; i < len(tk); i++ {
+		if tk[i].Score > tk[i-1].Score {
+			t.Fatal("TK neurons not ordered by score")
+		}
+	}
+	// topK larger than the hidden width clamps (hidden width = 18).
+	a2, err := Analyze(net, train, shifted, 999, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2.TKNeurons()) != 18 {
+		t.Fatalf("clamped TK count = %d, want 18", len(a2.TKNeurons()))
+	}
+}
+
+func TestCoverageScoreGrowsWithDiversity(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, err := Analyze(net, train, shifted, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := a.CoverageScore(train[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := a.CoverageScore(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= small {
+		t.Fatalf("coverage must grow with suite size: %v -> %v", small, full)
+	}
+	if full <= 0 || full > 1 {
+		t.Fatalf("coverage out of range: %v", full)
+	}
+	if _, err := a.CoverageScore(nil); err == nil {
+		t.Fatal("empty suite must fail")
+	}
+}
+
+func TestTrainingDataCoverageHigh(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, _ := Analyze(net, train, shifted, 8, 4)
+	cov, err := a.CoverageScore(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0.5 {
+		t.Fatalf("training set covers only %v of its own buckets", cov)
+	}
+}
+
+func TestUncertaintyLowInDistribution(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, _ := Analyze(net, train, shifted, 8, 4)
+	u, err := a.WindowUncertainty(train[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u > 0.2 {
+		t.Fatalf("in-distribution uncertainty = %v, want small", u)
+	}
+}
+
+func TestUncertaintyHighOutOfDistribution(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, _ := Analyze(net, train, shifted, 8, 4)
+	uIn, _ := a.WindowUncertainty(train[:40])
+	uOut, err := a.WindowUncertainty(shifted[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uOut <= uIn {
+		t.Fatalf("OOD uncertainty (%v) must exceed in-dist (%v)", uOut, uIn)
+	}
+	if uOut < 0.3 {
+		t.Fatalf("OOD uncertainty = %v, want substantial", uOut)
+	}
+}
+
+func TestUncertaintySingleInput(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, _ := Analyze(net, train, shifted, 8, 4)
+	u, err := a.Uncertainty(train[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u < 0 || u > 1 {
+		t.Fatalf("uncertainty out of range: %v", u)
+	}
+	if _, err := a.Uncertainty([]float64{1}); err == nil {
+		t.Fatal("wrong width must fail")
+	}
+	if _, err := a.WindowUncertainty(nil); err == nil {
+		t.Fatal("empty window must fail")
+	}
+}
+
+func BenchmarkUncertainty(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, _ := neural.New(4, rng,
+		neural.LayerSpec{Units: 12, Activation: neural.ReLU},
+		neural.LayerSpec{Units: 1, Activation: neural.Sigmoid})
+	var train, shifted [][]float64
+	for i := 0; i < 100; i++ {
+		x := make([]float64, 4)
+		y := make([]float64, 4)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			y[j] = rng.NormFloat64() + 2
+		}
+		train = append(train, x)
+		shifted = append(shifted, y)
+	}
+	a, err := Analyze(net, train, shifted, 6, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Uncertainty(train[i%len(train)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSelectForCoverage(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, err := Analyze(net, train, shifted, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := append(append([][]float64{}, train[:30]...), shifted[:30]...)
+	sel, err := a.SelectForCoverage(pool, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 || len(sel) > 10 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if i < 0 || i >= len(pool) || seen[i] {
+			t.Fatalf("bad selection %v", sel)
+		}
+		seen[i] = true
+	}
+	// The greedy selection covers at least as much as the same number
+	// of leading pool entries.
+	var selInputs, naive [][]float64
+	for _, i := range sel {
+		selInputs = append(selInputs, pool[i])
+	}
+	naive = pool[:len(sel)]
+	cSel, err := a.CoverageScore(selInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNaive, err := a.CoverageScore(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cSel < cNaive {
+		t.Fatalf("greedy coverage %v below naive %v", cSel, cNaive)
+	}
+}
+
+func TestSelectForCoverageValidation(t *testing.T) {
+	net, train, shifted := trainedNet(t)
+	a, _ := Analyze(net, train, shifted, 4, 4)
+	if _, err := a.SelectForCoverage(nil, 3); err == nil {
+		t.Error("empty pool must fail")
+	}
+	if _, err := a.SelectForCoverage(train[:5], 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	// k larger than the pool clamps.
+	sel, err := a.SelectForCoverage(train[:3], 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) > 3 {
+		t.Fatalf("selected %d from pool of 3", len(sel))
+	}
+}

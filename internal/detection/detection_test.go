@@ -1,0 +1,321 @@
+package detection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sesame/internal/geo"
+)
+
+var origin = geo.LatLng{Lat: 35.1856, Lng: 33.3823}
+
+func squareArea(side float64) geo.Polygon {
+	a := origin
+	b := geo.Destination(a, 90, side)
+	c := geo.Destination(b, 0, side)
+	d := geo.Destination(a, 0, side)
+	return geo.Polygon{a, b, c, d}
+}
+
+func TestNewRandomScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	area := squareArea(500)
+	sc, err := NewRandomScene(area, 20, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Persons) != 20 {
+		t.Fatalf("persons = %d", len(sc.Persons))
+	}
+	criticals := 0
+	for _, p := range sc.Persons {
+		if !area.Contains(p.Position) {
+			t.Fatalf("person %d outside area", p.ID)
+		}
+		if p.Critical {
+			criticals++
+		}
+	}
+	if criticals == 0 || criticals == 20 {
+		t.Fatalf("criticals = %d, implausible for p=0.3", criticals)
+	}
+}
+
+func TestNewRandomSceneValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandomScene(nil, 5, 0, rng); err == nil {
+		t.Error("nil area must fail")
+	}
+	if _, err := NewRandomScene(squareArea(100), -1, 0, rng); err == nil {
+		t.Error("negative count must fail")
+	}
+	if _, err := NewRandomScene(squareArea(100), 5, 0, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestRecallDegradesWithAltitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, err := NewDetector(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := d.Recall(Conditions{AltitudeM: 25, Visibility: 1})
+	high := d.Recall(Conditions{AltitudeM: 60, Visibility: 1})
+	if math.Abs(low-0.998) > 1e-9 {
+		t.Fatalf("reference recall = %v, want 0.998", low)
+	}
+	if high >= low {
+		t.Fatalf("recall must degrade with altitude: %v -> %v", low, high)
+	}
+	if high < 0.5 || high > 0.95 {
+		t.Fatalf("60 m recall = %v, outside plausible band", high)
+	}
+}
+
+func TestRecallDegradesWithVisibilityAndBlur(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := NewDetector(rng)
+	clear := d.Recall(Conditions{AltitudeM: 25, Visibility: 1})
+	hazy := d.Recall(Conditions{AltitudeM: 25, Visibility: 0.5})
+	blurred := d.Recall(Conditions{AltitudeM: 25, Visibility: 1, CameraBlur: 1})
+	if hazy >= clear || blurred >= clear {
+		t.Fatalf("degraded conditions must lower recall: clear=%v hazy=%v blurred=%v", clear, hazy, blurred)
+	}
+	if r := d.Recall(Conditions{AltitudeM: 500, Visibility: 0.1, CameraBlur: 5}); r < 0 {
+		t.Fatalf("recall must clamp at 0, got %v", r)
+	}
+}
+
+func TestCaptureDetectsPersonsInFootprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d, _ := NewDetector(rng)
+	sc := &Scene{
+		Area: squareArea(500),
+		Persons: []Person{
+			{ID: 0, Position: geo.Destination(origin, 90, 5)},    // well inside 25m-alt footprint (22.5 m)
+			{ID: 1, Position: geo.Destination(origin, 90, 2000)}, // far outside
+		},
+	}
+	cond := Conditions{AltitudeM: 25, Visibility: 1}
+	var tp, views int
+	for i := 0; i < 200; i++ {
+		f, err := d.Capture("u1", float64(i), origin, cond, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range f.InView {
+			if id == 1 {
+				t.Fatal("distant person must not be in view")
+			}
+			views++
+		}
+		for _, det := range f.Detections {
+			if det.PersonID == 0 {
+				tp++
+			}
+		}
+		if len(f.Features) != FeatureDim {
+			t.Fatalf("features = %d, want %d", len(f.Features), FeatureDim)
+		}
+	}
+	if views != 200 {
+		t.Fatalf("person 0 in view %d/200 frames", views)
+	}
+	if tp < 190 {
+		t.Fatalf("detected %d/200 at reference conditions, want ~199", tp)
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := NewDetector(rng)
+	if _, err := d.Capture("u", 0, origin, Conditions{AltitudeM: 25}, nil); err == nil {
+		t.Error("nil scene must fail")
+	}
+	if _, err := d.Capture("u", 0, origin, Conditions{AltitudeM: 0}, &Scene{Area: squareArea(10)}); err == nil {
+		t.Error("zero altitude must fail")
+	}
+	if _, err := NewDetector(nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestFeatureDistributionShiftsWithAltitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d, _ := NewDetector(rng)
+	ref := d.ReferenceFeatures(300)
+	// Mean of feature 0 at reference is ~0.
+	var refMean float64
+	for _, row := range ref {
+		refMean += row[0]
+	}
+	refMean /= float64(len(ref))
+	// At 60 m the same feature shifts by (60-25)/15 ~ 2.3.
+	var highMean float64
+	for i := 0; i < 300; i++ {
+		highMean += d.features(Conditions{AltitudeM: 60, Visibility: 1})[0]
+	}
+	highMean /= 300
+	if highMean-refMean < 1.5 {
+		t.Fatalf("altitude shift too small: ref=%v high=%v", refMean, highMean)
+	}
+}
+
+func TestFootprintGrowsWithAltitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := NewDetector(rng)
+	if d.FootprintRadiusM(50) <= d.FootprintRadiusM(25) {
+		t.Fatal("footprint must grow with altitude")
+	}
+}
+
+func TestScoreFrames(t *testing.T) {
+	frames := []*Frame{
+		{
+			InView: []int{0, 1},
+			Detections: []Detection{
+				{PersonID: 0, Confidence: 0.9},
+				{PersonID: -1, Confidence: 0.4},
+			},
+		},
+		{
+			InView:     []int{2},
+			Detections: []Detection{{PersonID: 2, Confidence: 0.95}},
+		},
+	}
+	s := ScoreFrames(frames)
+	if s.TruePositives != 2 || s.FalsePositives != 1 || s.FalseNegatives != 1 {
+		t.Fatalf("score = %+v", s)
+	}
+	if math.Abs(s.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", s.Precision())
+	}
+	if math.Abs(s.Recall()-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", s.Recall())
+	}
+	if math.Abs(s.Accuracy()-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %v", s.Accuracy())
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	var s Score
+	if s.Precision() != 1 || s.Recall() != 1 || s.Accuracy() != 1 {
+		t.Fatal("empty score must default to 1")
+	}
+}
+
+func TestAccuracyHighAtLowAltitude(t *testing.T) {
+	// The §V-B shape: accuracy near 99.8% at reference altitude, much
+	// lower at 60 m.
+	rng := rand.New(rand.NewSource(4))
+	d, _ := NewDetector(rng)
+	sc, err := NewRandomScene(squareArea(40), 10, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(alt float64) float64 {
+		var frames []*Frame
+		for i := 0; i < 300; i++ {
+			f, err := d.Capture("u1", float64(i), geo.Destination(origin, 45, 28), Conditions{AltitudeM: alt, Visibility: 1}, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, f)
+		}
+		return ScoreFrames(frames).Accuracy()
+	}
+	lowAcc := run(25)
+	highAcc := run(60)
+	if lowAcc < 0.97 {
+		t.Fatalf("low-altitude accuracy = %v, want ~0.998", lowAcc)
+	}
+	if highAcc >= lowAcc-0.05 {
+		t.Fatalf("high-altitude accuracy %v not clearly below low-altitude %v", highAcc, lowAcc)
+	}
+}
+
+func BenchmarkCapture(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d, _ := NewDetector(rng)
+	sc, _ := NewRandomScene(squareArea(500), 30, 0.2, rng)
+	cond := Conditions{AltitudeM: 30, Visibility: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Capture("u1", 0, origin, cond, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestThermalRecallVisibilityIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d, _ := NewDetector(rng)
+	clear := d.Recall(Conditions{AltitudeM: 25, Visibility: 1, Thermal: true})
+	dark := d.Recall(Conditions{AltitudeM: 25, Visibility: 0.2, Thermal: true})
+	if clear != dark {
+		t.Fatalf("thermal recall must ignore visibility: %v vs %v", clear, dark)
+	}
+	// Thermal peaks below RGB in clear conditions...
+	rgbClear := d.Recall(Conditions{AltitudeM: 25, Visibility: 1})
+	if clear >= rgbClear {
+		t.Fatalf("thermal (%v) must trail RGB (%v) in daylight", clear, rgbClear)
+	}
+	// ...but wins in poor visibility.
+	rgbDark := d.Recall(Conditions{AltitudeM: 25, Visibility: 0.2})
+	if dark <= rgbDark {
+		t.Fatalf("thermal (%v) must beat RGB (%v) in darkness", dark, rgbDark)
+	}
+}
+
+func TestThermalMoreFalsePositives(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d, _ := NewDetector(rng)
+	sc := &Scene{Area: squareArea(50)}
+	countFPs := func(thermal bool) int {
+		n := 0
+		for i := 0; i < 3000; i++ {
+			f, err := d.Capture("u1", float64(i), origin,
+				Conditions{AltitudeM: 25, Visibility: 1, Thermal: thermal}, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(f.Detections) // empty scene: all detections are FPs
+		}
+		return n
+	}
+	rgb := countFPs(false)
+	th := countFPs(true)
+	if th <= rgb {
+		t.Fatalf("thermal FPs (%d) must exceed RGB (%d)", th, rgb)
+	}
+}
+
+func TestScoreCritical(t *testing.T) {
+	scene := &Scene{Persons: []Person{
+		{ID: 0, Critical: true},
+		{ID: 1, Critical: false},
+		{ID: 2, Critical: true},
+	}}
+	frames := []*Frame{{
+		InView: []int{0, 1, 2},
+		Detections: []Detection{
+			{PersonID: 0},
+			{PersonID: 1},
+			{PersonID: -1},
+		},
+	}}
+	s, err := ScoreCritical(frames, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical persons: 0 found, 2 missed; non-critical 1 excluded.
+	if s.TruePositives != 1 || s.FalseNegatives != 1 || s.FalsePositives != 0 {
+		t.Fatalf("critical score = %+v", s)
+	}
+	if _, err := ScoreCritical(frames, nil); err == nil {
+		t.Fatal("nil scene must fail")
+	}
+}

@@ -1,0 +1,237 @@
+// Package eddi provides the common Executable Digital Dependability
+// Identity framework (paper §III): the event envelope every EDDI
+// technology reports through, the runtime coordinator that merges
+// safety and security findings per UAV (the safety–security
+// co-engineering workflow of §III-B), and the serializable identity
+// container that carries the models a deployed EDDI is built from —
+// the runtime counterpart of the ODE-based DDI exchange format.
+package eddi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies the EDDI technology that produced an event.
+type Kind int
+
+// Event kinds.
+const (
+	KindSafety     Kind = iota // SafeDrones reliability assessment
+	KindSecurity               // Security EDDI attack findings
+	KindPerception             // SafeML / DeepKnowledge monitors
+	KindRisk                   // SINADRA dynamic risk assessment
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSafety:
+		return "safety"
+	case KindSecurity:
+		return "security"
+	case KindPerception:
+		return "perception"
+	case KindRisk:
+		return "risk"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is the common envelope for EDDI findings.
+type Event struct {
+	Kind Kind
+	UAV  string
+	Time float64
+	// Severity in [0,1]: 0 informational, 1 critical.
+	Severity float64
+	// Summary is a human-readable one-liner.
+	Summary string
+	// Data carries technology-specific key/values for the GUI layer.
+	Data map[string]string
+}
+
+// Coordinator fans EDDI events out to handlers and keeps the latest
+// finding per (UAV, kind) — the holistic dependability picture that
+// the ConSert evidence mapping and the GUI read.
+type Coordinator struct {
+	mu       sync.Mutex
+	latest   map[string]map[Kind]Event
+	history  []Event
+	handlers []func(Event)
+	// HistoryLimit bounds the event log (0 = unbounded).
+	HistoryLimit int
+}
+
+// NewCoordinator returns an empty coordinator keeping at most limit
+// events of history (0 = unbounded).
+func NewCoordinator(limit int) *Coordinator {
+	return &Coordinator{
+		latest:       make(map[string]map[Kind]Event),
+		HistoryLimit: limit,
+	}
+}
+
+// OnEvent registers a handler invoked synchronously for every event.
+func (c *Coordinator) OnEvent(h func(Event)) error {
+	if h == nil {
+		return errors.New("eddi: nil handler")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers = append(c.handlers, h)
+	return nil
+}
+
+// Emit records an event and notifies handlers.
+func (c *Coordinator) Emit(ev Event) error {
+	if ev.UAV == "" {
+		return errors.New("eddi: event without UAV")
+	}
+	if ev.Severity < 0 || ev.Severity > 1 {
+		return fmt.Errorf("eddi: severity %v out of [0,1]", ev.Severity)
+	}
+	c.mu.Lock()
+	if c.latest[ev.UAV] == nil {
+		c.latest[ev.UAV] = make(map[Kind]Event)
+	}
+	c.latest[ev.UAV][ev.Kind] = ev
+	c.history = append(c.history, ev)
+	if c.HistoryLimit > 0 && len(c.history) > c.HistoryLimit {
+		c.history = c.history[len(c.history)-c.HistoryLimit:]
+	}
+	var handlers []func(Event)
+	handlers = append(handlers, c.handlers...)
+	c.mu.Unlock()
+	for _, h := range handlers {
+		h(ev)
+	}
+	return nil
+}
+
+// Latest returns the most recent event of the given kind for the UAV.
+func (c *Coordinator) Latest(uav string, k Kind) (Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ev, ok := c.latest[uav][k]
+	return ev, ok
+}
+
+// History returns a copy of the event log (optionally filtered by
+// UAV; pass "" for all).
+func (c *Coordinator) History(uav string) []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if uav == "" {
+		return append([]Event(nil), c.history...)
+	}
+	var out []Event
+	for _, ev := range c.history {
+		if ev.UAV == uav {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WorstSeverity returns the maximum severity across the latest events
+// of all kinds for the UAV (0 when nothing was reported).
+func (c *Coordinator) WorstSeverity(uav string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var worst float64
+	for _, ev := range c.latest[uav] {
+		if ev.Severity > worst {
+			worst = ev.Severity
+		}
+	}
+	return worst
+}
+
+// ModelRef describes one model carried inside an identity, mirroring
+// the ODE metamodel's notion of exchangeable dependability artefacts.
+type ModelRef struct {
+	Type        string `json:"type"` // "fault-tree", "markov", "attack-tree", "bayesian-network", "consert"
+	Name        string `json:"name"`
+	Version     string `json:"version"`
+	Description string `json:"description,omitempty"`
+}
+
+// Identity is the serializable EDDI manifest of one robot: which
+// dependability models it executes at runtime.
+type Identity struct {
+	System    string     `json:"system"`
+	Generated string     `json:"generated,omitempty"`
+	Models    []ModelRef `json:"models"`
+}
+
+// Validate checks the identity is well-formed.
+func (id *Identity) Validate() error {
+	if id.System == "" {
+		return errors.New("eddi: identity without system name")
+	}
+	if len(id.Models) == 0 {
+		return errors.New("eddi: identity without models")
+	}
+	seen := map[string]bool{}
+	for _, m := range id.Models {
+		if m.Type == "" || m.Name == "" {
+			return fmt.Errorf("eddi: model ref %+v missing type or name", m)
+		}
+		key := m.Type + "/" + m.Name
+		if seen[key] {
+			return fmt.Errorf("eddi: duplicate model %s", key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// MarshalJSON keeps model order stable (sorted by type then name).
+func (id Identity) MarshalJSON() ([]byte, error) {
+	models := append([]ModelRef(nil), id.Models...)
+	sort.Slice(models, func(i, j int) bool {
+		if models[i].Type != models[j].Type {
+			return models[i].Type < models[j].Type
+		}
+		return models[i].Name < models[j].Name
+	})
+	type alias Identity
+	out := alias(id)
+	out.Models = models
+	return json.Marshal(out)
+}
+
+// ParseIdentity decodes and validates an identity document.
+func ParseIdentity(data []byte) (*Identity, error) {
+	var id Identity
+	if err := json.Unmarshal(data, &id); err != nil {
+		return nil, fmt.Errorf("eddi: parsing identity: %w", err)
+	}
+	if err := id.Validate(); err != nil {
+		return nil, err
+	}
+	return &id, nil
+}
+
+// UAVIdentity builds the manifest of the full SESAME UAV EDDI as
+// integrated in this repository.
+func UAVIdentity(uav string) *Identity {
+	return &Identity{
+		System: uav,
+		Models: []ModelRef{
+			{Type: "markov", Name: "propulsion", Version: "1", Description: "k-out-of-n rotor reliability (SafeDrones)"},
+			{Type: "markov", Name: "battery", Version: "1", Description: "stress-dependent battery hazard (SafeDrones)"},
+			{Type: "markov", Name: "processor", Version: "1", Description: "SER/watchdog model (SafeDrones)"},
+			{Type: "fault-tree", Name: "uav-loss", Version: "1", Description: "OR composition over subsystems"},
+			{Type: "attack-tree", Name: "map-manipulation", Version: "1", Description: "ROS spoofing / GNSS spoofing (Security EDDI)"},
+			{Type: "bayesian-network", Name: "sar-risk", Version: "1", Description: "situation-aware risk (SINADRA)"},
+			{Type: "consert", Name: "uav-network", Version: "1", Description: "Fig. 1 hierarchical ConSert"},
+			{Type: "attack-tree", Name: "c2-hijack", Version: "1", Description: "command/control seizure and jamming (Security EDDI)"},
+			{Type: "assurance-case", Name: "sar-dependability", Version: "1", Description: "GSN argument linking models and reproduced experiments"},
+		},
+	}
+}

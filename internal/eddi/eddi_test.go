@@ -1,0 +1,138 @@
+package eddi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEmitAndLatest(t *testing.T) {
+	c := NewCoordinator(0)
+	var seen []Event
+	if err := c.OnEvent(func(ev Event) { seen = append(seen, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Emit(Event{Kind: KindSafety, UAV: "u1", Time: 10, Severity: 0.2, Summary: "pof low"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Emit(Event{Kind: KindSafety, UAV: "u1", Time: 20, Severity: 0.5, Summary: "pof rising"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Emit(Event{Kind: KindSecurity, UAV: "u1", Time: 21, Severity: 1, Summary: "compromise"}); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := c.Latest("u1", KindSafety)
+	if !ok || ev.Time != 20 {
+		t.Fatalf("latest safety = %+v ok=%v", ev, ok)
+	}
+	if _, ok := c.Latest("u1", KindRisk); ok {
+		t.Fatal("risk should have no events")
+	}
+	if _, ok := c.Latest("u2", KindSafety); ok {
+		t.Fatal("u2 should have no events")
+	}
+	if len(seen) != 3 {
+		t.Fatalf("handler saw %d events", len(seen))
+	}
+	if w := c.WorstSeverity("u1"); w != 1 {
+		t.Fatalf("worst severity = %v", w)
+	}
+	if w := c.WorstSeverity("ghost"); w != 0 {
+		t.Fatalf("ghost severity = %v", w)
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	c := NewCoordinator(0)
+	if err := c.Emit(Event{Kind: KindSafety}); err == nil {
+		t.Error("missing UAV must fail")
+	}
+	if err := c.Emit(Event{Kind: KindSafety, UAV: "u", Severity: 2}); err == nil {
+		t.Error("severity > 1 must fail")
+	}
+	if err := c.OnEvent(nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+}
+
+func TestHistoryFilterAndLimit(t *testing.T) {
+	c := NewCoordinator(3)
+	for i := 0; i < 5; i++ {
+		uav := "a"
+		if i%2 == 1 {
+			uav = "b"
+		}
+		_ = c.Emit(Event{Kind: KindSafety, UAV: uav, Time: float64(i)})
+	}
+	all := c.History("")
+	if len(all) != 3 {
+		t.Fatalf("history limit failed: %d", len(all))
+	}
+	if all[0].Time != 2 {
+		t.Fatalf("oldest kept = %v, want 2", all[0].Time)
+	}
+	bOnly := c.History("b")
+	for _, ev := range bOnly {
+		if ev.UAV != "b" {
+			t.Fatal("filter broken")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindSafety; k <= KindRisk; k++ {
+		if k.String() == "" {
+			t.Fatal("kind name empty")
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must render")
+	}
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	id := UAVIdentity("uav1")
+	if err := id.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseIdentity(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.System != "uav1" || len(back.Models) != len(id.Models) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// Marshal is order-stable.
+	data2, _ := json.Marshal(back)
+	if string(data) != string(data2) {
+		t.Fatal("marshal not deterministic")
+	}
+}
+
+func TestIdentityValidation(t *testing.T) {
+	if err := (&Identity{}).Validate(); err == nil {
+		t.Error("empty identity must fail")
+	}
+	if err := (&Identity{System: "s"}).Validate(); err == nil {
+		t.Error("no models must fail")
+	}
+	bad := &Identity{System: "s", Models: []ModelRef{{Type: "x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("model without name must fail")
+	}
+	dup := &Identity{System: "s", Models: []ModelRef{
+		{Type: "x", Name: "a"}, {Type: "x", Name: "a"},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate model must fail")
+	}
+	if _, err := ParseIdentity([]byte("{bad")); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+	if _, err := ParseIdentity([]byte(`{"system":""}`)); err == nil {
+		t.Error("invalid identity must fail")
+	}
+}

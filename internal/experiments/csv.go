@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// writeCSV writes rows (with a header) to dir/name.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+
+// WriteCSV dumps the Fig. 5 PoF curves to dir/fig5_pof.csv.
+func (r *Fig5Result) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Curve))
+	for _, pt := range r.Curve {
+		rows = append(rows, []string{f2s(pt.Time), f2s(pt.PoFEDDI), f2s(pt.PoFReactive)})
+	}
+	return writeCSV(dir, "fig5_pof.csv", []string{"t_s", "pof_sesame", "pof_baseline"}, rows)
+}
+
+// WriteCSV dumps the altitude sweep to dir/accuracy_sweep.csv.
+func (r *AccuracyResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Sweep))
+	for _, row := range r.Sweep {
+		rows = append(rows, []string{
+			f2s(row.AltitudeM), f2s(row.SafeMLUncertainty), f2s(row.DKUncertainty),
+			f2s(row.FusedUncertainty), f2s(row.Accuracy), row.SINADRAAdvice,
+		})
+	}
+	return writeCSV(dir, "accuracy_sweep.csv",
+		[]string{"altitude_m", "safeml_u", "dk_u", "fused_u", "accuracy", "sinadra"}, rows)
+}
+
+// WriteCSV dumps both Fig. 6 trajectories to dir/fig6_tracks.csv.
+func (r *Fig6Result) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Track))
+	for _, pt := range r.Track {
+		rows = append(rows, []string{
+			f2s(pt.Time),
+			f2s(pt.CleanEast), f2s(pt.CleanNorth),
+			f2s(pt.SpoofEast), f2s(pt.SpoofNorth),
+			f2s(pt.BelievedEast), f2s(pt.BelievedN),
+		})
+	}
+	return writeCSV(dir, "fig6_tracks.csv",
+		[]string{"t_s", "clean_e", "clean_n", "attacked_e", "attacked_n", "believed_e", "believed_n"}, rows)
+}
+
+// WriteCSV dumps the Fig. 7 landing tracks to dir/fig7_tracks.csv.
+func (r *Fig7Result) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Track))
+	for _, pt := range r.Track {
+		rows = append(rows, []string{
+			f2s(pt.Time),
+			f2s(pt.VictimEast), f2s(pt.VictimNorth),
+			f2s(pt.Assist1E), f2s(pt.Assist1N),
+			f2s(pt.Assist2E), f2s(pt.Assist2N),
+			f2s(pt.EstimateErrM),
+		})
+	}
+	return writeCSV(dir, "fig7_tracks.csv",
+		[]string{"t_s", "victim_e", "victim_n", "assist1_e", "assist1_n", "assist2_e", "assist2_n", "est_err_m"}, rows)
+}
+
+// WriteCSV dumps the pattern comparison to dir/patterns.csv.
+func (r *PatternResult) WriteCSV(dir string) error {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Pattern, f2s(row.PathLengthM), f2s(row.Coverage),
+			f2s(row.FirstDetectionS), fmt.Sprint(row.TotalDetected), f2s(row.MissionSeconds),
+		})
+	}
+	return writeCSV(dir, "patterns.csv",
+		[]string{"pattern", "path_m", "coverage", "first_find_s", "found", "mission_s"}, rows)
+}

@@ -1,0 +1,35 @@
+// Package experiments reproduces every evaluation artefact of the
+// paper (DATE 2025, doi:10.23919/DATE64628.2025.10992739): the Fig. 1
+// ConSert network evaluation, the Fig. 5 battery-failure PoF curves
+// and §V-A availability numbers, the §V-B SAR accuracy table, the
+// Fig. 6 spoofed-trajectory deviation, the Fig. 7 collaborative
+// GPS-denied landing, and the design-choice ablations listed in
+// DESIGN.md. Each Run* function returns a structured result and can
+// print the series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"sesame/internal/geo"
+)
+
+// testOrigin anchors every experiment's mission area (Cyprus, where
+// the paper's field trials flew).
+var testOrigin = geo.LatLng{Lat: 35.1856, Lng: 33.3823}
+
+// squareArea returns a side x side mission square north-east of the
+// origin.
+func squareArea(side float64) geo.Polygon {
+	a := geo.Destination(testOrigin, 45, 80)
+	b := geo.Destination(a, 90, side)
+	c := geo.Destination(b, 0, side)
+	d := geo.Destination(a, 0, side)
+	return geo.Polygon{a, b, c, d}
+}
+
+// printf writes formatted output, ignoring errors (report streams).
+func printf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"io"
+
+	"sesame/internal/conserts"
+)
+
+// Fig1Scenario is one named evidence configuration and its outcome.
+type Fig1Scenario struct {
+	Name       string
+	Evidence   conserts.Evidence
+	Navigation string
+	Action     conserts.UAVAction
+}
+
+// Fig1Result exercises the hierarchical ConSert network of Fig. 1.
+type Fig1Result struct {
+	Scenarios []Fig1Scenario
+	// TruthTable statistics over all evidence combinations.
+	Combinations int
+	ByAction     map[conserts.UAVAction]int
+	// MissionDemo shows the Σ-over-UAVs decider for three fleet
+	// states.
+	MissionDemo []struct {
+		Name     string
+		Actions  map[string]conserts.UAVAction
+		Decision conserts.MissionDecision
+	}
+}
+
+// RunFig1 evaluates the Fig. 1 ConSert network over named scenarios
+// and the exhaustive evidence truth table.
+func RunFig1() (*Fig1Result, error) {
+	comp, err := conserts.BuildUAVComposition()
+	if err != nil {
+		return nil, err
+	}
+	full := conserts.Evidence{
+		conserts.EvGPSQualityOK:         true,
+		conserts.EvNoSpoofing:           true,
+		conserts.EvCameraHealthy:        true,
+		conserts.EvPerceptionConfident:  true,
+		conserts.EvNearbyDroneDetection: true,
+		conserts.EvCommsOK:              true,
+		conserts.EvNeighborsAvailable:   true,
+		conserts.EvReliabilityHigh:      true,
+	}
+	derive := func(mod func(conserts.Evidence)) conserts.Evidence {
+		ev := conserts.Evidence{}
+		for k, v := range full {
+			ev[k] = v
+		}
+		mod(ev)
+		return ev
+	}
+	named := []struct {
+		name string
+		ev   conserts.Evidence
+	}{
+		{"nominal", full},
+		{"spoofing detected", derive(func(ev conserts.Evidence) { ev[conserts.EvNoSpoofing] = false })},
+		{"spoofed + isolated", derive(func(ev conserts.Evidence) {
+			ev[conserts.EvNoSpoofing] = false
+			ev[conserts.EvCommsOK] = false
+			ev[conserts.EvCameraHealthy] = false
+		})},
+		{"camera failed", derive(func(ev conserts.Evidence) { ev[conserts.EvCameraHealthy] = false })},
+		{"GPS degraded, vision ok", derive(func(ev conserts.Evidence) {
+			ev[conserts.EvGPSQualityOK] = false
+			ev[conserts.EvCommsOK] = false
+		})},
+		{"reliability low", derive(func(ev conserts.Evidence) {
+			ev[conserts.EvReliabilityHigh] = false
+			ev[conserts.EvReliabilityMedium] = false
+		})},
+		{"reliability medium", derive(func(ev conserts.Evidence) {
+			ev[conserts.EvReliabilityHigh] = false
+			ev[conserts.EvReliabilityMedium] = true
+		})},
+	}
+	res := &Fig1Result{ByAction: make(map[conserts.UAVAction]int)}
+	for _, sc := range named {
+		action, results, err := conserts.EvaluateUAV(comp, sc.ev)
+		if err != nil {
+			return nil, err
+		}
+		nav := "none (default: emergency landing)"
+		if b := results[conserts.ConSertNav].Best; b != nil {
+			nav = b.ID
+		}
+		res.Scenarios = append(res.Scenarios, Fig1Scenario{
+			Name: sc.name, Evidence: sc.ev, Navigation: nav, Action: action,
+		})
+	}
+
+	// Exhaustive truth table statistics.
+	names := []string{
+		conserts.EvGPSQualityOK, conserts.EvNoSpoofing, conserts.EvCameraHealthy,
+		conserts.EvPerceptionConfident, conserts.EvNearbyDroneDetection,
+		conserts.EvCommsOK, conserts.EvNeighborsAvailable,
+		conserts.EvReliabilityHigh, conserts.EvReliabilityMedium,
+	}
+	for mask := 0; mask < 1<<len(names); mask++ {
+		ev := conserts.Evidence{}
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				ev[n] = true
+			}
+		}
+		action, _, err := conserts.EvaluateUAV(comp, ev)
+		if err != nil {
+			return nil, err
+		}
+		res.ByAction[action]++
+		res.Combinations++
+	}
+
+	// Mission decider demo.
+	fleets := []struct {
+		Name     string
+		Actions  map[string]conserts.UAVAction
+		Decision conserts.MissionDecision
+	}{
+		{"all nominal", map[string]conserts.UAVAction{
+			"u1": conserts.ActionContinueTakeover, "u2": conserts.ActionContinue, "u3": conserts.ActionContinue}, 0},
+		{"one UAV degraded", map[string]conserts.UAVAction{
+			"u1": conserts.ActionContinue, "u2": conserts.ActionReturnToBase, "u3": conserts.ActionContinue}, 0},
+		{"fleet grounded", map[string]conserts.UAVAction{
+			"u1": conserts.ActionEmergencyLand, "u2": conserts.ActionHold, "u3": conserts.ActionReturnToBase}, 0},
+	}
+	for i := range fleets {
+		d, err := conserts.DecideMission(fleets[i].Actions)
+		if err != nil {
+			return nil, err
+		}
+		fleets[i].Decision = d
+	}
+	res.MissionDemo = fleets
+	return res, nil
+}
+
+// Print writes the Fig. 1 evaluation tables.
+func (r *Fig1Result) Print(w io.Writer) {
+	printf(w, "== Fig. 1: hierarchical ConSert network evaluation ==\n\n")
+	printf(w, "%-28s %-24s %s\n", "scenario", "navigation guarantee", "UAV action")
+	for _, sc := range r.Scenarios {
+		printf(w, "%-28s %-24s %s\n", sc.Name, sc.Navigation, sc.Action)
+	}
+	printf(w, "\ntruth table over %d evidence combinations:\n", r.Combinations)
+	for a := conserts.ActionEmergencyLand; a <= conserts.ActionContinueTakeover; a++ {
+		printf(w, "  %-20s %4d combinations\n", a.String(), r.ByAction[a])
+	}
+	printf(w, "\nmission-level decider (Σ over UAVs):\n")
+	for _, f := range r.MissionDemo {
+		printf(w, "  %-20s -> %s\n", f.Name, f.Decision)
+	}
+}

@@ -1,0 +1,492 @@
+// Package fta implements fault-tree analysis with support for the
+// "complex basic event" concept the paper's SafeDrones technology relies
+// on (Kabir et al., IMBSA 2019): a basic event whose time-dependent
+// failure probability is produced by an embedded continuous-time Markov
+// model rather than a static exponential distribution.
+//
+// Trees are built from gates (AND, OR, K-of-N) over events; the top
+// event probability at mission time t is evaluated by gate arithmetic
+// under the usual independence assumption. Minimal cut sets and Birnbaum
+// importance measures support the design-time side of the EDDI workflow.
+package fta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sesame/internal/markov"
+)
+
+// Event is any node of a fault tree that can report its failure
+// probability at mission time t.
+type Event interface {
+	// Name returns the unique node label.
+	Name() string
+	// Probability returns the failure probability at time t, with
+	// overrides substituting fixed probabilities for named leaves
+	// (used for importance measures); override may be nil.
+	Probability(t float64, override map[string]float64) (float64, error)
+	// Leaves appends the basic-event names under this node.
+	Leaves(into []string) []string
+	// CutSets returns the (not yet minimized) cut sets of this node as
+	// sets of leaf names.
+	CutSets() [][]string
+}
+
+// ---- Basic events ----
+
+// BasicEvent is a leaf with an exponential life distribution:
+// P(fail by t) = 1 - exp(-lambda t).
+type BasicEvent struct {
+	name   string
+	lambda float64
+}
+
+// NewBasicEvent returns an exponential basic event with failure rate
+// lambda (per unit time).
+func NewBasicEvent(name string, lambda float64) (*BasicEvent, error) {
+	if name == "" {
+		return nil, errors.New("fta: empty event name")
+	}
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("fta: invalid rate %v for %q", lambda, name)
+	}
+	return &BasicEvent{name: name, lambda: lambda}, nil
+}
+
+// Name implements Event.
+func (e *BasicEvent) Name() string { return e.name }
+
+// Probability implements Event.
+func (e *BasicEvent) Probability(t float64, override map[string]float64) (float64, error) {
+	if p, ok := override[e.name]; ok {
+		return p, nil
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("fta: negative time %v", t)
+	}
+	return 1 - math.Exp(-e.lambda*t), nil
+}
+
+// Leaves implements Event.
+func (e *BasicEvent) Leaves(into []string) []string { return append(into, e.name) }
+
+// CutSets implements Event.
+func (e *BasicEvent) CutSets() [][]string { return [][]string{{e.name}} }
+
+// FixedEvent is a leaf with a constant, time-independent probability —
+// useful for house events and for unit tests.
+type FixedEvent struct {
+	name string
+	p    float64
+}
+
+// NewFixedEvent returns a constant-probability leaf.
+func NewFixedEvent(name string, p float64) (*FixedEvent, error) {
+	if name == "" {
+		return nil, errors.New("fta: empty event name")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("fta: probability %v out of range for %q", p, name)
+	}
+	return &FixedEvent{name: name, p: p}, nil
+}
+
+// Name implements Event.
+func (e *FixedEvent) Name() string { return e.name }
+
+// Probability implements Event.
+func (e *FixedEvent) Probability(_ float64, override map[string]float64) (float64, error) {
+	if p, ok := override[e.name]; ok {
+		return p, nil
+	}
+	return e.p, nil
+}
+
+// Leaves implements Event.
+func (e *FixedEvent) Leaves(into []string) []string { return append(into, e.name) }
+
+// CutSets implements Event.
+func (e *FixedEvent) CutSets() [][]string { return [][]string{{e.name}} }
+
+// ComplexBasicEvent is a leaf whose failure probability comes from an
+// embedded CTMC: the probability mass on the chain's designated failure
+// states at time t. This is the paper's central modelling device for
+// propulsion/battery/processor reliability.
+type ComplexBasicEvent struct {
+	name    string
+	chain   *markov.Chain
+	initial string
+	failure []string
+}
+
+// NewComplexBasicEvent wraps chain as a basic event. initial is the
+// chain's healthy start state; failureStates are the absorbing (or not)
+// states counted as component failure.
+func NewComplexBasicEvent(name string, chain *markov.Chain, initial string, failureStates ...string) (*ComplexBasicEvent, error) {
+	if name == "" {
+		return nil, errors.New("fta: empty event name")
+	}
+	if chain == nil {
+		return nil, errors.New("fta: nil chain")
+	}
+	if len(failureStates) == 0 {
+		return nil, fmt.Errorf("fta: complex event %q needs failure states", name)
+	}
+	if _, err := chain.StateIndex(initial); err != nil {
+		return nil, err
+	}
+	for _, s := range failureStates {
+		if _, err := chain.StateIndex(s); err != nil {
+			return nil, err
+		}
+	}
+	return &ComplexBasicEvent{
+		name:    name,
+		chain:   chain,
+		initial: initial,
+		failure: append([]string(nil), failureStates...),
+	}, nil
+}
+
+// Name implements Event.
+func (e *ComplexBasicEvent) Name() string { return e.name }
+
+// Probability implements Event.
+func (e *ComplexBasicEvent) Probability(t float64, override map[string]float64) (float64, error) {
+	if p, ok := override[e.name]; ok {
+		return p, nil
+	}
+	return e.chain.FailureProbability(e.initial, t, e.failure...)
+}
+
+// Leaves implements Event.
+func (e *ComplexBasicEvent) Leaves(into []string) []string { return append(into, e.name) }
+
+// CutSets implements Event.
+func (e *ComplexBasicEvent) CutSets() [][]string { return [][]string{{e.name}} }
+
+// ---- Gates ----
+
+// GateKind identifies the boolean combinator of a gate.
+type GateKind int
+
+// Gate kinds.
+const (
+	AND GateKind = iota
+	OR
+	KofN // fires when at least K children have failed
+)
+
+func (k GateKind) String() string {
+	switch k {
+	case AND:
+		return "AND"
+	case OR:
+		return "OR"
+	case KofN:
+		return "KofN"
+	default:
+		return fmt.Sprintf("GateKind(%d)", int(k))
+	}
+}
+
+// Gate combines child events under a boolean operator.
+type Gate struct {
+	name     string
+	kind     GateKind
+	k        int // threshold for KofN
+	children []Event
+}
+
+// NewGate builds an AND or OR gate.
+func NewGate(name string, kind GateKind, children ...Event) (*Gate, error) {
+	if kind == KofN {
+		return nil, errors.New("fta: use NewVoterGate for K-of-N")
+	}
+	return newGate(name, kind, 0, children)
+}
+
+// NewVoterGate builds a K-of-N gate that fires when at least k of its
+// children have failed.
+func NewVoterGate(name string, k int, children ...Event) (*Gate, error) {
+	if k < 1 || k > len(children) {
+		return nil, fmt.Errorf("fta: voter threshold %d out of range for %d children", k, len(children))
+	}
+	return newGate(name, KofN, k, children)
+}
+
+func newGate(name string, kind GateKind, k int, children []Event) (*Gate, error) {
+	if name == "" {
+		return nil, errors.New("fta: empty gate name")
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("fta: gate %q has no children", name)
+	}
+	for _, c := range children {
+		if c == nil {
+			return nil, fmt.Errorf("fta: gate %q has nil child", name)
+		}
+	}
+	return &Gate{name: name, kind: kind, k: k, children: append([]Event(nil), children...)}, nil
+}
+
+// Name implements Event.
+func (g *Gate) Name() string { return g.name }
+
+// Kind returns the gate's boolean operator.
+func (g *Gate) Kind() GateKind { return g.kind }
+
+// Probability implements Event by gate arithmetic over independent
+// children.
+func (g *Gate) Probability(t float64, override map[string]float64) (float64, error) {
+	ps := make([]float64, len(g.children))
+	for i, c := range g.children {
+		p, err := c.Probability(t, override)
+		if err != nil {
+			return 0, err
+		}
+		ps[i] = p
+	}
+	switch g.kind {
+	case AND:
+		prod := 1.0
+		for _, p := range ps {
+			prod *= p
+		}
+		return prod, nil
+	case OR:
+		prod := 1.0
+		for _, p := range ps {
+			prod *= 1 - p
+		}
+		return 1 - prod, nil
+	case KofN:
+		return atLeastK(ps, g.k), nil
+	default:
+		return 0, fmt.Errorf("fta: unknown gate kind %v", g.kind)
+	}
+}
+
+// atLeastK returns P(at least k of the independent events with
+// probabilities ps occur) by dynamic programming over the Poisson
+// binomial distribution.
+func atLeastK(ps []float64, k int) float64 {
+	// dist[j] = P(exactly j occurred) over processed prefix.
+	dist := make([]float64, len(ps)+1)
+	dist[0] = 1
+	for _, p := range ps {
+		for j := len(dist) - 1; j >= 1; j-- {
+			dist[j] = dist[j]*(1-p) + dist[j-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	var sum float64
+	for j := k; j < len(dist); j++ {
+		sum += dist[j]
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// Leaves implements Event.
+func (g *Gate) Leaves(into []string) []string {
+	for _, c := range g.children {
+		into = c.Leaves(into)
+	}
+	return into
+}
+
+// CutSets implements Event.
+func (g *Gate) CutSets() [][]string {
+	childSets := make([][][]string, len(g.children))
+	for i, c := range g.children {
+		childSets[i] = c.CutSets()
+	}
+	switch g.kind {
+	case OR:
+		var out [][]string
+		for _, cs := range childSets {
+			out = append(out, cs...)
+		}
+		return out
+	case AND:
+		return crossProduct(childSets)
+	case KofN:
+		// OR over all k-subsets, AND within each subset.
+		var out [][]string
+		subsets(len(g.children), g.k, func(idx []int) {
+			sel := make([][][]string, len(idx))
+			for i, j := range idx {
+				sel[i] = childSets[j]
+			}
+			out = append(out, crossProduct(sel)...)
+		})
+		return out
+	default:
+		return nil
+	}
+}
+
+// crossProduct combines one cut set from each group, unioning names.
+func crossProduct(groups [][][]string) [][]string {
+	out := [][]string{{}}
+	for _, g := range groups {
+		var next [][]string
+		for _, partial := range out {
+			for _, cs := range g {
+				merged := unionSet(partial, cs)
+				next = append(next, merged)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func unionSet(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subsets invokes fn with each k-subset of {0..n-1}.
+func subsets(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idx)
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// ---- Tree ----
+
+// Tree is a validated fault tree with a designated top event.
+type Tree struct {
+	top    Event
+	leaves []string
+}
+
+// NewTree validates the tree under top: leaf names must be unique
+// (each physical basic event appears exactly once), which is the
+// precondition for gate-arithmetic evaluation to be exact.
+func NewTree(top Event) (*Tree, error) {
+	if top == nil {
+		return nil, errors.New("fta: nil top event")
+	}
+	leaves := top.Leaves(nil)
+	seen := make(map[string]bool, len(leaves))
+	for _, l := range leaves {
+		if seen[l] {
+			return nil, fmt.Errorf("fta: basic event %q appears more than once; gate arithmetic would be inexact", l)
+		}
+		seen[l] = true
+	}
+	sorted := append([]string(nil), leaves...)
+	sort.Strings(sorted)
+	return &Tree{top: top, leaves: sorted}, nil
+}
+
+// Top returns the tree's top event.
+func (tr *Tree) Top() Event { return tr.top }
+
+// BasicEvents returns the sorted names of all leaves.
+func (tr *Tree) BasicEvents() []string { return append([]string(nil), tr.leaves...) }
+
+// Probability returns the top-event failure probability at mission
+// time t.
+func (tr *Tree) Probability(t float64) (float64, error) {
+	return tr.top.Probability(t, nil)
+}
+
+// MinimalCutSets returns the minimal cut sets of the tree, each sorted,
+// with supersets removed, ordered by (size, lexicographic).
+func (tr *Tree) MinimalCutSets() [][]string {
+	sets := tr.top.CutSets()
+	// Deduplicate.
+	uniq := make(map[string][]string, len(sets))
+	for _, s := range sets {
+		uniq[strings.Join(s, "\x00")] = s
+	}
+	var all [][]string
+	for _, s := range uniq {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i]) != len(all[j]) {
+			return len(all[i]) < len(all[j])
+		}
+		return strings.Join(all[i], ",") < strings.Join(all[j], ",")
+	})
+	// Remove supersets (all is size-sorted, so earlier sets are never
+	// supersets of later ones).
+	var minimal [][]string
+	for _, s := range all {
+		redundant := false
+		for _, m := range minimal {
+			if isSubset(m, s) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			minimal = append(minimal, s)
+		}
+	}
+	return minimal
+}
+
+func isSubset(sub, super []string) bool {
+	i := 0
+	for _, s := range super {
+		if i < len(sub) && sub[i] == s {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+// BirnbaumImportance returns, for each basic event, the Birnbaum
+// structural importance at time t: P(top | leaf certain) - P(top | leaf
+// impossible). Larger means the leaf matters more right now.
+func (tr *Tree) BirnbaumImportance(t float64) (map[string]float64, error) {
+	out := make(map[string]float64, len(tr.leaves))
+	for _, leaf := range tr.leaves {
+		hi, err := tr.top.Probability(t, map[string]float64{leaf: 1})
+		if err != nil {
+			return nil, err
+		}
+		lo, err := tr.top.Probability(t, map[string]float64{leaf: 0})
+		if err != nil {
+			return nil, err
+		}
+		out[leaf] = hi - lo
+	}
+	return out, nil
+}

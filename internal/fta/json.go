@@ -1,0 +1,120 @@
+package fta
+
+// JSON exchange format for fault trees, completing the EDDI model
+// exchange story: basic events (exponential or fixed), Markov-backed
+// complex basic events (with their embedded chain), and AND/OR/K-of-N
+// gates all round-trip.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sesame/internal/markov"
+)
+
+type eventJSON struct {
+	Kind string `json:"kind"` // "basic" | "fixed" | "complex" | "gate"
+	Name string `json:"name"`
+
+	// basic
+	Lambda float64 `json:"lambda,omitempty"`
+	// fixed
+	Probability float64 `json:"probability,omitempty"`
+	// complex
+	Chain         json.RawMessage `json:"chain,omitempty"`
+	Initial       string          `json:"initial,omitempty"`
+	FailureStates []string        `json:"failureStates,omitempty"`
+	// gate
+	Gate     string      `json:"gate,omitempty"` // "AND" | "OR" | "KofN"
+	K        int         `json:"k,omitempty"`
+	Children []eventJSON `json:"children,omitempty"`
+}
+
+func encodeEvent(e Event) (eventJSON, error) {
+	switch v := e.(type) {
+	case *BasicEvent:
+		return eventJSON{Kind: "basic", Name: v.name, Lambda: v.lambda}, nil
+	case *FixedEvent:
+		return eventJSON{Kind: "fixed", Name: v.name, Probability: v.p}, nil
+	case *ComplexBasicEvent:
+		chain, err := json.Marshal(v.chain)
+		if err != nil {
+			return eventJSON{}, err
+		}
+		return eventJSON{
+			Kind: "complex", Name: v.name,
+			Chain: chain, Initial: v.initial,
+			FailureStates: append([]string(nil), v.failure...),
+		}, nil
+	case *Gate:
+		out := eventJSON{Kind: "gate", Name: v.name, Gate: v.kind.String(), K: v.k}
+		for _, c := range v.children {
+			cj, err := encodeEvent(c)
+			if err != nil {
+				return eventJSON{}, err
+			}
+			out.Children = append(out.Children, cj)
+		}
+		return out, nil
+	default:
+		return eventJSON{}, fmt.Errorf("fta: cannot encode event type %T", e)
+	}
+}
+
+func decodeEvent(j eventJSON) (Event, error) {
+	switch j.Kind {
+	case "basic":
+		return NewBasicEvent(j.Name, j.Lambda)
+	case "fixed":
+		return NewFixedEvent(j.Name, j.Probability)
+	case "complex":
+		ch, err := markov.ParseChain(j.Chain)
+		if err != nil {
+			return nil, err
+		}
+		return NewComplexBasicEvent(j.Name, ch, j.Initial, j.FailureStates...)
+	case "gate":
+		var kids []Event
+		for _, cj := range j.Children {
+			c, err := decodeEvent(cj)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, c)
+		}
+		switch j.Gate {
+		case "AND":
+			return NewGate(j.Name, AND, kids...)
+		case "OR":
+			return NewGate(j.Name, OR, kids...)
+		case "KofN":
+			return NewVoterGate(j.Name, j.K, kids...)
+		default:
+			return nil, fmt.Errorf("fta: unknown gate %q", j.Gate)
+		}
+	default:
+		return nil, fmt.Errorf("fta: unknown event kind %q", j.Kind)
+	}
+}
+
+// MarshalJSON encodes the tree as its exchange document.
+func (tr *Tree) MarshalJSON() ([]byte, error) {
+	doc, err := encodeEvent(tr.top)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ParseTree decodes and validates a fault-tree exchange document.
+func ParseTree(data []byte) (*Tree, error) {
+	var doc eventJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("fta: decoding: %w", err)
+	}
+	top, err := decodeEvent(doc)
+	if err != nil {
+		return nil, err
+	}
+	return NewTree(top)
+}

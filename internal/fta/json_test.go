@@ -1,0 +1,129 @@
+package fta
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sesame/internal/markov"
+)
+
+// safeDronesLikeTree builds a tree with every event kind represented.
+func safeDronesLikeTree(t *testing.T) *Tree {
+	t.Helper()
+	ch := markov.MustChain("ok", "hot", "dead")
+	ch.MustAddTransition("ok", "hot", 5e-4)
+	ch.MustAddTransition("hot", "dead", 5e-3)
+	ch.MustAddTransition("hot", "ok", 1e-3)
+	batt, err := NewComplexBasicEvent("battery", ch, "ok", "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var motors []Event
+	for _, n := range []string{"m1", "m2", "m3", "m4"} {
+		m, err := NewBasicEvent(n, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		motors = append(motors, m)
+	}
+	prop, err := NewVoterGate("propulsion", 2, motors...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	house, err := NewFixedEvent("maintenance-due", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := NewGate("uav-loss", OR, prop, batt, house)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	orig := safeDronesLikeTree(t)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"complex", "KofN", "lambda", "failureStates", "transitions"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("document missing %q", want)
+		}
+	}
+	back, err := ParseTree(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []float64{0, 60, 510, 3600} {
+		p1, err1 := orig.Probability(ts)
+		p2, err2 := back.Probability(ts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("t=%v: %v / %v", ts, err1, err2)
+		}
+		if math.Abs(p1-p2) > 1e-12 {
+			t.Fatalf("t=%v: %v vs %v", ts, p1, p2)
+		}
+	}
+	// Cut sets survive too.
+	if len(back.MinimalCutSets()) != len(orig.MinimalCutSets()) {
+		t.Fatal("cut sets changed across round trip")
+	}
+	// Stable re-marshal.
+	data2, _ := json.Marshal(back)
+	if string(data) != string(data2) {
+		t.Fatal("round trip not idempotent")
+	}
+}
+
+func TestParseTreeRejectsBadDocuments(t *testing.T) {
+	cases := []string{
+		`{bad`,
+		`{"kind":"wat","name":"x"}`,
+		`{"kind":"gate","name":"g","gate":"XOR","children":[{"kind":"fixed","name":"a","probability":0.1}]}`,
+		`{"kind":"basic","name":"","lambda":0.1}`,
+		`{"kind":"fixed","name":"f","probability":2}`,
+		`{"kind":"complex","name":"c","chain":{"states":["a"]},"initial":"nope","failureStates":["a"]}`,
+		`{"kind":"gate","name":"g","gate":"AND","children":[
+		   {"kind":"fixed","name":"dup","probability":0.1},
+		   {"kind":"fixed","name":"dup","probability":0.2}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ParseTree([]byte(c)); err == nil {
+			t.Errorf("accepted invalid document: %s", c)
+		}
+	}
+}
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	ch := markov.MustChain("a", "b", "c")
+	ch.MustAddTransition("a", "b", 0.5)
+	ch.MustAddTransition("b", "c", 0.25)
+	ch.MustAddTransition("b", "a", 0.1)
+	data, err := json.Marshal(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := markov.ParseChain(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := ch.FailureProbability("a", 10, "c")
+	p2, _ := back.FailureProbability("a", 10, "c")
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("chain behaviour changed: %v vs %v", p1, p2)
+	}
+	if _, err := markov.ParseChain([]byte("{bad")); err == nil {
+		t.Fatal("malformed chain must fail")
+	}
+	if _, err := markov.ParseChain([]byte(`{"states":[],"transitions":[]}`)); err == nil {
+		t.Fatal("empty chain must fail")
+	}
+}

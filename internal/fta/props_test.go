@@ -1,0 +1,192 @@
+package fta
+
+// Property-based tests over randomly generated fault trees.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random two-level tree over nLeaves exponential
+// basic events and returns the tree plus its direct child gates.
+func randomTree(t *testing.T, rng *rand.Rand, nLeaves int) *Tree {
+	t.Helper()
+	if nLeaves < 2 {
+		nLeaves = 2
+	}
+	leaves := make([]Event, nLeaves)
+	for i := range leaves {
+		lam := math.Pow(10, -3-3*rng.Float64()) // 1e-3 .. 1e-6
+		e, err := NewBasicEvent(fmt.Sprintf("e%d", i), lam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves[i] = e
+	}
+	// Group leaves into 2-3 gates, then OR them at the top.
+	var gates []Event
+	for i := 0; i < len(leaves); {
+		n := 2 + rng.Intn(2)
+		if i+n > len(leaves) {
+			n = len(leaves) - i
+		}
+		group := leaves[i : i+n]
+		var g Event
+		var err error
+		switch {
+		case n == 1:
+			g = group[0]
+		case rng.Intn(3) == 0 && n >= 2:
+			g, err = NewVoterGate(fmt.Sprintf("g%d", i), 1+rng.Intn(n), group...)
+		case rng.Intn(2) == 0:
+			g, err = NewGate(fmt.Sprintf("g%d", i), AND, group...)
+		default:
+			g, err = NewGate(fmt.Sprintf("g%d", i), OR, group...)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		gates = append(gates, g)
+		i += n
+	}
+	top, err := NewGate("top", OR, gates...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewTree(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestRandomTreeProbabilityBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(t, rng, 2+int(nRaw%8))
+		for _, ts := range []float64{0, 10, 1000, 100000} {
+			p, err := tree.Probability(ts)
+			if err != nil {
+				return false
+			}
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomTreeMonotoneInTime(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(t, rng, 2+int(nRaw%8))
+		prev := -1.0
+		for _, ts := range []float64{0, 100, 1000, 10000, 100000} {
+			p, err := tree.Probability(ts)
+			if err != nil {
+				return false
+			}
+			if p < prev-1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateBoundsProperty(t *testing.T) {
+	// For independent children: P(AND) <= min(child), P(OR) >= max.
+	f := func(p1Raw, p2Raw, p3Raw float64) bool {
+		ps := []float64{
+			math.Mod(math.Abs(p1Raw), 1),
+			math.Mod(math.Abs(p2Raw), 1),
+			math.Mod(math.Abs(p3Raw), 1),
+		}
+		var kids []Event
+		mn, mx := 1.0, 0.0
+		for i, p := range ps {
+			e, err := NewFixedEvent(fmt.Sprintf("f%d", i), p)
+			if err != nil {
+				return false
+			}
+			kids = append(kids, e)
+			mn = math.Min(mn, p)
+			mx = math.Max(mx, p)
+		}
+		and, _ := NewGate("and", AND, kids...)
+		pa, err := and.Probability(0, nil)
+		if err != nil || pa > mn+1e-12 {
+			return false
+		}
+		// Fresh events for the OR (NewTree uniqueness not needed here,
+		// but keep the gates independent).
+		var kids2 []Event
+		for i, p := range ps {
+			e, _ := NewFixedEvent(fmt.Sprintf("g%d", i), p)
+			kids2 = append(kids2, e)
+		}
+		or, _ := NewGate("or", OR, kids2...)
+		po, err := or.Probability(0, nil)
+		return err == nil && po >= mx-1e-12 && po <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoterMonotoneInK(t *testing.T) {
+	// P(>=k of n) is non-increasing in k.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		prev := 2.0
+		for k := 1; k <= n; k++ {
+			p := atLeastK(ps, k)
+			if p > prev+1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBirnbaumNonNegativeForCoherentTrees(t *testing.T) {
+	// All gates here are monotone (coherent systems), so Birnbaum
+	// importances are >= 0.
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := randomTree(t, rng, 2+int(nRaw%6))
+		imp, err := tree.BirnbaumImportance(500)
+		if err != nil {
+			return false
+		}
+		for _, v := range imp {
+			if v < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package fta
+
+// Support for fault trees with SHARED basic events — the same physical
+// component feeding several gates. Plain gate arithmetic is wrong
+// there (it treats each occurrence as independent), so SharedTree
+// evaluates the top event exactly over the minimal cut sets by
+// inclusion–exclusion, which is feasible for the tree sizes runtime
+// EDDIs carry (tens of cut sets).
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// maxSharedCutSets bounds the inclusion–exclusion expansion
+// (2^n terms).
+const maxSharedCutSets = 22
+
+// SharedTree is a fault tree that may reference the same basic event
+// from multiple gates.
+type SharedTree struct {
+	top    Event
+	leaves []string // unique leaf names, sorted
+	mcs    [][]string
+}
+
+// NewSharedTree validates the tree and precomputes its minimal cut
+// sets. Unlike NewTree, duplicate leaf references are allowed — they
+// are the point — but the number of minimal cut sets must stay within
+// the inclusion–exclusion budget.
+func NewSharedTree(top Event) (*SharedTree, error) {
+	if top == nil {
+		return nil, errors.New("fta: nil top event")
+	}
+	leaves := top.Leaves(nil)
+	uniq := map[string]bool{}
+	for _, l := range leaves {
+		uniq[l] = true
+	}
+	names := make([]string, 0, len(uniq))
+	for l := range uniq {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	st := &SharedTree{top: top, leaves: names}
+	st.mcs = minimizeCutSets(top.CutSets())
+	if len(st.mcs) == 0 {
+		return nil, errors.New("fta: tree has no cut sets")
+	}
+	if len(st.mcs) > maxSharedCutSets {
+		return nil, fmt.Errorf("fta: %d minimal cut sets exceed the inclusion-exclusion budget (%d)",
+			len(st.mcs), maxSharedCutSets)
+	}
+	return st, nil
+}
+
+// minimizeCutSets deduplicates and removes supersets.
+func minimizeCutSets(sets [][]string) [][]string {
+	uniq := make(map[string][]string, len(sets))
+	for _, s := range sets {
+		uniq[strings.Join(s, "\x00")] = s
+	}
+	var all [][]string
+	for _, s := range uniq {
+		all = append(all, s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i]) != len(all[j]) {
+			return len(all[i]) < len(all[j])
+		}
+		return strings.Join(all[i], ",") < strings.Join(all[j], ",")
+	})
+	var minimal [][]string
+	for _, s := range all {
+		redundant := false
+		for _, m := range minimal {
+			if isSubset(m, s) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			minimal = append(minimal, s)
+		}
+	}
+	return minimal
+}
+
+// BasicEvents returns the unique leaf names.
+func (st *SharedTree) BasicEvents() []string { return append([]string(nil), st.leaves...) }
+
+// MinimalCutSets returns the precomputed minimal cut sets.
+func (st *SharedTree) MinimalCutSets() [][]string {
+	out := make([][]string, len(st.mcs))
+	for i, s := range st.mcs {
+		out[i] = append([]string(nil), s...)
+	}
+	return out
+}
+
+// leafProbabilities evaluates every unique leaf once at time t.
+func (st *SharedTree) leafProbabilities(t float64) (map[string]float64, error) {
+	probs := make(map[string]float64, len(st.leaves))
+	var walk func(e Event) error
+	walk = func(e Event) error {
+		switch v := e.(type) {
+		case *Gate:
+			for _, c := range v.children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			name := e.Name()
+			if _, done := probs[name]; done {
+				return nil
+			}
+			p, err := e.Probability(t, nil)
+			if err != nil {
+				return err
+			}
+			probs[name] = p
+			return nil
+		}
+	}
+	if err := walk(st.top); err != nil {
+		return nil, err
+	}
+	return probs, nil
+}
+
+// Probability returns the exact top-event probability at time t via
+// inclusion–exclusion over the minimal cut sets, treating each UNIQUE
+// basic event as one independent component regardless of how many
+// gates reference it.
+func (st *SharedTree) Probability(t float64) (float64, error) {
+	probs, err := st.leafProbabilities(t)
+	if err != nil {
+		return 0, err
+	}
+	n := len(st.mcs)
+	var total float64
+	// For each non-empty subset of cut sets, the probability that ALL
+	// of them occur is the product over the UNION of their events.
+	for mask := 1; mask < 1<<n; mask++ {
+		union := map[string]bool{}
+		bits := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			bits++
+			for _, ev := range st.mcs[i] {
+				union[ev] = true
+			}
+		}
+		p := 1.0
+		for ev := range union {
+			p *= probs[ev]
+		}
+		if bits%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	if total < 0 {
+		total = 0
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// RareEventUpperBound returns the sum of cut-set probabilities — the
+// standard conservative approximation, cheap at any tree size.
+func (st *SharedTree) RareEventUpperBound(t float64) (float64, error) {
+	probs, err := st.leafProbabilities(t)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, cs := range st.mcs {
+		p := 1.0
+		for _, ev := range cs {
+			p *= probs[ev]
+		}
+		sum += p
+	}
+	return math.Min(sum, 1), nil
+}

@@ -1,0 +1,174 @@
+package fta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sharedPowerTree builds top = AND(OR(power, genA), OR(power, genB)):
+// the classic shared-event example where gate arithmetic is wrong.
+func sharedPowerTree(t *testing.T, pPower, pA, pB float64) (*SharedTree, Event) {
+	t.Helper()
+	power, err := NewFixedEvent("power", pPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genA, _ := NewFixedEvent("genA", pA)
+	genB, _ := NewFixedEvent("genB", pB)
+	left, _ := NewGate("left", OR, power, genA)
+	right, _ := NewGate("right", OR, power, genB)
+	top, _ := NewGate("top", AND, left, right)
+	st, err := NewSharedTree(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, top
+}
+
+func TestSharedTreeExactVsGateArithmetic(t *testing.T) {
+	// Exact: P(top) = p + (1-p) pA pB  (power alone fails both sides).
+	p, pA, pB := 0.1, 0.2, 0.3
+	st, top := sharedPowerTree(t, p, pA, pB)
+	want := p + (1-p)*pA*pB
+	got, err := st.Probability(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("shared exact = %v, want %v", got, want)
+	}
+	// Gate arithmetic (treating the two power references as
+	// independent) underestimates here.
+	naive, err := top.Probability(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive >= got {
+		t.Fatalf("naive %v should underestimate exact %v for shared events", naive, got)
+	}
+}
+
+func TestSharedTreeRejectsDegenerate(t *testing.T) {
+	if _, err := NewSharedTree(nil); err == nil {
+		t.Fatal("nil top must fail")
+	}
+}
+
+func TestSharedTreeCutSets(t *testing.T) {
+	st, _ := sharedPowerTree(t, 0.1, 0.2, 0.3)
+	mcs := st.MinimalCutSets()
+	// {power} and {genA, genB}.
+	if len(mcs) != 2 {
+		t.Fatalf("MCS = %v", mcs)
+	}
+	if len(mcs[0]) != 1 || mcs[0][0] != "power" {
+		t.Fatalf("MCS[0] = %v", mcs[0])
+	}
+	if len(st.BasicEvents()) != 3 {
+		t.Fatalf("BasicEvents = %v", st.BasicEvents())
+	}
+}
+
+func TestSharedTreeMatchesPlainTreeWhenNoSharing(t *testing.T) {
+	// Without shared events both evaluators agree.
+	f := func(p1Raw, p2Raw, p3Raw float64) bool {
+		ps := []float64{
+			math.Mod(math.Abs(p1Raw), 1),
+			math.Mod(math.Abs(p2Raw), 1),
+			math.Mod(math.Abs(p3Raw), 1),
+		}
+		a, _ := NewFixedEvent("a", ps[0])
+		b, _ := NewFixedEvent("b", ps[1])
+		c, _ := NewFixedEvent("c", ps[2])
+		and, _ := NewGate("ab", AND, a, b)
+		top, _ := NewGate("top", OR, and, c)
+		plain, err := NewTree(top)
+		if err != nil {
+			return false
+		}
+		shared, err := NewSharedTree(top)
+		if err != nil {
+			return false
+		}
+		p1, err1 := plain.Probability(0)
+		p2, err2 := shared.Probability(0)
+		return err1 == nil && err2 == nil && math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRareEventUpperBound(t *testing.T) {
+	st, _ := sharedPowerTree(t, 0.01, 0.02, 0.03)
+	exact, err := st.Probability(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := st.RareEventUpperBound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < exact {
+		t.Fatalf("rare-event bound %v below exact %v", bound, exact)
+	}
+	// For small probabilities the bound is tight.
+	if bound > exact*1.05 {
+		t.Fatalf("bound %v too loose vs exact %v", bound, exact)
+	}
+}
+
+func TestSharedTreeBudget(t *testing.T) {
+	// A 2-of-N voter over many leaves explodes the cut-set count; the
+	// constructor must refuse rather than hang.
+	var leaves []Event
+	for i := 0; i < 10; i++ {
+		e, _ := NewFixedEvent(string(rune('a'+i)), 0.1)
+		leaves = append(leaves, e)
+	}
+	v, _ := NewVoterGate("v", 2, leaves...) // C(10,2) = 45 > budget
+	if _, err := NewSharedTree(v); err == nil {
+		t.Fatal("oversized cut-set expansion must be refused")
+	}
+}
+
+func TestSharedTreeTimeDependent(t *testing.T) {
+	power, _ := NewBasicEvent("power", 1e-4)
+	genA, _ := NewBasicEvent("genA", 2e-4)
+	genB, _ := NewBasicEvent("genB", 2e-4)
+	left, _ := NewGate("left", OR, power, genA)
+	right, _ := NewGate("right", OR, power, genB)
+	top, _ := NewGate("top", AND, left, right)
+	st, err := NewSharedTree(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, ts := range []float64{0, 100, 1000, 10000} {
+		p, err := st.Probability(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev || p < 0 || p > 1 {
+			t.Fatalf("t=%v: p=%v prev=%v", ts, p, prev)
+		}
+		prev = p
+	}
+}
+
+func BenchmarkSharedTreeProbability(b *testing.B) {
+	power, _ := NewFixedEvent("power", 0.01)
+	genA, _ := NewFixedEvent("genA", 0.02)
+	genB, _ := NewFixedEvent("genB", 0.03)
+	left, _ := NewGate("left", OR, power, genA)
+	right, _ := NewGate("right", OR, power, genB)
+	top, _ := NewGate("top", AND, left, right)
+	st, _ := NewSharedTree(top)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Probability(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

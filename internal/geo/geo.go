@@ -1,0 +1,166 @@
+// Package geo provides the geodetic primitives used across the SESAME
+// stack: great-circle (Haversine) distance, bearings, destination
+// points, a local east-north-up projection for small mission areas, and
+// the triangulation routines that back Collaborative Localization.
+//
+// All angles at the public API are degrees unless a name says otherwise;
+// distances are metres. The Earth is modelled as a sphere of radius
+// EarthRadius, which is the model the paper's Haversine-based fusion
+// uses (ref. [38] of the paper).
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadius is the mean Earth radius in metres (IUGG R1).
+const EarthRadius = 6371008.8
+
+// LatLng is a WGS-84 style geodetic coordinate in degrees.
+type LatLng struct {
+	Lat float64 // degrees, +north
+	Lng float64 // degrees, +east
+}
+
+// String renders the coordinate with ~1 cm precision.
+func (p LatLng) String() string {
+	return fmt.Sprintf("(%.7f, %.7f)", p.Lat, p.Lng)
+}
+
+// Valid reports whether the coordinate lies in the geodetic domain.
+func (p LatLng) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lng >= -180 && p.Lng <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lng)
+}
+
+// Radians returns the coordinate converted to radians.
+func (p LatLng) Radians() (lat, lng float64) {
+	return p.Lat * math.Pi / 180, p.Lng * math.Pi / 180
+}
+
+// Haversine returns the great-circle distance in metres between a and b.
+func Haversine(a, b LatLng) float64 {
+	la1, lo1 := a.Radians()
+	la2, lo2 := b.Radians()
+	dLat := la2 - la1
+	dLng := lo2 - lo1
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLng / 2)
+	h := s1*s1 + math.Cos(la1)*math.Cos(la2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadius * math.Asin(math.Sqrt(h))
+}
+
+// InitialBearing returns the initial great-circle bearing from a to b in
+// degrees clockwise from true north, in [0, 360).
+func InitialBearing(a, b LatLng) float64 {
+	la1, lo1 := a.Radians()
+	la2, lo2 := b.Radians()
+	dLng := lo2 - lo1
+	y := math.Sin(dLng) * math.Cos(la2)
+	x := math.Cos(la1)*math.Sin(la2) - math.Sin(la1)*math.Cos(la2)*math.Cos(dLng)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Destination returns the point reached by travelling distance metres
+// from origin along the given initial bearing (degrees from north).
+func Destination(origin LatLng, bearingDeg, distance float64) LatLng {
+	la1, lo1 := origin.Radians()
+	br := bearingDeg * math.Pi / 180
+	ad := distance / EarthRadius
+	la2 := math.Asin(math.Sin(la1)*math.Cos(ad) + math.Cos(la1)*math.Sin(ad)*math.Cos(br))
+	lo2 := lo1 + math.Atan2(math.Sin(br)*math.Sin(ad)*math.Cos(la1),
+		math.Cos(ad)-math.Sin(la1)*math.Sin(la2))
+	lat := la2 * 180 / math.Pi
+	lng := math.Mod(lo2*180/math.Pi+540, 360) - 180
+	return LatLng{Lat: lat, Lng: lng}
+}
+
+// Midpoint returns the great-circle midpoint of a and b.
+func Midpoint(a, b LatLng) LatLng {
+	la1, lo1 := a.Radians()
+	la2, lo2 := b.Radians()
+	dLng := lo2 - lo1
+	bx := math.Cos(la2) * math.Cos(dLng)
+	by := math.Cos(la2) * math.Sin(dLng)
+	lat := math.Atan2(math.Sin(la1)+math.Sin(la2),
+		math.Sqrt((math.Cos(la1)+bx)*(math.Cos(la1)+bx)+by*by))
+	lng := lo1 + math.Atan2(by, math.Cos(la1)+bx)
+	return LatLng{
+		Lat: lat * 180 / math.Pi,
+		Lng: math.Mod(lng*180/math.Pi+540, 360) - 180,
+	}
+}
+
+// ENU is a local east-north-up coordinate in metres relative to a
+// projection origin. Up is carried separately as altitude where needed.
+type ENU struct {
+	East  float64
+	North float64
+}
+
+// Sub returns e - o.
+func (e ENU) Sub(o ENU) ENU { return ENU{e.East - o.East, e.North - o.North} }
+
+// Add returns e + o.
+func (e ENU) Add(o ENU) ENU { return ENU{e.East + o.East, e.North + o.North} }
+
+// Scale returns e scaled by k.
+func (e ENU) Scale(k float64) ENU { return ENU{e.East * k, e.North * k} }
+
+// Norm returns the Euclidean length of e.
+func (e ENU) Norm() float64 { return math.Hypot(e.East, e.North) }
+
+// Projection maps between geodetic coordinates and a local tangent-plane
+// ENU frame centred at Origin. Accurate to centimetres over the few-km
+// mission areas used in SAR scenarios.
+type Projection struct {
+	Origin LatLng
+	cosLat float64
+}
+
+// NewProjection returns a local ENU projection centred at origin.
+func NewProjection(origin LatLng) *Projection {
+	lat, _ := origin.Radians()
+	return &Projection{Origin: origin, cosLat: math.Cos(lat)}
+}
+
+// ToENU projects p into the local frame.
+func (pr *Projection) ToENU(p LatLng) ENU {
+	dLat := (p.Lat - pr.Origin.Lat) * math.Pi / 180
+	dLng := (p.Lng - pr.Origin.Lng) * math.Pi / 180
+	return ENU{
+		East:  dLng * pr.cosLat * EarthRadius,
+		North: dLat * EarthRadius,
+	}
+}
+
+// ToLatLng unprojects a local frame coordinate back to geodetic.
+func (pr *Projection) ToLatLng(e ENU) LatLng {
+	lat := pr.Origin.Lat + e.North/EarthRadius*180/math.Pi
+	lng := pr.Origin.Lng + e.East/(EarthRadius*pr.cosLat)*180/math.Pi
+	return LatLng{Lat: lat, Lng: lng}
+}
+
+// PathLength returns the summed Haversine length of a polyline in metres.
+func PathLength(path []LatLng) float64 {
+	var total float64
+	for i := 1; i < len(path); i++ {
+		total += Haversine(path[i-1], path[i])
+	}
+	return total
+}
+
+// CrossTrackDistance returns the signed distance in metres of point p
+// from the great-circle path through a and b. Positive means p lies to
+// the right of the direction of travel a->b.
+func CrossTrackDistance(p, a, b LatLng) float64 {
+	d13 := Haversine(a, p) / EarthRadius
+	brng13 := InitialBearing(a, p) * math.Pi / 180
+	brng12 := InitialBearing(a, b) * math.Pi / 180
+	return math.Asin(math.Sin(d13)*math.Sin(brng13-brng12)) * EarthRadius
+}

@@ -1,0 +1,369 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Nicosia-area coordinates: the KIOS field trials in the paper were
+// flown in Cyprus, so tests use that latitude band.
+var (
+	nicosia = LatLng{Lat: 35.1856, Lng: 33.3823}
+	limasol = LatLng{Lat: 34.7071, Lng: 33.0226}
+)
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Nicosia to Limassol is roughly 62 km.
+	d := Haversine(nicosia, limasol)
+	if d < 60000 || d > 65000 {
+		t.Fatalf("Haversine(nicosia, limassol) = %.0f m, want ~62 km", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	if d := Haversine(nicosia, nicosia); d != 0 {
+		t.Fatalf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lng1, lat2, lng2 float64) bool {
+		a := LatLng{clampLat(lat1), clampLng(lng1)}
+		b := LatLng{clampLat(lat2), clampLng(lng2)}
+		return math.Abs(Haversine(a, b)-Haversine(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		a := LatLng{clampLat(a1), clampLng(o1)}
+		b := LatLng{clampLat(a2), clampLng(o2)}
+		c := LatLng{clampLat(a3), clampLng(o3)}
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clampLat(v float64) float64 {
+	return math.Mod(math.Abs(v), 180) - 90
+}
+
+func clampLng(v float64) float64 {
+	return math.Mod(math.Abs(v), 360) - 180
+}
+
+func TestDestinationRoundTrip(t *testing.T) {
+	for _, bearing := range []float64{0, 45, 90, 135, 180, 270, 359} {
+		for _, dist := range []float64{1, 100, 5000} {
+			p := Destination(nicosia, bearing, dist)
+			got := Haversine(nicosia, p)
+			if math.Abs(got-dist) > 0.01*dist+1e-3 {
+				t.Errorf("bearing %v dist %v: round-trip distance %v", bearing, dist, got)
+			}
+			back := InitialBearing(nicosia, p)
+			diff := math.Abs(back - bearing)
+			if diff > 180 {
+				diff = 360 - diff
+			}
+			if diff > 0.5 {
+				t.Errorf("bearing %v dist %v: recovered bearing %v", bearing, dist, back)
+			}
+		}
+	}
+}
+
+func TestInitialBearingCardinal(t *testing.T) {
+	north := Destination(nicosia, 0, 1000)
+	if b := InitialBearing(nicosia, north); math.Abs(b) > 0.1 && math.Abs(b-360) > 0.1 {
+		t.Errorf("bearing to north point = %v, want ~0", b)
+	}
+	east := Destination(nicosia, 90, 1000)
+	if b := InitialBearing(nicosia, east); math.Abs(b-90) > 0.1 {
+		t.Errorf("bearing to east point = %v, want ~90", b)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Midpoint(nicosia, limasol)
+	da := Haversine(nicosia, m)
+	db := Haversine(m, limasol)
+	if math.Abs(da-db) > 1 {
+		t.Fatalf("midpoint not equidistant: %v vs %v", da, db)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(nicosia)
+	for _, e := range []ENU{{0, 0}, {100, 0}, {0, 100}, {-250, 431}, {1234, -987}} {
+		p := pr.ToLatLng(e)
+		back := pr.ToENU(p)
+		if math.Abs(back.East-e.East) > 1e-6 || math.Abs(back.North-e.North) > 1e-6 {
+			t.Errorf("round trip %+v -> %+v", e, back)
+		}
+	}
+}
+
+func TestProjectionDistanceAgreement(t *testing.T) {
+	// Over a 2 km mission area the tangent-plane distance must agree
+	// with Haversine to well under a metre.
+	pr := NewProjection(nicosia)
+	p := pr.ToLatLng(ENU{East: 1500, North: -900})
+	planar := pr.ToENU(p).Norm()
+	sphere := Haversine(nicosia, p)
+	if math.Abs(planar-sphere) > 0.5 {
+		t.Fatalf("planar %.3f vs sphere %.3f", planar, sphere)
+	}
+}
+
+func TestENUArithmetic(t *testing.T) {
+	a := ENU{3, 4}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.Add(ENU{1, 1}); got != (ENU{4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(ENU{1, 1}); got != (ENU{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (ENU{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	a := nicosia
+	b := Destination(a, 90, 1000)
+	c := Destination(b, 0, 500)
+	got := PathLength([]LatLng{a, b, c})
+	if math.Abs(got-1500) > 1 {
+		t.Fatalf("PathLength = %v, want ~1500", got)
+	}
+	if PathLength(nil) != 0 || PathLength([]LatLng{a}) != 0 {
+		t.Fatal("degenerate paths must have zero length")
+	}
+}
+
+func TestCrossTrackDistance(t *testing.T) {
+	a := nicosia
+	b := Destination(a, 0, 2000) // path due north
+	right := Destination(Midpoint(a, b), 90, 50)
+	left := Destination(Midpoint(a, b), 270, 50)
+	dr := CrossTrackDistance(right, a, b)
+	dl := CrossTrackDistance(left, a, b)
+	if math.Abs(dr-50) > 1 {
+		t.Errorf("right offset = %v, want ~+50", dr)
+	}
+	if math.Abs(dl+50) > 1 {
+		t.Errorf("left offset = %v, want ~-50", dl)
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		p    LatLng
+		want bool
+	}{
+		{LatLng{0, 0}, true},
+		{LatLng{90, 180}, true},
+		{LatLng{-90, -180}, true},
+		{LatLng{91, 0}, false},
+		{LatLng{0, 181}, false},
+		{LatLng{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntersectBearings(t *testing.T) {
+	target := Destination(nicosia, 45, 1000)
+	obsA := BearingObservation{Observer: nicosia, Bearing: 45}
+	other := Destination(nicosia, 90, 800)
+	obsB := BearingObservation{Observer: other, Bearing: InitialBearing(other, target)}
+	got, err := IntersectBearings(obsA, obsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Haversine(got, target); d > 2 {
+		t.Fatalf("intersection %.2f m from target", d)
+	}
+}
+
+func TestIntersectBearingsParallel(t *testing.T) {
+	a := BearingObservation{Observer: nicosia, Bearing: 10}
+	b := BearingObservation{Observer: Destination(nicosia, 90, 100), Bearing: 10}
+	if _, err := IntersectBearings(a, b); err != ErrNoIntersection {
+		t.Fatalf("err = %v, want ErrNoIntersection", err)
+	}
+}
+
+func TestIntersectBearingsBehind(t *testing.T) {
+	// Both observers looking away from each other: crossing is behind.
+	a := BearingObservation{Observer: nicosia, Bearing: 0}
+	b := BearingObservation{Observer: Destination(nicosia, 0, 500), Bearing: 180}
+	// These rays actually cross between the two observers; flip one to
+	// force a behind-ray geometry.
+	a.Bearing = 180
+	b.Bearing = 0
+	if _, err := IntersectBearings(a, b); err != ErrNoIntersection {
+		t.Fatalf("err = %v, want ErrNoIntersection", err)
+	}
+}
+
+func TestRangeFix(t *testing.T) {
+	target := Destination(nicosia, 120, 640)
+	fix, err := RangeFix(BearingObservation{Observer: nicosia, Bearing: 120, Range: 640})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Haversine(fix, target); d > 0.5 {
+		t.Fatalf("range fix %.2f m off", d)
+	}
+	if _, err := RangeFix(BearingObservation{Observer: nicosia, Bearing: 120}); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestTriangulateTwoObservers(t *testing.T) {
+	target := Destination(nicosia, 30, 900)
+	o1 := nicosia
+	o2 := Destination(nicosia, 100, 700)
+	obs := []BearingObservation{
+		{Observer: o1, Bearing: InitialBearing(o1, target), Range: Haversine(o1, target)},
+		{Observer: o2, Bearing: InitialBearing(o2, target), Range: Haversine(o2, target)},
+	}
+	got, err := Triangulate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Haversine(got, target); d > 2 {
+		t.Fatalf("triangulated fix %.2f m from target", d)
+	}
+}
+
+func TestTriangulateNoisyRanges(t *testing.T) {
+	// With a biased range on one observation, the crossing fix and the
+	// clean observation should pull the fused estimate closer than the
+	// worst single range fix.
+	target := Destination(nicosia, 30, 900)
+	o1 := nicosia
+	o2 := Destination(nicosia, 100, 700)
+	bad := BearingObservation{Observer: o1, Bearing: InitialBearing(o1, target), Range: Haversine(o1, target) * 1.3}
+	good := BearingObservation{Observer: o2, Bearing: InitialBearing(o2, target), Range: Haversine(o2, target)}
+	fused, err := Triangulate([]BearingObservation{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badFix, _ := RangeFix(bad)
+	if Haversine(fused, target) >= Haversine(badFix, target) {
+		t.Fatalf("fusion (%.1f m) no better than worst fix (%.1f m)",
+			Haversine(fused, target), Haversine(badFix, target))
+	}
+}
+
+func TestTriangulateInsufficient(t *testing.T) {
+	if _, err := Triangulate(nil); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	// A single bearing-only observation cannot produce a fix.
+	if _, err := Triangulate([]BearingObservation{{Observer: nicosia, Bearing: 10}}); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestWeightedCentroid(t *testing.T) {
+	a := nicosia
+	b := Destination(a, 90, 100)
+	c, err := WeightedCentroid([]LatLng{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Haversine(c, Midpoint(a, b)); d > 0.5 {
+		t.Fatalf("centroid %.2f m from midpoint", d)
+	}
+	// Weighting one point 3x pulls the centroid toward it.
+	c2, _ := WeightedCentroid([]LatLng{a, b}, []float64{3, 1})
+	if Haversine(c2, a) >= Haversine(c2, b) {
+		t.Fatal("weighted centroid did not move toward the heavier point")
+	}
+	if _, err := WeightedCentroid(nil, nil); err != ErrInsufficient {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	// 1 km square around Nicosia.
+	sq := Polygon{
+		Destination(nicosia, 225, 707),
+		Destination(nicosia, 315, 707),
+		Destination(nicosia, 45, 707),
+		Destination(nicosia, 135, 707),
+	}
+	if !sq.Contains(nicosia) {
+		t.Fatal("centre must be inside")
+	}
+	if sq.Contains(Destination(nicosia, 0, 5000)) {
+		t.Fatal("far point must be outside")
+	}
+	if (Polygon{nicosia, limasol}).Contains(nicosia) {
+		t.Fatal("degenerate polygon contains nothing")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	// 1 km x 1 km square => 1e6 m^2 within 1%.
+	a := nicosia
+	b := Destination(a, 90, 1000)
+	c := Destination(b, 0, 1000)
+	d := Destination(a, 0, 1000)
+	sq := Polygon{a, b, c, d}
+	area := sq.AreaSquareMeters()
+	if math.Abs(area-1e6) > 1e4 {
+		t.Fatalf("area = %v, want ~1e6", area)
+	}
+	if (Polygon{a, b}).AreaSquareMeters() != 0 {
+		t.Fatal("degenerate polygon must have zero area")
+	}
+}
+
+func TestPolygonBoundingBox(t *testing.T) {
+	pg := Polygon{{1, 2}, {3, -1}, {-2, 5}}
+	sw, ne := pg.BoundingBox()
+	if sw != (LatLng{-2, -1}) || ne != (LatLng{3, 5}) {
+		t.Fatalf("bbox = %v %v", sw, ne)
+	}
+	sw, ne = Polygon(nil).BoundingBox()
+	if sw != (LatLng{}) || ne != (LatLng{}) {
+		t.Fatal("empty polygon bbox must be zero")
+	}
+}
+
+func BenchmarkHaversine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Haversine(nicosia, limasol)
+	}
+}
+
+func BenchmarkTriangulateThreeObservers(b *testing.B) {
+	target := Destination(nicosia, 30, 900)
+	obs := make([]BearingObservation, 3)
+	for i := range obs {
+		o := Destination(nicosia, float64(i*120), 500)
+		obs[i] = BearingObservation{Observer: o, Bearing: InitialBearing(o, target), Range: Haversine(o, target)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Triangulate(obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package geo
+
+// Polygon is a closed region on the local tangent plane described by its
+// geodetic vertices in order (the closing edge from the last vertex back
+// to the first is implicit).
+type Polygon []LatLng
+
+// BoundingBox returns the south-west and north-east corners of the
+// polygon's axis-aligned bounding box. A nil/empty polygon returns two
+// zero coordinates.
+func (pg Polygon) BoundingBox() (sw, ne LatLng) {
+	if len(pg) == 0 {
+		return LatLng{}, LatLng{}
+	}
+	sw, ne = pg[0], pg[0]
+	for _, p := range pg[1:] {
+		if p.Lat < sw.Lat {
+			sw.Lat = p.Lat
+		}
+		if p.Lng < sw.Lng {
+			sw.Lng = p.Lng
+		}
+		if p.Lat > ne.Lat {
+			ne.Lat = p.Lat
+		}
+		if p.Lng > ne.Lng {
+			ne.Lng = p.Lng
+		}
+	}
+	return sw, ne
+}
+
+// Contains reports whether p lies inside the polygon, using the
+// even-odd ray casting rule on the lat/lng plane. Suitable for the
+// small, convex-ish mission areas used in SAR scenarios.
+func (pg Polygon) Contains(p LatLng) bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := pg[i], pg[j]
+		if (vi.Lat > p.Lat) != (vj.Lat > p.Lat) {
+			x := vj.Lng + (p.Lat-vj.Lat)/(vi.Lat-vj.Lat)*(vi.Lng-vj.Lng)
+			if p.Lng < x {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// AreaSquareMeters returns the polygon area in square metres via the
+// shoelace formula on the local tangent plane at the first vertex.
+func (pg Polygon) AreaSquareMeters() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	pr := NewProjection(pg[0])
+	var sum float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		a := pr.ToENU(pg[i])
+		b := pr.ToENU(pg[(i+1)%n])
+		sum += a.East*b.North - b.East*a.North
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum / 2
+}
+
+// Centroid returns the unweighted vertex centroid of the polygon.
+func (pg Polygon) Centroid() (LatLng, error) {
+	return WeightedCentroid([]LatLng(pg), nil)
+}

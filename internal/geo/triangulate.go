@@ -1,0 +1,136 @@
+package geo
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoIntersection is returned when two bearing rays do not intersect
+// in front of both observers, or the geometry is degenerate (parallel
+// rays, coincident observers).
+var ErrNoIntersection = errors.New("geo: bearing rays do not intersect")
+
+// ErrInsufficient is returned when a fix is requested from fewer
+// observations than the method needs.
+var ErrInsufficient = errors.New("geo: insufficient observations for a fix")
+
+// BearingObservation is a sighting of a target from a known observer
+// position: the bearing to the target (degrees from north) and, when a
+// monocular depth estimate is available, an approximate range in metres
+// (Range <= 0 means "bearing only").
+type BearingObservation struct {
+	Observer LatLng
+	Bearing  float64 // degrees clockwise from true north
+	Range    float64 // metres; <= 0 when unknown
+	Weight   float64 // relative confidence; <= 0 treated as 1
+}
+
+func (o BearingObservation) weight() float64 {
+	if o.Weight <= 0 {
+		return 1
+	}
+	return o.Weight
+}
+
+// IntersectBearings returns the point at which the bearing rays from two
+// observers cross, computed on the local tangent plane at the first
+// observer. It returns ErrNoIntersection when the rays are (near)
+// parallel or the crossing lies behind either observer.
+func IntersectBearings(a, b BearingObservation) (LatLng, error) {
+	pr := NewProjection(a.Observer)
+	pa := pr.ToENU(a.Observer)
+	pb := pr.ToENU(b.Observer)
+
+	// Direction unit vectors; bearings are from north, so east = sin,
+	// north = cos.
+	da := ENU{East: math.Sin(a.Bearing * math.Pi / 180), North: math.Cos(a.Bearing * math.Pi / 180)}
+	db := ENU{East: math.Sin(b.Bearing * math.Pi / 180), North: math.Cos(b.Bearing * math.Pi / 180)}
+
+	// Solve pa + t*da = pb + s*db.
+	den := da.East*db.North - da.North*db.East
+	if math.Abs(den) < 1e-9 {
+		return LatLng{}, ErrNoIntersection
+	}
+	dx := pb.East - pa.East
+	dy := pb.North - pa.North
+	t := (dx*db.North - dy*db.East) / den
+	s := (dx*da.North - dy*da.East) / den
+	if t < 0 || s < 0 {
+		return LatLng{}, ErrNoIntersection
+	}
+	return pr.ToLatLng(ENU{East: pa.East + t*da.East, North: pa.North + t*da.North}), nil
+}
+
+// RangeFix returns the target position implied by a single observation
+// that carries both bearing and range: the destination point from the
+// observer along the bearing at the estimated range.
+func RangeFix(o BearingObservation) (LatLng, error) {
+	if o.Range <= 0 {
+		return LatLng{}, ErrInsufficient
+	}
+	return Destination(o.Observer, o.Bearing, o.Range), nil
+}
+
+// Triangulate fuses any number of bearing(+range) observations into a
+// single position estimate. It forms a candidate fix from every
+// range-carrying observation and every pair of bearing rays, then
+// returns the confidence-weighted centroid of the candidates. This is
+// the trigonometric + Haversine fusion used by Collaborative
+// Localization (paper §III-C).
+func Triangulate(obs []BearingObservation) (LatLng, error) {
+	type cand struct {
+		p LatLng
+		w float64
+	}
+	var cands []cand
+	for _, o := range obs {
+		if p, err := RangeFix(o); err == nil {
+			cands = append(cands, cand{p, o.weight()})
+		}
+	}
+	for i := 0; i < len(obs); i++ {
+		for j := i + 1; j < len(obs); j++ {
+			p, err := IntersectBearings(obs[i], obs[j])
+			if err != nil {
+				continue
+			}
+			// A crossing fix uses information from two sightings;
+			// weight it as their combined confidence.
+			cands = append(cands, cand{p, obs[i].weight() + obs[j].weight()})
+		}
+	}
+	if len(cands) == 0 {
+		return LatLng{}, ErrInsufficient
+	}
+	pr := NewProjection(cands[0].p)
+	var sumE, sumN, sumW float64
+	for _, c := range cands {
+		e := pr.ToENU(c.p)
+		sumE += e.East * c.w
+		sumN += e.North * c.w
+		sumW += c.w
+	}
+	return pr.ToLatLng(ENU{East: sumE / sumW, North: sumN / sumW}), nil
+}
+
+// WeightedCentroid returns the weighted geodetic centroid of points,
+// computed on the tangent plane at the first point. Weights <= 0 are
+// treated as 1. Returns ErrInsufficient on an empty input.
+func WeightedCentroid(points []LatLng, weights []float64) (LatLng, error) {
+	if len(points) == 0 {
+		return LatLng{}, ErrInsufficient
+	}
+	pr := NewProjection(points[0])
+	var sumE, sumN, sumW float64
+	for i, p := range points {
+		w := 1.0
+		if i < len(weights) && weights[i] > 0 {
+			w = weights[i]
+		}
+		e := pr.ToENU(p)
+		sumE += e.East * w
+		sumN += e.North * w
+		sumW += w
+	}
+	return pr.ToLatLng(ENU{East: sumE / sumW, North: sumN / sumW}), nil
+}

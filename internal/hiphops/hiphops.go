@@ -1,0 +1,268 @@
+// Package hiphops implements a compact HiP-HOPS-style fault-tree
+// synthesis engine (Kabir et al., IMBSA 2019 — reference [29] of the
+// paper). Safety engineers annotate each component with local failure
+// data — how deviations at its outputs arise from internal basic
+// failures and from deviations arriving at its inputs — and the engine
+// walks the architecture to synthesize the system fault tree that the
+// Safety EDDI then executes at runtime.
+//
+// The model is deliberately small but faithful to the method:
+//
+//   - a Component declares basic failure events (with rates) and, for
+//     each output deviation, a cause expression over basic events and
+//     input deviations;
+//   - a System wires component inputs to upstream output deviations;
+//   - Synthesize resolves a chosen output deviation into an fta tree,
+//     substituting input deviations with their upstream causes.
+package hiphops
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sesame/internal/fta"
+)
+
+// Cause is a local failure-logic expression.
+type Cause interface {
+	kind() string
+}
+
+// Basic references one of the component's basic failure events.
+func Basic(name string) Cause { return basicRef(name) }
+
+type basicRef string
+
+func (basicRef) kind() string { return "basic" }
+
+// Input references a deviation arriving at the named input port.
+func Input(port string) Cause { return inputRef(port) }
+
+type inputRef string
+
+func (inputRef) kind() string { return "input" }
+
+// AnyOf is the OR of its causes.
+func AnyOf(causes ...Cause) Cause { return nary{op: "or", kids: causes} }
+
+// AllOf is the AND of its causes.
+func AllOf(causes ...Cause) Cause { return nary{op: "and", kids: causes} }
+
+type nary struct {
+	op   string
+	kids []Cause
+}
+
+func (nary) kind() string { return "nary" }
+
+// Component is one architecture block with local failure data.
+type Component struct {
+	Name string
+	// BasicFailures maps local basic event names to failure rates.
+	BasicFailures map[string]float64
+	// Outputs maps output deviation names to their cause expressions.
+	Outputs map[string]Cause
+}
+
+// System is the component architecture.
+type System struct {
+	components map[string]*Component
+	// wires maps "component.inputPort" to "component.outputDeviation".
+	wires map[string]string
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		components: make(map[string]*Component),
+		wires:      make(map[string]string),
+	}
+}
+
+// AddComponent registers a component.
+func (s *System) AddComponent(c *Component) error {
+	if c == nil || c.Name == "" {
+		return errors.New("hiphops: component needs a name")
+	}
+	if _, dup := s.components[c.Name]; dup {
+		return fmt.Errorf("hiphops: duplicate component %q", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("hiphops: component %q declares no output deviations", c.Name)
+	}
+	for name, rate := range c.BasicFailures {
+		if name == "" || rate <= 0 {
+			return fmt.Errorf("hiphops: component %q has invalid basic failure %q (rate %v)", c.Name, name, rate)
+		}
+	}
+	for out, cause := range c.Outputs {
+		if out == "" || cause == nil {
+			return fmt.Errorf("hiphops: component %q has invalid output deviation", c.Name)
+		}
+	}
+	s.components[c.Name] = c
+	return nil
+}
+
+// Connect wires the input port of one component to an output deviation
+// of another: deviations at fromComponent.outputDeviation propagate
+// into toComponent.inputPort.
+func (s *System) Connect(toComponent, inputPort, fromComponent, outputDeviation string) error {
+	to, ok := s.components[toComponent]
+	if !ok {
+		return fmt.Errorf("hiphops: unknown component %q", toComponent)
+	}
+	_ = to
+	from, ok := s.components[fromComponent]
+	if !ok {
+		return fmt.Errorf("hiphops: unknown component %q", fromComponent)
+	}
+	if _, ok := from.Outputs[outputDeviation]; !ok {
+		return fmt.Errorf("hiphops: %q has no output deviation %q", fromComponent, outputDeviation)
+	}
+	key := toComponent + "." + inputPort
+	if _, dup := s.wires[key]; dup {
+		return fmt.Errorf("hiphops: input %q already wired", key)
+	}
+	s.wires[key] = fromComponent + "." + outputDeviation
+	return nil
+}
+
+// Synthesize resolves the named output deviation of a component into a
+// fault-tree event. Basic events are named "component/basicFailure";
+// repeated references to the same basic event share the name, so the
+// result may need fta.NewSharedTree (see BuildTree).
+func (s *System) Synthesize(component, outputDeviation string) (fta.Event, error) {
+	visiting := map[string]bool{}
+	return s.resolve(component, outputDeviation, visiting, map[string]int{})
+}
+
+func (s *System) resolve(component, deviation string, visiting map[string]bool, gateSeq map[string]int) (fta.Event, error) {
+	key := component + "." + deviation
+	if visiting[key] {
+		return nil, fmt.Errorf("hiphops: propagation cycle through %q", key)
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+
+	c, ok := s.components[component]
+	if !ok {
+		return nil, fmt.Errorf("hiphops: unknown component %q", component)
+	}
+	cause, ok := c.Outputs[deviation]
+	if !ok {
+		return nil, fmt.Errorf("hiphops: %q has no output deviation %q", component, deviation)
+	}
+	return s.resolveCause(c, cause, visiting, gateSeq, key)
+}
+
+func (s *System) resolveCause(c *Component, cause Cause, visiting map[string]bool, gateSeq map[string]int, scope string) (fta.Event, error) {
+	switch v := cause.(type) {
+	case basicRef:
+		rate, ok := c.BasicFailures[string(v)]
+		if !ok {
+			return nil, fmt.Errorf("hiphops: %q references unknown basic failure %q", c.Name, string(v))
+		}
+		return fta.NewBasicEvent(c.Name+"/"+string(v), rate)
+	case inputRef:
+		src, ok := s.wires[c.Name+"."+string(v)]
+		if !ok {
+			return nil, fmt.Errorf("hiphops: input %q of %q is not wired", string(v), c.Name)
+		}
+		i := indexDot(src)
+		return s.resolve(src[:i], src[i+1:], visiting, gateSeq)
+	case nary:
+		var kids []fta.Event
+		for _, k := range v.kids {
+			e, err := s.resolveCause(c, k, visiting, gateSeq, scope)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+		}
+		gateSeq[scope]++
+		name := fmt.Sprintf("%s#%s%d", scope, v.op, gateSeq[scope])
+		if v.op == "and" {
+			return fta.NewGate(name, fta.AND, kids...)
+		}
+		return fta.NewGate(name, fta.OR, kids...)
+	default:
+		return nil, fmt.Errorf("hiphops: unknown cause type %T", cause)
+	}
+}
+
+func indexDot(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// SynthesisResult pairs the synthesized tree with its evaluation
+// strategy.
+type SynthesisResult struct {
+	// Top is the synthesized top event.
+	Top fta.Event
+	// Tree is non-nil when every basic event appears once (exact gate
+	// arithmetic applies).
+	Tree *fta.Tree
+	// Shared is non-nil when basic events repeat (common-cause
+	// structure) and cut-set evaluation is required.
+	Shared *fta.SharedTree
+}
+
+// Probability evaluates the synthesized top event at mission time t.
+func (r *SynthesisResult) Probability(t float64) (float64, error) {
+	if r.Tree != nil {
+		return r.Tree.Probability(t)
+	}
+	if r.Shared != nil {
+		return r.Shared.Probability(t)
+	}
+	return 0, errors.New("hiphops: empty synthesis result")
+}
+
+// MinimalCutSets returns the synthesized tree's minimal cut sets.
+func (r *SynthesisResult) MinimalCutSets() [][]string {
+	if r.Tree != nil {
+		return r.Tree.MinimalCutSets()
+	}
+	if r.Shared != nil {
+		return r.Shared.MinimalCutSets()
+	}
+	return nil
+}
+
+// BuildTree synthesizes the deviation and wraps it for evaluation,
+// choosing exact gate arithmetic when possible and cut-set evaluation
+// when the architecture shares basic events across branches.
+func (s *System) BuildTree(component, outputDeviation string) (*SynthesisResult, error) {
+	top, err := s.Synthesize(component, outputDeviation)
+	if err != nil {
+		return nil, err
+	}
+	res := &SynthesisResult{Top: top}
+	if tree, err := fta.NewTree(top); err == nil {
+		res.Tree = tree
+		return res, nil
+	}
+	shared, err := fta.NewSharedTree(top)
+	if err != nil {
+		return nil, err
+	}
+	res.Shared = shared
+	return res, nil
+}
+
+// Components returns the registered component names, sorted.
+func (s *System) Components() []string {
+	out := make([]string, 0, len(s.components))
+	for n := range s.components {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

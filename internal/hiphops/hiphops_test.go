@@ -1,0 +1,186 @@
+package hiphops
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUAVNavigationSynthesis(t *testing.T) {
+	s, err := UAVNavigationSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.BuildTree("fcc", "loss-of-navigation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// power/bus-short feeds both gps and fusion: shared-event tree.
+	if res.Shared == nil {
+		t.Fatal("common-cause power failure must force cut-set evaluation")
+	}
+	mcs := res.MinimalCutSets()
+	want := map[string]bool{
+		"fusion/cpu-fail":           false,
+		"power/bus-short":           false,
+		"gps/rx-fail,imu/gyro-fail": false,
+	}
+	for _, cs := range mcs {
+		key := strings.Join(cs, ",")
+		if _, ok := want[key]; !ok {
+			t.Fatalf("unexpected cut set %v (all: %v)", cs, mcs)
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Fatalf("missing cut set %s (got %v)", key, mcs)
+		}
+	}
+	// Probability: monotone, bounded, and the power common cause makes
+	// it at least the power failure probability.
+	p, err := res.Probability(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powerP := 1 - math.Exp(-2e-6*3600)
+	if p < powerP || p > 1 {
+		t.Fatalf("P(nav loss, 1h) = %v, below common-cause floor %v", p, powerP)
+	}
+}
+
+func TestSharedEventNotDoubleCounted(t *testing.T) {
+	// With the common cause, the exact probability is NOT what naive
+	// gate arithmetic over duplicated power events would give.
+	s, _ := UAVNavigationSystem()
+	res, _ := s.BuildTree("fcc", "loss-of-navigation")
+	exact, err := res.Probability(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := res.Top.Probability(100000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == naive {
+		t.Fatalf("shared-event evaluation should differ from naive arithmetic (both %v)", exact)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddComponent(nil); err == nil {
+		t.Error("nil component must fail")
+	}
+	if err := s.AddComponent(&Component{Name: "x"}); err == nil {
+		t.Error("component without outputs must fail")
+	}
+	c := &Component{
+		Name:          "a",
+		BasicFailures: map[string]float64{"f": 1e-5},
+		Outputs:       map[string]Cause{"out": Basic("f")},
+	}
+	if err := s.AddComponent(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddComponent(c); err == nil {
+		t.Error("duplicate component must fail")
+	}
+	bad := &Component{
+		Name:          "bad",
+		BasicFailures: map[string]float64{"": 1e-5},
+		Outputs:       map[string]Cause{"out": Basic("")},
+	}
+	if err := s.AddComponent(bad); err == nil {
+		t.Error("invalid basic failure must fail")
+	}
+	if err := s.Connect("ghost", "in", "a", "out"); err == nil {
+		t.Error("unknown target must fail")
+	}
+	if err := s.Connect("a", "in", "ghost", "out"); err == nil {
+		t.Error("unknown source must fail")
+	}
+	if err := s.Connect("a", "in", "a", "nope"); err == nil {
+		t.Error("unknown deviation must fail")
+	}
+	if _, err := s.Synthesize("ghost", "out"); err == nil {
+		t.Error("unknown component must fail")
+	}
+	if _, err := s.Synthesize("a", "nope"); err == nil {
+		t.Error("unknown deviation must fail")
+	}
+	// Unwired input reference.
+	open := &Component{
+		Name:    "open",
+		Outputs: map[string]Cause{"out": Input("in")},
+	}
+	if err := s.AddComponent(open); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Synthesize("open", "out"); err == nil {
+		t.Error("unwired input must fail")
+	}
+	// Unknown basic reference.
+	miss := &Component{
+		Name:    "miss",
+		Outputs: map[string]Cause{"out": Basic("nothere")},
+	}
+	_ = s.AddComponent(miss)
+	if _, err := s.Synthesize("miss", "out"); err == nil {
+		t.Error("unknown basic failure must fail")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	s := NewSystem()
+	a := &Component{Name: "a", Outputs: map[string]Cause{"out": Input("in")}}
+	b := &Component{Name: "b", Outputs: map[string]Cause{"out": Input("in")}}
+	_ = s.AddComponent(a)
+	_ = s.AddComponent(b)
+	_ = s.Connect("a", "in", "b", "out")
+	_ = s.Connect("b", "in", "a", "out")
+	if _, err := s.Synthesize("a", "out"); err == nil {
+		t.Fatal("propagation cycle must fail")
+	}
+}
+
+func TestSimpleChainMatchesAnalytic(t *testing.T) {
+	// source --deviation--> sink: P = 1 - exp(-rate t).
+	s := NewSystem()
+	src := &Component{
+		Name:          "src",
+		BasicFailures: map[string]float64{"f": 1e-4},
+		Outputs:       map[string]Cause{"bad": Basic("f")},
+	}
+	sink := &Component{Name: "sink", Outputs: map[string]Cause{"fail": Input("in")}}
+	_ = s.AddComponent(src)
+	_ = s.AddComponent(sink)
+	_ = s.Connect("sink", "in", "src", "bad")
+	res, err := s.BuildTree("sink", "fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tree == nil {
+		t.Fatal("no sharing here: expect exact tree")
+	}
+	p, _ := res.Probability(1000)
+	want := 1 - math.Exp(-0.1)
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("P = %v, want %v", p, want)
+	}
+	if len(s.Components()) != 2 {
+		t.Fatalf("components = %v", s.Components())
+	}
+}
+
+func BenchmarkSynthesizeUAVNavigation(b *testing.B) {
+	s, err := UAVNavigationSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := s.BuildTree("fcc", "loss-of-navigation"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package hiphops
+
+import "fmt"
+
+// UAVNavigationSystem builds the architecture model behind the UAV's
+// "loss of navigation" hazard: GPS and IMU feed a sensor-fusion block;
+// the flight controller loses navigation when the fusion output is
+// lost, which requires losing BOTH position sources or the fusion
+// processor itself. The power bus is a shared dependency of GPS and
+// fusion — a common-cause failure the synthesized tree must capture.
+func UAVNavigationSystem() (*System, error) {
+	s := NewSystem()
+	power := &Component{
+		Name:          "power",
+		BasicFailures: map[string]float64{"bus-short": 2e-6},
+		Outputs: map[string]Cause{
+			"no-power": Basic("bus-short"),
+		},
+	}
+	gps := &Component{
+		Name:          "gps",
+		BasicFailures: map[string]float64{"rx-fail": 1e-5},
+		Outputs: map[string]Cause{
+			// GPS output lost on receiver failure OR power loss.
+			"no-fix": AnyOf(Basic("rx-fail"), Input("pwr")),
+		},
+	}
+	imu := &Component{
+		Name:          "imu",
+		BasicFailures: map[string]float64{"gyro-fail": 5e-6},
+		Outputs: map[string]Cause{
+			"no-inertial": Basic("gyro-fail"),
+		},
+	}
+	fusion := &Component{
+		Name:          "fusion",
+		BasicFailures: map[string]float64{"cpu-fail": 1e-6},
+		Outputs: map[string]Cause{
+			// Fusion output lost when its processor fails, its power
+			// drops, or BOTH sources are gone.
+			"no-solution": AnyOf(
+				Basic("cpu-fail"),
+				Input("pwr"),
+				AllOf(Input("gps"), Input("imu")),
+			),
+		},
+	}
+	fcc := &Component{
+		Name: "fcc",
+		Outputs: map[string]Cause{
+			"loss-of-navigation": Input("nav"),
+		},
+	}
+	for _, c := range []*Component{power, gps, imu, fusion, fcc} {
+		if err := s.AddComponent(c); err != nil {
+			return nil, err
+		}
+	}
+	wire := func(to, port, from, dev string) error {
+		if err := s.Connect(to, port, from, dev); err != nil {
+			return fmt.Errorf("wiring %s.%s: %w", to, port, err)
+		}
+		return nil
+	}
+	if err := wire("gps", "pwr", "power", "no-power"); err != nil {
+		return nil, err
+	}
+	if err := wire("fusion", "pwr", "power", "no-power"); err != nil {
+		return nil, err
+	}
+	if err := wire("fusion", "gps", "gps", "no-fix"); err != nil {
+		return nil, err
+	}
+	if err := wire("fusion", "imu", "imu", "no-inertial"); err != nil {
+		return nil, err
+	}
+	if err := wire("fcc", "nav", "fusion", "no-solution"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,306 @@
+// Package ids implements the intrusion detection system of the
+// Security EDDI architecture (paper §III-B). Where the paper's IDS
+// inspects ROS network traffic, this one taps the rosbus middleware —
+// the same vantage point — and applies detection rules to the message
+// stream:
+//
+//   - unauthorized-node: a publisher name outside the topic's allow-list;
+//   - message-injection: per-topic message rate above the declared
+//     telemetry rate (a second publisher racing the legitimate one);
+//   - gps-anomaly: sustained divergence between the GPS position feed
+//     and the IMU/odometry track reported on the status topic — the
+//     signature of GPS/position spoofing;
+//   - teleport: consecutive GPS fixes implying a physically impossible
+//     speed.
+//
+// Alerts are JSON-encoded and published to the mqttlite broker under
+// alerts/ids/<uav>, where the Security EDDI scripts subscribe.
+package ids
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"sesame/internal/geo"
+	"sesame/internal/mqttlite"
+	"sesame/internal/rosbus"
+	"sesame/internal/uavsim"
+)
+
+// Alert types.
+const (
+	AlertUnauthorizedNode = "unauthorized-node"
+	AlertMessageInjection = "message-injection"
+	AlertGPSAnomaly       = "gps-anomaly"
+	AlertTeleport         = "teleport"
+	AlertLinkSilence      = "link-silence"
+)
+
+// Alert is one IDS finding.
+type Alert struct {
+	Type   string  `json:"type"`
+	UAV    string  `json:"uav"`
+	Topic  string  `json:"topic"`
+	Detail string  `json:"detail"`
+	Stamp  float64 `json:"stamp"`
+}
+
+// AlertTopic returns the broker topic alerts for uav are published on.
+func AlertTopic(uav string) string { return "alerts/ids/" + uav }
+
+// Config tunes the rule engine.
+type Config struct {
+	// AllowedPublishers maps a bus topic to the node names allowed to
+	// publish on it. Topics absent from the map are unchecked.
+	AllowedPublishers map[string][]string
+	// MaxRateHz is the per-topic message budget; rates above it raise
+	// message-injection. Zero disables the rule.
+	MaxRateHz float64
+	// RateWindowS is the sliding window for rate estimation.
+	RateWindowS float64
+	// GPSDivergenceM raises gps-anomaly when the GPS track drifts this
+	// far from the odometry track.
+	GPSDivergenceM float64
+	// MaxSpeedMS raises teleport when consecutive fixes imply a faster
+	// ground speed.
+	MaxSpeedMS float64
+	// Cooldown suppresses duplicate alerts of the same (type, uav)
+	// within this many seconds.
+	CooldownS float64
+	// SilenceTimeoutS raises link-silence when a previously active
+	// topic stops carrying traffic for this long (jamming signature).
+	// Zero disables the rule. Silence is checked lazily whenever any
+	// other message arrives, mirroring a traffic-driven network IDS.
+	SilenceTimeoutS float64
+}
+
+// DefaultConfig matches the experiment scenarios: 1 Hz telemetry,
+// 10 m divergence bound, 30 m/s speed bound.
+func DefaultConfig() Config {
+	return Config{
+		MaxRateHz:       1.5,
+		RateWindowS:     8,
+		GPSDivergenceM:  10,
+		MaxSpeedMS:      30,
+		CooldownS:       5,
+		SilenceTimeoutS: 12,
+	}
+}
+
+// IDS is the live detector. Create with New; detach with Close.
+type IDS struct {
+	cfg    Config
+	broker *mqttlite.Broker
+	cancel func()
+
+	mu       sync.Mutex
+	alerts   []Alert
+	pending  []Alert
+	arrival  map[string][]float64 // topic -> recent stamps
+	lastSeen map[string]float64   // topic -> newest stamp (silence rule)
+	lastGPS  map[string]uavsim.GPSFix
+	lastOdo  map[string]geo.LatLng
+	hasOdo   map[string]bool
+	lastHit  map[string]float64 // type+uav -> stamp of last alert
+}
+
+// New attaches the IDS to the bus and starts publishing alerts to the
+// broker.
+func New(bus *rosbus.Bus, broker *mqttlite.Broker, cfg Config) (*IDS, error) {
+	if bus == nil || broker == nil {
+		return nil, errors.New("ids: nil bus or broker")
+	}
+	if cfg.RateWindowS <= 0 {
+		cfg.RateWindowS = 8
+	}
+	d := &IDS{
+		cfg:      cfg,
+		broker:   broker,
+		arrival:  make(map[string][]float64),
+		lastSeen: make(map[string]float64),
+		lastGPS:  make(map[string]uavsim.GPSFix),
+		lastOdo:  make(map[string]geo.LatLng),
+		hasOdo:   make(map[string]bool),
+		lastHit:  make(map[string]float64),
+	}
+	cancel, err := bus.Tap(d.inspect)
+	if err != nil {
+		return nil, err
+	}
+	d.cancel = cancel
+	return d, nil
+}
+
+// Close detaches the IDS from the bus.
+func (d *IDS) Close() {
+	if d.cancel != nil {
+		d.cancel()
+		d.cancel = nil
+	}
+}
+
+// Alerts returns a copy of all alerts raised so far.
+func (d *IDS) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.alerts...)
+}
+
+// uavOf extracts the UAV id from a "/uav/<id>/<kind>" topic.
+func uavOf(topic string) string {
+	parts := strings.Split(topic, "/")
+	if len(parts) >= 3 && parts[1] == "uav" {
+		return parts[2]
+	}
+	return ""
+}
+
+// inspect is the bus tap. Alerts are accumulated under the lock and
+// published to the broker after it is released, so broker handlers may
+// freely publish back onto the bus without deadlocking the tap.
+func (d *IDS) inspect(m rosbus.Message) {
+	uav := uavOf(m.Topic)
+	d.mu.Lock()
+	d.pending = d.pending[:0]
+
+	// Rule 1: publisher allow-list.
+	if allowed, checked := d.cfg.AllowedPublishers[m.Topic]; checked {
+		ok := false
+		for _, a := range allowed {
+			if a == m.Publisher {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			d.raise(Alert{
+				Type:   AlertUnauthorizedNode,
+				UAV:    uav,
+				Topic:  m.Topic,
+				Detail: fmt.Sprintf("publisher %q not in allow-list", m.Publisher),
+				Stamp:  m.Stamp,
+			})
+		}
+	}
+
+	// Rule 2: rate anomaly.
+	if d.cfg.MaxRateHz > 0 {
+		window := d.arrival[m.Topic]
+		cutoff := m.Stamp - d.cfg.RateWindowS
+		keep := window[:0]
+		for _, s := range window {
+			if s >= cutoff {
+				keep = append(keep, s)
+			}
+		}
+		keep = append(keep, m.Stamp)
+		d.arrival[m.Topic] = keep
+		rate := float64(len(keep)) / d.cfg.RateWindowS
+		if rate > d.cfg.MaxRateHz && len(keep) >= 4 {
+			d.raise(Alert{
+				Type:   AlertMessageInjection,
+				UAV:    uav,
+				Topic:  m.Topic,
+				Detail: fmt.Sprintf("rate %.2f Hz exceeds %.2f Hz budget", rate, d.cfg.MaxRateHz),
+				Stamp:  m.Stamp,
+			})
+		}
+	}
+
+	// Rule: link silence. Lazily scan tracked topics whenever traffic
+	// arrives; a topic quiet past the timeout looks like jamming.
+	if d.cfg.SilenceTimeoutS > 0 {
+		for topic, last := range d.lastSeen {
+			if topic == m.Topic {
+				continue
+			}
+			if m.Stamp-last > d.cfg.SilenceTimeoutS {
+				d.raise(Alert{
+					Type:   AlertLinkSilence,
+					UAV:    uavOf(topic),
+					Topic:  topic,
+					Detail: fmt.Sprintf("no traffic for %.0f s (timeout %.0f s)", m.Stamp-last, d.cfg.SilenceTimeoutS),
+					Stamp:  m.Stamp,
+				})
+				// Re-arm only after fresh traffic.
+				delete(d.lastSeen, topic)
+			}
+		}
+		if m.Stamp > d.lastSeen[m.Topic] {
+			d.lastSeen[m.Topic] = m.Stamp
+		}
+	}
+
+	// Rules 3 & 4 consume typed telemetry.
+	switch p := m.Payload.(type) {
+	case uavsim.GPSFix:
+		d.inspectGPS(m, p)
+	case uavsim.StatusReport:
+		d.lastOdo[p.UAV] = p.Position
+		d.hasOdo[p.UAV] = true
+	}
+
+	toPublish := append([]Alert(nil), d.pending...)
+	d.mu.Unlock()
+	for _, a := range toPublish {
+		payload, err := json.Marshal(a)
+		if err != nil {
+			continue
+		}
+		topic := AlertTopic(a.UAV)
+		if a.UAV == "" {
+			topic = "alerts/ids/unknown"
+		}
+		_ = d.broker.Publish(topic, payload, false)
+	}
+}
+
+func (d *IDS) inspectGPS(m rosbus.Message, fix uavsim.GPSFix) {
+	if fix.Quality == uavsim.GPSLost {
+		return
+	}
+	// Teleport: implied speed between consecutive fixes.
+	if prev, ok := d.lastGPS[fix.UAV]; ok && fix.Stamp > prev.Stamp {
+		dt := fix.Stamp - prev.Stamp
+		speed := geo.Haversine(prev.Position, fix.Position) / dt
+		if d.cfg.MaxSpeedMS > 0 && speed > d.cfg.MaxSpeedMS {
+			d.raise(Alert{
+				Type:   AlertTeleport,
+				UAV:    fix.UAV,
+				Topic:  m.Topic,
+				Detail: fmt.Sprintf("implied speed %.1f m/s exceeds %.1f m/s", speed, d.cfg.MaxSpeedMS),
+				Stamp:  fix.Stamp,
+			})
+		}
+	}
+	d.lastGPS[fix.UAV] = fix
+
+	// GPS/odometry divergence.
+	if d.cfg.GPSDivergenceM > 0 && d.hasOdo[fix.UAV] {
+		div := geo.Haversine(fix.Position, d.lastOdo[fix.UAV])
+		if div > d.cfg.GPSDivergenceM {
+			d.raise(Alert{
+				Type:   AlertGPSAnomaly,
+				UAV:    fix.UAV,
+				Topic:  m.Topic,
+				Detail: fmt.Sprintf("GPS diverges %.1f m from odometry (bound %.1f m)", div, d.cfg.GPSDivergenceM),
+				Stamp:  fix.Stamp,
+			})
+		}
+	}
+}
+
+// raise records an alert and queues it for publication, respecting the
+// cooldown. Callers hold d.mu.
+func (d *IDS) raise(a Alert) {
+	key := a.Type + "|" + a.UAV
+	if last, ok := d.lastHit[key]; ok && a.Stamp-last < d.cfg.CooldownS {
+		return
+	}
+	d.lastHit[key] = a.Stamp
+	d.alerts = append(d.alerts, a)
+	d.pending = append(d.pending, a)
+}

@@ -1,0 +1,296 @@
+package ids
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sesame/internal/geo"
+	"sesame/internal/mqttlite"
+	"sesame/internal/rosbus"
+	"sesame/internal/uavsim"
+)
+
+var origin = geo.LatLng{Lat: 35.1856, Lng: 33.3823}
+
+func setup(t *testing.T, cfg Config) (*rosbus.Bus, *mqttlite.Broker, *IDS) {
+	t.Helper()
+	bus := rosbus.NewBus()
+	broker := mqttlite.NewBroker()
+	d, err := New(bus, broker, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return bus, broker, d
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, mqttlite.NewBroker(), DefaultConfig()); err == nil {
+		t.Error("nil bus must fail")
+	}
+	if _, err := New(rosbus.NewBus(), nil, DefaultConfig()); err == nil {
+		t.Error("nil broker must fail")
+	}
+}
+
+func TestUnauthorizedPublisher(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AllowedPublishers = map[string][]string{"/uav/u1/gps": {"u1"}}
+	bus, broker, d := setup(t, cfg)
+
+	var received []Alert
+	_, _ = broker.Subscribe("alerts/ids/+", func(m mqttlite.Message) {
+		var a Alert
+		if err := json.Unmarshal(m.Payload, &a); err != nil {
+			t.Errorf("bad alert payload: %v", err)
+			return
+		}
+		received = append(received, a)
+	})
+
+	legit, _ := bus.Advertise("/uav/u1/gps", "u1")
+	_ = legit.Publish(1, uavsim.GPSFix{UAV: "u1", Position: origin, Quality: uavsim.GPSRTK, Stamp: 1})
+	if len(d.Alerts()) != 0 {
+		t.Fatalf("legit publisher alerted: %v", d.Alerts())
+	}
+
+	_ = bus.Inject(rosbus.Message{Topic: "/uav/u1/gps", Publisher: "evil", Stamp: 2,
+		Payload: uavsim.GPSFix{UAV: "u1", Position: origin, Quality: uavsim.GPSRTK, Stamp: 2}})
+	alerts := d.Alerts()
+	if len(alerts) != 1 || alerts[0].Type != AlertUnauthorizedNode {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if alerts[0].UAV != "u1" {
+		t.Fatalf("alert uav = %q", alerts[0].UAV)
+	}
+	if len(received) != 1 || received[0].Type != AlertUnauthorizedNode {
+		t.Fatalf("broker delivery = %v", received)
+	}
+}
+
+func TestRateAnomaly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRateHz = 1.5
+	cfg.RateWindowS = 4
+	bus, _, d := setup(t, cfg)
+	pub, _ := bus.Advertise("/uav/u1/cmd", "gcs")
+	// 1 Hz is fine.
+	for ts := 1.0; ts <= 6; ts++ {
+		_ = pub.Publish(ts, "cmd")
+	}
+	if len(d.Alerts()) != 0 {
+		t.Fatalf("1 Hz flagged: %v", d.Alerts())
+	}
+	// A second publisher doubles the rate (the injection signature).
+	evil, _ := bus.Advertise("/uav/u1/cmd", "gcs") // same name, attacker
+	for ts := 6.2; ts <= 10; ts += 0.5 {
+		_ = evil.Publish(ts, "spoof")
+		_ = pub.Publish(ts+0.1, "cmd")
+	}
+	found := false
+	for _, a := range d.Alerts() {
+		if a.Type == AlertMessageInjection {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injection not detected: %v", d.Alerts())
+	}
+}
+
+func TestGPSDivergence(t *testing.T) {
+	bus, _, d := setup(t, DefaultConfig())
+	gps, _ := bus.Advertise("/uav/u1/gps", "u1")
+	status, _ := bus.Advertise("/uav/u1/status", "u1")
+
+	// Nominal: GPS tracks odometry.
+	for ts := 1.0; ts <= 5; ts++ {
+		p := geo.Destination(origin, 90, ts*5)
+		_ = status.Publish(ts, uavsim.StatusReport{UAV: "u1", Position: p, Stamp: ts})
+		_ = gps.Publish(ts, uavsim.GPSFix{UAV: "u1", Position: p, Quality: uavsim.GPSRTK, Stamp: ts})
+	}
+	if len(d.Alerts()) != 0 {
+		t.Fatalf("nominal flight alerted: %v", d.Alerts())
+	}
+
+	// Spoof: GPS drifts away from odometry beyond 10 m.
+	for ts := 6.0; ts <= 12; ts++ {
+		truth := geo.Destination(origin, 90, ts*5)
+		spoofed := geo.Destination(truth, 180, (ts-5)*4)
+		_ = status.Publish(ts, uavsim.StatusReport{UAV: "u1", Position: truth, Stamp: ts})
+		_ = gps.Publish(ts, uavsim.GPSFix{UAV: "u1", Position: spoofed, Quality: uavsim.GPSRTK, Stamp: ts})
+	}
+	var gpsAlerts []Alert
+	for _, a := range d.Alerts() {
+		if a.Type == AlertGPSAnomaly {
+			gpsAlerts = append(gpsAlerts, a)
+		}
+	}
+	if len(gpsAlerts) == 0 {
+		t.Fatalf("divergence not detected: %v", d.Alerts())
+	}
+	// Detected promptly: offset passes 10 m between t=7 (8 m) and t=8 (12 m).
+	if gpsAlerts[0].Stamp > 9 {
+		t.Fatalf("detection too slow: %v", gpsAlerts[0])
+	}
+}
+
+func TestTeleport(t *testing.T) {
+	bus, _, d := setup(t, DefaultConfig())
+	gps, _ := bus.Advertise("/uav/u1/gps", "u1")
+	_ = gps.Publish(1, uavsim.GPSFix{UAV: "u1", Position: origin, Quality: uavsim.GPSRTK, Stamp: 1})
+	// 500 m in 1 s.
+	_ = gps.Publish(2, uavsim.GPSFix{UAV: "u1", Position: geo.Destination(origin, 0, 500), Quality: uavsim.GPSRTK, Stamp: 2})
+	found := false
+	for _, a := range d.Alerts() {
+		if a.Type == AlertTeleport {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("teleport not detected: %v", d.Alerts())
+	}
+}
+
+func TestLostFixIgnored(t *testing.T) {
+	bus, _, d := setup(t, DefaultConfig())
+	gps, _ := bus.Advertise("/uav/u1/gps", "u1")
+	status, _ := bus.Advertise("/uav/u1/status", "u1")
+	_ = status.Publish(1, uavsim.StatusReport{UAV: "u1", Position: origin, Stamp: 1})
+	// Lost fixes carry a zero position; they must not trip divergence.
+	_ = gps.Publish(1, uavsim.GPSFix{UAV: "u1", Quality: uavsim.GPSLost, Stamp: 1})
+	if len(d.Alerts()) != 0 {
+		t.Fatalf("lost fix alerted: %v", d.Alerts())
+	}
+}
+
+func TestCooldownSuppressesDuplicates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CooldownS = 100
+	cfg.AllowedPublishers = map[string][]string{"/uav/u1/gps": {"u1"}}
+	bus, _, d := setup(t, cfg)
+	for ts := 1.0; ts <= 10; ts++ {
+		_ = bus.Inject(rosbus.Message{Topic: "/uav/u1/gps", Publisher: "evil", Stamp: ts, Payload: "x"})
+	}
+	if n := len(d.Alerts()); n != 1 {
+		t.Fatalf("cooldown failed: %d alerts", n)
+	}
+}
+
+func TestWorldIntegrationSpoofDetected(t *testing.T) {
+	// Full pipeline: uavsim world telemetry -> IDS -> alert, with a
+	// scheduled spoof fault.
+	w := uavsim.NewWorld(origin, 5)
+	broker := mqttlite.NewBroker()
+	d, err := New(w.Bus, broker, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	u, err := w.AddUAV(uavsim.UAVConfig{ID: "u1", Home: origin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.TakeOff(25); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.FlyMission([]geo.LatLng{geo.Destination(origin, 90, 400)}, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ScheduleFault(uavsim.GPSSpoofFault(15, "u1", 180, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(40, 1); err != nil {
+		t.Fatal(err)
+	}
+	var gpsAlerts []Alert
+	for _, a := range d.Alerts() {
+		if a.Type == AlertGPSAnomaly && a.UAV == "u1" {
+			gpsAlerts = append(gpsAlerts, a)
+		}
+	}
+	if len(gpsAlerts) == 0 {
+		t.Fatalf("spoof not detected; alerts: %v", d.Alerts())
+	}
+	// Spoof starts at t=15 drifting 3 m/s; 10 m bound crossed ~t=19.
+	if gpsAlerts[0].Stamp < 15 || gpsAlerts[0].Stamp > 25 {
+		t.Fatalf("detection stamp = %v, want shortly after 15", gpsAlerts[0].Stamp)
+	}
+}
+
+func TestClose(t *testing.T) {
+	bus, _, d := setup(t, Config{MaxSpeedMS: 30, GPSDivergenceM: 10})
+	d.Close()
+	gps, _ := bus.Advertise("/uav/u1/gps", "u1")
+	_ = gps.Publish(1, uavsim.GPSFix{UAV: "u1", Position: origin, Quality: uavsim.GPSRTK, Stamp: 1})
+	_ = gps.Publish(2, uavsim.GPSFix{UAV: "u1", Position: geo.Destination(origin, 0, 900), Quality: uavsim.GPSRTK, Stamp: 2})
+	if len(d.Alerts()) != 0 {
+		t.Fatal("closed IDS still inspecting")
+	}
+	d.Close() // double close is harmless
+}
+
+func BenchmarkInspectGPS(b *testing.B) {
+	bus := rosbus.NewBus()
+	broker := mqttlite.NewBroker()
+	d, _ := New(bus, broker, DefaultConfig())
+	defer d.Close()
+	gps, _ := bus.Advertise("/uav/u1/gps", "u1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gps.Publish(float64(i), uavsim.GPSFix{UAV: "u1", Position: origin, Quality: uavsim.GPSRTK, Stamp: float64(i)})
+	}
+}
+
+func TestLinkSilence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SilenceTimeoutS = 10
+	bus, _, d := setup(t, cfg)
+	cmd, _ := bus.Advertise("/uav/u1/cmd", "gcs")
+	tele, _ := bus.Advertise("/uav/u2/status", "u2")
+	// Both topics active.
+	for ts := 1.0; ts <= 5; ts++ {
+		_ = cmd.Publish(ts, "c")
+		_ = tele.Publish(ts, "s")
+	}
+	// The cmd topic goes silent while telemetry keeps flowing.
+	for ts := 6.0; ts <= 20; ts++ {
+		_ = tele.Publish(ts, "s")
+	}
+	var silence []Alert
+	for _, a := range d.Alerts() {
+		if a.Type == AlertLinkSilence {
+			silence = append(silence, a)
+		}
+	}
+	if len(silence) == 0 {
+		t.Fatalf("silence not detected: %v", d.Alerts())
+	}
+	if silence[0].Topic != "/uav/u1/cmd" || silence[0].UAV != "u1" {
+		t.Fatalf("silence alert = %+v", silence[0])
+	}
+	// Timeout was 10 s after last cmd at t=5 -> detection around t=16.
+	if silence[0].Stamp < 15 || silence[0].Stamp > 18 {
+		t.Fatalf("silence detected at %v", silence[0].Stamp)
+	}
+}
+
+func TestLinkSilenceDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SilenceTimeoutS = 0
+	bus, _, d := setup(t, cfg)
+	cmd, _ := bus.Advertise("/uav/u1/cmd", "gcs")
+	tele, _ := bus.Advertise("/uav/u2/status", "u2")
+	_ = cmd.Publish(1, "c")
+	for ts := 2.0; ts <= 60; ts++ {
+		_ = tele.Publish(ts, "s")
+	}
+	for _, a := range d.Alerts() {
+		if a.Type == AlertLinkSilence {
+			t.Fatalf("disabled rule fired: %+v", a)
+		}
+	}
+}

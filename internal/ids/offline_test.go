@@ -1,0 +1,64 @@
+package ids
+
+// Offline analysis: a recorded mission replayed through a fresh IDS
+// must reproduce the live detections — the rosbag-debrief workflow.
+
+import (
+	"testing"
+
+	"sesame/internal/geo"
+	"sesame/internal/mqttlite"
+	"sesame/internal/rosbus"
+	"sesame/internal/uavsim"
+)
+
+func TestOfflineReplayReproducesDetections(t *testing.T) {
+	// Live mission with a recorder and a live IDS attached.
+	w := uavsim.NewWorld(origin, 77)
+	rec, err := rosbus.NewRecorder(w.Bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveBroker := mqttlite.NewBroker()
+	live, err := New(w.Bus, liveBroker, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	u, _ := w.AddUAV(uavsim.UAVConfig{ID: "u1", Home: origin})
+	if err := u.TakeOff(25); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Run(10, 1)
+	_ = u.FlyMission([]geo.LatLng{geo.Destination(origin, 90, 500)}, 25)
+	_ = w.ScheduleFault(uavsim.GPSSpoofFault(15, "u1", 180, 3))
+	_ = w.Run(60, 1)
+	rec.Stop()
+
+	liveAlerts := live.Alerts()
+	if len(liveAlerts) == 0 {
+		t.Fatal("live IDS saw nothing")
+	}
+
+	// Debrief: replay the recording into a fresh bus with a fresh IDS.
+	replayBus := rosbus.NewBus()
+	offlineBroker := mqttlite.NewBroker()
+	offline, err := New(replayBus, offlineBroker, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offline.Close()
+	if _, err := rosbus.Replay(replayBus, rec.Messages(), nil); err != nil {
+		t.Fatal(err)
+	}
+	offlineAlerts := offline.Alerts()
+	if len(offlineAlerts) != len(liveAlerts) {
+		t.Fatalf("offline found %d alerts, live found %d", len(offlineAlerts), len(liveAlerts))
+	}
+	for i := range liveAlerts {
+		if offlineAlerts[i].Type != liveAlerts[i].Type || offlineAlerts[i].Stamp != liveAlerts[i].Stamp {
+			t.Fatalf("alert %d differs: live %+v vs offline %+v", i, liveAlerts[i], offlineAlerts[i])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package markov
+
+// JSON exchange format for CTMC models, so SafeDrones' complex basic
+// events travel inside EDDI documents like the other model types.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+type transitionJSON struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	Rate float64 `json:"rate"`
+}
+
+type chainJSON struct {
+	States      []string         `json:"states"`
+	Transitions []transitionJSON `json:"transitions"`
+}
+
+// MarshalJSON encodes the chain as its exchange document, transitions
+// ordered by (from, to) state index.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	doc := chainJSON{States: c.States()}
+	for i, from := range c.states {
+		for j, to := range c.states {
+			if i == j {
+				continue
+			}
+			if r := c.gen[i][j]; r > 0 {
+				doc.Transitions = append(doc.Transitions, transitionJSON{From: from, To: to, Rate: r})
+			}
+		}
+	}
+	return json.Marshal(doc)
+}
+
+// ParseChain decodes and validates a chain document.
+func ParseChain(data []byte) (*Chain, error) {
+	var doc chainJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("markov: decoding: %w", err)
+	}
+	ch, err := NewChain(doc.States...)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range doc.Transitions {
+		if err := ch.AddTransition(tr.From, tr.To, tr.Rate); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}

@@ -1,0 +1,385 @@
+// Package markov implements continuous-time Markov chains (CTMCs) with
+// transient analysis via uniformization. SafeDrones (paper §III-A1)
+// models each "complex basic event" — propulsion, battery, processor —
+// as a small CTMC whose absorbing states represent component failure;
+// this package is the numeric engine behind those models.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Chain is a finite-state CTMC described by its infinitesimal generator
+// matrix. Build one with NewChain and AddTransition, then query
+// transient state probabilities with TransientAt.
+type Chain struct {
+	states []string
+	index  map[string]int
+	// gen[i][j] is the transition rate from state i to state j (i != j);
+	// the diagonal is maintained as the negative row sum.
+	gen [][]float64
+}
+
+// NewChain creates a chain with the given state names. Names must be
+// unique and non-empty.
+func NewChain(states ...string) (*Chain, error) {
+	if len(states) == 0 {
+		return nil, errors.New("markov: chain needs at least one state")
+	}
+	c := &Chain{
+		states: append([]string(nil), states...),
+		index:  make(map[string]int, len(states)),
+	}
+	for i, s := range states {
+		if s == "" {
+			return nil, errors.New("markov: empty state name")
+		}
+		if _, dup := c.index[s]; dup {
+			return nil, fmt.Errorf("markov: duplicate state %q", s)
+		}
+		c.index[s] = i
+	}
+	c.gen = make([][]float64, len(states))
+	for i := range c.gen {
+		c.gen[i] = make([]float64, len(states))
+	}
+	return c, nil
+}
+
+// MustChain is NewChain that panics on error; for statically known models.
+func MustChain(states ...string) *Chain {
+	c, err := NewChain(states...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return len(c.states) }
+
+// States returns a copy of the state names in index order.
+func (c *Chain) States() []string { return append([]string(nil), c.states...) }
+
+// StateIndex returns the index of the named state.
+func (c *Chain) StateIndex(name string) (int, error) {
+	i, ok := c.index[name]
+	if !ok {
+		return 0, fmt.Errorf("markov: unknown state %q", name)
+	}
+	return i, nil
+}
+
+// AddTransition sets the rate (per second, or any consistent time unit)
+// of the transition from -> to. Self loops and negative rates are
+// rejected. Calling it again for the same pair overwrites the rate.
+func (c *Chain) AddTransition(from, to string, rate float64) error {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("markov: invalid rate %v for %s->%s", rate, from, to)
+	}
+	i, err := c.StateIndex(from)
+	if err != nil {
+		return err
+	}
+	j, err := c.StateIndex(to)
+	if err != nil {
+		return err
+	}
+	if i == j {
+		return fmt.Errorf("markov: self transition on %q", from)
+	}
+	// Restore diagonal contribution of any previous rate, then set.
+	c.gen[i][i] += c.gen[i][j]
+	c.gen[i][j] = rate
+	c.gen[i][i] -= rate
+	return nil
+}
+
+// MustAddTransition is AddTransition that panics on error.
+func (c *Chain) MustAddTransition(from, to string, rate float64) {
+	if err := c.AddTransition(from, to, rate); err != nil {
+		panic(err)
+	}
+}
+
+// Rate returns the current rate from -> to (0 when absent).
+func (c *Chain) Rate(from, to string) float64 {
+	i, err1 := c.StateIndex(from)
+	j, err2 := c.StateIndex(to)
+	if err1 != nil || err2 != nil || i == j {
+		return 0
+	}
+	return c.gen[i][j]
+}
+
+// ExitRate returns the total outgoing rate of the named state.
+func (c *Chain) ExitRate(state string) float64 {
+	i, err := c.StateIndex(state)
+	if err != nil {
+		return 0
+	}
+	return -c.gen[i][i]
+}
+
+// IsAbsorbing reports whether the named state has no outgoing
+// transitions.
+func (c *Chain) IsAbsorbing(state string) bool { return c.ExitRate(state) == 0 }
+
+// Distribution is a probability vector over chain states.
+type Distribution []float64
+
+// Sum returns the total probability mass (should be ~1).
+func (d Distribution) Sum() float64 {
+	var s float64
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// PointMass returns the distribution concentrated on the named state.
+func (c *Chain) PointMass(state string) (Distribution, error) {
+	i, err := c.StateIndex(state)
+	if err != nil {
+		return nil, err
+	}
+	d := make(Distribution, len(c.states))
+	d[i] = 1
+	return d, nil
+}
+
+// uniformizationEpsilon bounds the truncation error of the Poisson
+// series in TransientAt.
+const uniformizationEpsilon = 1e-12
+
+// maxQTPerStep bounds the Poisson series length of one uniformization
+// step; longer horizons are split into several steps (the series cost
+// is linear in q*t either way, but each step stays numerically tame).
+const maxQTPerStep = 4000
+
+// TransientAt returns the state distribution at time t starting from
+// p0, computed by uniformization (Jensen's method): with q >= max exit
+// rate and P = I + Q/q,
+//
+//	p(t) = sum_k Poisson(k; q t) * p0 P^k.
+//
+// The series is truncated once the accumulated Poisson mass exceeds
+// 1 - uniformizationEpsilon. Horizons with q*t beyond maxQTPerStep are
+// evaluated by stepping the chain, so arbitrarily long missions stay
+// numerically stable.
+func (c *Chain) TransientAt(p0 Distribution, t float64) (Distribution, error) {
+	n := len(c.states)
+	if len(p0) != n {
+		return nil, fmt.Errorf("markov: p0 has %d entries, chain has %d states", len(p0), n)
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("markov: invalid time %v", t)
+	}
+	if math.Abs(p0.Sum()-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: p0 sums to %v, want 1", p0.Sum())
+	}
+	var q float64
+	for i := 0; i < n; i++ {
+		if r := -c.gen[i][i]; r > q {
+			q = r
+		}
+	}
+	if q == 0 || t == 0 {
+		out := make(Distribution, n)
+		copy(out, p0)
+		return out, nil
+	}
+	qEff := q * 1.02
+	steps := 1
+	if qEff*t > maxQTPerStep {
+		steps = int(math.Ceil(qEff * t / maxQTPerStep))
+	}
+	cur := append(Distribution(nil), p0...)
+	dt := t / float64(steps)
+	for s := 0; s < steps; s++ {
+		next, err := c.transientStep(cur, dt, qEff)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// transientStep runs one uniformization evaluation with q*t bounded.
+func (c *Chain) transientStep(p0 Distribution, t, q float64) (Distribution, error) {
+	n := len(c.states)
+	out := make(Distribution, n)
+
+	// DTMC kernel P = I + Q/q, applied as vector-matrix products.
+	vec := make([]float64, n)
+	copy(vec, p0)
+	next := make([]float64, n)
+
+	qt := q * t
+	// Poisson term computed iteratively in log space to survive large qt.
+	logTerm := -qt // log Poisson(0; qt)
+	cum := 0.0
+	for k := 0; ; k++ {
+		w := math.Exp(logTerm)
+		for i := 0; i < n; i++ {
+			out[i] += w * vec[i]
+		}
+		cum += w
+		if cum >= 1-uniformizationEpsilon {
+			break
+		}
+		// Accumulated rounding can leave cum a hair below the mass
+		// target even though the series is exhausted; once past the
+		// Poisson mode with negligible terms, the tail is spent.
+		if float64(k) > qt && w < uniformizationEpsilon {
+			break
+		}
+		if k > 2*maxQTPerStep {
+			return nil, errors.New("markov: uniformization failed to converge")
+		}
+		// vec <- vec * P  ==  vec + (vec*Q)/q
+		for j := 0; j < n; j++ {
+			var acc float64
+			for i := 0; i < n; i++ {
+				acc += vec[i] * c.gen[i][j]
+			}
+			next[j] = vec[j] + acc/q
+			if next[j] < 0 { // clamp tiny negative round-off
+				next[j] = 0
+			}
+		}
+		vec, next = next, vec
+		logTerm += math.Log(qt) - math.Log(float64(k+1))
+	}
+	// Renormalize the truncated series.
+	if s := out.Sum(); s > 0 {
+		for i := range out {
+			out[i] /= s
+		}
+	}
+	return out, nil
+}
+
+// ProbabilityAt returns the probability of occupying the named state at
+// time t starting from p0.
+func (c *Chain) ProbabilityAt(p0 Distribution, state string, t float64) (float64, error) {
+	i, err := c.StateIndex(state)
+	if err != nil {
+		return 0, err
+	}
+	d, err := c.TransientAt(p0, t)
+	if err != nil {
+		return 0, err
+	}
+	return d[i], nil
+}
+
+// FailureProbability returns the total probability mass on the given
+// absorbing "failure" states at time t, starting from the named initial
+// state. It is the quantity SafeDrones reports as probability of
+// failure (PoF).
+func (c *Chain) FailureProbability(initial string, t float64, failureStates ...string) (float64, error) {
+	p0, err := c.PointMass(initial)
+	if err != nil {
+		return 0, err
+	}
+	d, err := c.TransientAt(p0, t)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, fs := range failureStates {
+		i, err := c.StateIndex(fs)
+		if err != nil {
+			return 0, err
+		}
+		sum += d[i]
+	}
+	return sum, nil
+}
+
+// StationaryDistribution returns the long-run state distribution of an
+// irreducible chain, computed by evolving the uniformized DTMC until
+// the distribution stops moving. Chains with absorbing states
+// concentrate on them; a chain with no transitions returns the uniform
+// point of view of the caller-supplied start (uniform over states).
+func (c *Chain) StationaryDistribution() (Distribution, error) {
+	n := len(c.states)
+	cur := make(Distribution, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	// Repeatedly advance by a horizon long relative to the slowest
+	// rate until converged.
+	var slowest float64 = math.Inf(1)
+	any := false
+	for i := 0; i < n; i++ {
+		if r := -c.gen[i][i]; r > 0 {
+			any = true
+			if r < slowest {
+				slowest = r
+			}
+		}
+	}
+	if !any {
+		return cur, nil
+	}
+	horizon := 10 / slowest
+	for iter := 0; iter < 200; iter++ {
+		next, err := c.TransientAt(cur, horizon)
+		if err != nil {
+			return nil, err
+		}
+		var delta float64
+		for i := range next {
+			d := next[i] - cur[i]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		cur = next
+		if delta < 1e-10 {
+			return cur, nil
+		}
+	}
+	return cur, nil
+}
+
+// MeanTimeToAbsorption estimates the expected time to reach any
+// absorbing state from the named initial state, by numeric integration
+// of the survival function S(t) = 1 - P(absorbed by t). The integration
+// advances in steps of dt until S < tol or horizon is reached; it
+// returns +Inf if the chain has no absorbing state reachable mass.
+func (c *Chain) MeanTimeToAbsorption(initial string, dt, horizon float64) (float64, error) {
+	if dt <= 0 || horizon <= 0 {
+		return 0, errors.New("markov: dt and horizon must be positive")
+	}
+	var absorbing []string
+	for _, s := range c.states {
+		if c.IsAbsorbing(s) {
+			absorbing = append(absorbing, s)
+		}
+	}
+	if len(absorbing) == 0 {
+		return math.Inf(1), nil
+	}
+	var mtta float64
+	prevS := 1.0
+	for t := dt; t <= horizon; t += dt {
+		pf, err := c.FailureProbability(initial, t, absorbing...)
+		if err != nil {
+			return 0, err
+		}
+		s := 1 - pf
+		mtta += (prevS + s) / 2 * dt // trapezoid
+		prevS = s
+		if s < 1e-6 {
+			return mtta, nil
+		}
+	}
+	return math.Inf(1), nil
+}

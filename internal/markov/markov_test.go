@@ -1,0 +1,285 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// twoState returns the classic up/down chain with failure rate lambda.
+func twoState(lambda float64) *Chain {
+	c := MustChain("up", "down")
+	c.MustAddTransition("up", "down", lambda)
+	return c
+}
+
+func TestTwoStateMatchesExponential(t *testing.T) {
+	lambda := 0.01
+	c := twoState(lambda)
+	for _, tt := range []float64{0, 1, 10, 100, 500} {
+		got, err := c.FailureProbability("up", tt, "down")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-lambda*tt)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("t=%v: PoF = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestRepairableSteadyState(t *testing.T) {
+	// up <-> down with lambda, mu: steady-state availability mu/(mu+lambda).
+	lambda, mu := 0.02, 0.1
+	c := MustChain("up", "down")
+	c.MustAddTransition("up", "down", lambda)
+	c.MustAddTransition("down", "up", mu)
+	p0, _ := c.PointMass("up")
+	d, err := c.TransientAt(p0, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (mu + lambda)
+	if math.Abs(d[0]-want) > 1e-6 {
+		t.Fatalf("steady-state up = %v, want %v", d[0], want)
+	}
+}
+
+func TestErlangStages(t *testing.T) {
+	// 3 sequential stages each rate r: absorbed prob = Erlang-3 CDF.
+	r := 0.5
+	c := MustChain("s0", "s1", "s2", "dead")
+	c.MustAddTransition("s0", "s1", r)
+	c.MustAddTransition("s1", "s2", r)
+	c.MustAddTransition("s2", "dead", r)
+	tt := 4.0
+	got, err := c.FailureProbability("s0", tt, "dead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := r * tt
+	want := 1 - math.Exp(-x)*(1+x+x*x/2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Erlang-3 CDF = %v, want %v", got, want)
+	}
+}
+
+func TestTransientConservesMass(t *testing.T) {
+	f := func(l1, l2, tRaw float64) bool {
+		lambda := math.Mod(math.Abs(l1), 2) + 1e-6
+		mu := math.Mod(math.Abs(l2), 2) + 1e-6
+		tt := math.Mod(math.Abs(tRaw), 1000)
+		c := MustChain("a", "b", "c")
+		c.MustAddTransition("a", "b", lambda)
+		c.MustAddTransition("b", "c", mu)
+		c.MustAddTransition("b", "a", mu/2)
+		p0, _ := c.PointMass("a")
+		d, err := c.TransientAt(p0, tt)
+		if err != nil {
+			return false
+		}
+		if math.Abs(d.Sum()-1) > 1e-9 {
+			return false
+		}
+		for _, v := range d {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailureProbabilityMonotone(t *testing.T) {
+	c := twoState(0.005)
+	prev := -1.0
+	for tt := 0.0; tt <= 1000; tt += 50 {
+		p, err := c.FailureProbability("up", tt, "down")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < prev-1e-12 {
+			t.Fatalf("PoF decreased at t=%v: %v < %v", tt, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewChain(); err == nil {
+		t.Error("empty chain must fail")
+	}
+	if _, err := NewChain("a", "a"); err == nil {
+		t.Error("duplicate state must fail")
+	}
+	if _, err := NewChain(""); err == nil {
+		t.Error("empty name must fail")
+	}
+	c := MustChain("a", "b")
+	if err := c.AddTransition("a", "a", 1); err == nil {
+		t.Error("self transition must fail")
+	}
+	if err := c.AddTransition("a", "b", -1); err == nil {
+		t.Error("negative rate must fail")
+	}
+	if err := c.AddTransition("a", "b", math.NaN()); err == nil {
+		t.Error("NaN rate must fail")
+	}
+	if err := c.AddTransition("x", "b", 1); err == nil {
+		t.Error("unknown state must fail")
+	}
+	if _, err := c.TransientAt(Distribution{1}, 1); err == nil {
+		t.Error("wrong-length p0 must fail")
+	}
+	if _, err := c.TransientAt(Distribution{0.5, 0.4}, 1); err == nil {
+		t.Error("non-normalized p0 must fail")
+	}
+	if _, err := c.TransientAt(Distribution{1, 0}, -1); err == nil {
+		t.Error("negative time must fail")
+	}
+}
+
+func TestOverwriteTransition(t *testing.T) {
+	c := MustChain("a", "b")
+	c.MustAddTransition("a", "b", 1)
+	c.MustAddTransition("a", "b", 2)
+	if got := c.Rate("a", "b"); got != 2 {
+		t.Fatalf("Rate = %v, want 2", got)
+	}
+	if got := c.ExitRate("a"); got != 2 {
+		t.Fatalf("ExitRate = %v, want 2 (diagonal must be restored on overwrite)", got)
+	}
+}
+
+func TestIsAbsorbing(t *testing.T) {
+	c := twoState(0.1)
+	if c.IsAbsorbing("up") {
+		t.Error("up is not absorbing")
+	}
+	if !c.IsAbsorbing("down") {
+		t.Error("down is absorbing")
+	}
+}
+
+func TestStaticChain(t *testing.T) {
+	c := MustChain("only")
+	p0, _ := c.PointMass("only")
+	d, err := c.TransientAt(p0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 1 {
+		t.Fatalf("static chain must stay put, got %v", d)
+	}
+}
+
+func TestMeanTimeToAbsorption(t *testing.T) {
+	lambda := 0.02
+	c := twoState(lambda)
+	mtta, err := c.MeanTimeToAbsorption("up", 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / lambda
+	if math.Abs(mtta-want)/want > 0.02 {
+		t.Fatalf("MTTA = %v, want ~%v", mtta, want)
+	}
+}
+
+func TestMeanTimeToAbsorptionNoAbsorbing(t *testing.T) {
+	c := MustChain("a", "b")
+	c.MustAddTransition("a", "b", 1)
+	c.MustAddTransition("b", "a", 1)
+	mtta, err := c.MeanTimeToAbsorption("a", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(mtta, 1) {
+		t.Fatalf("MTTA = %v, want +Inf", mtta)
+	}
+}
+
+func TestProbabilityAt(t *testing.T) {
+	c := twoState(0.01)
+	p0, _ := c.PointMass("up")
+	up, err := c.ProbabilityAt(p0, "up", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up-math.Exp(-1)) > 1e-9 {
+		t.Fatalf("P(up, 100) = %v, want e^-1", up)
+	}
+	if _, err := c.ProbabilityAt(p0, "nope", 1); err == nil {
+		t.Fatal("unknown state must fail")
+	}
+}
+
+func TestLargeQT(t *testing.T) {
+	// High rate * long horizon stresses the Poisson series (qt ~ 5000).
+	c := MustChain("up", "down")
+	c.MustAddTransition("up", "down", 5)
+	c.MustAddTransition("down", "up", 5)
+	p0, _ := c.PointMass("up")
+	d, err := c.TransientAt(p0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[0]-0.5) > 1e-6 {
+		t.Fatalf("symmetric chain must equilibrate to 0.5, got %v", d[0])
+	}
+}
+
+func BenchmarkTransient4State(b *testing.B) {
+	c := MustChain("s0", "s1", "s2", "dead")
+	c.MustAddTransition("s0", "s1", 0.5)
+	c.MustAddTransition("s1", "s2", 0.5)
+	c.MustAddTransition("s2", "dead", 0.5)
+	p0, _ := c.PointMass("s0")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TransientAt(p0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	// up <-> down: stationary up = mu/(mu+lambda).
+	lambda, mu := 0.02, 0.1
+	c := MustChain("up", "down")
+	c.MustAddTransition("up", "down", lambda)
+	c.MustAddTransition("down", "up", mu)
+	d, err := c.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (mu + lambda)
+	if math.Abs(d[0]-want) > 1e-6 {
+		t.Fatalf("stationary up = %v, want %v", d[0], want)
+	}
+}
+
+func TestStationaryAbsorbing(t *testing.T) {
+	c := twoState(0.05)
+	d, err := c.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[1]-1) > 1e-6 {
+		t.Fatalf("absorbing mass = %v, want 1", d[1])
+	}
+}
+
+func TestStationaryNoTransitions(t *testing.T) {
+	c := MustChain("a", "b")
+	d, err := c.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[0]-0.5) > 1e-12 {
+		t.Fatalf("static chain stationary = %v", d)
+	}
+}

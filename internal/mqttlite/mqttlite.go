@@ -1,0 +1,202 @@
+// Package mqttlite is an in-process MQTT-style message broker. In the
+// paper's Security EDDI architecture (§III-B), the IDS publishes alerts
+// to an MQTT topic and each attack-tree monitor script subscribes to
+// the topics relevant to its tree. This broker reproduces the pieces
+// that architecture depends on: hierarchical topic names, `+` and `#`
+// wildcards, and retained messages, at QoS-0 semantics.
+package mqttlite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Message is one published datagram.
+type Message struct {
+	Topic    string
+	Payload  []byte
+	Retained bool // true when delivered from the retained store
+}
+
+// Handler consumes messages matched to a subscription filter.
+type Handler func(Message)
+
+// Broker routes publications to wildcard subscriptions. The zero value
+// is not usable; call NewBroker.
+type Broker struct {
+	mu       sync.Mutex
+	subs     map[int]*subscription
+	retained map[string][]byte
+	nextID   int
+}
+
+type subscription struct {
+	filter  []string // split topic filter
+	handler Handler
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:     make(map[int]*subscription),
+		retained: make(map[string][]byte),
+	}
+}
+
+// ValidateTopic checks a concrete (publishable) topic name: non-empty
+// levels, no wildcards.
+func ValidateTopic(topic string) error {
+	if topic == "" {
+		return errors.New("mqttlite: empty topic")
+	}
+	for _, level := range strings.Split(topic, "/") {
+		if level == "" {
+			return fmt.Errorf("mqttlite: topic %q has an empty level", topic)
+		}
+		if level == "+" || level == "#" {
+			return fmt.Errorf("mqttlite: topic %q contains a wildcard; wildcards are for filters only", topic)
+		}
+	}
+	return nil
+}
+
+// ValidateFilter checks a subscription filter: non-empty levels, `#`
+// only at the end.
+func ValidateFilter(filter string) error {
+	if filter == "" {
+		return errors.New("mqttlite: empty filter")
+	}
+	levels := strings.Split(filter, "/")
+	for i, level := range levels {
+		if level == "" {
+			return fmt.Errorf("mqttlite: filter %q has an empty level", filter)
+		}
+		if level == "#" && i != len(levels)-1 {
+			return fmt.Errorf("mqttlite: filter %q has # before the last level", filter)
+		}
+	}
+	return nil
+}
+
+// matches reports whether the split filter matches the split topic.
+func matches(filter, topic []string) bool {
+	fi := 0
+	for ti := 0; ti < len(topic); ti++ {
+		if fi >= len(filter) {
+			return false
+		}
+		switch filter[fi] {
+		case "#":
+			return true
+		case "+":
+			fi++
+		default:
+			if filter[fi] != topic[ti] {
+				return false
+			}
+			fi++
+		}
+	}
+	// Topic exhausted: filter must be exhausted too, or end in '#'.
+	return fi == len(filter) || (fi == len(filter)-1 && filter[fi] == "#")
+}
+
+// Publish routes payload to every matching subscription. With retain
+// set, the payload replaces the topic's retained message (an empty
+// payload clears it, per MQTT convention).
+func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if err := ValidateTopic(topic); err != nil {
+		return err
+	}
+	split := strings.Split(topic, "/")
+	b.mu.Lock()
+	if retain {
+		if len(payload) == 0 {
+			delete(b.retained, topic)
+		} else {
+			b.retained[topic] = append([]byte(nil), payload...)
+		}
+	}
+	ids := make([]int, 0, len(b.subs))
+	for id, s := range b.subs {
+		if matches(s.filter, split) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	handlers := make([]Handler, 0, len(ids))
+	for _, id := range ids {
+		handlers = append(handlers, b.subs[id].handler)
+	}
+	b.mu.Unlock()
+
+	msg := Message{Topic: topic, Payload: append([]byte(nil), payload...)}
+	for _, h := range handlers {
+		h(msg)
+	}
+	return nil
+}
+
+// Subscribe registers handler for every topic matching filter. Retained
+// messages matching the filter are delivered immediately, flagged
+// Retained, in lexicographic topic order. The returned cancel function
+// removes the subscription.
+func (b *Broker) Subscribe(filter string, handler Handler) (cancel func(), err error) {
+	if err := ValidateFilter(filter); err != nil {
+		return nil, err
+	}
+	if handler == nil {
+		return nil, errors.New("mqttlite: nil handler")
+	}
+	split := strings.Split(filter, "/")
+	b.mu.Lock()
+	b.nextID++
+	id := b.nextID
+	b.subs[id] = &subscription{filter: split, handler: handler}
+	// Snapshot matching retained messages.
+	var topics []string
+	for t := range b.retained {
+		if matches(split, strings.Split(t, "/")) {
+			topics = append(topics, t)
+		}
+	}
+	sort.Strings(topics)
+	pending := make([]Message, 0, len(topics))
+	for _, t := range topics {
+		pending = append(pending, Message{
+			Topic:    t,
+			Payload:  append([]byte(nil), b.retained[t]...),
+			Retained: true,
+		})
+	}
+	b.mu.Unlock()
+
+	for _, m := range pending {
+		handler(m)
+	}
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.subs, id)
+	}, nil
+}
+
+// Retained returns a copy of the retained payload for topic, or nil.
+func (b *Broker) Retained(topic string) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p, ok := b.retained[topic]; ok {
+		return append([]byte(nil), p...)
+	}
+	return nil
+}
+
+// SubscriptionCount returns the number of active subscriptions.
+func (b *Broker) SubscriptionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,188 @@
+package mqttlite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactMatch(t *testing.T) {
+	b := NewBroker()
+	var got []string
+	_, err := b.Subscribe("alerts/ids/uav1", func(m Message) { got = append(got, string(m.Payload)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("alerts/ids/uav1", []byte("spoof"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("alerts/ids/uav2", []byte("other"), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "spoof" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPlusWildcard(t *testing.T) {
+	b := NewBroker()
+	var topics []string
+	_, _ = b.Subscribe("alerts/+/uav1", func(m Message) { topics = append(topics, m.Topic) })
+	_ = b.Publish("alerts/ids/uav1", nil, false)
+	_ = b.Publish("alerts/physical/uav1", nil, false)
+	_ = b.Publish("alerts/ids/uav2", nil, false)
+	_ = b.Publish("alerts/ids/deep/uav1", nil, false)
+	if len(topics) != 2 {
+		t.Fatalf("matched %v", topics)
+	}
+}
+
+func TestHashWildcard(t *testing.T) {
+	b := NewBroker()
+	count := 0
+	_, _ = b.Subscribe("alerts/#", func(Message) { count++ })
+	_ = b.Publish("alerts/ids/uav1", nil, false)
+	_ = b.Publish("alerts/x/y/z", nil, false)
+	_ = b.Publish("telemetry/gps", nil, false)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestHashMatchesParentLevel(t *testing.T) {
+	// Per MQTT spec, "alerts/#" matches "alerts" itself.
+	b := NewBroker()
+	count := 0
+	_, _ = b.Subscribe("alerts/#", func(Message) { count++ })
+	_ = b.Publish("alerts", nil, false)
+	if count != 1 {
+		t.Fatalf("# did not match parent: %d", count)
+	}
+}
+
+func TestRetainedDelivery(t *testing.T) {
+	b := NewBroker()
+	_ = b.Publish("status/uav1", []byte("armed"), true)
+	var got []Message
+	_, _ = b.Subscribe("status/+", func(m Message) { got = append(got, m) })
+	if len(got) != 1 || string(got[0].Payload) != "armed" || !got[0].Retained {
+		t.Fatalf("retained delivery wrong: %+v", got)
+	}
+	// Fresh publications arrive unflagged.
+	_ = b.Publish("status/uav1", []byte("landed"), true)
+	if len(got) != 2 || got[1].Retained {
+		t.Fatalf("live message wrong: %+v", got)
+	}
+	if string(b.Retained("status/uav1")) != "landed" {
+		t.Fatal("retained store not updated")
+	}
+}
+
+func TestRetainedCleared(t *testing.T) {
+	b := NewBroker()
+	_ = b.Publish("s/t", []byte("x"), true)
+	_ = b.Publish("s/t", nil, true)
+	if b.Retained("s/t") != nil {
+		t.Fatal("empty retained publish must clear")
+	}
+	count := 0
+	_, _ = b.Subscribe("s/t", func(Message) { count++ })
+	if count != 0 {
+		t.Fatal("cleared retain must not deliver")
+	}
+}
+
+func TestRetainedOrder(t *testing.T) {
+	b := NewBroker()
+	_ = b.Publish("r/b", []byte("2"), true)
+	_ = b.Publish("r/a", []byte("1"), true)
+	var order []string
+	_, _ = b.Subscribe("r/#", func(m Message) { order = append(order, m.Topic) })
+	if len(order) != 2 || order[0] != "r/a" || order[1] != "r/b" {
+		t.Fatalf("retained order = %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := NewBroker()
+	count := 0
+	cancel, _ := b.Subscribe("t", func(Message) { count++ })
+	_ = b.Publish("t", nil, false)
+	cancel()
+	_ = b.Publish("t", nil, false)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if b.SubscriptionCount() != 0 {
+		t.Fatal("subscription not removed")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	b := NewBroker()
+	if err := b.Publish("", nil, false); err == nil {
+		t.Error("empty topic must fail")
+	}
+	if err := b.Publish("a//b", nil, false); err == nil {
+		t.Error("empty level must fail")
+	}
+	if err := b.Publish("a/+/b", nil, false); err == nil {
+		t.Error("wildcard publish must fail")
+	}
+	if err := b.Publish("a/#", nil, false); err == nil {
+		t.Error("wildcard publish must fail")
+	}
+	if _, err := b.Subscribe("", func(Message) {}); err == nil {
+		t.Error("empty filter must fail")
+	}
+	if _, err := b.Subscribe("a/#/b", func(Message) {}); err == nil {
+		t.Error("# mid-filter must fail")
+	}
+	if _, err := b.Subscribe("a/b", nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	b := NewBroker()
+	payload := []byte("original")
+	_ = b.Publish("t", payload, true)
+	payload[0] = 'X'
+	if string(b.Retained("t")) != "original" {
+		t.Fatal("retained payload aliases caller buffer")
+	}
+}
+
+func TestMatchesProperty(t *testing.T) {
+	// A filter equal to the topic always matches; '#' alone matches
+	// everything.
+	f := func(parts []uint8) bool {
+		if len(parts) == 0 || len(parts) > 6 {
+			return true
+		}
+		levels := make([]string, len(parts))
+		for i, p := range parts {
+			levels[i] = string(rune('a' + p%26))
+		}
+		topic := strings.Join(levels, "/")
+		split := strings.Split(topic, "/")
+		return matches(split, split) && matches([]string{"#"}, split)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPublishFanout(b *testing.B) {
+	br := NewBroker()
+	for i := 0; i < 20; i++ {
+		_, _ = br.Subscribe("alerts/#", func(Message) {})
+	}
+	payload := []byte("alert")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("alerts/ids/uav1", payload, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package neural implements a minimal feed-forward neural network with
+// per-neuron activation tracing. It stands in for the tiny-YOLOv4
+// person-detection model of the paper: DeepKnowledge (§III-A3) does not
+// need convolutions to be exercised — it needs a trained model whose
+// internal neuron activations can be traced at design time and runtime,
+// which this package provides.
+package neural
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer non-linearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Sigmoid
+	Linear
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	default:
+		return x
+	}
+}
+
+// derivative given the activated output y (not the pre-activation).
+func (a Activation) derivative(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Sigmoid:
+		return y * (1 - y)
+	default:
+		return 1
+	}
+}
+
+// LayerSpec describes one dense layer.
+type LayerSpec struct {
+	Units      int
+	Activation Activation
+}
+
+type layer struct {
+	w    [][]float64 // [out][in]
+	b    []float64
+	act  Activation
+	in   int
+	outN int
+}
+
+// Network is a dense feed-forward network. Create with New, train with
+// Train, run with Predict or PredictTrace.
+type Network struct {
+	inputs int
+	layers []*layer
+}
+
+// New constructs a network with the given input width and layer specs,
+// initialised deterministically from rng (Glorot-uniform).
+func New(inputs int, rng *rand.Rand, specs ...LayerSpec) (*Network, error) {
+	if inputs <= 0 {
+		return nil, errors.New("neural: inputs must be positive")
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("neural: need at least one layer")
+	}
+	if rng == nil {
+		return nil, errors.New("neural: nil rng")
+	}
+	n := &Network{inputs: inputs}
+	prev := inputs
+	for i, s := range specs {
+		if s.Units <= 0 {
+			return nil, fmt.Errorf("neural: layer %d has %d units", i, s.Units)
+		}
+		l := &layer{
+			w:    make([][]float64, s.Units),
+			b:    make([]float64, s.Units),
+			act:  s.Activation,
+			in:   prev,
+			outN: s.Units,
+		}
+		limit := math.Sqrt(6.0 / float64(prev+s.Units))
+		for o := range l.w {
+			l.w[o] = make([]float64, prev)
+			for j := range l.w[o] {
+				l.w[o][j] = (rng.Float64()*2 - 1) * limit
+			}
+		}
+		n.layers = append(n.layers, l)
+		prev = s.Units
+	}
+	return n, nil
+}
+
+// Inputs returns the input width.
+func (n *Network) Inputs() int { return n.inputs }
+
+// Outputs returns the output width.
+func (n *Network) Outputs() int { return n.layers[len(n.layers)-1].outN }
+
+// NumLayers returns the number of dense layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// LayerUnits returns the unit count of layer i.
+func (n *Network) LayerUnits(i int) int { return n.layers[i].outN }
+
+// Trace holds the activations of every layer for one forward pass;
+// Trace[i] are the outputs of layer i.
+type Trace [][]float64
+
+// Hidden returns the concatenated activations of all layers except the
+// last (the "internal neuron behaviours" DeepKnowledge analyses).
+func (tr Trace) Hidden() []float64 {
+	var out []float64
+	for i := 0; i < len(tr)-1; i++ {
+		out = append(out, tr[i]...)
+	}
+	return out
+}
+
+// PredictTrace runs a forward pass and returns the output along with
+// the full activation trace.
+func (n *Network) PredictTrace(x []float64) ([]float64, Trace, error) {
+	if len(x) != n.inputs {
+		return nil, nil, fmt.Errorf("neural: input width %d, want %d", len(x), n.inputs)
+	}
+	cur := x
+	trace := make(Trace, 0, len(n.layers))
+	for _, l := range n.layers {
+		next := make([]float64, l.outN)
+		for o := 0; o < l.outN; o++ {
+			sum := l.b[o]
+			w := l.w[o]
+			for j, v := range cur {
+				sum += w[j] * v
+			}
+			next[o] = l.act.apply(sum)
+		}
+		trace = append(trace, next)
+		cur = next
+	}
+	out := append([]float64(nil), cur...)
+	return out, trace, nil
+}
+
+// Predict runs a forward pass.
+func (n *Network) Predict(x []float64) ([]float64, error) {
+	out, _, err := n.PredictTrace(x)
+	return out, err
+}
+
+// Sample is one training example.
+type Sample struct {
+	X []float64
+	Y []float64
+}
+
+// Train runs epochs of stochastic gradient descent with the squared
+// error loss, shuffling with rng each epoch, and returns the final
+// epoch's mean loss.
+func (n *Network) Train(data []Sample, epochs int, lr float64, rng *rand.Rand) (float64, error) {
+	if len(data) == 0 {
+		return 0, errors.New("neural: empty training set")
+	}
+	if epochs <= 0 || lr <= 0 {
+		return 0, errors.New("neural: epochs and lr must be positive")
+	}
+	if rng == nil {
+		return 0, errors.New("neural: nil rng")
+	}
+	for _, s := range data {
+		if len(s.X) != n.inputs || len(s.Y) != n.Outputs() {
+			return 0, errors.New("neural: sample dimensions do not match network")
+		}
+	}
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	var lastLoss float64
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var loss float64
+		for _, idx := range order {
+			loss += n.sgdStep(data[idx], lr)
+		}
+		lastLoss = loss / float64(len(data))
+	}
+	return lastLoss, nil
+}
+
+// sgdStep backpropagates one sample and returns its squared-error loss.
+func (n *Network) sgdStep(s Sample, lr float64) float64 {
+	// Forward, keeping activations (including the input).
+	acts := make([][]float64, len(n.layers)+1)
+	acts[0] = s.X
+	for li, l := range n.layers {
+		cur := acts[li]
+		next := make([]float64, l.outN)
+		for o := 0; o < l.outN; o++ {
+			sum := l.b[o]
+			w := l.w[o]
+			for j, v := range cur {
+				sum += w[j] * v
+			}
+			next[o] = l.act.apply(sum)
+		}
+		acts[li+1] = next
+	}
+	out := acts[len(acts)-1]
+	// Output delta for squared error: (y_hat - y) * act'(y_hat).
+	var loss float64
+	last := n.layers[len(n.layers)-1]
+	delta := make([]float64, len(out))
+	for o := range out {
+		diff := out[o] - s.Y[o]
+		loss += diff * diff
+		delta[o] = diff * last.act.derivative(out[o])
+	}
+	// Backward.
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		prevAct := acts[li]
+		var prevDelta []float64
+		if li > 0 {
+			prevDelta = make([]float64, len(prevAct))
+		}
+		for o := 0; o < l.outN; o++ {
+			d := delta[o]
+			w := l.w[o]
+			if prevDelta != nil {
+				for j := range w {
+					prevDelta[j] += w[j] * d
+				}
+			}
+			for j := range w {
+				w[j] -= lr * d * prevAct[j]
+			}
+			l.b[o] -= lr * d
+		}
+		if prevDelta != nil {
+			below := n.layers[li-1]
+			for j := range prevDelta {
+				prevDelta[j] *= below.act.derivative(prevAct[j])
+			}
+			delta = prevDelta
+		}
+	}
+	return loss / 2
+}

@@ -1,0 +1,189 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(0, rng, LayerSpec{Units: 1}); err == nil {
+		t.Error("zero inputs must fail")
+	}
+	if _, err := New(2, rng); err == nil {
+		t.Error("no layers must fail")
+	}
+	if _, err := New(2, nil, LayerSpec{Units: 1}); err == nil {
+		t.Error("nil rng must fail")
+	}
+	if _, err := New(2, rng, LayerSpec{Units: 0}); err == nil {
+		t.Error("zero units must fail")
+	}
+}
+
+func TestPredictDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, err := New(3, rng, LayerSpec{Units: 5, Activation: ReLU}, LayerSpec{Units: 2, Activation: Sigmoid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Inputs() != 3 || n.Outputs() != 2 || n.NumLayers() != 2 {
+		t.Fatalf("shape wrong: in=%d out=%d layers=%d", n.Inputs(), n.Outputs(), n.NumLayers())
+	}
+	if n.LayerUnits(0) != 5 {
+		t.Fatalf("LayerUnits(0) = %d", n.LayerUnits(0))
+	}
+	out, err := n.Predict([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("output width %d", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid output out of range: %v", v)
+		}
+	}
+	if _, err := n.Predict([]float64{1}); err == nil {
+		t.Fatal("wrong input width must fail")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := New(4, rand.New(rand.NewSource(9)), LayerSpec{Units: 3, Activation: ReLU}, LayerSpec{Units: 1, Activation: Sigmoid})
+	b, _ := New(4, rand.New(rand.NewSource(9)), LayerSpec{Units: 3, Activation: ReLU}, LayerSpec{Units: 1, Activation: Sigmoid})
+	x := []float64{0.1, -0.5, 2, 0.3}
+	oa, _ := a.Predict(x)
+	ob, _ := b.Predict(x)
+	if oa[0] != ob[0] {
+		t.Fatal("same seed must give identical networks")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, _ := New(2, rng, LayerSpec{Units: 4, Activation: ReLU}, LayerSpec{Units: 3, Activation: ReLU}, LayerSpec{Units: 1, Activation: Sigmoid})
+	out, tr, err := n.PredictTrace([]float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("trace layers = %d", len(tr))
+	}
+	if len(tr[0]) != 4 || len(tr[1]) != 3 || len(tr[2]) != 1 {
+		t.Fatalf("trace widths wrong: %d %d %d", len(tr[0]), len(tr[1]), len(tr[2]))
+	}
+	if tr[2][0] != out[0] {
+		t.Fatal("last trace layer must equal output")
+	}
+	if len(tr.Hidden()) != 7 {
+		t.Fatalf("Hidden() = %d values, want 7", len(tr.Hidden()))
+	}
+}
+
+func TestReLUNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, _ := New(3, rng, LayerSpec{Units: 6, Activation: ReLU}, LayerSpec{Units: 1, Activation: Linear})
+	for trial := 0; trial < 20; trial++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		_, tr, _ := n.PredictTrace(x)
+		for _, v := range tr[0] {
+			if v < 0 {
+				t.Fatalf("ReLU produced negative activation %v", v)
+			}
+		}
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, _ := New(2, rng, LayerSpec{Units: 8, Activation: ReLU}, LayerSpec{Units: 1, Activation: Sigmoid})
+	data := []Sample{
+		{X: []float64{0, 0}, Y: []float64{0}},
+		{X: []float64{0, 1}, Y: []float64{1}},
+		{X: []float64{1, 0}, Y: []float64{1}},
+		{X: []float64{1, 1}, Y: []float64{0}},
+	}
+	loss, err := n.Train(data, 3000, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR loss = %v, failed to converge", loss)
+	}
+	for _, s := range data {
+		out, _ := n.Predict(s.X)
+		if math.Abs(out[0]-s.Y[0]) > 0.3 {
+			t.Fatalf("XOR(%v) = %v, want %v", s.X, out[0], s.Y[0])
+		}
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, _ := New(1, rng, LayerSpec{Units: 6, Activation: ReLU}, LayerSpec{Units: 1, Activation: Linear})
+	var data []Sample
+	for i := 0; i < 50; i++ {
+		x := float64(i)/25 - 1
+		data = append(data, Sample{X: []float64{x}, Y: []float64{x * x}})
+	}
+	early, err := n.Train(data, 1, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := n.Train(data, 300, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late >= early {
+		t.Fatalf("loss did not decrease: %v -> %v", early, late)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, _ := New(1, rng, LayerSpec{Units: 1, Activation: Linear})
+	good := []Sample{{X: []float64{1}, Y: []float64{1}}}
+	if _, err := n.Train(nil, 1, 0.1, rng); err == nil {
+		t.Error("empty data must fail")
+	}
+	if _, err := n.Train(good, 0, 0.1, rng); err == nil {
+		t.Error("zero epochs must fail")
+	}
+	if _, err := n.Train(good, 1, 0, rng); err == nil {
+		t.Error("zero lr must fail")
+	}
+	if _, err := n.Train(good, 1, 0.1, nil); err == nil {
+		t.Error("nil rng must fail")
+	}
+	bad := []Sample{{X: []float64{1, 2}, Y: []float64{1}}}
+	if _, err := n.Train(bad, 1, 0.1, rng); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	if ReLU.String() != "relu" || Sigmoid.String() != "sigmoid" || Linear.String() != "linear" {
+		t.Fatal("activation names wrong")
+	}
+	if Activation(42).String() == "" {
+		t.Fatal("unknown activation must render")
+	}
+}
+
+func BenchmarkPredictTrace(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, _ := New(16, rng, LayerSpec{Units: 32, Activation: ReLU}, LayerSpec{Units: 16, Activation: ReLU}, LayerSpec{Units: 2, Activation: Sigmoid})
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := n.PredictTrace(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

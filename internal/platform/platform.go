@@ -1,0 +1,736 @@
+// Package platform implements the SESAME multi-UAV control platform of
+// paper §IV-A: the UAV Manager, Task Manager, Database Manager and
+// ground-control facade, with every SESAME EDDI technology integrated
+// into the mission loop — SafeDrones reliability monitoring, SafeML
+// perception monitoring, SINADRA risk assessment, the IDS + Security
+// EDDI chain, Collaborative Localization as the spoofing mitigation,
+// and the Fig. 1 ConSert network tying their outputs to flight
+// decisions. A Config switch turns the SESAME technologies off, giving
+// the paper's without-SESAME baseline.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sesame/internal/colloc"
+	"sesame/internal/conserts"
+	"sesame/internal/detection"
+	"sesame/internal/eddi"
+	"sesame/internal/geo"
+	"sesame/internal/ids"
+	"sesame/internal/mqttlite"
+	"sesame/internal/safedrones"
+	"sesame/internal/safeml"
+	"sesame/internal/sar"
+	"sesame/internal/security"
+	"sesame/internal/sinadra"
+	"sesame/internal/uavsim"
+
+	"sesame/internal/attacktree"
+)
+
+// Config parameterizes a Platform.
+type Config struct {
+	// SESAME enables the EDDI stack; false reproduces the reactive
+	// baseline of the paper's comparisons.
+	SESAME bool
+	// SurveyAltitudeM is the initial mapping altitude; DescendAltitudeM
+	// is where SINADRA's descend advice sends the UAV.
+	SurveyAltitudeM  float64
+	DescendAltitudeM float64
+	// SweepSpacingM is the coverage track spacing.
+	SweepSpacingM float64
+	// Visibility is the ambient visual condition in (0,1].
+	Visibility float64
+	// UseThermalBelow switches the perception pipeline to the thermal
+	// imager when Visibility falls below this value (night operations).
+	// Zero keeps RGB always.
+	UseThermalBelow float64
+	// CoveragePlanner selects the Task Manager's coverage algorithm per
+	// strip (nil = boustrophedon). The Task Manager hosts planners as
+	// exchangeable services, per §IV-A.
+	CoveragePlanner sar.PathPlanner
+	// SafeLandingPoint receives UAVs landed by Collaborative
+	// Localization; zero value means "land at mission area centroid".
+	SafeLandingPoint geo.LatLng
+	// Origin is the platform's own network origin for database calls.
+	Origin string
+}
+
+// DefaultConfig returns the experiment calibration with SESAME on.
+func DefaultConfig() Config {
+	return Config{
+		SESAME:           true,
+		SurveyAltitudeM:  60,
+		DescendAltitudeM: 25,
+		SweepSpacingM:    30,
+		Visibility:       1,
+		UseThermalBelow:  0.5,
+		Origin:           "10.0.0.1",
+	}
+}
+
+// uavState is the per-vehicle integration state.
+type uavState struct {
+	uav        *uavsim.UAV
+	monitor    *safedrones.Monitor
+	perception *safeml.Monitor
+	action     conserts.UAVAction
+	// lastAssessment caches the newest SafeDrones output.
+	lastAssessment safedrones.Assessment
+	// uncertainty is the latest fused perception uncertainty.
+	uncertainty float64
+	hasUncert   bool
+	// inMission marks vehicles still executing their task.
+	inMission bool
+	// collocCtrl is non-nil while collaborative localization is
+	// steering this (attacked) vehicle down.
+	collocCtrl *colloc.Controller
+	descended  bool
+	rescans    int
+	// Baseline battery-swap state (§V-A without-SESAME behaviour):
+	// abort to base, swap the pack (60 s), resume the stored path.
+	swapPending  bool
+	swapLandedAt float64
+	resumePath   []geo.LatLng
+}
+
+// batterySwapS is the §V-A battery replacement time at base.
+const batterySwapS = 60
+
+// Platform is the integrated multi-UAV control platform.
+type Platform struct {
+	World       *uavsim.World
+	Broker      *mqttlite.Broker
+	IDS         *ids.IDS
+	Security    *security.EDDI
+	Coordinator *eddi.Coordinator
+	DB          *Database
+
+	cfg      Config
+	comp     *conserts.Composition
+	assessor *sinadra.Assessor
+	detector *detection.Detector
+	scene    *detection.Scene
+	mission  *sar.Mission
+	avail    *sar.AvailabilityTracker
+
+	states     map[string]*uavState
+	order      []string
+	dispatched map[string]int // task path length already uploaded
+	// thermal reports whether the perception pipeline runs on the
+	// thermal imager for this mission's visibility.
+	thermal bool
+
+	missionArea geo.Polygon
+	decision    conserts.MissionDecision
+}
+
+// New builds a platform over an existing world and fleet. The scene
+// may be nil when no person-detection workload is simulated.
+func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, error) {
+	if world == nil {
+		return nil, errors.New("platform: nil world")
+	}
+	uavs := world.UAVs()
+	if len(uavs) == 0 {
+		return nil, errors.New("platform: world has no UAVs")
+	}
+	if cfg.SurveyAltitudeM <= 0 || cfg.DescendAltitudeM <= 0 {
+		return nil, errors.New("platform: altitudes must be positive")
+	}
+	if cfg.Origin == "" {
+		cfg.Origin = "127.0.0.1"
+	}
+	p := &Platform{
+		World:       world,
+		Broker:      mqttlite.NewBroker(),
+		Coordinator: eddi.NewCoordinator(10000),
+		DB:          NewDatabase(100000),
+		cfg:         cfg,
+		scene:       scene,
+		states:      make(map[string]*uavState, len(uavs)),
+		dispatched:  make(map[string]int, len(uavs)),
+	}
+	var err error
+	if cfg.SESAME {
+		p.IDS, err = ids.New(world.Bus, p.Broker, ids.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		p.Security, err = security.New(p.Broker)
+		if err != nil {
+			return nil, err
+		}
+		p.comp, err = conserts.BuildUAVComposition()
+		if err != nil {
+			return nil, err
+		}
+		p.assessor, err = sinadra.NewAssessor(sinadra.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		p.detector, err = detection.NewDetector(world.Clock.Stream("platform/detector"))
+		if err != nil {
+			return nil, err
+		}
+		p.thermal = cfg.UseThermalBelow > 0 && cfg.Visibility < cfg.UseThermalBelow
+	}
+	for _, u := range uavs {
+		st := &uavState{uav: u, action: conserts.ActionContinue}
+		mcfg := safedrones.DefaultConfig()
+		if !cfg.SESAME {
+			mcfg.Policy = safedrones.PolicyReactive
+		}
+		st.monitor, err = safedrones.NewMonitor(u.ID(), mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SESAME {
+			// The perception model is referenced on the modality the
+			// mission will fly with.
+			ref := p.detector.ReferenceFeaturesFor(200, p.thermal)
+			st.perception, err = safeml.NewMonitor(ref, safeml.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			spoofTree, err := attacktree.SpoofingTree(u.ID())
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Security.Monitor(u.ID(), spoofTree); err != nil {
+				return nil, err
+			}
+			hijackTree, err := attacktree.HijackTree(u.ID())
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Security.Monitor(u.ID(), hijackTree); err != nil {
+				return nil, err
+			}
+		}
+		p.states[u.ID()] = st
+		p.order = append(p.order, u.ID())
+	}
+	sort.Strings(p.order)
+	if cfg.SESAME {
+		// Compromise events trigger the §V-C mitigation chain.
+		if err := p.Security.OnEvent(p.onSecurityEvent); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// StartMission plans the SAR coverage over area, takes the fleet off
+// and dispatches each UAV onto its strip.
+func (p *Platform) StartMission(area geo.Polygon) error {
+	if p.mission != nil {
+		return errors.New("platform: mission already started")
+	}
+	planner := p.cfg.CoveragePlanner
+	if planner == nil {
+		planner = sar.BoustrophedonPath
+	}
+	mission, err := sar.PlanMissionWith(area, p.order, p.cfg.SweepSpacingM, planner)
+	if err != nil {
+		return err
+	}
+	avail, err := sar.NewAvailabilityTracker(p.World.Clock.Now(), p.order)
+	if err != nil {
+		return err
+	}
+	for _, id := range p.order {
+		st := p.states[id]
+		if err := st.uav.TakeOff(p.cfg.SurveyAltitudeM); err != nil {
+			return fmt.Errorf("platform: takeoff %s: %w", id, err)
+		}
+		st.inMission = true
+	}
+	// Climb out, then dispatch.
+	climb := p.cfg.SurveyAltitudeM/3 + 2
+	if err := p.World.Run(p.World.Clock.Now()+climb, 1); err != nil {
+		return err
+	}
+	for _, id := range p.order {
+		task := mission.Assignments[id]
+		if err := p.states[id].uav.FlyMission(task.Path, p.cfg.SurveyAltitudeM); err != nil {
+			return fmt.Errorf("platform: dispatch %s: %w", id, err)
+		}
+		p.dispatched[id] = len(task.Path)
+	}
+	p.mission = mission
+	p.avail = avail
+	p.missionArea = area
+	p.decision = conserts.MissionAsPlanned
+	return nil
+}
+
+// Mission returns the current mission plan (nil before StartMission).
+func (p *Platform) Mission() *sar.Mission { return p.mission }
+
+// onSecurityEvent is the §V-C mitigation: when an attack tree root is
+// reached, ConSerts pulls the GPS guarantee (via evidence) and the
+// platform triggers Collaborative Localization to land the victim.
+func (p *Platform) onSecurityEvent(ev security.Event) {
+	if !ev.RootReached {
+		_ = p.Coordinator.Emit(eddi.Event{
+			Kind: eddi.KindSecurity, UAV: ev.UAV, Time: ev.Alert.Stamp,
+			Severity: 0.5, Summary: "attack progress: " + ev.Alert.Type,
+		})
+		return
+	}
+	_ = p.Coordinator.Emit(eddi.Event{
+		Kind: eddi.KindSecurity, UAV: ev.UAV, Time: ev.Alert.Stamp,
+		Severity: 1, Summary: "compromise: " + ev.Root,
+		Data: map[string]string{"mitigation": ev.Mitigation},
+	})
+	// Collaborative localization is the mitigation for position/mapping
+	// manipulation; other compromises (C2 hijack) degrade the comms
+	// evidence and let the ConSert network decide.
+	if !strings.HasSuffix(ev.Root, "/map-manipulation") {
+		return
+	}
+	st := p.states[ev.UAV]
+	if st == nil || st.collocCtrl != nil {
+		return
+	}
+	// Mitigation: stop trusting GPS entirely and land collaboratively.
+	st.uav.GPS.Mode = uavsim.GPSModeDropout
+	st.inMission = false
+
+	target := p.cfg.SafeLandingPoint
+	if !target.Valid() || (target == geo.LatLng{}) {
+		if c, err := p.missionArea.Centroid(); err == nil {
+			target = c
+		} else {
+			target = st.uav.Home()
+		}
+	}
+	var observers []*colloc.Observer
+	for _, id := range p.order {
+		if id == ev.UAV {
+			continue
+		}
+		other := p.states[id].uav
+		if !other.Mode().Airborne() || !other.Camera.OK {
+			continue
+		}
+		o, err := colloc.NewObserver(other, p.World.Clock.Stream("colloc/"+id))
+		if err == nil {
+			observers = append(observers, o)
+		}
+	}
+	if len(observers) == 0 {
+		// Nobody can assist: emergency land blind.
+		st.uav.EmergencyLand()
+		return
+	}
+	ctrl, err := colloc.NewController(st.uav, target, observers, p.World)
+	if err != nil {
+		st.uav.EmergencyLand()
+		return
+	}
+	st.collocCtrl = ctrl
+	// Redistribute the victim's unfinished work.
+	if p.mission != nil {
+		if _, assigned := p.mission.Assignments[ev.UAV]; assigned {
+			_ = p.mission.Redistribute(ev.UAV, st.uav.RemainingPath())
+			p.redispatch()
+		}
+	}
+	_ = p.avail.MarkDown(ev.UAV, p.World.Clock.Now())
+}
+
+// redispatch pushes waypoints newly appended by Redistribute to the
+// UAVs still in mission. dispatched tracks how much of each task's
+// path has already been uploaded.
+func (p *Platform) redispatch() {
+	for _, id := range p.order {
+		st := p.states[id]
+		if !st.inMission || st.uav.Mode() != uavsim.ModeMission {
+			continue
+		}
+		task := p.mission.Assignments[id]
+		if task == nil {
+			continue
+		}
+		already := p.dispatched[id]
+		if len(task.Path) <= already {
+			continue
+		}
+		newWps := task.Path[already:]
+		merged := append(st.uav.RemainingPath(), newWps...)
+		if err := st.uav.FlyMission(merged, p.cfg.SurveyAltitudeM); err == nil {
+			p.dispatched[id] = len(task.Path)
+		}
+	}
+}
+
+// Tick advances the platform by one second: world physics, telemetry,
+// EDDI evaluation, and mission management.
+func (p *Platform) Tick() error {
+	if err := p.World.Step(1); err != nil {
+		return err
+	}
+	now := p.World.Clock.Now()
+	for _, id := range p.order {
+		if err := p.tickUAV(id, now); err != nil {
+			return err
+		}
+	}
+	p.updateDecision()
+	return nil
+}
+
+// RunMission ticks until every UAV has finished (landed/holding with
+// empty path) or horizon seconds elapse.
+func (p *Platform) RunMission(horizon float64) error {
+	end := p.World.Clock.Now() + horizon
+	for p.World.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return err
+		}
+		if p.missionComplete() {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *Platform) missionComplete() bool {
+	for _, id := range p.order {
+		st := p.states[id]
+		m := st.uav.Mode()
+		if m == uavsim.ModeMission || m == uavsim.ModeReturnToBase ||
+			m == uavsim.ModeLanding || m == uavsim.ModeEmergencyLanding {
+			return false
+		}
+		if st.collocCtrl != nil && !st.collocCtrl.LandingCommanded() {
+			return false
+		}
+		if st.swapPending {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Platform) tickUAV(id string, now float64) error {
+	st := p.states[id]
+	u := st.uav
+
+	// Database reporting (the §IV-A data path).
+	_ = p.DB.PutLocation(p.cfg.Origin, id, u.TruePosition(), now)
+	_ = p.DB.PutRecord(p.cfg.Origin, id, Record{
+		Key:   "battery",
+		Value: fmt.Sprintf("%.1f", u.Battery.ChargePct),
+		Time:  now,
+	})
+
+	// Collaborative landing in progress: step the controller and skip
+	// normal mission control.
+	if st.collocCtrl != nil {
+		st.collocCtrl.Step()
+		if u.Mode() == uavsim.ModeLanded {
+			_ = p.avail.MarkUp(id, now) // back on the ground, recoverable
+		}
+		return nil
+	}
+
+	// A crash (rotor loss on a quad, battery depletion) takes the
+	// vehicle out of the mission instantly; the Task Manager
+	// redistributes its unfinished work.
+	if u.Mode() == uavsim.ModeCrashed && st.inMission {
+		st.inMission = false
+		st.swapPending = false
+		_ = p.avail.MarkDown(id, now)
+		if p.mission != nil {
+			if _, assigned := p.mission.Assignments[id]; assigned && len(p.mission.Assignments) > 1 {
+				_ = p.mission.Redistribute(id, u.RemainingPath())
+				p.redispatch()
+			}
+		}
+	}
+
+	// SafeDrones observes telemetry every tick.
+	assessment, err := st.monitor.Observe(safedrones.Telemetry{
+		Time:         now,
+		ChargePct:    u.Battery.ChargePct,
+		TempC:        u.Battery.TempC,
+		Overheating:  u.Battery.Overheating(),
+		FailedRotors: u.FailedRotors(),
+		CommsOK:      u.Comms.OK,
+		Airborne:     u.Mode().Airborne(),
+	})
+	if err != nil {
+		return err
+	}
+	st.lastAssessment = assessment
+	_ = p.Coordinator.Emit(eddi.Event{
+		Kind: eddi.KindSafety, UAV: id, Time: now,
+		Severity: assessment.PoF,
+		Summary:  fmt.Sprintf("PoF %.3f level %s", assessment.PoF, assessment.Level),
+	})
+
+	if !p.cfg.SESAME {
+		p.applyBaseline(st, assessment, now)
+		return nil
+	}
+
+	// Perception pipeline: capture a frame and feed SafeML.
+	if p.scene != nil && u.Mode() == uavsim.ModeMission {
+		frame, err := p.detector.Capture(id, now, u.TruePosition(), detection.Conditions{
+			AltitudeM:  u.AltitudeM(),
+			Visibility: p.cfg.Visibility,
+			CameraBlur: u.Camera.BlurSigma,
+			Thermal:    p.thermal,
+		}, p.scene)
+		if err == nil {
+			_ = st.perception.Push(frame.Features)
+			if st.perception.Ready() {
+				if rep, err := st.perception.Evaluate(); err == nil {
+					st.uncertainty = rep.Uncertainty
+					st.hasUncert = true
+					_ = p.Coordinator.Emit(eddi.Event{
+						Kind: eddi.KindPerception, UAV: id, Time: now,
+						Severity: rep.Uncertainty,
+						Summary:  fmt.Sprintf("perception uncertainty %.2f (%s)", rep.Uncertainty, rep.Action),
+					})
+				}
+			}
+		}
+	}
+
+	// SINADRA turns uncertainty into adaptation advice.
+	if st.hasUncert && u.Mode() == uavsim.ModeMission && !st.descended {
+		risk, err := p.assessor.Assess(sinadra.Situation{
+			Uncertainty: st.uncertainty,
+			AltitudeM:   u.AltitudeM(),
+			Visibility:  p.cfg.Visibility,
+		})
+		if err == nil {
+			_ = p.Coordinator.Emit(eddi.Event{
+				Kind: eddi.KindRisk, UAV: id, Time: now,
+				Severity: risk.RiskHigh,
+				Summary:  fmt.Sprintf("risk %.2f advice %s", risk.RiskHigh, risk.Advice),
+			})
+			switch risk.Advice {
+			case sinadra.AdviceDescend:
+				_ = u.SetAltitude(p.cfg.DescendAltitudeM)
+				st.descended = true
+				st.perception.Reset()
+				st.hasUncert = false
+			case sinadra.AdviceRescan:
+				st.rescans++
+				_ = u.SetAltitude(p.cfg.DescendAltitudeM)
+				st.descended = true
+				st.perception.Reset()
+				st.hasUncert = false
+			}
+		}
+	}
+
+	// ConSert evidence mapping and evaluation.
+	ev := conserts.Evidence{
+		conserts.EvGPSQualityOK:         u.GPS.Mode == uavsim.GPSModeNominal || u.GPS.Mode == uavsim.GPSModeSpoofed,
+		conserts.EvNoSpoofing:           !p.Security.CompromisedBy(id, id+"/map-manipulation"),
+		conserts.EvCameraHealthy:        u.Camera.OK,
+		conserts.EvPerceptionConfident:  !st.hasUncert || st.uncertainty < 0.9,
+		conserts.EvNearbyDroneDetection: u.Camera.OK,
+		conserts.EvCommsOK:              u.Comms.OK && !p.Security.CompromisedBy(id, id+"/c2-hijack"),
+		conserts.EvNeighborsAvailable:   p.airborneNeighbors(id) > 0,
+		conserts.EvReliabilityHigh:      assessment.Level == safedrones.LevelHigh,
+		conserts.EvReliabilityMedium:    assessment.Level == safedrones.LevelMedium,
+	}
+	action, _, err := conserts.EvaluateUAV(p.comp, ev)
+	if err != nil {
+		return err
+	}
+	// SafeDrones' emergency threshold overrides (it models the PoF
+	// trend, which the boolean evidence cannot see).
+	if assessment.Advice == safedrones.AdviceEmergencyLand {
+		action = conserts.ActionEmergencyLand
+	}
+	p.applyAction(st, action, now)
+	return nil
+}
+
+// airborneNeighbors counts other airborne fleet members.
+func (p *Platform) airborneNeighbors(id string) int {
+	n := 0
+	for _, other := range p.order {
+		if other != id && p.states[other].uav.Mode().Airborne() {
+			n++
+		}
+	}
+	return n
+}
+
+// applyBaseline is the non-SESAME reactive policy of §V-A: on the
+// first battery anomaly the UAV ceases its mission and returns to base
+// for a battery replacement (batterySwapS seconds), then redeploys to
+// finish its own task. No task redistribution happens — there is no
+// mission-level EDDI coordination in the baseline.
+func (p *Platform) applyBaseline(st *uavState, a safedrones.Assessment, now float64) {
+	switch a.Advice {
+	case safedrones.AdviceReturnToBase:
+		if st.uav.Mode() == uavsim.ModeMission && !st.swapPending {
+			st.resumePath = st.uav.RemainingPath()
+			st.swapPending = true
+			st.swapLandedAt = -1
+			st.inMission = false
+			_ = p.avail.MarkDown(st.uav.ID(), now)
+			st.uav.ReturnToBase()
+		}
+	case safedrones.AdviceEmergencyLand:
+		if st.uav.Mode().Airborne() && st.uav.Mode() != uavsim.ModeEmergencyLanding {
+			st.inMission = false
+			st.swapPending = false
+			_ = p.avail.MarkDown(st.uav.ID(), now)
+			st.uav.EmergencyLand()
+		}
+	}
+	p.tickBatterySwap(st, now)
+}
+
+// tickBatterySwap completes a pending baseline battery replacement:
+// once the vehicle has been on the ground at base for batterySwapS
+// seconds, a fresh pack goes in (clearing any thermal fault with the
+// old one), the reliability model restarts, and the UAV redeploys onto
+// its stored remaining path.
+func (p *Platform) tickBatterySwap(st *uavState, now float64) {
+	if !st.swapPending || st.uav.Mode() != uavsim.ModeLanded {
+		return
+	}
+	if st.swapLandedAt < 0 {
+		st.swapLandedAt = now
+		return
+	}
+	if now < st.swapLandedAt+batterySwapS {
+		return
+	}
+	st.uav.Battery.Swap()
+	// Fresh pack, fresh reliability history.
+	mcfg := safedrones.DefaultConfig()
+	mcfg.Policy = safedrones.PolicyReactive
+	if m, err := safedrones.NewMonitor(st.uav.ID(), mcfg); err == nil {
+		st.monitor = m
+	}
+	st.swapPending = false
+	if len(st.resumePath) > 0 {
+		if err := st.uav.TakeOff(p.cfg.SurveyAltitudeM); err == nil {
+			if err := st.uav.FlyMission(st.resumePath, p.cfg.SurveyAltitudeM); err == nil {
+				st.inMission = true
+				st.resumePath = nil
+				_ = p.avail.MarkUp(st.uav.ID(), now)
+				return
+			}
+		}
+	}
+	_ = p.avail.MarkUp(st.uav.ID(), now)
+}
+
+// applyAction executes a ConSert action change.
+func (p *Platform) applyAction(st *uavState, action conserts.UAVAction, now float64) {
+	prev := st.action
+	st.action = action
+	if action == prev {
+		return
+	}
+	switch action {
+	case conserts.ActionEmergencyLand:
+		if st.uav.Mode().Airborne() {
+			p.retireUAV(st, now, true)
+		}
+	case conserts.ActionReturnToBase:
+		if st.uav.Mode() == uavsim.ModeMission {
+			p.retireUAV(st, now, false)
+		}
+	case conserts.ActionHold:
+		if st.uav.Mode() == uavsim.ModeMission {
+			st.uav.Hold()
+		}
+	}
+	// Continue/takeover: no intervention needed.
+}
+
+// retireUAV removes the vehicle from the mission (redistributing its
+// work) and lands it.
+func (p *Platform) retireUAV(st *uavState, now float64, emergency bool) {
+	id := st.uav.ID()
+	remaining := st.uav.RemainingPath()
+	if p.mission != nil {
+		if _, assigned := p.mission.Assignments[id]; assigned && len(p.mission.Assignments) > 1 {
+			_ = p.mission.Redistribute(id, remaining)
+			p.redispatch()
+		}
+	}
+	st.inMission = false
+	_ = p.avail.MarkDown(id, now)
+	if emergency {
+		st.uav.EmergencyLand()
+	} else {
+		st.uav.ReturnToBase()
+	}
+}
+
+// updateDecision recomputes the mission-level ConSert decision.
+func (p *Platform) updateDecision() {
+	if p.mission == nil {
+		return
+	}
+	actions := make(map[string]conserts.UAVAction, len(p.order))
+	for _, id := range p.order {
+		st := p.states[id]
+		a := st.action
+		if !p.cfg.SESAME {
+			// Baseline: derive from flight mode.
+			switch st.uav.Mode() {
+			case uavsim.ModeMission, uavsim.ModeHold:
+				a = conserts.ActionContinue
+			case uavsim.ModeReturnToBase, uavsim.ModeLanding:
+				a = conserts.ActionReturnToBase
+			default:
+				a = conserts.ActionEmergencyLand
+			}
+		}
+		actions[id] = a
+	}
+	if d, err := conserts.DecideMission(actions); err == nil {
+		p.decision = d
+	}
+}
+
+// Decision returns the current mission-level decider output.
+func (p *Platform) Decision() conserts.MissionDecision { return p.decision }
+
+// Availability returns the fleet availability since mission start.
+func (p *Platform) Availability() (float64, error) {
+	if p.avail == nil {
+		return 0, errors.New("platform: no mission running")
+	}
+	return p.avail.FleetAvailability(p.World.Clock.Now())
+}
+
+// UAVAvailability returns one vehicle's availability since mission
+// start.
+func (p *Platform) UAVAvailability(id string) (float64, error) {
+	if p.avail == nil {
+		return 0, errors.New("platform: no mission running")
+	}
+	return p.avail.Availability(id, p.World.Clock.Now())
+}
+
+// Close releases bus taps and broker subscriptions.
+func (p *Platform) Close() {
+	if p.IDS != nil {
+		p.IDS.Close()
+	}
+	if p.Security != nil {
+		p.Security.Close()
+	}
+}

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"sesame/internal/geo"
+)
+
+// UAVStatus is the per-vehicle snapshot served to the GUI layer — the
+// "blue box" content of the paper's Fig. 4.
+type UAVStatus struct {
+	ID          string     `json:"id"`
+	Mode        string     `json:"mode"`
+	Action      string     `json:"action"`
+	Position    geo.LatLng `json:"position"`
+	AltitudeM   float64    `json:"altitude_m"`
+	SpeedMS     float64    `json:"speed_ms"`
+	BatteryPct  float64    `json:"battery_pct"`
+	BatteryTemp float64    `json:"battery_temp_c"`
+	PoF         float64    `json:"pof"`
+	Reliability string     `json:"reliability"`
+	Uncertainty float64    `json:"perception_uncertainty"`
+	Waypoints   int        `json:"waypoints_remaining"`
+	Compromised bool       `json:"compromised"`
+	CollocLand  bool       `json:"collaborative_landing"`
+	Rescans     int        `json:"rescans"`
+}
+
+// Status is the full platform snapshot — the Fig. 4 view as data.
+type Status struct {
+	Time     float64     `json:"time"`
+	SESAME   bool        `json:"sesame_enabled"`
+	Decision string      `json:"mission_decision"`
+	UAVs     []UAVStatus `json:"uavs"`
+}
+
+// Status captures a point-in-time snapshot of the fleet.
+func (p *Platform) Status() Status {
+	s := Status{
+		Time:     p.World.Clock.Now(),
+		SESAME:   p.cfg.SESAME,
+		Decision: p.decision.String(),
+	}
+	for _, id := range p.order {
+		st := p.states[id]
+		u := st.uav
+		us := UAVStatus{
+			ID:          id,
+			Mode:        u.Mode().String(),
+			Action:      st.action.String(),
+			Position:    u.TruePosition(),
+			AltitudeM:   u.AltitudeM(),
+			SpeedMS:     u.SpeedMS(),
+			BatteryPct:  u.Battery.ChargePct,
+			BatteryTemp: u.Battery.TempC,
+			PoF:         st.lastAssessment.PoF,
+			Reliability: st.lastAssessment.Level.String(),
+			Waypoints:   u.RemainingWaypoints(),
+			CollocLand:  st.collocCtrl != nil,
+			Rescans:     st.rescans,
+		}
+		if st.hasUncert {
+			us.Uncertainty = st.uncertainty
+		}
+		if p.Security != nil {
+			us.Compromised = p.Security.Compromised(id)
+		}
+		s.UAVs = append(s.UAVs, us)
+	}
+	return s
+}
+
+// Handler returns an http.Handler serving the platform status as JSON
+// at "/" and the EDDI event history at "/events" — the web GUI data
+// feed of §IV-A.
+func (p *Platform) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(p.Status())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		uav := r.URL.Query().Get("uav")
+		type evOut struct {
+			Kind     string  `json:"kind"`
+			UAV      string  `json:"uav"`
+			Time     float64 `json:"time"`
+			Severity float64 `json:"severity"`
+			Summary  string  `json:"summary"`
+		}
+		var out []evOut
+		for _, ev := range p.Coordinator.History(uav) {
+			out = append(out, evOut{
+				Kind: ev.Kind.String(), UAV: ev.UAV, Time: ev.Time,
+				Severity: ev.Severity, Summary: ev.Summary,
+			})
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}

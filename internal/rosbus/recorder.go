@@ -1,0 +1,102 @@
+package rosbus
+
+// Recorder captures bus traffic for later replay — the in-process
+// equivalent of a rosbag. SAR operators record missions for debriefing
+// and security teams replay captured traffic through the IDS for
+// offline analysis; both workflows run on Recorder + Replay.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Recorder captures every message on a bus from the moment it is
+// attached until Stop.
+type Recorder struct {
+	mu     sync.Mutex
+	msgs   []Message
+	cancel func()
+}
+
+// NewRecorder attaches a recorder to the bus.
+func NewRecorder(bus *Bus) (*Recorder, error) {
+	if bus == nil {
+		return nil, errors.New("rosbus: nil bus")
+	}
+	r := &Recorder{}
+	cancel, err := bus.Tap(func(m Message) {
+		r.mu.Lock()
+		r.msgs = append(r.msgs, m)
+		r.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.cancel = cancel
+	return r, nil
+}
+
+// Stop detaches the recorder; the recording stays readable.
+func (r *Recorder) Stop() {
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+}
+
+// Len returns the number of captured messages.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs)
+}
+
+// Messages returns a copy of the recording in capture order.
+func (r *Recorder) Messages() []Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Message(nil), r.msgs...)
+}
+
+// Topics returns the sorted set of topics in the recording.
+func (r *Recorder) Topics() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := map[string]bool{}
+	for _, m := range r.msgs {
+		set[m.Topic] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replay publishes the recording into bus in capture order, preserving
+// topics, publisher names and stamps. Pass a topic filter to replay a
+// subset (nil replays everything). Returns the number of messages
+// replayed.
+func Replay(bus *Bus, recording []Message, topics map[string]bool) (int, error) {
+	if bus == nil {
+		return 0, errors.New("rosbus: nil bus")
+	}
+	n := 0
+	for _, m := range recording {
+		if topics != nil && !topics[m.Topic] {
+			continue
+		}
+		if err := bus.Inject(Message{
+			Topic:     m.Topic,
+			Publisher: m.Publisher,
+			Stamp:     m.Stamp,
+			Payload:   m.Payload,
+		}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

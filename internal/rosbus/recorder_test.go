@@ -1,0 +1,85 @@
+package rosbus
+
+import (
+	"testing"
+)
+
+func TestRecorderCaptures(t *testing.T) {
+	bus := NewBus()
+	rec, err := NewRecorder(bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := bus.Advertise("/a", "n1")
+	pb, _ := bus.Advertise("/b", "n2")
+	_ = pa.Publish(1, "x")
+	_ = pb.Publish(2, "y")
+	_ = pa.Publish(3, "z")
+	if rec.Len() != 3 {
+		t.Fatalf("captured %d", rec.Len())
+	}
+	msgs := rec.Messages()
+	if msgs[0].Topic != "/a" || msgs[0].Payload != "x" || msgs[0].Stamp != 1 {
+		t.Fatalf("first = %+v", msgs[0])
+	}
+	topics := rec.Topics()
+	if len(topics) != 2 || topics[0] != "/a" || topics[1] != "/b" {
+		t.Fatalf("topics = %v", topics)
+	}
+	rec.Stop()
+	_ = pa.Publish(4, "after")
+	if rec.Len() != 3 {
+		t.Fatal("recorder captured after Stop")
+	}
+	rec.Stop() // idempotent
+	if _, err := NewRecorder(nil); err == nil {
+		t.Fatal("nil bus must fail")
+	}
+}
+
+func TestReplayIntoFreshBus(t *testing.T) {
+	src := NewBus()
+	rec, _ := NewRecorder(src)
+	p, _ := src.Advertise("/uav/u1/gps", "u1")
+	for ts := 1.0; ts <= 5; ts++ {
+		_ = p.Publish(ts, ts)
+	}
+	rec.Stop()
+
+	dst := NewBus()
+	var got []Message
+	_, _ = dst.Subscribe("/uav/u1/gps", func(m Message) { got = append(got, m) })
+	n, err := Replay(dst, rec.Messages(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || len(got) != 5 {
+		t.Fatalf("replayed %d, delivered %d", n, len(got))
+	}
+	if got[0].Publisher != "u1" || got[0].Stamp != 1 || got[0].Payload != 1.0 {
+		t.Fatalf("replayed message mangled: %+v", got[0])
+	}
+}
+
+func TestReplayTopicFilter(t *testing.T) {
+	src := NewBus()
+	rec, _ := NewRecorder(src)
+	pa, _ := src.Advertise("/a", "n")
+	pb, _ := src.Advertise("/b", "n")
+	_ = pa.Publish(1, nil)
+	_ = pb.Publish(2, nil)
+	dst := NewBus()
+	count := 0
+	_, _ = dst.Subscribe("/a", func(Message) { count++ })
+	_, _ = dst.Subscribe("/b", func(Message) { count++ })
+	n, err := Replay(dst, rec.Messages(), map[string]bool{"/a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || count != 1 {
+		t.Fatalf("n=%d count=%d", n, count)
+	}
+	if _, err := Replay(nil, rec.Messages(), nil); err == nil {
+		t.Fatal("nil bus must fail")
+	}
+}

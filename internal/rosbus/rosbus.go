@@ -1,0 +1,232 @@
+// Package rosbus is an in-process publish/subscribe middleware that
+// stands in for ROS Noetic in the paper's architecture (Figs. 2 and 3).
+// It reproduces the property that makes the §V-C attack possible: like
+// stock ROS, the bus does not authenticate publishers, so any node that
+// can reach the bus may advertise on any topic and inject falsified
+// messages. The IDS taps the bus the way a network IDS taps ROS
+// traffic.
+//
+// Delivery is synchronous and in registration order, which keeps
+// simulation runs deterministic.
+package rosbus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Message is one bus datagram. Payloads are domain structs defined by
+// the publishing subsystem (e.g. GPSFix, BatteryState).
+type Message struct {
+	Topic     string
+	Publisher string  // advertised node name; NOT authenticated
+	Seq       uint64  // per-topic sequence number assigned by the bus
+	Stamp     float64 // simulation time in seconds, set by the publisher
+	Payload   interface{}
+}
+
+// Handler consumes messages delivered to a subscription.
+type Handler func(Message)
+
+// Subscription identifies an active subscription; use Bus.Unsubscribe
+// to cancel it.
+type Subscription struct {
+	topic string
+	id    int
+}
+
+// Bus is the topic registry and router (the roscore equivalent).
+// The zero value is not usable; call NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	topics map[string]*topicState
+	taps   map[int]Handler
+	nextID int
+	// depth guards against unbounded publish-from-handler recursion.
+	depth int
+}
+
+type topicState struct {
+	seq  uint64
+	subs map[int]Handler
+	// stats
+	published uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		topics: make(map[string]*topicState),
+		taps:   make(map[int]Handler),
+	}
+}
+
+// maxPublishDepth bounds handler->publish recursion.
+const maxPublishDepth = 32
+
+// Publisher is a handle bound to a topic and an (unverified) node name.
+type Publisher struct {
+	bus   *Bus
+	topic string
+	node  string
+}
+
+// Advertise returns a publisher for topic under the given node name.
+// Names are not authenticated — this mirrors the ROS vulnerability the
+// Security EDDI exists to detect.
+func (b *Bus) Advertise(topic, node string) (*Publisher, error) {
+	if topic == "" || node == "" {
+		return nil, errors.New("rosbus: empty topic or node name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ensureTopic(topic)
+	return &Publisher{bus: b, topic: topic, node: node}, nil
+}
+
+func (b *Bus) ensureTopic(topic string) *topicState {
+	ts, ok := b.topics[topic]
+	if !ok {
+		ts = &topicState{subs: make(map[int]Handler)}
+		b.topics[topic] = ts
+	}
+	return ts
+}
+
+// Publish sends payload on the publisher's topic at simulation time
+// stamp. Handlers run synchronously before Publish returns.
+func (p *Publisher) Publish(stamp float64, payload interface{}) error {
+	return p.bus.publish(Message{
+		Topic:     p.topic,
+		Publisher: p.node,
+		Stamp:     stamp,
+		Payload:   payload,
+	})
+}
+
+// Inject delivers a fully caller-controlled message, spoofed publisher
+// name included. It is how attack scenarios model a compromised node.
+func (b *Bus) Inject(msg Message) error {
+	return b.publish(msg)
+}
+
+func (b *Bus) publish(msg Message) error {
+	if msg.Topic == "" {
+		return errors.New("rosbus: empty topic")
+	}
+	b.mu.Lock()
+	if b.depth >= maxPublishDepth {
+		b.mu.Unlock()
+		return fmt.Errorf("rosbus: publish depth exceeds %d (handler loop?)", maxPublishDepth)
+	}
+	b.depth++
+	ts := b.ensureTopic(msg.Topic)
+	ts.seq++
+	ts.published++
+	msg.Seq = ts.seq
+	// Snapshot handlers in deterministic id order.
+	subIDs := make([]int, 0, len(ts.subs))
+	for id := range ts.subs {
+		subIDs = append(subIDs, id)
+	}
+	sort.Ints(subIDs)
+	handlers := make([]Handler, 0, len(subIDs)+len(b.taps))
+	for _, id := range subIDs {
+		handlers = append(handlers, ts.subs[id])
+	}
+	tapIDs := make([]int, 0, len(b.taps))
+	for id := range b.taps {
+		tapIDs = append(tapIDs, id)
+	}
+	sort.Ints(tapIDs)
+	for _, id := range tapIDs {
+		handlers = append(handlers, b.taps[id])
+	}
+	b.mu.Unlock()
+
+	for _, h := range handlers {
+		h(msg)
+	}
+
+	b.mu.Lock()
+	b.depth--
+	b.mu.Unlock()
+	return nil
+}
+
+// Subscribe registers handler for every future message on topic.
+func (b *Bus) Subscribe(topic string, handler Handler) (Subscription, error) {
+	if topic == "" {
+		return Subscription{}, errors.New("rosbus: empty topic")
+	}
+	if handler == nil {
+		return Subscription{}, errors.New("rosbus: nil handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ts := b.ensureTopic(topic)
+	b.nextID++
+	ts.subs[b.nextID] = handler
+	return Subscription{topic: topic, id: b.nextID}, nil
+}
+
+// Unsubscribe cancels a subscription. Unknown subscriptions are a no-op.
+func (b *Bus) Unsubscribe(s Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts, ok := b.topics[s.topic]; ok {
+		delete(ts.subs, s.id)
+	}
+}
+
+// Tap registers handler for every message on every topic (the IDS
+// vantage point). The returned cancel function removes the tap.
+func (b *Bus) Tap(handler Handler) (cancel func(), err error) {
+	if handler == nil {
+		return nil, errors.New("rosbus: nil tap handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	id := b.nextID
+	b.taps[id] = handler
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		delete(b.taps, id)
+	}, nil
+}
+
+// Topics returns the sorted list of known topics.
+func (b *Bus) Topics() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.topics))
+	for t := range b.topics {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PublishedCount returns how many messages have been published on topic.
+func (b *Bus) PublishedCount(topic string) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts, ok := b.topics[topic]; ok {
+		return ts.published
+	}
+	return 0
+}
+
+// SubscriberCount returns the number of active subscriptions on topic.
+func (b *Bus) SubscriberCount(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ts, ok := b.topics[topic]; ok {
+		return len(ts.subs)
+	}
+	return 0
+}

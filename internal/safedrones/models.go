@@ -1,0 +1,163 @@
+package safedrones
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sesame/internal/markov"
+)
+
+// Boltzmann constant in eV/K, used by the Arrhenius temperature
+// acceleration model for battery wear.
+const boltzmannEV = 8.617e-5
+
+// ArrheniusFactor returns the failure-rate acceleration of operating at
+// tempC relative to refC with activation energy eaEV. At tempC == refC
+// the factor is 1; hotter is super-linearly worse.
+func ArrheniusFactor(tempC, refC, eaEV float64) float64 {
+	tk := tempC + 273.15
+	rk := refC + 273.15
+	if tk <= 0 || rk <= 0 {
+		return 1
+	}
+	return math.Exp(eaEV / boltzmannEV * (1/rk - 1/tk))
+}
+
+// PropulsionChain builds the Markov propulsion reliability model of
+// Aslansefat et al. (DoCEIS 2019): states count failed motors; a
+// reconfigurable frame (hex/octa) tolerates failures down to minMotors,
+// a quad fails on the first motor loss. State names are "m<k>" for k
+// failed motors plus the absorbing "failure".
+func PropulsionChain(motors, minMotors int, motorRate float64) (*markov.Chain, error) {
+	if motors < 3 {
+		return nil, fmt.Errorf("safedrones: %d motors is not a multirotor", motors)
+	}
+	if minMotors < 1 || minMotors > motors {
+		return nil, fmt.Errorf("safedrones: minMotors %d out of range", minMotors)
+	}
+	if motorRate <= 0 {
+		return nil, errors.New("safedrones: motor rate must be positive")
+	}
+	tolerable := motors - minMotors // failures survivable
+	states := make([]string, 0, tolerable+2)
+	for k := 0; k <= tolerable; k++ {
+		states = append(states, fmt.Sprintf("m%d", k))
+	}
+	states = append(states, "failure")
+	ch, err := markov.NewChain(states...)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k <= tolerable; k++ {
+		from := fmt.Sprintf("m%d", k)
+		rate := float64(motors-k) * motorRate
+		var to string
+		if k == tolerable {
+			to = "failure"
+		} else {
+			to = fmt.Sprintf("m%d", k+1)
+		}
+		if err := ch.AddTransition(from, to, rate); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// BatteryStress captures the runtime observables that modulate the
+// battery failure rate.
+type BatteryStress struct {
+	ChargePct float64
+	TempC     float64
+}
+
+// BatteryRateModel maps observed battery stress to an instantaneous
+// failure rate (per second). It is the "complex basic event" regime
+// model: the monitor integrates this rate into a cumulative hazard.
+type BatteryRateModel struct {
+	// BaseRate is the healthy-pack failure rate at ReferenceTempC and
+	// full charge.
+	BaseRate float64
+	// ReferenceTempC anchors the Arrhenius factor.
+	ReferenceTempC float64
+	// ActivationEnergyEV controls temperature sensitivity.
+	ActivationEnergyEV float64
+	// LowChargeKnee is the charge percentage below which depletion
+	// stress ramps up; LowChargeSteepness scales the ramp.
+	LowChargeKnee      float64
+	LowChargeSteepness float64
+}
+
+// DefaultBatteryRateModel is calibrated so that the paper's §V-A
+// scenario (charge collapse 80%->40% with thermal fault at t=250 s)
+// crosses the 0.9 PoF threshold near the 510 s mission end.
+func DefaultBatteryRateModel() BatteryRateModel {
+	return BatteryRateModel{
+		BaseRate:           5e-5,
+		ReferenceTempC:     25,
+		ActivationEnergyEV: 0.7,
+		LowChargeKnee:      50,
+		LowChargeSteepness: 18,
+	}
+}
+
+// Rate returns the instantaneous battery failure rate under stress.
+func (m BatteryRateModel) Rate(s BatteryStress) float64 {
+	rate := m.BaseRate * ArrheniusFactor(s.TempC, m.ReferenceTempC, m.ActivationEnergyEV)
+	if s.ChargePct < m.LowChargeKnee && m.LowChargeKnee > 0 {
+		rate *= 1 + m.LowChargeSteepness*(m.LowChargeKnee-s.ChargePct)/m.LowChargeKnee
+	}
+	return rate
+}
+
+// Chain builds a 3-state battery CTMC (ok -> degraded -> failure) whose
+// rates reflect a fixed stress level; used for design-time FTA and the
+// complex-basic-event ablation.
+func (m BatteryRateModel) Chain(s BatteryStress) (*markov.Chain, error) {
+	rate := m.Rate(s)
+	ch, err := markov.NewChain("ok", "degraded", "failure")
+	if err != nil {
+		return nil, err
+	}
+	// Degradation happens at 3x the outright failure rate; a degraded
+	// pack fails 5x faster. The two-path structure is what makes this a
+	// complex basic event rather than a plain exponential.
+	if err := ch.AddTransition("ok", "degraded", 3*rate); err != nil {
+		return nil, err
+	}
+	if err := ch.AddTransition("ok", "failure", rate); err != nil {
+		return nil, err
+	}
+	if err := ch.AddTransition("degraded", "failure", 5*rate); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// ProcessorChain models the onboard computer (Jetson-class) with a
+// soft-error-driven failure rate: ok -> hung -> failure with a watchdog
+// recovery path, following the dependable-multicore treatment of
+// Ottavi et al. (IEEE D&T 2014).
+func ProcessorChain(serRate, watchdogRecoveryRate float64) (*markov.Chain, error) {
+	if serRate <= 0 || watchdogRecoveryRate < 0 {
+		return nil, errors.New("safedrones: invalid processor rates")
+	}
+	ch, err := markov.NewChain("ok", "hung", "failure")
+	if err != nil {
+		return nil, err
+	}
+	if err := ch.AddTransition("ok", "hung", serRate); err != nil {
+		return nil, err
+	}
+	if watchdogRecoveryRate > 0 {
+		if err := ch.AddTransition("hung", "ok", watchdogRecoveryRate); err != nil {
+			return nil, err
+		}
+	}
+	// A hang that persists past the watchdog escalates.
+	if err := ch.AddTransition("hung", "failure", serRate*100); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}

@@ -1,0 +1,385 @@
+package safedrones
+
+import (
+	"math"
+	"testing"
+)
+
+func TestArrheniusFactor(t *testing.T) {
+	if f := ArrheniusFactor(25, 25, 0.55); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("reference factor = %v, want 1", f)
+	}
+	hot := ArrheniusFactor(70, 25, 0.55)
+	if hot <= 5 || hot >= 50 {
+		t.Fatalf("70C factor = %v, want O(10)", hot)
+	}
+	cold := ArrheniusFactor(0, 25, 0.55)
+	if cold >= 1 {
+		t.Fatalf("cold factor = %v, want < 1", cold)
+	}
+	hotter := ArrheniusFactor(80, 25, 0.55)
+	if hotter <= hot {
+		t.Fatal("factor must be monotone in temperature")
+	}
+}
+
+func TestPropulsionChainQuad(t *testing.T) {
+	ch, err := PropulsionChain(4, 4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quad: m0 -> failure at rate 4*lambda.
+	p, err := ch.FailureProbability("m0", 1000, "failure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-4e-4*1000)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("quad PoF = %v, want %v", p, want)
+	}
+}
+
+func TestPropulsionChainHexTolerates(t *testing.T) {
+	hex, err := PropulsionChain(6, 4, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, _ := PropulsionChain(4, 4, 1e-4)
+	ph, _ := hex.FailureProbability("m0", 2000, "failure")
+	pq, _ := quad.FailureProbability("m0", 2000, "failure")
+	if ph >= pq {
+		t.Fatalf("reconfigurable hex (%v) must beat quad (%v)", ph, pq)
+	}
+	// From one failure the hex still has slack.
+	p1, _ := hex.FailureProbability("m1", 2000, "failure")
+	if p1 >= 1 || p1 <= ph {
+		t.Fatalf("degraded hex PoF = %v (fresh %v)", p1, ph)
+	}
+}
+
+func TestPropulsionChainValidation(t *testing.T) {
+	if _, err := PropulsionChain(2, 2, 1e-4); err == nil {
+		t.Error("2 motors must fail")
+	}
+	if _, err := PropulsionChain(4, 0, 1e-4); err == nil {
+		t.Error("minMotors 0 must fail")
+	}
+	if _, err := PropulsionChain(4, 5, 1e-4); err == nil {
+		t.Error("minMotors > motors must fail")
+	}
+	if _, err := PropulsionChain(4, 4, 0); err == nil {
+		t.Error("zero rate must fail")
+	}
+}
+
+func TestBatteryRateModel(t *testing.T) {
+	m := DefaultBatteryRateModel()
+	nominal := m.Rate(BatteryStress{ChargePct: 100, TempC: 25})
+	if math.Abs(nominal-m.BaseRate) > 1e-12 {
+		t.Fatalf("nominal rate = %v, want base %v", nominal, m.BaseRate)
+	}
+	hot := m.Rate(BatteryStress{ChargePct: 100, TempC: 70})
+	if hot <= nominal*5 {
+		t.Fatalf("hot rate = %v, want >> nominal", hot)
+	}
+	low := m.Rate(BatteryStress{ChargePct: 20, TempC: 25})
+	if low <= nominal {
+		t.Fatal("low charge must raise the rate")
+	}
+	faulted := m.Rate(BatteryStress{ChargePct: 40, TempC: 70})
+	if faulted < 20*nominal {
+		t.Fatalf("faulted rate only %vx nominal", faulted/nominal)
+	}
+}
+
+func TestBatteryChain(t *testing.T) {
+	m := DefaultBatteryRateModel()
+	ch, err := m.Chain(BatteryStress{ChargePct: 80, TempC: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := ch.FailureProbability("ok", 0, "failure")
+	p1, _ := ch.FailureProbability("ok", 600, "failure")
+	if p0 != 0 || p1 <= 0 {
+		t.Fatalf("battery chain PoF: %v then %v", p0, p1)
+	}
+}
+
+func TestProcessorChainWatchdog(t *testing.T) {
+	with, err := ProcessorChain(1e-4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := ProcessorChain(1e-4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := with.FailureProbability("ok", 5000, "failure")
+	pwo, _ := without.FailureProbability("ok", 5000, "failure")
+	if pw >= pwo {
+		t.Fatalf("watchdog must help: with=%v without=%v", pw, pwo)
+	}
+	if _, err := ProcessorChain(0, 0.1); err == nil {
+		t.Error("zero SER rate must fail")
+	}
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewMonitor("", cfg); err == nil {
+		t.Error("empty id must fail")
+	}
+	bad := cfg
+	bad.EmergencyPoF = 0
+	if _, err := NewMonitor("u1", bad); err == nil {
+		t.Error("zero threshold must fail")
+	}
+	bad = cfg
+	bad.MediumPoF = bad.HighPoF / 2
+	if _, err := NewMonitor("u1", bad); err == nil {
+		t.Error("inverted levels must fail")
+	}
+}
+
+func TestMonitorNominalFlight(t *testing.T) {
+	m, err := NewMonitor("u1", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Assessment
+	for ts := 0.0; ts <= 510; ts += 1 {
+		last, err = m.Observe(Telemetry{
+			Time: ts, ChargePct: 100 - ts*0.06, TempC: 35, CommsOK: true, Airborne: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Advice != AdviceContinue {
+			t.Fatalf("t=%v: advice %v on a nominal flight", ts, last.Advice)
+		}
+	}
+	if last.Level != LevelHigh {
+		t.Fatalf("nominal mission ended at level %v, PoF %v", last.Level, last.PoF)
+	}
+	if last.PoF <= 0 || last.PoF > 0.2 {
+		t.Fatalf("nominal PoF = %v", last.PoF)
+	}
+	if last.Anomaly {
+		t.Fatal("nominal flight flagged anomalous")
+	}
+}
+
+// runBatteryScenario reproduces the §V-A battery collapse under the
+// given policy and returns the assessments at each second.
+func runBatteryScenario(t *testing.T, policy Policy) []Assessment {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	m, err := NewMonitor("u1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Assessment
+	for ts := 0.0; ts <= 600; ts += 1 {
+		tel := Telemetry{Time: ts, CommsOK: true, Airborne: true}
+		if ts < 250 {
+			tel.ChargePct = 80
+			tel.TempC = 35
+		} else {
+			tel.ChargePct = 40
+			tel.TempC = 70
+			tel.Overheating = true
+		}
+		a, err := m.Observe(tel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestBatteryCollapseEDDIPolicy(t *testing.T) {
+	as := runBatteryScenario(t, PolicyEDDI)
+	// Before the fault: continue, low PoF.
+	if as[249].Advice != AdviceContinue || as[249].PoF > 0.2 {
+		t.Fatalf("pre-fault: advice=%v PoF=%v", as[249].Advice, as[249].PoF)
+	}
+	// Immediately after the fault the EDDI keeps flying.
+	if as[260].Advice != AdviceContinue {
+		t.Fatalf("EDDI aborted immediately: %v", as[260].Advice)
+	}
+	if !as[260].Anomaly {
+		t.Fatal("anomaly must be flagged")
+	}
+	// PoF rises monotonically and crosses 0.9 near the 510 s mark.
+	cross := -1
+	for i, a := range as {
+		if a.PoF >= 0.9 {
+			cross = i
+			break
+		}
+	}
+	if cross < 0 {
+		t.Fatalf("PoF never crossed 0.9 (final %v)", as[len(as)-1].PoF)
+	}
+	if cross < 420 || cross > 580 {
+		t.Fatalf("PoF crossed 0.9 at t=%d, want near 510", cross)
+	}
+	if as[cross].Advice != AdviceEmergencyLand {
+		t.Fatalf("advice at crossing = %v", as[cross].Advice)
+	}
+	// The paper's claim: the mission (ending at 510 s) is essentially
+	// complete before the emergency threshold fires.
+	if cross < 460 {
+		t.Fatalf("threshold fired too early (t=%d) to finish a 510 s mission", cross)
+	}
+}
+
+func TestBatteryCollapseReactivePolicy(t *testing.T) {
+	as := runBatteryScenario(t, PolicyReactive)
+	if as[249].Advice != AdviceContinue {
+		t.Fatalf("pre-fault reactive advice = %v", as[249].Advice)
+	}
+	if as[251].Advice != AdviceReturnToBase {
+		t.Fatalf("reactive policy must abort on anomaly, got %v", as[251].Advice)
+	}
+}
+
+func TestMonitorRotorFailureQuad(t *testing.T) {
+	m, _ := NewMonitor("u1", DefaultConfig())
+	a, err := m.Observe(Telemetry{Time: 10, ChargePct: 90, TempC: 30, CommsOK: true, Airborne: true, FailedRotors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Advice != AdviceEmergencyLand {
+		t.Fatalf("quad rotor loss advice = %v, want emergency-land", a.Advice)
+	}
+	if a.Components["propulsion"] != 1 {
+		t.Fatalf("propulsion PoF = %v, want 1", a.Components["propulsion"])
+	}
+}
+
+func TestMonitorRotorFailureHex(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Motors = 6
+	cfg.MinMotors = 4
+	m, err := NewMonitor("u1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Observe(Telemetry{Time: 10, ChargePct: 90, TempC: 30, CommsOK: true, Airborne: true, FailedRotors: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Advice == AdviceEmergencyLand {
+		t.Fatal("hex must tolerate one rotor loss")
+	}
+	if a.Components["propulsion"] >= 1 {
+		t.Fatal("hex propulsion must not be certain-failed")
+	}
+	a, _ = m.Observe(Telemetry{Time: 11, ChargePct: 90, TempC: 30, CommsOK: true, Airborne: true, FailedRotors: 3})
+	if a.Advice != AdviceEmergencyLand {
+		t.Fatalf("3 losses on hex = %v, want emergency-land", a.Advice)
+	}
+}
+
+func TestMonitorCommsOutage(t *testing.T) {
+	m, _ := NewMonitor("u1", DefaultConfig())
+	a, err := m.Observe(Telemetry{Time: 5, ChargePct: 90, TempC: 30, CommsOK: false, Airborne: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Components["comms"] != 1 {
+		t.Fatalf("comms PoF = %v, want 1", a.Components["comms"])
+	}
+	if a.Advice != AdviceEmergencyLand {
+		t.Fatalf("total comms loss drives PoF to 1; advice = %v", a.Advice)
+	}
+}
+
+func TestMonitorTimeMonotonic(t *testing.T) {
+	m, _ := NewMonitor("u1", DefaultConfig())
+	if _, err := m.Observe(Telemetry{Time: 10, ChargePct: 90, TempC: 30, CommsOK: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(Telemetry{Time: 5, ChargePct: 90, TempC: 30, CommsOK: true}); err == nil {
+		t.Fatal("time reversal must fail")
+	}
+}
+
+func TestGroundedUAVAccumulatesNoBatteryHazard(t *testing.T) {
+	m, _ := NewMonitor("u1", DefaultConfig())
+	var a Assessment
+	var err error
+	for ts := 0.0; ts <= 500; ts += 10 {
+		a, err = m.Observe(Telemetry{Time: ts, ChargePct: 90, TempC: 30, CommsOK: true, Airborne: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Components["battery"] != 0 {
+		t.Fatalf("grounded battery PoF = %v, want 0", a.Components["battery"])
+	}
+}
+
+func TestDesignTimeTreeVsStatic(t *testing.T) {
+	cfg := DefaultConfig()
+	stress := BatteryStress{ChargePct: 80, TempC: 35}
+	dyn, err := DesignTimeTree(cfg, stress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := StaticTree(cfg, stress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range []float64{60, 300, 600} {
+		pd, err := dyn.Probability(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := stat.Probability(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pd <= 0 || ps <= 0 || pd >= 1 || ps >= 1 {
+			t.Fatalf("t=%v: PoFs out of range dyn=%v stat=%v", ts, pd, ps)
+		}
+		// The static flattening is pessimistic for the battery (it
+		// collapses the degraded path into direct failure).
+		if ps <= pd {
+			t.Fatalf("t=%v: static (%v) should be pessimistic vs dynamic (%v)", ts, ps, pd)
+		}
+	}
+	mcs := dyn.MinimalCutSets()
+	if len(mcs) != 4 {
+		t.Fatalf("UAV-loss tree must have 4 single-event cut sets, got %v", mcs)
+	}
+}
+
+func TestLevelAndAdviceStrings(t *testing.T) {
+	if LevelHigh.String() != "high" || LevelMedium.String() != "medium" || LevelLow.String() != "low" {
+		t.Fatal("level names wrong")
+	}
+	for a := AdviceContinue; a <= AdviceEmergencyLand; a++ {
+		if a.String() == "" {
+			t.Fatal("advice name empty")
+		}
+	}
+	if Level(9).String() == "" || Advice(9).String() == "" {
+		t.Fatal("unknown values must render")
+	}
+}
+
+func BenchmarkMonitorObserve(b *testing.B) {
+	m, _ := NewMonitor("u1", DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Observe(Telemetry{
+			Time: float64(i), ChargePct: 80, TempC: 40, CommsOK: true, Airborne: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package safeml implements the SafeML runtime ML-safety monitor
+// (paper §III-A2; Aslansefat et al., IMBSA 2020). It maintains a
+// sliding window of the feature vectors the perception model is seeing
+// at runtime and compares their distribution, per feature, against the
+// training reference set using the statistical distance measures of
+// package statdist. The greater the dissimilarity, the lower the
+// confidence in the ML outcome; confidence bands map to responses that
+// ConSerts orchestrates (accept, caution, reject/minimal-risk
+// manoeuvre).
+package safeml
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"sesame/internal/statdist"
+)
+
+// Action is the response band suggested by the monitor.
+type Action int
+
+// Actions in increasing severity.
+const (
+	ActionAccept Action = iota
+	ActionCaution
+	ActionReject
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionAccept:
+		return "accept"
+	case ActionCaution:
+		return "caution"
+	case ActionReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Measure is the statistical distance; defaults to
+	// Kolmogorov-Smirnov, SafeML's canonical choice.
+	Measure statdist.Measure
+	// WindowSize is how many runtime samples are compared at a time.
+	WindowSize int
+	// UncertaintyFloor and UncertaintyGain map the mean per-feature
+	// distance d to uncertainty = floor + gain*d (clamped to [0,1]).
+	// The defaults are calibrated to the paper's §V-B operating
+	// points: ~0.75 uncertainty in-distribution, >0.9 at high-altitude
+	// drift.
+	UncertaintyFloor float64
+	UncertaintyGain  float64
+	// CautionAt / RejectAt are the uncertainty thresholds for the
+	// caution and reject bands (paper threshold: 0.9 for reject).
+	CautionAt float64
+	RejectAt  float64
+}
+
+// DefaultConfig returns the calibration used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Measure:          statdist.KolmogorovSmirnov{},
+		WindowSize:       40,
+		UncertaintyFloor: 0.68,
+		UncertaintyGain:  0.55,
+		CautionAt:        0.82,
+		RejectAt:         0.9,
+	}
+}
+
+// Report is one evaluation of the runtime window.
+type Report struct {
+	// Distance is the mean per-feature statistical distance between
+	// the window and the reference.
+	Distance float64
+	// PerFeature are the individual feature distances.
+	PerFeature []float64
+	// Uncertainty in [0,1]; Confidence = 1 - Uncertainty.
+	Uncertainty float64
+	Confidence  float64
+	Action      Action
+	// Samples is how many runtime samples the window held.
+	Samples int
+}
+
+// Monitor is the runtime SafeML instance for one perception model.
+type Monitor struct {
+	cfg Config
+	ref [][]float64
+
+	window [][]float64
+	next   int
+	filled bool
+}
+
+// NewMonitor builds a monitor around the training reference feature
+// matrix (rows = samples, columns = features).
+func NewMonitor(reference [][]float64, cfg Config) (*Monitor, error) {
+	if len(reference) == 0 {
+		return nil, errors.New("safeml: empty reference set")
+	}
+	width := len(reference[0])
+	if width == 0 {
+		return nil, errors.New("safeml: reference has zero features")
+	}
+	for i, row := range reference {
+		if len(row) != width {
+			return nil, fmt.Errorf("safeml: reference row %d has %d features, want %d", i, len(row), width)
+		}
+	}
+	if cfg.Measure == nil {
+		cfg.Measure = statdist.KolmogorovSmirnov{}
+	}
+	if cfg.WindowSize <= 1 {
+		return nil, fmt.Errorf("safeml: window size %d too small", cfg.WindowSize)
+	}
+	if cfg.RejectAt <= cfg.CautionAt {
+		return nil, errors.New("safeml: require CautionAt < RejectAt")
+	}
+	ref := make([][]float64, len(reference))
+	for i, row := range reference {
+		ref[i] = append([]float64(nil), row...)
+	}
+	return &Monitor{cfg: cfg, ref: ref, window: make([][]float64, cfg.WindowSize)}, nil
+}
+
+// FeatureDim returns the expected feature vector width.
+func (m *Monitor) FeatureDim() int { return len(m.ref[0]) }
+
+// Ready reports whether the window has filled at least once.
+func (m *Monitor) Ready() bool { return m.filled }
+
+// Push adds one runtime feature vector to the sliding window.
+func (m *Monitor) Push(features []float64) error {
+	if len(features) != m.FeatureDim() {
+		return fmt.Errorf("safeml: got %d features, want %d", len(features), m.FeatureDim())
+	}
+	m.window[m.next] = append([]float64(nil), features...)
+	m.next++
+	if m.next == len(m.window) {
+		m.next = 0
+		m.filled = true
+	}
+	return nil
+}
+
+// Reset clears the runtime window (e.g. after a commanded altitude
+// change invalidates the old samples).
+func (m *Monitor) Reset() {
+	m.next = 0
+	m.filled = false
+	for i := range m.window {
+		m.window[i] = nil
+	}
+}
+
+// Evaluate compares the current window against the reference. It
+// requires a full window so that the statistics are comparable across
+// evaluations.
+func (m *Monitor) Evaluate() (Report, error) {
+	if !m.filled {
+		return Report{}, fmt.Errorf("safeml: window not yet full (%d/%d)", m.next, len(m.window))
+	}
+	per, mean, err := statdist.FeatureDistance(m.cfg.Measure, m.ref, m.window)
+	if err != nil {
+		return Report{}, err
+	}
+	u := m.cfg.UncertaintyFloor + m.cfg.UncertaintyGain*mean
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	r := Report{
+		Distance:    mean,
+		PerFeature:  per,
+		Uncertainty: u,
+		Confidence:  1 - u,
+		Samples:     len(m.window),
+	}
+	switch {
+	case u >= m.cfg.RejectAt:
+		r.Action = ActionReject
+	case u >= m.cfg.CautionAt:
+		r.Action = ActionCaution
+	default:
+		r.Action = ActionAccept
+	}
+	return r, nil
+}
+
+// EvaluateWithPValue augments Evaluate with a per-feature permutation
+// test of the null hypothesis "window and reference come from the same
+// distribution": it returns the ordinary report plus the minimum
+// per-feature p-value (Bonferroni-comparable across features). Small
+// p-values confirm the drift is statistically significant rather than
+// a small-window artefact; the original SafeML workflow uses this to
+// set the sample size.
+func (m *Monitor) EvaluateWithPValue(rounds int, rng *rand.Rand) (Report, float64, error) {
+	rep, err := m.Evaluate()
+	if err != nil {
+		return Report{}, 0, err
+	}
+	if rounds <= 0 {
+		return Report{}, 0, errors.New("safeml: rounds must be positive")
+	}
+	if rng == nil {
+		return Report{}, 0, errors.New("safeml: nil rng")
+	}
+	minP := 1.0
+	refCol := make([]float64, 0, len(m.ref))
+	obsCol := make([]float64, 0, len(m.window))
+	for f := 0; f < m.FeatureDim(); f++ {
+		refCol = refCol[:0]
+		obsCol = obsCol[:0]
+		for _, row := range m.ref {
+			refCol = append(refCol, row[f])
+		}
+		for _, row := range m.window {
+			obsCol = append(obsCol, row[f])
+		}
+		p, _, err := statdist.PermutationPValue(m.cfg.Measure, refCol, obsCol, rounds, rng)
+		if err != nil {
+			return Report{}, 0, err
+		}
+		if p < minP {
+			minP = p
+		}
+	}
+	return rep, minP, nil
+}

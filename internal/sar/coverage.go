@@ -1,0 +1,193 @@
+// Package sar implements the search-and-rescue mission algorithms the
+// multi-UAV platform hosts (paper §IV): boustrophedon area-coverage
+// path planning, partitioning of the search area across the fleet,
+// task redistribution when a UAV drops out (the Fig. 1 mission-level
+// behaviour), detection aggregation, and the mission availability
+// accounting behind the §V-A result.
+package sar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sesame/internal/geo"
+)
+
+// BoustrophedonPath plans a serpentine sweep over the area with the
+// given track spacing in metres. Sweep lines run west-east; the path
+// serpentines south to north. The returned waypoints are clipped to
+// the polygon.
+func BoustrophedonPath(area geo.Polygon, spacingM float64) ([]geo.LatLng, error) {
+	if len(area) < 3 {
+		return nil, errors.New("sar: area needs at least 3 vertices")
+	}
+	if spacingM <= 0 {
+		return nil, errors.New("sar: spacing must be positive")
+	}
+	origin, err := area.Centroid()
+	if err != nil {
+		return nil, err
+	}
+	pr := geo.NewProjection(origin)
+	poly := make([]geo.ENU, len(area))
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i, p := range area {
+		poly[i] = pr.ToENU(p)
+		if poly[i].North < minY {
+			minY = poly[i].North
+		}
+		if poly[i].North > maxY {
+			maxY = poly[i].North
+		}
+	}
+	var path []geo.LatLng
+	leftToRight := true
+	for y := minY + spacingM/2; y < maxY; y += spacingM {
+		xs := rowIntersections(poly, y)
+		if len(xs) < 2 {
+			continue
+		}
+		// Use the outermost span (sufficient for the convex-ish search
+		// areas SAR missions use).
+		x0, x1 := xs[0], xs[len(xs)-1]
+		a := pr.ToLatLng(geo.ENU{East: x0, North: y})
+		b := pr.ToLatLng(geo.ENU{East: x1, North: y})
+		if leftToRight {
+			path = append(path, a, b)
+		} else {
+			path = append(path, b, a)
+		}
+		leftToRight = !leftToRight
+	}
+	if len(path) == 0 {
+		return nil, fmt.Errorf("sar: spacing %.0f m produced no sweep lines", spacingM)
+	}
+	return path, nil
+}
+
+// rowIntersections returns the sorted East coordinates where the
+// horizontal line North=y crosses the polygon boundary.
+func rowIntersections(poly []geo.ENU, y float64) []float64 {
+	var xs []float64
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		if (a.North > y) == (b.North > y) {
+			continue
+		}
+		t := (y - a.North) / (b.North - a.North)
+		xs = append(xs, a.East+t*(b.East-a.East))
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// PartitionStrips splits the area into k vertical (north-south) strips
+// of equal width, the coordinated-coverage scheme of Fig. 4 where each
+// UAV scans one coloured band.
+func PartitionStrips(area geo.Polygon, k int) ([]geo.Polygon, error) {
+	if len(area) < 3 {
+		return nil, errors.New("sar: area needs at least 3 vertices")
+	}
+	if k < 1 {
+		return nil, errors.New("sar: need at least one partition")
+	}
+	sw, ne := area.BoundingBox()
+	out := make([]geo.Polygon, 0, k)
+	width := (ne.Lng - sw.Lng) / float64(k)
+	for i := 0; i < k; i++ {
+		lo := sw.Lng + float64(i)*width
+		hi := lo + width
+		out = append(out, geo.Polygon{
+			{Lat: sw.Lat, Lng: lo},
+			{Lat: sw.Lat, Lng: hi},
+			{Lat: ne.Lat, Lng: hi},
+			{Lat: ne.Lat, Lng: lo},
+		})
+	}
+	return out, nil
+}
+
+// CoverageFraction estimates how much of the area lies within radiusM
+// of the path, by sampling a cellM-spaced grid. It is the scoring
+// metric for coverage experiments.
+func CoverageFraction(area geo.Polygon, path []geo.LatLng, radiusM, cellM float64) (float64, error) {
+	if len(area) < 3 {
+		return 0, errors.New("sar: area needs at least 3 vertices")
+	}
+	if radiusM <= 0 || cellM <= 0 {
+		return 0, errors.New("sar: radius and cell must be positive")
+	}
+	if len(path) == 0 {
+		return 0, nil
+	}
+	origin, err := area.Centroid()
+	if err != nil {
+		return 0, err
+	}
+	pr := geo.NewProjection(origin)
+	poly := make([]geo.ENU, len(area))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i, p := range area {
+		poly[i] = pr.ToENU(p)
+		minX = math.Min(minX, poly[i].East)
+		maxX = math.Max(maxX, poly[i].East)
+		minY = math.Min(minY, poly[i].North)
+		maxY = math.Max(maxY, poly[i].North)
+	}
+	segs := make([]geo.ENU, len(path))
+	for i, p := range path {
+		segs[i] = pr.ToENU(p)
+	}
+	var total, covered int
+	for y := minY + cellM/2; y < maxY; y += cellM {
+		for x := minX + cellM/2; x < maxX; x += cellM {
+			pt := geo.ENU{East: x, North: y}
+			if !area.Contains(pr.ToLatLng(pt)) {
+				continue
+			}
+			total++
+			if distToPath(pt, segs) <= radiusM {
+				covered++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, errors.New("sar: no sample cells inside area")
+	}
+	return float64(covered) / float64(total), nil
+}
+
+// distToPath returns the minimum distance from pt to the polyline.
+func distToPath(pt geo.ENU, path []geo.ENU) float64 {
+	best := math.Inf(1)
+	for i := 1; i < len(path); i++ {
+		if d := distToSegment(pt, path[i-1], path[i]); d < best {
+			best = d
+		}
+	}
+	if len(path) == 1 {
+		best = pt.Sub(path[0]).Norm()
+	}
+	return best
+}
+
+func distToSegment(p, a, b geo.ENU) float64 {
+	ab := b.Sub(a)
+	den := ab.East*ab.East + ab.North*ab.North
+	if den == 0 {
+		return p.Sub(a).Norm()
+	}
+	ap := p.Sub(a)
+	t := (ap.East*ab.East + ap.North*ab.North) / den
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return p.Sub(a.Add(ab.Scale(t))).Norm()
+}

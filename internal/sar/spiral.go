@@ -1,0 +1,74 @@
+package sar
+
+import (
+	"errors"
+	"math"
+
+	"sesame/internal/geo"
+)
+
+// SpiralPath plans a rectangular inward spiral over the area's
+// bounding box with the given track spacing — the alternative coverage
+// pattern often used when the target is believed near the area centre
+// (the person's last known position in SAR doctrine). Waypoints trace
+// the perimeter and shrink inward by spacing per lap.
+func SpiralPath(area geo.Polygon, spacingM float64) ([]geo.LatLng, error) {
+	if len(area) < 3 {
+		return nil, errors.New("sar: area needs at least 3 vertices")
+	}
+	if spacingM <= 0 {
+		return nil, errors.New("sar: spacing must be positive")
+	}
+	origin, err := area.Centroid()
+	if err != nil {
+		return nil, err
+	}
+	pr := geo.NewProjection(origin)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range area {
+		e := pr.ToENU(p)
+		minX = math.Min(minX, e.East)
+		maxX = math.Max(maxX, e.East)
+		minY = math.Min(minY, e.North)
+		maxY = math.Max(maxY, e.North)
+	}
+	// Inset by half a track so the footprint reaches the boundary.
+	lo := geo.ENU{East: minX + spacingM/2, North: minY + spacingM/2}
+	hi := geo.ENU{East: maxX - spacingM/2, North: maxY - spacingM/2}
+	var path []geo.LatLng
+	add := func(e geo.ENU) { path = append(path, pr.ToLatLng(e)) }
+	for lo.East <= hi.East && lo.North <= hi.North {
+		add(geo.ENU{East: lo.East, North: lo.North})
+		add(geo.ENU{East: hi.East, North: lo.North})
+		add(geo.ENU{East: hi.East, North: hi.North})
+		add(geo.ENU{East: lo.East, North: hi.North})
+		// Close the lap just above the starting corner, then step in.
+		add(geo.ENU{East: lo.East, North: math.Min(lo.North+spacingM, hi.North)})
+		lo.East += spacingM
+		lo.North += spacingM
+		hi.East -= spacingM
+		hi.North -= spacingM
+	}
+	if len(path) == 0 {
+		return nil, errors.New("sar: spacing larger than the area")
+	}
+	return path, nil
+}
+
+// ExpandingSquarePath plans the classic SAR expanding-square search:
+// start at the area centre (the target's last known position) and
+// spiral outward to the perimeter. It is the inward spiral reversed,
+// so coverage is identical but the high-probability centre is searched
+// first.
+func ExpandingSquarePath(area geo.Polygon, spacingM float64) ([]geo.LatLng, error) {
+	inward, err := SpiralPath(area, spacingM)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]geo.LatLng, len(inward))
+	for i, p := range inward {
+		out[len(inward)-1-i] = p
+	}
+	return out, nil
+}

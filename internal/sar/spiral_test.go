@@ -1,0 +1,112 @@
+package sar
+
+import (
+	"testing"
+
+	"sesame/internal/geo"
+)
+
+func TestSpiralValidation(t *testing.T) {
+	if _, err := SpiralPath(nil, 10); err == nil {
+		t.Error("nil area must fail")
+	}
+	if _, err := SpiralPath(squareArea(100), 0); err == nil {
+		t.Error("zero spacing must fail")
+	}
+	if _, err := SpiralPath(squareArea(2), 1000); err == nil {
+		t.Error("oversized spacing must fail")
+	}
+}
+
+func TestSpiralCoversSquare(t *testing.T) {
+	area := squareArea(200)
+	path, err := SpiralPath(area, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := CoverageFraction(area, path, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.95 {
+		t.Fatalf("spiral coverage = %v", frac)
+	}
+	// Waypoints stay inside (or on) the bounding box.
+	sw, ne := area.BoundingBox()
+	for _, p := range path {
+		if p.Lat < sw.Lat-1e-6 || p.Lat > ne.Lat+1e-6 || p.Lng < sw.Lng-1e-6 || p.Lng > ne.Lng+1e-6 {
+			t.Fatalf("waypoint %v escapes area", p)
+		}
+	}
+}
+
+func TestSpiralStartsAtPerimeter(t *testing.T) {
+	area := squareArea(200)
+	path, _ := SpiralPath(area, 25)
+	centre, _ := area.Centroid()
+	// The first waypoint is near a corner, the last near the centre.
+	first := geo.Haversine(path[0], centre)
+	last := geo.Haversine(path[len(path)-1], centre)
+	if first <= last {
+		t.Fatalf("spiral must move inward: first %.0f m, last %.0f m from centre", first, last)
+	}
+}
+
+func TestSpiralVsBoustrophedonLength(t *testing.T) {
+	// Both patterns cover the same square at the same spacing with
+	// comparable path length (within 2x of each other).
+	area := squareArea(300)
+	sp, err := SpiralPath(area, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := BoustrophedonPath(area, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, lb := geo.PathLength(sp), geo.PathLength(bo)
+	if ls <= 0 || lb <= 0 {
+		t.Fatal("zero path length")
+	}
+	if ls > 2*lb || lb > 2*ls {
+		t.Fatalf("path lengths diverge: spiral %.0f m, boustrophedon %.0f m", ls, lb)
+	}
+}
+
+func BenchmarkSpiralPath(b *testing.B) {
+	area := squareArea(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SpiralPath(area, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestExpandingSquareIsReversedSpiral(t *testing.T) {
+	area := squareArea(200)
+	in, err := SpiralPath(area, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExpandingSquarePath(area, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != len(out) {
+		t.Fatalf("lengths differ: %d vs %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[len(out)-1-i] {
+			t.Fatalf("waypoint %d not mirrored", i)
+		}
+	}
+	// Expanding square starts near the centre.
+	centre, _ := area.Centroid()
+	if geo.Haversine(out[0], centre) > geo.Haversine(out[len(out)-1], centre) {
+		t.Fatal("expanding square must start at the centre")
+	}
+	if _, err := ExpandingSquarePath(nil, 25); err == nil {
+		t.Fatal("nil area must fail")
+	}
+}

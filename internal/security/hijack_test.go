@@ -1,0 +1,114 @@
+package security
+
+import (
+	"testing"
+
+	"sesame/internal/attacktree"
+	"sesame/internal/ids"
+	"sesame/internal/mqttlite"
+)
+
+// newDualEDDI monitors both the spoofing and the hijack tree for u1.
+func newDualEDDI(t *testing.T) (*mqttlite.Broker, *EDDI) {
+	t.Helper()
+	broker := mqttlite.NewBroker()
+	e, err := New(broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	spoof, err := attacktree.SpoofingTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hijack, err := attacktree.HijackTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Monitor("u1", spoof); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Monitor("u1", hijack); err != nil {
+		t.Fatal(err)
+	}
+	return broker, e
+}
+
+func TestHijackTreeStructure(t *testing.T) {
+	tr, err := attacktree.HijackTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().ID != "u1/c2-hijack" {
+		t.Fatalf("root = %q", tr.Root().ID)
+	}
+	// Jamming alone reaches the root (OR path).
+	ev := tr.Evaluate(map[string]bool{"u1/link-jamming": true})
+	if !ev.RootReached {
+		t.Fatal("jamming must reach the hijack root")
+	}
+	// Command injection alone does not (AND with net access).
+	ev = tr.Evaluate(map[string]bool{"u1/cmd-injection": true})
+	if ev.RootReached {
+		t.Fatal("injection without access must not reach the root")
+	}
+}
+
+func TestDualTreesIndependentCompromise(t *testing.T) {
+	broker, e := newDualEDDI(t)
+	// link-silence triggers only the hijack tree.
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertLinkSilence, UAV: "u1", Stamp: 5})
+	if !e.CompromisedBy("u1", "u1/c2-hijack") {
+		t.Fatal("hijack root not reached")
+	}
+	if e.CompromisedBy("u1", "u1/map-manipulation") {
+		t.Fatal("spoofing root must be untouched")
+	}
+	if !e.Compromised("u1") {
+		t.Fatal("any-root compromise must report")
+	}
+	// gps-anomaly then triggers the spoofing tree independently.
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 6})
+	if !e.CompromisedBy("u1", "u1/map-manipulation") {
+		t.Fatal("spoofing root not reached")
+	}
+}
+
+func TestSharedAlertFeedsBothTrees(t *testing.T) {
+	broker, e := newDualEDDI(t)
+	// unauthorized-node is a leaf in BOTH trees.
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertUnauthorizedNode, UAV: "u1", Stamp: 1})
+	leaves := e.TriggeredLeaves("u1")
+	if len(leaves) != 2 {
+		t.Fatalf("triggered = %v, want both trees' access leaves", leaves)
+	}
+	// message-injection completes the AND in both trees.
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertMessageInjection, UAV: "u1", Stamp: 2})
+	if !e.CompromisedBy("u1", "u1/map-manipulation") {
+		t.Fatal("spoofing root (ros path) not reached")
+	}
+	if !e.CompromisedBy("u1", "u1/c2-hijack") {
+		t.Fatal("hijack root (seizure path) not reached")
+	}
+}
+
+func TestDuplicateTreeRejected(t *testing.T) {
+	_, e := newDualEDDI(t)
+	spoof, _ := attacktree.SpoofingTree("u1")
+	if err := e.Monitor("u1", spoof); err == nil {
+		t.Fatal("duplicate root id must be rejected")
+	}
+}
+
+func TestResetClearsAllTrees(t *testing.T) {
+	broker, e := newDualEDDI(t)
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertLinkSilence, UAV: "u1", Stamp: 1})
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 2})
+	if !e.Compromised("u1") {
+		t.Fatal("setup failed")
+	}
+	e.Reset("u1")
+	if e.Compromised("u1") || e.CompromisedBy("u1", "u1/c2-hijack") {
+		t.Fatal("reset must clear every tree")
+	}
+}

@@ -1,0 +1,237 @@
+package security
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sesame/internal/attacktree"
+	"sesame/internal/geo"
+	"sesame/internal/ids"
+	"sesame/internal/mqttlite"
+	"sesame/internal/uavsim"
+)
+
+func publishAlert(t *testing.T, broker *mqttlite.Broker, a ids.Alert) {
+	t.Helper()
+	payload, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Publish(ids.AlertTopic(a.UAV), payload, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newEDDI(t *testing.T) (*mqttlite.Broker, *EDDI) {
+	t.Helper()
+	broker := mqttlite.NewBroker()
+	e, err := New(broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	tr, err := attacktree.SpoofingTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Monitor("u1", tr); err != nil {
+		t.Fatal(err)
+	}
+	return broker, e
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil broker must fail")
+	}
+	broker := mqttlite.NewBroker()
+	e, _ := New(broker)
+	tr, _ := attacktree.SpoofingTree("u1")
+	if err := e.Monitor("", tr); err == nil {
+		t.Error("empty uav must fail")
+	}
+	if err := e.Monitor("u1", nil); err == nil {
+		t.Error("nil tree must fail")
+	}
+	if err := e.Monitor("u1", tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Monitor("u1", tr); err == nil {
+		t.Error("duplicate monitor must fail")
+	}
+	if err := e.OnEvent(nil); err == nil {
+		t.Error("nil handler must fail")
+	}
+}
+
+func TestGPSAnomalyCompromises(t *testing.T) {
+	broker, e := newEDDI(t)
+	var events []Event
+	_ = e.OnEvent(func(ev Event) { events = append(events, ev) })
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 20})
+	if !e.Compromised("u1") {
+		t.Fatal("gps-anomaly alone satisfies the OR root")
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	ev := events[0]
+	if !ev.RootReached || ev.Root != "u1/map-manipulation" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Path) != 2 || ev.Path[0] != "u1/gps-spoof" {
+		t.Fatalf("path = %v", ev.Path)
+	}
+	if ev.Severity != attacktree.SeverityCritical || ev.Mitigation == "" {
+		t.Fatalf("metadata = %+v", ev)
+	}
+	if ev.Alert.Stamp != 20 {
+		t.Fatalf("alert stamp = %v", ev.Alert.Stamp)
+	}
+}
+
+func TestANDPathNeedsBothAlerts(t *testing.T) {
+	broker, e := newEDDI(t)
+	var events []Event
+	_ = e.OnEvent(func(ev Event) { events = append(events, ev) })
+
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertUnauthorizedNode, UAV: "u1", Stamp: 1})
+	if e.Compromised("u1") {
+		t.Fatal("single AND leaf must not compromise")
+	}
+	if len(events) != 1 || events[0].RootReached {
+		t.Fatalf("progress event expected: %+v", events)
+	}
+	leaves := e.TriggeredLeaves("u1")
+	if len(leaves) != 1 || leaves[0] != "u1/net-access" {
+		t.Fatalf("triggered = %v", leaves)
+	}
+
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertMessageInjection, UAV: "u1", Stamp: 2})
+	if !e.Compromised("u1") {
+		t.Fatal("both AND leaves must compromise")
+	}
+	last := events[len(events)-1]
+	if !last.RootReached || len(last.Path) != 3 {
+		t.Fatalf("compromise event = %+v", last)
+	}
+}
+
+func TestDuplicateCompromiseSuppressed(t *testing.T) {
+	broker, e := newEDDI(t)
+	var count int
+	_ = e.OnEvent(func(ev Event) {
+		if ev.RootReached {
+			count++
+		}
+	})
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 1})
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 2})
+	// Second identical alert doesn't add leaves; also a different leaf
+	// arriving later must not re-report the same root.
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertUnauthorizedNode, UAV: "u1", Stamp: 3})
+	if count != 1 {
+		t.Fatalf("root reported %d times, want 1", count)
+	}
+}
+
+func TestResetAllowsReReporting(t *testing.T) {
+	broker, e := newEDDI(t)
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 1})
+	if !e.Compromised("u1") {
+		t.Fatal("setup failed")
+	}
+	e.Reset("u1")
+	if e.Compromised("u1") {
+		t.Fatal("reset must clear compromise")
+	}
+	if len(e.TriggeredLeaves("u1")) != 0 {
+		t.Fatal("reset must clear leaves")
+	}
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 9})
+	if !e.Compromised("u1") {
+		t.Fatal("repeat attack must be reported again")
+	}
+}
+
+func TestUnknownAlertTypeIgnored(t *testing.T) {
+	broker, e := newEDDI(t)
+	publishAlert(t, broker, ids.Alert{Type: "weird", UAV: "u1", Stamp: 1})
+	if len(e.Events()) != 0 || e.Compromised("u1") {
+		t.Fatal("unknown alert must be ignored")
+	}
+}
+
+func TestMalformedPayloadIgnored(t *testing.T) {
+	broker, e := newEDDI(t)
+	_ = broker.Publish(ids.AlertTopic("u1"), []byte("{not json"), false)
+	if len(e.Events()) != 0 {
+		t.Fatal("malformed payload must be ignored")
+	}
+}
+
+func TestOtherUAVAlertsDontCross(t *testing.T) {
+	broker, e := newEDDI(t)
+	publishAlert(t, broker, ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u2", Stamp: 1})
+	if e.Compromised("u1") {
+		t.Fatal("u2 alert compromised u1")
+	}
+}
+
+func TestEndToEndWithIDSAndWorld(t *testing.T) {
+	// Full §V-C detection chain: world -> rosbus -> IDS -> mqtt ->
+	// Security EDDI -> compromise event.
+	origin := geo.LatLng{Lat: 35.1856, Lng: 33.3823}
+	w := uavsim.NewWorld(origin, 3)
+	broker := mqttlite.NewBroker()
+	det, err := ids.New(w.Bus, broker, ids.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	e, err := New(broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tr, _ := attacktree.SpoofingTree("u1")
+	if err := e.Monitor("u1", tr); err != nil {
+		t.Fatal(err)
+	}
+	var compromiseAt float64 = -1
+	_ = e.OnEvent(func(ev Event) {
+		if ev.RootReached && compromiseAt < 0 {
+			compromiseAt = ev.Alert.Stamp
+		}
+	})
+
+	u, _ := w.AddUAV(uavsim.UAVConfig{ID: "u1", Home: origin})
+	if err := u.TakeOff(25); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Run(10, 1)
+	_ = u.FlyMission([]geo.LatLng{geo.Destination(origin, 90, 500)}, 25)
+	_ = w.ScheduleFault(uavsim.GPSSpoofFault(15, "u1", 180, 3))
+	_ = w.Run(60, 1)
+
+	if compromiseAt < 0 {
+		t.Fatal("spoofing attack never reported")
+	}
+	if compromiseAt < 15 || compromiseAt > 30 {
+		t.Fatalf("compromise at t=%v, want shortly after 15", compromiseAt)
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	broker := mqttlite.NewBroker()
+	e, _ := New(broker)
+	defer e.Close()
+	tr, _ := attacktree.SpoofingTree("u1")
+	_ = e.Monitor("u1", tr)
+	payload, _ := json.Marshal(ids.Alert{Type: ids.AlertGPSAnomaly, UAV: "u1", Stamp: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset("u1")
+		_ = broker.Publish(ids.AlertTopic("u1"), payload, false)
+	}
+}

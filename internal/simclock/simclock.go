@@ -1,0 +1,140 @@
+// Package simclock provides the deterministic discrete-event simulation
+// kernel used by the UAV world model and the experiment harness. It
+// substitutes for the wall-clock/Gazebo time base the paper's field
+// trials used: every stochastic component draws from seeded RNG streams
+// owned by the kernel, so an experiment re-runs bit-for-bit for a given
+// seed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Clock is a discrete-event simulation clock with an event queue and a
+// family of named, independently seeded random streams. The zero value
+// is not usable; call New.
+type Clock struct {
+	now     float64
+	queue   eventQueue
+	seq     uint64 // tie-breaker for same-time events (FIFO)
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+// New returns a clock starting at t=0 whose random streams derive from
+// seed.
+func New(seed int64) *Clock {
+	return &Clock{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Now returns the current simulation time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Stream returns the named random stream, creating it deterministically
+// from the clock seed and the name on first use. Distinct names give
+// independent streams; the same (seed, name) pair always gives the same
+// sequence.
+func (c *Clock) Stream(name string) *rand.Rand {
+	if r, ok := c.streams[name]; ok {
+		return r
+	}
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	r := rand.New(rand.NewSource(c.seed ^ int64(h)))
+	c.streams[name] = r
+	return r
+}
+
+// Event is a scheduled callback.
+type event struct {
+	at   float64
+	seq  uint64
+	name string
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Schedule queues fn to run at absolute simulation time at. Scheduling
+// in the past (at < Now) panics: it is always a logic error in a
+// discrete-event model.
+func (c *Clock) Schedule(at float64, name string, fn func()) {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: schedule %q at %v before now %v", name, at, c.now))
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, name: name, fn: fn})
+}
+
+// After queues fn to run delay seconds from now.
+func (c *Clock) After(delay float64, name string, fn func()) {
+	c.Schedule(c.now+delay, name, fn)
+}
+
+// Step runs the next queued event, advancing the clock to its time. It
+// reports whether an event was run.
+func (c *Clock) Step() bool {
+	if c.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*event)
+	c.now = e.at
+	e.fn()
+	return true
+}
+
+// RunUntil executes queued events in order until the queue is empty or
+// the next event is after t, then sets the clock to t. It returns the
+// number of events executed.
+func (c *Clock) RunUntil(t float64) int {
+	n := 0
+	for c.queue.Len() > 0 && c.queue[0].at <= t {
+		c.Step()
+		n++
+	}
+	if t > c.now {
+		c.now = t
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return c.queue.Len() }
+
+// Ticker invokes fn(now) every interval seconds starting at the next
+// interval boundary after now, until fn returns false.
+func (c *Clock) Ticker(interval float64, name string, fn func(now float64) bool) {
+	if interval <= 0 {
+		panic("simclock: non-positive ticker interval")
+	}
+	var tick func()
+	tick = func() {
+		if fn(c.now) {
+			c.After(interval, name, tick)
+		}
+	}
+	c.After(interval, name, tick)
+}

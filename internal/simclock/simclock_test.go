@@ -1,0 +1,164 @@
+package simclock
+
+import (
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	c := New(1)
+	var got []string
+	c.Schedule(3, "c", func() { got = append(got, "c") })
+	c.Schedule(1, "a", func() { got = append(got, "a") })
+	c.Schedule(2, "b", func() { got = append(got, "b") })
+	for c.Step() {
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", c.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	c := New(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(1, "e", func() { got = append(got, i) })
+	}
+	c.RunUntil(1)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := New(1)
+	c.Schedule(5, "x", func() {})
+	c.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	c.Schedule(4, "bad", func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	c := New(1)
+	ran := false
+	c.Schedule(2, "e", func() { ran = true })
+	n := c.RunUntil(10)
+	if n != 1 || !ran {
+		t.Fatalf("n=%d ran=%v", n, ran)
+	}
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	c := New(1)
+	c.Schedule(20, "late", func() {})
+	if n := c.RunUntil(10); n != 0 {
+		t.Fatalf("ran %d events, want 0", n)
+	}
+	if c.Pending() != 1 {
+		t.Fatal("future event lost")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New(1)
+	c.Schedule(5, "setup", func() {
+		c.After(3, "later", func() {
+			if c.Now() != 8 {
+				t.Errorf("After fired at %v, want 8", c.Now())
+			}
+		})
+	})
+	c.RunUntil(100)
+}
+
+func TestTicker(t *testing.T) {
+	c := New(1)
+	var times []float64
+	c.Ticker(2, "tick", func(now float64) bool {
+		times = append(times, now)
+		return now < 6
+	})
+	c.RunUntil(100)
+	want := []float64{2, 4, 6}
+	if len(times) != len(want) {
+		t.Fatalf("ticks = %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive interval")
+		}
+	}()
+	New(1).Ticker(0, "bad", func(float64) bool { return false })
+}
+
+func TestStreamsDeterministic(t *testing.T) {
+	a := New(42).Stream("gps")
+	b := New(42).Stream("gps")
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+name streams diverged")
+		}
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	c := New(42)
+	a := c.Stream("gps")
+	b := c.Stream("battery")
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("differently named streams produced identical sequences")
+	}
+	// Re-fetching a stream returns the same generator, not a reset one.
+	if c.Stream("gps") != a {
+		t.Fatal("Stream must memoize")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	c := New(1)
+	if c.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New(7)
+		for j := 0; j < 100; j++ {
+			c.Schedule(float64(j%10), "e", func() {})
+		}
+		c.RunUntil(10)
+	}
+}

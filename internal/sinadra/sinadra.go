@@ -1,0 +1,254 @@
+// Package sinadra implements situation-aware dynamic risk assessment
+// (paper §III-A4; Reich & Trapp, EDCC 2020) for the SAR mission: a
+// Bayesian network over situational risk factors — detector
+// uncertainty, survey altitude, visibility, and the criticality of
+// persons potentially missed — evaluated at runtime to decide whether
+// the fleet should proceed, descend, or immediately re-scan an area.
+//
+// The advice policy follows §III-A4: high missed-person risk with
+// critical persons in the area prompts an immediate re-scan; moderate
+// risk at altitude prompts descending; low risk lets the UAV proceed to
+// the next task, optimizing time and energy.
+package sinadra
+
+import (
+	"errors"
+	"fmt"
+
+	"sesame/internal/bayes"
+)
+
+// Advice is SINADRA's adaptation proposal.
+type Advice int
+
+// Advice values.
+const (
+	AdviceProceed Advice = iota
+	AdviceDescend
+	AdviceRescan
+)
+
+func (a Advice) String() string {
+	switch a {
+	case AdviceProceed:
+		return "proceed"
+	case AdviceDescend:
+		return "descend"
+	case AdviceRescan:
+		return "rescan"
+	default:
+		return fmt.Sprintf("Advice(%d)", int(a))
+	}
+}
+
+// Situation is the runtime evidence snapshot.
+type Situation struct {
+	// Uncertainty is the fused perception uncertainty in [0,1]
+	// (SafeML + DeepKnowledge).
+	Uncertainty float64
+	// AltitudeM is the current survey altitude.
+	AltitudeM float64
+	// Visibility in [0,1].
+	Visibility float64
+	// CriticalPersons reports whether persons at high risk are
+	// believed present in the current cell.
+	CriticalPersons bool
+}
+
+// Config holds the discretization thresholds and decision bounds.
+type Config struct {
+	// UncertaintyHighAt is the paper's 90% threshold; MediumAt the
+	// caution boundary.
+	UncertaintyHighAt   float64
+	UncertaintyMediumAt float64
+	// LowAltitudeBelowM discretizes altitude.
+	LowAltitudeBelowM float64
+	// GoodVisibilityAt discretizes visibility.
+	GoodVisibilityAt float64
+	// RescanRisk and DescendRisk are posterior P(risk=high) bounds for
+	// the advice bands.
+	RescanRisk  float64
+	DescendRisk float64
+}
+
+// DefaultConfig matches the §V-B experiment calibration.
+func DefaultConfig() Config {
+	return Config{
+		UncertaintyHighAt:   0.9,
+		UncertaintyMediumAt: 0.8,
+		LowAltitudeBelowM:   35,
+		GoodVisibilityAt:    0.7,
+		RescanRisk:          0.55,
+		DescendRisk:         0.15,
+	}
+}
+
+// Assessment is one risk evaluation.
+type Assessment struct {
+	// RiskHigh is the posterior probability that the missed-person
+	// risk is high.
+	RiskHigh float64
+	// Posterior is the full distribution over risk states
+	// ("low"/"medium"/"high").
+	Posterior map[string]float64
+	Advice    Advice
+}
+
+// Assessor owns the situation BN.
+type Assessor struct {
+	cfg Config
+	net *bayes.Network
+}
+
+// NewAssessor builds the SAR risk network.
+func NewAssessor(cfg Config) (*Assessor, error) {
+	if cfg.UncertaintyHighAt <= cfg.UncertaintyMediumAt {
+		return nil, errors.New("sinadra: require UncertaintyMediumAt < UncertaintyHighAt")
+	}
+	if cfg.RescanRisk <= cfg.DescendRisk {
+		return nil, errors.New("sinadra: require DescendRisk < RescanRisk")
+	}
+	n := bayes.NewNetwork()
+	must := func(err error) error {
+		if err != nil {
+			return fmt.Errorf("sinadra: building network: %w", err)
+		}
+		return nil
+	}
+	if err := must(n.AddVariable("Uncertainty", "low", "medium", "high")); err != nil {
+		return nil, err
+	}
+	if err := must(n.AddVariable("Altitude", "low", "high")); err != nil {
+		return nil, err
+	}
+	if err := must(n.AddVariable("Visibility", "good", "poor")); err != nil {
+		return nil, err
+	}
+	if err := must(n.AddVariable("Criticality", "low", "high")); err != nil {
+		return nil, err
+	}
+	if err := must(n.AddVariable("MissProb", "low", "high")); err != nil {
+		return nil, err
+	}
+	if err := must(n.AddVariable("Risk", "low", "medium", "high")); err != nil {
+		return nil, err
+	}
+	// Priors reflect mission planning assumptions; they are overridden
+	// by evidence at runtime.
+	if err := must(n.SetPrior("Uncertainty", []float64{0.6, 0.25, 0.15})); err != nil {
+		return nil, err
+	}
+	if err := must(n.SetPrior("Altitude", []float64{0.5, 0.5})); err != nil {
+		return nil, err
+	}
+	if err := must(n.SetPrior("Visibility", []float64{0.8, 0.2})); err != nil {
+		return nil, err
+	}
+	if err := must(n.SetPrior("Criticality", []float64{0.7, 0.3})); err != nil {
+		return nil, err
+	}
+	// MissProb | Uncertainty, Altitude, Visibility — probability the
+	// detector misses a present person. Rows: last parent fastest
+	// (Visibility), then Altitude, then Uncertainty.
+	missRows := [][]float64{
+		// Uncertainty=low
+		{0.97, 0.03}, // alt=low, vis=good
+		{0.90, 0.10}, // alt=low, vis=poor
+		{0.88, 0.12}, // alt=high, vis=good
+		{0.78, 0.22}, // alt=high, vis=poor
+		// Uncertainty=medium
+		{0.88, 0.12},
+		{0.75, 0.25},
+		{0.70, 0.30},
+		{0.55, 0.45},
+		// Uncertainty=high
+		{0.60, 0.40},
+		{0.45, 0.55},
+		{0.35, 0.65},
+		{0.20, 0.80},
+	}
+	if err := must(n.SetCPT("MissProb", []string{"Uncertainty", "Altitude", "Visibility"}, missRows)); err != nil {
+		return nil, err
+	}
+	// Risk | MissProb, Criticality — missing a critical person is the
+	// high-risk outcome. Rows: Criticality fastest.
+	riskRows := [][]float64{
+		// MissProb=low
+		{0.92, 0.06, 0.02}, // criticality=low
+		{0.75, 0.20, 0.05}, // criticality=high
+		// MissProb=high
+		{0.30, 0.45, 0.25},
+		{0.05, 0.20, 0.75},
+	}
+	if err := must(n.SetCPT("Risk", []string{"MissProb", "Criticality"}, riskRows)); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("sinadra: %w", err)
+	}
+	return &Assessor{cfg: cfg, net: n}, nil
+}
+
+// discretize maps the continuous situation onto BN evidence.
+func (a *Assessor) discretize(s Situation) (bayes.Evidence, error) {
+	if s.Uncertainty < 0 || s.Uncertainty > 1 {
+		return nil, fmt.Errorf("sinadra: uncertainty %v out of [0,1]", s.Uncertainty)
+	}
+	if s.AltitudeM <= 0 {
+		return nil, fmt.Errorf("sinadra: altitude %v must be positive", s.AltitudeM)
+	}
+	ev := bayes.Evidence{}
+	switch {
+	case s.Uncertainty >= a.cfg.UncertaintyHighAt:
+		ev["Uncertainty"] = "high"
+	case s.Uncertainty >= a.cfg.UncertaintyMediumAt:
+		ev["Uncertainty"] = "medium"
+	default:
+		ev["Uncertainty"] = "low"
+	}
+	if s.AltitudeM < a.cfg.LowAltitudeBelowM {
+		ev["Altitude"] = "low"
+	} else {
+		ev["Altitude"] = "high"
+	}
+	vis := s.Visibility
+	if vis <= 0 {
+		vis = 1
+	}
+	if vis >= a.cfg.GoodVisibilityAt {
+		ev["Visibility"] = "good"
+	} else {
+		ev["Visibility"] = "poor"
+	}
+	if s.CriticalPersons {
+		ev["Criticality"] = "high"
+	} else {
+		ev["Criticality"] = "low"
+	}
+	return ev, nil
+}
+
+// Assess evaluates the situation and returns the risk posterior and
+// the adaptation advice.
+func (a *Assessor) Assess(s Situation) (Assessment, error) {
+	ev, err := a.discretize(s)
+	if err != nil {
+		return Assessment{}, err
+	}
+	post, err := a.net.Posterior("Risk", ev)
+	if err != nil {
+		return Assessment{}, err
+	}
+	out := Assessment{RiskHigh: post["high"], Posterior: post}
+	switch {
+	case out.RiskHigh >= a.cfg.RescanRisk:
+		out.Advice = AdviceRescan
+	case out.RiskHigh >= a.cfg.DescendRisk && ev["Altitude"] == "high":
+		out.Advice = AdviceDescend
+	case post["high"]+post["medium"] >= a.cfg.RescanRisk && ev["Altitude"] == "high":
+		out.Advice = AdviceDescend
+	default:
+		out.Advice = AdviceProceed
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package sinadra
+
+import (
+	"testing"
+)
+
+func newAssessor(t *testing.T) *Assessor {
+	t.Helper()
+	a, err := NewAssessor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAssessorValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.UncertaintyMediumAt = bad.UncertaintyHighAt
+	if _, err := NewAssessor(bad); err == nil {
+		t.Error("inverted uncertainty thresholds must fail")
+	}
+	bad = DefaultConfig()
+	bad.DescendRisk = bad.RescanRisk
+	if _, err := NewAssessor(bad); err == nil {
+		t.Error("inverted risk thresholds must fail")
+	}
+}
+
+func TestLowRiskProceeds(t *testing.T) {
+	a := newAssessor(t)
+	got, err := a.Assess(Situation{Uncertainty: 0.5, AltitudeM: 25, Visibility: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Advice != AdviceProceed {
+		t.Fatalf("advice = %v (riskHigh=%v), want proceed", got.Advice, got.RiskHigh)
+	}
+	if got.RiskHigh > 0.2 {
+		t.Fatalf("benign situation risk = %v", got.RiskHigh)
+	}
+}
+
+func TestHighUncertaintyCriticalRescans(t *testing.T) {
+	// Paper §III-A4: high detection uncertainty + high criticality ->
+	// immediate re-scan.
+	a := newAssessor(t)
+	got, err := a.Assess(Situation{
+		Uncertainty:     0.95,
+		AltitudeM:       60,
+		Visibility:      0.5,
+		CriticalPersons: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Advice != AdviceRescan {
+		t.Fatalf("advice = %v (riskHigh=%v), want rescan", got.Advice, got.RiskHigh)
+	}
+	if got.RiskHigh < 0.5 {
+		t.Fatalf("risk = %v, want high", got.RiskHigh)
+	}
+}
+
+func TestHighUncertaintyNonCriticalDescends(t *testing.T) {
+	// Without critical persons the response degrades to descending
+	// (the §V-B behaviour: descend to raise accuracy).
+	a := newAssessor(t)
+	got, err := a.Assess(Situation{
+		Uncertainty: 0.92,
+		AltitudeM:   60,
+		Visibility:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Advice != AdviceDescend {
+		t.Fatalf("advice = %v (riskHigh=%v), want descend", got.Advice, got.RiskHigh)
+	}
+}
+
+func TestLowAltitudeHighUncertaintyNoDescend(t *testing.T) {
+	// Already low: descending is not available, so unless risk is
+	// rescan-worthy we proceed.
+	a := newAssessor(t)
+	got, err := a.Assess(Situation{Uncertainty: 0.85, AltitudeM: 25, Visibility: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Advice == AdviceDescend {
+		t.Fatal("cannot advise descend at low altitude")
+	}
+}
+
+func TestRiskMonotoneInUncertainty(t *testing.T) {
+	a := newAssessor(t)
+	prev := -1.0
+	for _, u := range []float64{0.3, 0.85, 0.95} {
+		got, err := a.Assess(Situation{Uncertainty: u, AltitudeM: 60, Visibility: 0.6, CriticalPersons: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RiskHigh <= prev {
+			t.Fatalf("risk not monotone at u=%v: %v after %v", u, got.RiskHigh, prev)
+		}
+		prev = got.RiskHigh
+	}
+}
+
+func TestCriticalityRaisesRisk(t *testing.T) {
+	a := newAssessor(t)
+	s := Situation{Uncertainty: 0.92, AltitudeM: 60, Visibility: 0.6}
+	without, _ := a.Assess(s)
+	s.CriticalPersons = true
+	with, _ := a.Assess(s)
+	if with.RiskHigh <= without.RiskHigh {
+		t.Fatalf("criticality must raise risk: %v vs %v", with.RiskHigh, without.RiskHigh)
+	}
+}
+
+func TestVisibilityLowersRisk(t *testing.T) {
+	a := newAssessor(t)
+	clear, _ := a.Assess(Situation{Uncertainty: 0.85, AltitudeM: 60, Visibility: 1, CriticalPersons: true})
+	hazy, _ := a.Assess(Situation{Uncertainty: 0.85, AltitudeM: 60, Visibility: 0.3, CriticalPersons: true})
+	if hazy.RiskHigh <= clear.RiskHigh {
+		t.Fatalf("poor visibility must raise risk: %v vs %v", hazy.RiskHigh, clear.RiskHigh)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	a := newAssessor(t)
+	if _, err := a.Assess(Situation{Uncertainty: -0.1, AltitudeM: 30}); err == nil {
+		t.Error("negative uncertainty must fail")
+	}
+	if _, err := a.Assess(Situation{Uncertainty: 1.5, AltitudeM: 30}); err == nil {
+		t.Error("uncertainty > 1 must fail")
+	}
+	if _, err := a.Assess(Situation{Uncertainty: 0.5, AltitudeM: 0}); err == nil {
+		t.Error("zero altitude must fail")
+	}
+}
+
+func TestPosteriorNormalized(t *testing.T) {
+	a := newAssessor(t)
+	got, err := a.Assess(Situation{Uncertainty: 0.85, AltitudeM: 40, Visibility: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range got.Posterior {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("posterior sums to %v", sum)
+	}
+}
+
+func TestAdviceString(t *testing.T) {
+	for a := AdviceProceed; a <= AdviceRescan; a++ {
+		if a.String() == "" {
+			t.Fatal("advice name empty")
+		}
+	}
+	if Advice(9).String() == "" {
+		t.Fatal("unknown advice must render")
+	}
+}
+
+func BenchmarkAssess(b *testing.B) {
+	a, err := NewAssessor(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := Situation{Uncertainty: 0.92, AltitudeM: 60, Visibility: 0.6, CriticalPersons: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Assess(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

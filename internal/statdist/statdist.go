@@ -1,0 +1,359 @@
+// Package statdist implements the two-sample statistical distance
+// measures that SafeML (paper §III-A2; Aslansefat et al., IMBSA 2020)
+// uses to compare the distribution of runtime input data against the
+// training reference: Kolmogorov–Smirnov, Kuiper, Anderson–Darling,
+// Cramér–von Mises and Wasserstein-1, plus permutation-based p-values
+// and multivariate (per-feature) aggregation.
+package statdist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Measure is a two-sample distance between empirical distributions.
+type Measure interface {
+	// Name returns the canonical measure name.
+	Name() string
+	// Distance returns the sample distance between a and b. Larger
+	// means more dissimilar. Returns an error on empty input.
+	Distance(a, b []float64) (float64, error)
+}
+
+// All returns one instance of every implemented measure, in a stable
+// order.
+func All() []Measure {
+	return []Measure{
+		KolmogorovSmirnov{},
+		Kuiper{},
+		AndersonDarling{},
+		CramerVonMises{},
+		Wasserstein{},
+		Energy{},
+	}
+}
+
+// ByName returns the measure with the given Name.
+func ByName(name string) (Measure, error) {
+	for _, m := range All() {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("statdist: unknown measure %q", name)
+}
+
+var errEmpty = errors.New("statdist: empty sample")
+
+func checkSamples(a, b []float64) error {
+	if len(a) == 0 || len(b) == 0 {
+		return errEmpty
+	}
+	for _, v := range a {
+		if math.IsNaN(v) {
+			return errors.New("statdist: NaN in sample")
+		}
+	}
+	for _, v := range b {
+		if math.IsNaN(v) {
+			return errors.New("statdist: NaN in sample")
+		}
+	}
+	return nil
+}
+
+func sortedCopy(x []float64) []float64 {
+	out := append([]float64(nil), x...)
+	sort.Float64s(out)
+	return out
+}
+
+// ecdf returns the empirical CDF of sorted sample x evaluated at v
+// (right-continuous: proportion of x <= v).
+func ecdf(x []float64, v float64) float64 {
+	// Index of first element > v.
+	i := sort.Search(len(x), func(i int) bool { return x[i] > v })
+	return float64(i) / float64(len(x))
+}
+
+// ecdfDeviations walks the pooled sorted values and returns the maximum
+// positive and negative deviations of Fa - Fb.
+func ecdfDeviations(a, b []float64) (dPlus, dMinus float64) {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	pooled := append(append([]float64(nil), sa...), sb...)
+	sort.Float64s(pooled)
+	for _, v := range pooled {
+		d := ecdf(sa, v) - ecdf(sb, v)
+		if d > dPlus {
+			dPlus = d
+		}
+		if -d > dMinus {
+			dMinus = -d
+		}
+	}
+	return dPlus, dMinus
+}
+
+// KolmogorovSmirnov is the two-sample KS statistic sup|Fa - Fb|.
+type KolmogorovSmirnov struct{}
+
+// Name implements Measure.
+func (KolmogorovSmirnov) Name() string { return "kolmogorov-smirnov" }
+
+// Distance implements Measure.
+func (KolmogorovSmirnov) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	dp, dm := ecdfDeviations(a, b)
+	return math.Max(dp, dm), nil
+}
+
+// Kuiper is the two-sample Kuiper statistic D+ + D-, which unlike KS is
+// equally sensitive across the whole support (useful for cyclic or
+// tail-shifted data).
+type Kuiper struct{}
+
+// Name implements Measure.
+func (Kuiper) Name() string { return "kuiper" }
+
+// Distance implements Measure.
+func (Kuiper) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	dp, dm := ecdfDeviations(a, b)
+	return dp + dm, nil
+}
+
+// AndersonDarling is the two-sample Anderson–Darling statistic
+// (Pettitt's A², tie-free rank form), normalized by sample size so that
+// values are comparable across window lengths.
+type AndersonDarling struct{}
+
+// Name implements Measure.
+func (AndersonDarling) Name() string { return "anderson-darling" }
+
+// Distance implements Measure.
+func (AndersonDarling) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	n, m := float64(len(a)), float64(len(b))
+	nn := n + m
+	pooled := append(append([]float64(nil), sa...), sb...)
+	sort.Float64s(pooled)
+	// Tie-aware ECDF-integral form: sum over distinct pooled values z
+	// (excluding the last, where H = 1) of
+	//   (Fa(z) - Fb(z))^2 / (H(z)(1 - H(z))) * h/N
+	// weighted by nm/N, where H is the pooled ECDF and h the
+	// multiplicity of z. Zero for identical samples, ties included.
+	var a2 float64
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j] == pooled[i] {
+			j++
+		}
+		h := float64(j - i)
+		hz := float64(j) / nn // pooled ECDF at this value
+		if hz < 1 {
+			d := ecdf(sa, pooled[i]) - ecdf(sb, pooled[i])
+			a2 += d * d / (hz * (1 - hz)) * h / nn
+		}
+		i = j
+	}
+	return n * m / nn * a2, nil
+}
+
+// CramerVonMises is the two-sample Cramér–von Mises criterion
+// T = nm/N² Σ (Fa(z) - Fb(z))² over the pooled sample.
+type CramerVonMises struct{}
+
+// Name implements Measure.
+func (CramerVonMises) Name() string { return "cramer-von-mises" }
+
+// Distance implements Measure.
+func (CramerVonMises) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	pooled := append(append([]float64(nil), sa...), sb...)
+	sort.Float64s(pooled)
+	var sum float64
+	for _, v := range pooled {
+		d := ecdf(sa, v) - ecdf(sb, v)
+		sum += d * d
+	}
+	n, m := float64(len(a)), float64(len(b))
+	return n * m / ((n + m) * (n + m)) * sum, nil
+}
+
+// Wasserstein is the 1-Wasserstein (earth mover's) distance between the
+// empirical distributions, computed as the L1 distance between inverse
+// CDFs. Unlike the rank statistics it carries the scale of the data.
+type Wasserstein struct{}
+
+// Name implements Measure.
+func (Wasserstein) Name() string { return "wasserstein" }
+
+// Distance implements Measure.
+func (Wasserstein) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	// Integrate |Fa - Fb| over the pooled support.
+	pooled := append(append([]float64(nil), sa...), sb...)
+	sort.Float64s(pooled)
+	var sum float64
+	for i := 1; i < len(pooled); i++ {
+		width := pooled[i] - pooled[i-1]
+		if width <= 0 {
+			continue
+		}
+		d := math.Abs(ecdf(sa, pooled[i-1]) - ecdf(sb, pooled[i-1]))
+		sum += d * width
+	}
+	return sum, nil
+}
+
+// Energy is the (squared) energy distance of Székely & Rizzo:
+// 2 E|X-Y| - E|X-X'| - E|Y-Y'|. Like Wasserstein it carries the data's
+// scale; unlike the rank statistics it is zero iff the distributions
+// coincide and extends naturally to multivariate data.
+type Energy struct{}
+
+// Name implements Measure.
+func (Energy) Name() string { return "energy" }
+
+// Distance implements Measure.
+func (Energy) Distance(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	cross := meanAbsDiff(a, b)
+	within1 := meanAbsDiffSelf(a)
+	within2 := meanAbsDiffSelf(b)
+	d := 2*cross - within1 - within2
+	if d < 0 { // numeric round-off on (near-)identical samples
+		d = 0
+	}
+	return d, nil
+}
+
+// meanAbsDiff returns E|X-Y| over all cross pairs, in O((n+m) log)
+// time via sorted prefix sums.
+func meanAbsDiff(a, b []float64) float64 {
+	sa, sb := sortedCopy(a), sortedCopy(b)
+	// Sum over x in a of sum over y in b of |x-y|:
+	// for each x, |{y<=x}|*x - sum(y<=x) + sum(y>x) - |{y>x}|*x.
+	prefix := make([]float64, len(sb)+1)
+	for i, v := range sb {
+		prefix[i+1] = prefix[i] + v
+	}
+	total := prefix[len(sb)]
+	var sum float64
+	for _, x := range sa {
+		k := sort.SearchFloat64s(sb, x)
+		// sb[:k] < x (SearchFloat64s finds first >= x); treat ties as
+		// zero-contribution either way.
+		sum += float64(k)*x - prefix[k] + (total - prefix[k]) - float64(len(sb)-k)*x
+	}
+	return sum / float64(len(a)*len(b))
+}
+
+// meanAbsDiffSelf returns E|X-X'| for pairs within one sample.
+func meanAbsDiffSelf(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	s := sortedCopy(x)
+	// sum over i<j of (s[j]-s[i]) = sum_j s[j]*j - prefix sums.
+	var sum, prefix float64
+	for j, v := range s {
+		sum += v*float64(j) - prefix
+		prefix += v
+	}
+	n := float64(len(x))
+	return 2 * sum / (n * n)
+}
+
+// PermutationPValue estimates the p-value of the observed distance
+// between a and b under the null hypothesis that both come from the
+// same distribution, by reshuffling the pooled sample rounds times.
+// Returns the p-value and the observed distance.
+func PermutationPValue(m Measure, a, b []float64, rounds int, rng *rand.Rand) (p, observed float64, err error) {
+	if rounds <= 0 {
+		return 0, 0, errors.New("statdist: rounds must be positive")
+	}
+	if rng == nil {
+		return 0, 0, errors.New("statdist: nil rng")
+	}
+	observed, err = m.Distance(a, b)
+	if err != nil {
+		return 0, 0, err
+	}
+	pooled := append(append([]float64(nil), a...), b...)
+	exceed := 0
+	for r := 0; r < rounds; r++ {
+		rng.Shuffle(len(pooled), func(i, j int) { pooled[i], pooled[j] = pooled[j], pooled[i] })
+		d, err := m.Distance(pooled[:len(a)], pooled[len(a):])
+		if err != nil {
+			return 0, 0, err
+		}
+		if d >= observed {
+			exceed++
+		}
+	}
+	// Add-one smoothing keeps p strictly positive.
+	return (float64(exceed) + 1) / (float64(rounds) + 1), observed, nil
+}
+
+// FeatureDistance applies the measure per feature column and returns
+// the per-feature distances and their mean. ref and obs are row-major
+// sample-by-feature matrices with equal column counts.
+func FeatureDistance(m Measure, ref, obs [][]float64) (perFeature []float64, mean float64, err error) {
+	if len(ref) == 0 || len(obs) == 0 {
+		return nil, 0, errEmpty
+	}
+	nf := len(ref[0])
+	if nf == 0 {
+		return nil, 0, errors.New("statdist: zero features")
+	}
+	for _, row := range ref {
+		if len(row) != nf {
+			return nil, 0, errors.New("statdist: ragged reference matrix")
+		}
+	}
+	for _, row := range obs {
+		if len(row) != nf {
+			return nil, 0, fmt.Errorf("statdist: observation has %d features, reference has %d", len(row), nf)
+		}
+	}
+	perFeature = make([]float64, nf)
+	col := make([]float64, 0, len(ref))
+	colObs := make([]float64, 0, len(obs))
+	for f := 0; f < nf; f++ {
+		col = col[:0]
+		colObs = colObs[:0]
+		for _, row := range ref {
+			col = append(col, row[f])
+		}
+		for _, row := range obs {
+			colObs = append(colObs, row[f])
+		}
+		d, err := m.Distance(col, colObs)
+		if err != nil {
+			return nil, 0, err
+		}
+		perFeature[f] = d
+		mean += d
+	}
+	mean /= float64(nf)
+	return perFeature, mean, nil
+}

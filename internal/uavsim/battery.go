@@ -1,0 +1,123 @@
+package uavsim
+
+import "math"
+
+// Battery models the UAV's flight battery: charge drains with load,
+// temperature follows load and ambient conditions, and scheduled
+// faults can reproduce the paper's §V-A scenario where a thermal fault
+// collapses the charge from 80% to 40% at the 250th second.
+type Battery struct {
+	ChargePct float64 // 0..100
+	TempC     float64
+	// NominalVoltage is the pack voltage at full charge.
+	NominalVoltage float64
+	// BaseDrainPctPerS is the hover drain; motion adds SpeedDrainFactor
+	// per m/s of ground speed.
+	BaseDrainPctPerS float64
+	SpeedDrainFactor float64
+	// Thermal model: temperature relaxes toward AmbientC + LoadHeatC
+	// with time constant ThermalTauS.
+	AmbientC    float64
+	LoadHeatC   float64
+	ThermalTauS float64
+	// OverheatThresholdC marks the pack as overheating, which
+	// accelerates drain by OverheatDrainFactor.
+	OverheatThresholdC  float64
+	OverheatDrainFactor float64
+
+	lastDrain float64
+}
+
+// DefaultBattery returns a TB60-like pack model: ~30 min hover
+// endurance, 52.8 V nominal.
+func DefaultBattery() *Battery {
+	return &Battery{
+		ChargePct:           100,
+		TempC:               25,
+		NominalVoltage:      52.8,
+		BaseDrainPctPerS:    100.0 / (30 * 60), // full pack in 30 min hover
+		SpeedDrainFactor:    0.0008,            // extra %/s per m/s
+		AmbientC:            25,
+		LoadHeatC:           12,
+		ThermalTauS:         120,
+		OverheatThresholdC:  60,
+		OverheatDrainFactor: 3,
+	}
+}
+
+// Step advances the battery by dt seconds at the given ground speed.
+func (b *Battery) Step(dt, speedMS float64, airborne bool) {
+	if dt <= 0 {
+		return
+	}
+	target := b.AmbientC
+	drain := 0.0
+	if airborne {
+		target += b.LoadHeatC
+		drain = b.BaseDrainPctPerS + b.SpeedDrainFactor*speedMS
+	}
+	if b.Overheating() {
+		drain *= b.OverheatDrainFactor
+	}
+	// First-order thermal relaxation.
+	if b.ThermalTauS > 0 {
+		b.TempC += (target - b.TempC) * (1 - math.Exp(-dt/b.ThermalTauS))
+	}
+	b.ChargePct -= drain * dt
+	if b.ChargePct < 0 {
+		b.ChargePct = 0
+	}
+	b.lastDrain = drain
+}
+
+// Overheating reports whether the pack temperature exceeds the
+// overheat threshold.
+func (b *Battery) Overheating() bool { return b.TempC > b.OverheatThresholdC }
+
+// Voltage returns an approximate pack voltage: linear sag from nominal
+// at 100% to 85% of nominal at empty.
+func (b *Battery) Voltage() float64 {
+	frac := b.ChargePct / 100
+	return b.NominalVoltage * (0.85 + 0.15*frac)
+}
+
+// Depleted reports whether the pack is empty.
+func (b *Battery) Depleted() bool { return b.ChargePct <= 0 }
+
+// State snapshots the battery into a telemetry payload.
+func (b *Battery) State(uav string, stamp float64) BatteryState {
+	return BatteryState{
+		UAV:          uav,
+		ChargePct:    b.ChargePct,
+		TempC:        b.TempC,
+		Voltage:      b.Voltage(),
+		Overheating:  b.Overheating(),
+		Stamp:        stamp,
+		DrainPctPerS: b.lastDrain,
+	}
+}
+
+// Swap replaces the pack with a fresh one of the same model — the
+// paper's §V-A baseline behaviour, where the UAV returns to base for a
+// battery replacement estimated at 60 seconds. Any injected thermal
+// fault leaves with the old pack.
+func (b *Battery) Swap() {
+	fresh := DefaultBattery()
+	fresh.NominalVoltage = b.NominalVoltage
+	fresh.BaseDrainPctPerS = b.BaseDrainPctPerS
+	fresh.SpeedDrainFactor = b.SpeedDrainFactor
+	*b = *fresh
+}
+
+// InjectThermalFault reproduces a thermal runaway event: the cell
+// temperature jumps to tempC and the charge collapses to chargePct.
+// The fault is persistent — the damaged pack keeps generating internal
+// heat, so the ambient reference is raised to hold the temperature at
+// tempC rather than letting it relax back to the environment.
+func (b *Battery) InjectThermalFault(tempC, chargePct float64) {
+	b.TempC = tempC
+	b.AmbientC = tempC - b.LoadHeatC
+	if chargePct < b.ChargePct {
+		b.ChargePct = chargePct
+	}
+}

@@ -1,0 +1,158 @@
+package uavsim
+
+import (
+	"math"
+	"math/rand"
+
+	"sesame/internal/geo"
+)
+
+// GPSMode selects the GPS receiver's condition.
+type GPSMode int
+
+// GPS receiver conditions.
+const (
+	GPSModeNominal GPSMode = iota
+	GPSModeDegraded
+	GPSModeDropout
+	GPSModeSpoofed
+)
+
+// GPS models the satellite receiver: white position noise in nominal
+// operation, larger noise when degraded, no fix during dropout, and an
+// attacker-controlled drifting offset when spoofed (the §V-C attack
+// pushes the victim's reported position progressively off its true
+// track).
+type GPS struct {
+	Mode GPSMode
+	// NoiseM is the 1-sigma horizontal noise in nominal mode.
+	NoiseM float64
+	// DegradedNoiseM applies in degraded mode.
+	DegradedNoiseM float64
+	// Spoof offset, metres in the local frame; grows by SpoofDriftMS
+	// every second while spoofed.
+	spoofOffset geo.ENU
+	// SpoofDriftMS is the offset growth rate (m/s) applied along
+	// SpoofBearingD while spoofed.
+	SpoofDriftMS  float64
+	SpoofBearingD float64
+
+	rng *rand.Rand
+}
+
+// NewGPS returns a nominal receiver drawing noise from rng.
+func NewGPS(rng *rand.Rand) *GPS {
+	return &GPS{
+		Mode:           GPSModeNominal,
+		NoiseM:         0.3, // RTK-grade
+		DegradedNoiseM: 3.0,
+		rng:            rng,
+	}
+}
+
+// StartSpoof switches the receiver into spoofed mode with the given
+// drift direction and rate.
+func (g *GPS) StartSpoof(bearingDeg, driftMS float64) {
+	g.Mode = GPSModeSpoofed
+	g.SpoofBearingD = bearingDeg
+	g.SpoofDriftMS = driftMS
+}
+
+// StopSpoof restores nominal mode and clears the accumulated offset.
+func (g *GPS) StopSpoof() {
+	g.Mode = GPSModeNominal
+	g.spoofOffset = geo.ENU{}
+}
+
+// SpoofOffsetM returns the current spoof displacement magnitude.
+func (g *GPS) SpoofOffsetM() float64 { return g.spoofOffset.Norm() }
+
+// SpoofOffset returns the current spoof displacement vector in the
+// local frame (zero when not spoofed). Observability hook for
+// experiments; the receiver's victims cannot read this.
+func (g *GPS) SpoofOffset() geo.ENU { return g.spoofOffset }
+
+// Step advances spoof drift by dt seconds.
+func (g *GPS) Step(dt float64) {
+	if g.Mode == GPSModeSpoofed {
+		// Drift in the configured bearing: east = sin, north = cos.
+		rad := g.SpoofBearingD * math.Pi / 180
+		g.spoofOffset.East += g.SpoofDriftMS * dt * math.Sin(rad)
+		g.spoofOffset.North += g.SpoofDriftMS * dt * math.Cos(rad)
+	}
+}
+
+// Fix produces a measurement of the true position, or ok=false during a
+// dropout.
+func (g *GPS) Fix(truth geo.LatLng, altM float64, uav string, stamp float64) (GPSFix, bool) {
+	switch g.Mode {
+	case GPSModeDropout:
+		return GPSFix{UAV: uav, Quality: GPSLost, Stamp: stamp}, false
+	case GPSModeDegraded:
+		return GPSFix{
+			UAV:        uav,
+			Position:   jitter(truth, g.DegradedNoiseM, g.rng),
+			AltitudeM:  altM,
+			Quality:    GPSDegraded,
+			Satellites: 6,
+			Stamp:      stamp,
+		}, true
+	case GPSModeSpoofed:
+		pr := geo.NewProjection(truth)
+		spoofed := pr.ToLatLng(g.spoofOffset)
+		return GPSFix{
+			UAV:        uav,
+			Position:   jitter(spoofed, g.NoiseM, g.rng),
+			AltitudeM:  altM,
+			Quality:    GPSRTK, // the attack presents a confident fix
+			Satellites: 14,
+			Stamp:      stamp,
+		}, true
+	default:
+		return GPSFix{
+			UAV:        uav,
+			Position:   jitter(truth, g.NoiseM, g.rng),
+			AltitudeM:  altM,
+			Quality:    GPSRTK,
+			Satellites: 14,
+			Stamp:      stamp,
+		}, true
+	}
+}
+
+func jitter(p geo.LatLng, sigmaM float64, rng *rand.Rand) geo.LatLng {
+	if sigmaM <= 0 || rng == nil {
+		return p
+	}
+	pr := geo.NewProjection(p)
+	return pr.ToLatLng(geo.ENU{
+		East:  rng.NormFloat64() * sigmaM,
+		North: rng.NormFloat64() * sigmaM,
+	})
+}
+
+// Camera models the vision sensor's health, consumed by the
+// vision-based sensor-health ConSert.
+type Camera struct {
+	OK bool
+	// BlurSigma degrades detection features when > 0 (fed into the
+	// detection substrate).
+	BlurSigma float64
+}
+
+// NewCamera returns a healthy camera.
+func NewCamera() *Camera { return &Camera{OK: true} }
+
+// Fail marks the camera failed.
+func (c *Camera) Fail() { c.OK = false }
+
+// Comms models the command-and-control link state.
+type Comms struct {
+	OK bool
+	// PacketLoss in [0,1] degrades the communication-localization
+	// ConSert's guarantee.
+	PacketLoss float64
+}
+
+// NewComms returns a healthy link.
+func NewComms() *Comms { return &Comms{OK: true} }

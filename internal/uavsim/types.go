@@ -1,0 +1,154 @@
+// Package uavsim is the multirotor UAV and world simulator that
+// substitutes for the paper's DJI Matrice 300 RTK hardware and
+// Gazebo/DJI Assistant 2 test environments. It produces the telemetry
+// streams the SESAME EDDI technologies consume — GPS fixes, battery
+// state, rotor health, camera health — over the rosbus middleware, and
+// supports scheduled fault injection to reproduce the paper's
+// evaluation scenarios (battery collapse at t=250 s, GPS spoofing
+// during area mapping).
+package uavsim
+
+import (
+	"fmt"
+
+	"sesame/internal/geo"
+)
+
+// FlightMode is the UAV's current control regime.
+type FlightMode int
+
+// Flight modes, mirroring the ConSert action space of Fig. 1.
+const (
+	ModeIdle FlightMode = iota
+	ModeMission
+	ModeHold
+	ModeReturnToBase
+	ModeLanding
+	ModeEmergencyLanding
+	ModeLanded
+	ModeCrashed
+)
+
+var modeNames = map[FlightMode]string{
+	ModeIdle:             "idle",
+	ModeMission:          "mission",
+	ModeHold:             "hold",
+	ModeReturnToBase:     "return-to-base",
+	ModeLanding:          "landing",
+	ModeEmergencyLanding: "emergency-landing",
+	ModeLanded:           "landed",
+	ModeCrashed:          "crashed",
+}
+
+func (m FlightMode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("FlightMode(%d)", int(m))
+}
+
+// Airborne reports whether the mode implies the vehicle is in the air.
+func (m FlightMode) Airborne() bool {
+	switch m {
+	case ModeMission, ModeHold, ModeReturnToBase, ModeLanding, ModeEmergencyLanding:
+		return true
+	default:
+		return false
+	}
+}
+
+// GPSQuality grades a GPS fix, the quality factor the GPS-localization
+// ConSert consumes.
+type GPSQuality int
+
+// GPS quality levels.
+const (
+	GPSLost GPSQuality = iota
+	GPSDegraded
+	GPSNominal
+	GPSRTK // centimetre-grade, the Matrice 300 RTK's nominal state
+)
+
+func (q GPSQuality) String() string {
+	switch q {
+	case GPSLost:
+		return "lost"
+	case GPSDegraded:
+		return "degraded"
+	case GPSNominal:
+		return "nominal"
+	case GPSRTK:
+		return "rtk"
+	default:
+		return fmt.Sprintf("GPSQuality(%d)", int(q))
+	}
+}
+
+// GPSFix is the payload published on the gps topic.
+type GPSFix struct {
+	UAV        string
+	Position   geo.LatLng
+	AltitudeM  float64
+	Quality    GPSQuality
+	Satellites int
+	Stamp      float64
+}
+
+// BatteryState is the payload published on the battery topic.
+type BatteryState struct {
+	UAV          string
+	ChargePct    float64 // 0..100
+	TempC        float64
+	Voltage      float64
+	Overheating  bool
+	Stamp        float64
+	DrainPctPerS float64
+}
+
+// RotorState describes one rotor.
+type RotorState struct {
+	Index  int
+	Failed bool
+}
+
+// HealthState is the payload published on the health topic: everything
+// SafeDrones monitors beyond the battery.
+type HealthState struct {
+	UAV          string
+	Rotors       []RotorState
+	FailedRotors int
+	CameraOK     bool
+	CommsOK      bool
+	Stamp        float64
+}
+
+// StatusReport is the payload published on the status topic.
+type StatusReport struct {
+	UAV       string
+	Mode      FlightMode
+	Position  geo.LatLng // ground-truth position (telemetry downlink)
+	AltitudeM float64
+	SpeedMS   float64
+	HeadingD  float64
+	Waypoints int // remaining
+	Stamp     float64
+}
+
+// Topic names. The per-UAV topics embed the UAV id, mirroring the ROS
+// namespace layout of Fig. 3.
+func gpsTopic(uav string) string     { return "/uav/" + uav + "/gps" }
+func batteryTopic(uav string) string { return "/uav/" + uav + "/battery" }
+func healthTopic(uav string) string  { return "/uav/" + uav + "/health" }
+func statusTopic(uav string) string  { return "/uav/" + uav + "/status" }
+
+// GPSTopic returns the rosbus topic carrying GPSFix messages for uav.
+func GPSTopic(uav string) string { return gpsTopic(uav) }
+
+// BatteryTopic returns the rosbus topic carrying BatteryState messages.
+func BatteryTopic(uav string) string { return batteryTopic(uav) }
+
+// HealthTopic returns the rosbus topic carrying HealthState messages.
+func HealthTopic(uav string) string { return healthTopic(uav) }
+
+// StatusTopic returns the rosbus topic carrying StatusReport messages.
+func StatusTopic(uav string) string { return statusTopic(uav) }

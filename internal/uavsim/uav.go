@@ -1,0 +1,326 @@
+package uavsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sesame/internal/geo"
+)
+
+// UAVConfig parameterizes a vehicle.
+type UAVConfig struct {
+	ID string
+	// Home is the launch/return point.
+	Home geo.LatLng
+	// CruiseSpeedMS is the horizontal mission speed.
+	CruiseSpeedMS float64
+	// ClimbRateMS is the vertical speed for altitude changes.
+	ClimbRateMS float64
+	// Rotors is the motor count (quad=4, hex=6; the M300 is a quad).
+	Rotors int
+	// Battery overrides the default pack when non-nil.
+	Battery *Battery
+}
+
+// UAV is one simulated vehicle. It is owned and stepped by a World.
+type UAV struct {
+	cfg    UAVConfig
+	pos    geo.ENU // true position in the world frame
+	altM   float64
+	speed  float64 // current ground speed
+	head   float64 // heading, degrees from north
+	mode   FlightMode
+	wps    []geo.ENU // remaining waypoints (world frame)
+	wpAltM float64   // target altitude
+
+	Battery *Battery
+	GPS     *GPS
+	Camera  *Camera
+	Comms   *Comms
+	rotors  []bool // true = failed
+
+	// GuidanceOverride, when non-nil, supplies externally computed
+	// velocity commands (used by Collaborative Localization to steer a
+	// GPS-denied vehicle). It receives the UAV and dt and returns the
+	// desired ENU velocity in m/s.
+	GuidanceOverride func(u *UAV, dt float64) geo.ENU
+
+	world *World
+}
+
+// ID returns the vehicle id.
+func (u *UAV) ID() string { return u.cfg.ID }
+
+// Mode returns the current flight mode.
+func (u *UAV) Mode() FlightMode { return u.mode }
+
+// TruePosition returns the ground-truth geodetic position.
+func (u *UAV) TruePosition() geo.LatLng { return u.world.proj.ToLatLng(u.pos) }
+
+// TrueENU returns the ground-truth position in the world frame.
+func (u *UAV) TrueENU() geo.ENU { return u.pos }
+
+// AltitudeM returns the true altitude above ground in metres.
+func (u *UAV) AltitudeM() float64 { return u.altM }
+
+// SpeedMS returns the current ground speed.
+func (u *UAV) SpeedMS() float64 { return u.speed }
+
+// HeadingDeg returns the current heading.
+func (u *UAV) HeadingDeg() float64 { return u.head }
+
+// Home returns the configured home point.
+func (u *UAV) Home() geo.LatLng { return u.cfg.Home }
+
+// RemainingWaypoints returns how many mission waypoints are left.
+func (u *UAV) RemainingWaypoints() int { return len(u.wps) }
+
+// RemainingPath returns the geodetic waypoints not yet reached, in
+// flight order — what the Task Manager redistributes when this vehicle
+// leaves the mission.
+func (u *UAV) RemainingPath() []geo.LatLng {
+	out := make([]geo.LatLng, len(u.wps))
+	for i, wp := range u.wps {
+		out[i] = u.world.proj.ToLatLng(wp)
+	}
+	return out
+}
+
+// FailedRotors returns the count of failed rotors.
+func (u *UAV) FailedRotors() int {
+	n := 0
+	for _, f := range u.rotors {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// RotorStates snapshots rotor health.
+func (u *UAV) RotorStates() []RotorState {
+	out := make([]RotorState, len(u.rotors))
+	for i, f := range u.rotors {
+		out[i] = RotorState{Index: i, Failed: f}
+	}
+	return out
+}
+
+// FailRotor marks rotor i failed. A quadrotor with any failed rotor, or
+// a hexrotor with more than two, loses controllability and crashes if
+// airborne.
+func (u *UAV) FailRotor(i int) error {
+	if i < 0 || i >= len(u.rotors) {
+		return fmt.Errorf("uavsim: rotor %d out of range", i)
+	}
+	u.rotors[i] = true
+	if !u.controllable() && u.mode.Airborne() {
+		u.mode = ModeCrashed
+		u.speed = 0
+	}
+	return nil
+}
+
+// controllable reports whether enough rotors remain for stable flight:
+// quadrotors need all 4, hexrotors tolerate up to 2 opposite failures
+// (simplified to "at most 2").
+func (u *UAV) controllable() bool {
+	failed := u.FailedRotors()
+	switch {
+	case len(u.rotors) <= 4:
+		return failed == 0
+	default:
+		return failed <= 2
+	}
+}
+
+// --- Commands ---
+
+// TakeOff transitions from idle/landed to a hold at altM metres.
+func (u *UAV) TakeOff(altM float64) error {
+	if u.mode != ModeIdle && u.mode != ModeLanded {
+		return fmt.Errorf("uavsim: %s cannot take off in mode %v", u.cfg.ID, u.mode)
+	}
+	if !u.controllable() {
+		return fmt.Errorf("uavsim: %s is not controllable", u.cfg.ID)
+	}
+	if altM <= 0 {
+		return errors.New("uavsim: takeoff altitude must be positive")
+	}
+	u.mode = ModeHold
+	u.wpAltM = altM
+	return nil
+}
+
+// FlyMission sets the waypoint list (geodetic) and switches to mission
+// mode at the given altitude.
+func (u *UAV) FlyMission(waypoints []geo.LatLng, altM float64) error {
+	if len(waypoints) == 0 {
+		return errors.New("uavsim: empty waypoint list")
+	}
+	if !u.mode.Airborne() {
+		return fmt.Errorf("uavsim: %s must be airborne to fly a mission (mode %v)", u.cfg.ID, u.mode)
+	}
+	u.wps = u.wps[:0]
+	for _, wp := range waypoints {
+		u.wps = append(u.wps, u.world.proj.ToENU(wp))
+	}
+	u.wpAltM = altM
+	u.mode = ModeMission
+	return nil
+}
+
+// SetAltitude retargets the commanded altitude without changing mode.
+func (u *UAV) SetAltitude(altM float64) error {
+	if altM <= 0 {
+		return errors.New("uavsim: altitude must be positive")
+	}
+	u.wpAltM = altM
+	return nil
+}
+
+// Hold freezes the vehicle at its current position.
+func (u *UAV) Hold() {
+	if u.mode.Airborne() {
+		u.mode = ModeHold
+		u.wps = u.wps[:0]
+	}
+}
+
+// ReturnToBase flies home and lands.
+func (u *UAV) ReturnToBase() {
+	if !u.mode.Airborne() {
+		return
+	}
+	u.wps = u.wps[:0]
+	u.wps = append(u.wps, u.world.proj.ToENU(u.cfg.Home))
+	u.mode = ModeReturnToBase
+}
+
+// Land descends in place.
+func (u *UAV) Land() {
+	if u.mode.Airborne() {
+		u.mode = ModeLanding
+		u.wps = u.wps[:0]
+	}
+}
+
+// EmergencyLand descends immediately at double climb rate.
+func (u *UAV) EmergencyLand() {
+	if u.mode.Airborne() {
+		u.mode = ModeEmergencyLanding
+		u.wps = u.wps[:0]
+	}
+}
+
+// --- Dynamics ---
+
+// waypointCaptureM is the horizontal capture radius.
+const waypointCaptureM = 1.5
+
+// step advances the vehicle by dt seconds.
+func (u *UAV) step(dt float64) {
+	if u.mode == ModeCrashed {
+		return
+	}
+	if u.Battery.Depleted() && u.mode.Airborne() {
+		u.mode = ModeCrashed
+		u.speed = 0
+		return
+	}
+
+	var vel geo.ENU
+	climb := 0.0
+
+	if u.GuidanceOverride != nil && u.mode.Airborne() {
+		vel = u.GuidanceOverride(u, dt)
+		if n := vel.Norm(); n > u.cfg.CruiseSpeedMS && n > 0 {
+			vel = vel.Scale(u.cfg.CruiseSpeedMS / n)
+		}
+	} else {
+		switch u.mode {
+		case ModeMission, ModeReturnToBase:
+			vel = u.seekWaypoint(dt)
+		case ModeHold:
+			// hover
+		case ModeLanding:
+			climb = -u.cfg.ClimbRateMS
+		case ModeEmergencyLanding:
+			climb = -2 * u.cfg.ClimbRateMS
+		}
+	}
+
+	// Altitude tracking for non-landing airborne modes.
+	if u.mode == ModeMission || u.mode == ModeHold || u.mode == ModeReturnToBase {
+		dAlt := u.wpAltM - u.altM
+		maxStep := u.cfg.ClimbRateMS * dt
+		if math.Abs(dAlt) <= maxStep {
+			u.altM = u.wpAltM
+		} else if dAlt > 0 {
+			u.altM += maxStep
+		} else {
+			u.altM -= maxStep
+		}
+	} else if climb != 0 {
+		u.altM += climb * dt
+		if u.altM <= 0 {
+			u.altM = 0
+			u.mode = ModeLanded
+			u.speed = 0
+		}
+	}
+
+	// Wind (mean + gust) drifts the true track.
+	if u.mode.Airborne() {
+		vel = vel.Add(u.world.CurrentWind())
+	}
+	u.pos = u.pos.Add(vel.Scale(dt))
+	u.speed = vel.Norm()
+	if u.speed > 0.01 {
+		u.head = math.Mod(math.Atan2(vel.East, vel.North)*180/math.Pi+360, 360)
+	}
+
+	u.Battery.Step(dt, u.speed, u.mode.Airborne())
+	u.GPS.Step(dt)
+}
+
+// seekWaypoint returns the velocity toward the current waypoint,
+// consuming it on capture. Navigation uses the position the vehicle
+// BELIEVES it has: under GPS spoofing the believed position is the
+// spoofed one, so the true track deviates — exactly the Fig. 6 effect.
+func (u *UAV) seekWaypoint(dt float64) geo.ENU {
+	for len(u.wps) > 0 {
+		believed := u.believedENU()
+		d := u.wps[0].Sub(believed)
+		if d.Norm() <= waypointCaptureM {
+			u.wps = u.wps[1:]
+			continue
+		}
+		maxTravel := u.cfg.CruiseSpeedMS * dt
+		if d.Norm() <= maxTravel {
+			return d.Scale(1 / dt)
+		}
+		return d.Scale(u.cfg.CruiseSpeedMS / d.Norm())
+	}
+	// Mission complete.
+	switch u.mode {
+	case ModeMission:
+		u.mode = ModeHold
+	case ModeReturnToBase:
+		u.mode = ModeLanding
+	}
+	return geo.ENU{}
+}
+
+// believedENU returns the position the navigation stack believes,
+// i.e. the GPS measurement (true position plus spoof offset) in the
+// world frame; during dropout it degrades to the true position (inertial
+// drift is neglected over the short horizons simulated here).
+func (u *UAV) believedENU() geo.ENU {
+	fix, ok := u.GPS.Fix(u.TruePosition(), u.altM, u.cfg.ID, 0)
+	if !ok {
+		return u.pos
+	}
+	return u.world.proj.ToENU(fix.Position)
+}

@@ -1,0 +1,254 @@
+// Package sesame is the public API of the SESAME multi-UAV
+// safety/security/dependability stack — a faithful, pure-Go
+// reproduction of "Multi-Partner Project: Safe, Secure and Dependable
+// Multi-UAV Systems for Search and Rescue Operations" (DATE 2025).
+//
+// The package re-exports the stable surface of the internal
+// subsystems:
+//
+//   - UAV & world simulation (substitute for the DJI/Gazebo testbed)
+//   - SafeDrones runtime reliability monitoring (Markov + fault trees)
+//   - SafeML statistical-distance perception monitoring
+//   - DeepKnowledge neuron-coverage analysis
+//   - SINADRA Bayesian dynamic risk assessment
+//   - the IDS + attack-tree Security EDDI chain
+//   - Collaborative Localization (GPS-denied assisted landing)
+//   - ConSerts (conditional safety certificates) and the Fig. 1 model
+//   - the integrated multi-UAV control platform and SAR algorithms
+//
+// Quick start: see examples/quickstart, or:
+//
+//	world := sesame.NewWorld(sesame.LatLng{Lat: 35.18, Lng: 33.38}, 42)
+//	uav, _ := world.AddUAV(sesame.UAVConfig{ID: "u1", Home: home})
+//	monitor, _ := sesame.NewSafetyMonitor("u1", sesame.DefaultSafetyConfig())
+package sesame
+
+import (
+	"sesame/internal/conserts"
+	"sesame/internal/geo"
+	"sesame/internal/rosbus"
+	"sesame/internal/safedrones"
+	"sesame/internal/uavsim"
+)
+
+// ---- Geodesy (internal/geo) ----
+
+// LatLng is a geodetic coordinate in degrees.
+type LatLng = geo.LatLng
+
+// ENU is a local east-north tangent-plane coordinate in metres.
+type ENU = geo.ENU
+
+// Polygon is a closed mission-area region.
+type Polygon = geo.Polygon
+
+// Projection maps between geodetic and local ENU coordinates.
+type Projection = geo.Projection
+
+// BearingObservation is a bearing(+range) sighting used by
+// Collaborative Localization.
+type BearingObservation = geo.BearingObservation
+
+// Haversine returns the great-circle distance in metres between a and b.
+func Haversine(a, b LatLng) float64 { return geo.Haversine(a, b) }
+
+// InitialBearing returns the initial bearing from a to b in degrees.
+func InitialBearing(a, b LatLng) float64 { return geo.InitialBearing(a, b) }
+
+// Destination returns the point distance metres from origin along
+// bearingDeg.
+func Destination(origin LatLng, bearingDeg, distance float64) LatLng {
+	return geo.Destination(origin, bearingDeg, distance)
+}
+
+// NewProjection returns a local tangent-plane projection at origin.
+func NewProjection(origin LatLng) *Projection { return geo.NewProjection(origin) }
+
+// Triangulate fuses bearing/range observations into a position fix.
+func Triangulate(obs []BearingObservation) (LatLng, error) { return geo.Triangulate(obs) }
+
+// ---- UAV & world simulation (internal/uavsim) ----
+
+// World owns the simulated environment: clock, bus, fleet, wind and
+// fault schedule.
+type World = uavsim.World
+
+// UAV is one simulated multirotor.
+type UAV = uavsim.UAV
+
+// UAVConfig parameterizes a vehicle.
+type UAVConfig = uavsim.UAVConfig
+
+// Battery is the simulated flight battery.
+type Battery = uavsim.Battery
+
+// GPSFix, BatteryState, HealthState and StatusReport are the telemetry
+// payloads published on the bus.
+type (
+	GPSFix       = uavsim.GPSFix
+	BatteryState = uavsim.BatteryState
+	HealthState  = uavsim.HealthState
+	StatusReport = uavsim.StatusReport
+)
+
+// FlightMode is the vehicle's control regime.
+type FlightMode = uavsim.FlightMode
+
+// Flight modes.
+const (
+	ModeIdle             = uavsim.ModeIdle
+	ModeMission          = uavsim.ModeMission
+	ModeHold             = uavsim.ModeHold
+	ModeReturnToBase     = uavsim.ModeReturnToBase
+	ModeLanding          = uavsim.ModeLanding
+	ModeEmergencyLanding = uavsim.ModeEmergencyLanding
+	ModeLanded           = uavsim.ModeLanded
+	ModeCrashed          = uavsim.ModeCrashed
+)
+
+// Fault is a scheduled fault injection.
+type Fault = uavsim.Fault
+
+// GPSMode selects the GPS receiver's condition.
+type GPSMode = uavsim.GPSMode
+
+// GPS receiver conditions.
+const (
+	GPSModeNominal  = uavsim.GPSModeNominal
+	GPSModeDegraded = uavsim.GPSModeDegraded
+	GPSModeDropout  = uavsim.GPSModeDropout
+	GPSModeSpoofed  = uavsim.GPSModeSpoofed
+)
+
+// NewWorld creates a simulation world centred at origin, seeded for
+// bit-for-bit reproducibility.
+func NewWorld(origin LatLng, seed int64) *World { return uavsim.NewWorld(origin, seed) }
+
+// BatteryCollapseFault reproduces the paper's §V-A battery event.
+func BatteryCollapseFault(at float64, uav string, tempC, chargePct float64) Fault {
+	return uavsim.BatteryCollapseFault(at, uav, tempC, chargePct)
+}
+
+// GPSSpoofFault starts the §V-C GPS/position spoofing attack.
+func GPSSpoofFault(at float64, uav string, bearingDeg, driftMS float64) Fault {
+	return uavsim.GPSSpoofFault(at, uav, bearingDeg, driftMS)
+}
+
+// RotorFailureFault fails one rotor.
+func RotorFailureFault(at float64, uav string, idx int) Fault {
+	return uavsim.RotorFailureFault(at, uav, idx)
+}
+
+// ---- Bus recording (internal/rosbus) ----
+
+// BusRecorder captures bus traffic for later replay (the rosbag
+// equivalent).
+type BusRecorder = rosbus.Recorder
+
+// BusMessage is one captured bus datagram.
+type BusMessage = rosbus.Message
+
+// NewBusRecorder attaches a recorder to the world's bus.
+func NewBusRecorder(w *World) (*BusRecorder, error) { return rosbus.NewRecorder(w.Bus) }
+
+// ReplayBus publishes a recording into the world's bus; topics filters
+// when non-nil.
+func ReplayBus(w *World, recording []BusMessage, topics map[string]bool) (int, error) {
+	return rosbus.Replay(w.Bus, recording, topics)
+}
+
+// ---- SafeDrones (internal/safedrones) ----
+
+// SafetyMonitor is the SafeDrones per-UAV runtime reliability monitor.
+type SafetyMonitor = safedrones.Monitor
+
+// SafetyConfig parameterizes a SafetyMonitor.
+type SafetyConfig = safedrones.Config
+
+// SafetyTelemetry is one observation fed to the monitor.
+type SafetyTelemetry = safedrones.Telemetry
+
+// SafetyAssessment is the monitor's output.
+type SafetyAssessment = safedrones.Assessment
+
+// ReliabilityLevel grades the reliability estimate.
+type ReliabilityLevel = safedrones.Level
+
+// Reliability levels.
+const (
+	ReliabilityHigh   = safedrones.LevelHigh
+	ReliabilityMedium = safedrones.LevelMedium
+	ReliabilityLow    = safedrones.LevelLow
+)
+
+// SafetyAdvice is SafeDrones' mission adaptation proposal.
+type SafetyAdvice = safedrones.Advice
+
+// Safety advice values.
+const (
+	SafetyContinue      = safedrones.AdviceContinue
+	SafetyHold          = safedrones.AdviceHold
+	SafetyReturnToBase  = safedrones.AdviceReturnToBase
+	SafetyEmergencyLand = safedrones.AdviceEmergencyLand
+)
+
+// SafetyPolicy selects EDDI vs reactive-baseline behaviour.
+type SafetyPolicy = safedrones.Policy
+
+// Policies.
+const (
+	PolicyReactive = safedrones.PolicyReactive
+	PolicyEDDI     = safedrones.PolicyEDDI
+)
+
+// DefaultSafetyConfig returns the paper's calibration.
+func DefaultSafetyConfig() SafetyConfig { return safedrones.DefaultConfig() }
+
+// NewSafetyMonitor builds a SafeDrones monitor for the named UAV.
+func NewSafetyMonitor(uav string, cfg SafetyConfig) (*SafetyMonitor, error) {
+	return safedrones.NewMonitor(uav, cfg)
+}
+
+// ---- ConSerts (internal/conserts) ----
+
+// Evidence carries runtime evidence truth values.
+type Evidence = conserts.Evidence
+
+// Composition is a wired set of ConSerts.
+type Composition = conserts.Composition
+
+// UAVAction is the flight action the Fig. 1 UAV ConSert selects.
+type UAVAction = conserts.UAVAction
+
+// UAV actions.
+const (
+	ActionEmergencyLand    = conserts.ActionEmergencyLand
+	ActionReturnToBase     = conserts.ActionReturnToBase
+	ActionHold             = conserts.ActionHold
+	ActionContinue         = conserts.ActionContinue
+	ActionContinueTakeover = conserts.ActionContinueTakeover
+)
+
+// MissionDecision is the mission-level decider outcome.
+type MissionDecision = conserts.MissionDecision
+
+// Mission decisions.
+const (
+	MissionAsPlanned    = conserts.MissionAsPlanned
+	MissionRedistribute = conserts.MissionRedistribute
+	MissionAbort        = conserts.MissionAbort
+)
+
+// BuildUAVComposition wires the paper's Fig. 1 ConSert network.
+func BuildUAVComposition() (*Composition, error) { return conserts.BuildUAVComposition() }
+
+// EvaluateUAV resolves the composition and maps the best guarantee to
+// a flight action.
+func EvaluateUAV(comp *Composition, ev Evidence) (UAVAction, map[string]conserts.Result, error) {
+	return conserts.EvaluateUAV(comp, ev)
+}
+
+// DecideMission aggregates per-UAV actions into the mission decision.
+func DecideMission(actions map[string]UAVAction) (MissionDecision, error) {
+	return conserts.DecideMission(actions)
+}

@@ -1,0 +1,143 @@
+package sesame_test
+
+import (
+	"testing"
+
+	"sesame"
+)
+
+// The public facade is exercised end-to-end by the examples and the
+// root benchmarks; these tests pin the API contracts a downstream user
+// relies on.
+
+func TestPublicGeodesy(t *testing.T) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	p := sesame.Destination(home, 90, 1000)
+	if d := sesame.Haversine(home, p); d < 999 || d > 1001 {
+		t.Fatalf("distance = %v", d)
+	}
+	if b := sesame.InitialBearing(home, p); b < 89 || b > 91 {
+		t.Fatalf("bearing = %v", b)
+	}
+	proj := sesame.NewProjection(home)
+	enu := proj.ToENU(p)
+	if enu.East < 999 || enu.East > 1001 {
+		t.Fatalf("ENU = %+v", enu)
+	}
+	fix, err := sesame.Triangulate([]sesame.BearingObservation{
+		{Observer: home, Bearing: 90, Range: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sesame.Haversine(fix, p); d > 1 {
+		t.Fatalf("triangulated fix %v m off", d)
+	}
+}
+
+func TestPublicWorldAndSafety(t *testing.T) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, 5)
+	uav, err := world.AddUAV(sesame.UAVConfig{ID: "u1", Home: home})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uav.Mode() != sesame.ModeIdle {
+		t.Fatalf("mode = %v", uav.Mode())
+	}
+	monitor, err := sesame.NewSafetyMonitor("u1", sesame.DefaultSafetyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := monitor.Observe(sesame.SafetyTelemetry{
+		Time: 1, ChargePct: 100, TempC: 25, CommsOK: true, Airborne: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Level != sesame.ReliabilityHigh || a.Advice != sesame.SafetyContinue {
+		t.Fatalf("assessment = %+v", a)
+	}
+}
+
+func TestPublicConSerts(t *testing.T) {
+	comp, err := sesame.BuildUAVComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	action, _, err := sesame.EvaluateUAV(comp, sesame.Evidence{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if action != sesame.ActionEmergencyLand {
+		t.Fatalf("empty evidence action = %v", action)
+	}
+	d, err := sesame.DecideMission(map[string]sesame.UAVAction{
+		"u1": sesame.ActionContinue,
+	})
+	if err != nil || d != sesame.MissionAsPlanned {
+		t.Fatalf("decision = %v err = %v", d, err)
+	}
+}
+
+func TestPublicPlanningAndMeasures(t *testing.T) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	a := sesame.Destination(home, 45, 50)
+	b := sesame.Destination(a, 90, 200)
+	c := sesame.Destination(b, 0, 200)
+	d := sesame.Destination(a, 0, 200)
+	area := sesame.Polygon{a, b, c, d}
+	path, err := sesame.BoustrophedonPath(area, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := sesame.CoverageFraction(area, path, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.9 {
+		t.Fatalf("coverage = %v", frac)
+	}
+	mission, err := sesame.PlanSARMission(area, []string{"u1", "u2"}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mission.Assignments) != 2 {
+		t.Fatalf("assignments = %d", len(mission.Assignments))
+	}
+	if len(sesame.DistanceMeasures()) != 6 {
+		t.Fatal("expected 6 distance measures")
+	}
+	if _, err := sesame.DistanceMeasureByName("wasserstein"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSecurityChain(t *testing.T) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, 6)
+	if _, err := world.AddUAV(sesame.UAVConfig{ID: "u1", Home: home}); err != nil {
+		t.Fatal(err)
+	}
+	broker := sesame.NewAlertBroker()
+	det, err := sesame.NewIntrusionDetector(world, broker, sesame.DefaultIDSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer det.Close()
+	eddi, err := sesame.NewSecurityEDDI(broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eddi.Close()
+	tree, err := sesame.SpoofingAttackTree("u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eddi.Monitor("u1", tree); err != nil {
+		t.Fatal(err)
+	}
+	if eddi.Compromised("u1") {
+		t.Fatal("fresh EDDI must not report compromise")
+	}
+}

@@ -1,0 +1,249 @@
+package sesame
+
+import (
+	"net/http"
+
+	"sesame/internal/assurance"
+	"sesame/internal/attacktree"
+	"sesame/internal/colloc"
+	"sesame/internal/detection"
+	"sesame/internal/geo"
+	"sesame/internal/hiphops"
+	"sesame/internal/ids"
+	"sesame/internal/mqttlite"
+	"sesame/internal/platform"
+	"sesame/internal/safeml"
+	"sesame/internal/sar"
+	"sesame/internal/security"
+	"sesame/internal/sinadra"
+	"sesame/internal/statdist"
+)
+
+// ---- SafeML (internal/safeml, internal/statdist) ----
+
+// PerceptionMonitor is the SafeML sliding-window distribution monitor.
+type PerceptionMonitor = safeml.Monitor
+
+// PerceptionConfig parameterizes a PerceptionMonitor.
+type PerceptionConfig = safeml.Config
+
+// PerceptionReport is one window evaluation.
+type PerceptionReport = safeml.Report
+
+// DistanceMeasure is a two-sample statistical distance.
+type DistanceMeasure = statdist.Measure
+
+// DefaultPerceptionConfig returns the §V-B calibration.
+func DefaultPerceptionConfig() PerceptionConfig { return safeml.DefaultConfig() }
+
+// NewPerceptionMonitor builds a SafeML monitor around a training
+// reference feature matrix.
+func NewPerceptionMonitor(reference [][]float64, cfg PerceptionConfig) (*PerceptionMonitor, error) {
+	return safeml.NewMonitor(reference, cfg)
+}
+
+// DistanceMeasures returns every implemented statistical distance.
+func DistanceMeasures() []DistanceMeasure { return statdist.All() }
+
+// DistanceMeasureByName looks a measure up by canonical name.
+func DistanceMeasureByName(name string) (DistanceMeasure, error) { return statdist.ByName(name) }
+
+// ---- SINADRA (internal/sinadra) ----
+
+// RiskAssessor is the SINADRA Bayesian dynamic risk assessor.
+type RiskAssessor = sinadra.Assessor
+
+// RiskSituation is the runtime evidence snapshot.
+type RiskSituation = sinadra.Situation
+
+// RiskAssessment is one evaluation.
+type RiskAssessment = sinadra.Assessment
+
+// RiskAdvice is SINADRA's adaptation proposal.
+type RiskAdvice = sinadra.Advice
+
+// Risk advice values.
+const (
+	RiskProceed = sinadra.AdviceProceed
+	RiskDescend = sinadra.AdviceDescend
+	RiskRescan  = sinadra.AdviceRescan
+)
+
+// NewRiskAssessor builds the SAR risk network with the default
+// calibration.
+func NewRiskAssessor() (*RiskAssessor, error) { return sinadra.NewAssessor(sinadra.DefaultConfig()) }
+
+// ---- Security (internal/ids, internal/attacktree, internal/security) ----
+
+// AlertBroker is the MQTT-style broker carrying IDS alerts.
+type AlertBroker = mqttlite.Broker
+
+// NewAlertBroker returns an empty broker.
+func NewAlertBroker() *AlertBroker { return mqttlite.NewBroker() }
+
+// IntrusionDetector is the bus-tapping IDS.
+type IntrusionDetector = ids.IDS
+
+// IDSConfig tunes the IDS rule engine.
+type IDSConfig = ids.Config
+
+// IDSAlert is one IDS finding.
+type IDSAlert = ids.Alert
+
+// DefaultIDSConfig returns the experiment calibration.
+func DefaultIDSConfig() IDSConfig { return ids.DefaultConfig() }
+
+// NewIntrusionDetector attaches an IDS to a world's bus, publishing to
+// broker.
+func NewIntrusionDetector(w *World, broker *AlertBroker, cfg IDSConfig) (*IntrusionDetector, error) {
+	return ids.New(w.Bus, broker, cfg)
+}
+
+// AttackTree is a validated Security EDDI attack tree.
+type AttackTree = attacktree.Tree
+
+// SpoofingAttackTree builds the §V-C ROS/GNSS spoofing tree for a UAV.
+func SpoofingAttackTree(uav string) (*AttackTree, error) { return attacktree.SpoofingTree(uav) }
+
+// SecurityEDDI is the attack-tree runtime monitor.
+type SecurityEDDI = security.EDDI
+
+// SecurityEvent is a detected compromise or progress report.
+type SecurityEvent = security.Event
+
+// NewSecurityEDDI binds a Security EDDI to the alert broker.
+func NewSecurityEDDI(broker *AlertBroker) (*SecurityEDDI, error) { return security.New(broker) }
+
+// ---- Collaborative Localization (internal/colloc) ----
+
+// Observer is one assisting UAV's detection/depth stack.
+type Observer = colloc.Observer
+
+// Localizer fuses observations over time.
+type Localizer = colloc.Localizer
+
+// AssistedLanding runs the Fig. 7 GPS-denied landing loop.
+type AssistedLanding = colloc.Controller
+
+// NewObserver wires an observer on an assisting UAV using the world's
+// named random stream for camera noise.
+func NewObserver(assistant *UAV, w *World, stream string) (*Observer, error) {
+	return colloc.NewObserver(assistant, w.Clock.Stream(stream))
+}
+
+// NewAssistedLanding steers the affected UAV to target using only the
+// observers' fused estimates.
+func NewAssistedLanding(affected *UAV, target LatLng, observers []*Observer, w *World) (*AssistedLanding, error) {
+	return colloc.NewController(affected, target, observers, w)
+}
+
+// ---- Detection substrate (internal/detection) ----
+
+// Detector is the altitude/visibility-calibrated person detector.
+type Detector = detection.Detector
+
+// Scene is the ground-truth person layout.
+type Scene = detection.Scene
+
+// DetectionConditions describe one capture.
+type DetectionConditions = detection.Conditions
+
+// DetectionFrame is one processed capture.
+type DetectionFrame = detection.Frame
+
+// NewDetector builds the calibrated detector using the world's named
+// random stream.
+func NewDetector(w *World, stream string) (*Detector, error) {
+	return detection.NewDetector(w.Clock.Stream(stream))
+}
+
+// NewRandomScene scatters persons over the area.
+func NewRandomScene(area Polygon, n int, pCritical float64, w *World, stream string) (*Scene, error) {
+	return detection.NewRandomScene(area, n, pCritical, w.Clock.Stream(stream))
+}
+
+// ---- SAR algorithms (internal/sar) ----
+
+// SARMission is a planned multi-UAV coverage mission.
+type SARMission = sar.Mission
+
+// PathPlanner is a coverage algorithm hosted by the Task Manager.
+type PathPlanner = sar.PathPlanner
+
+// PlanSARMission partitions the area and plans boustrophedon sweeps.
+func PlanSARMission(area Polygon, uavs []string, spacingM float64) (*SARMission, error) {
+	return sar.PlanMission(area, uavs, spacingM)
+}
+
+// PlanSARMissionWith selects the coverage planner per strip.
+func PlanSARMissionWith(area Polygon, uavs []string, spacingM float64, planner PathPlanner) (*SARMission, error) {
+	return sar.PlanMissionWith(area, uavs, spacingM, planner)
+}
+
+// BoustrophedonPath plans a serpentine sweep over one area.
+func BoustrophedonPath(area Polygon, spacingM float64) ([]LatLng, error) {
+	return sar.BoustrophedonPath(area, spacingM)
+}
+
+// SpiralPath plans a perimeter-inward rectangular spiral.
+func SpiralPath(area Polygon, spacingM float64) ([]LatLng, error) {
+	return sar.SpiralPath(area, spacingM)
+}
+
+// ExpandingSquarePath plans the SAR expanding-square search outward
+// from the area centre (the target's last known position).
+func ExpandingSquarePath(area Polygon, spacingM float64) ([]LatLng, error) {
+	return sar.ExpandingSquarePath(area, spacingM)
+}
+
+// CoverageFraction scores how much of the area a path covers.
+func CoverageFraction(area Polygon, path []geo.LatLng, radiusM, cellM float64) (float64, error) {
+	return sar.CoverageFraction(area, path, radiusM, cellM)
+}
+
+// ---- Design-time analysis (internal/hiphops, internal/assurance) ----
+
+// FailureSystem is a component architecture annotated with local
+// failure data, from which fault trees are synthesized.
+type FailureSystem = hiphops.System
+
+// FailureComponent is one annotated architecture block.
+type FailureComponent = hiphops.Component
+
+// NewFailureSystem returns an empty architecture model.
+func NewFailureSystem() *FailureSystem { return hiphops.NewSystem() }
+
+// UAVNavigationSystem returns the worked UAV "loss of navigation"
+// architecture with a power common cause.
+func UAVNavigationSystem() (*FailureSystem, error) { return hiphops.UAVNavigationSystem() }
+
+// AssuranceCase is a validated GSN argument.
+type AssuranceCase = assurance.Case
+
+// UAVAssuranceCase builds the SESAME SAR dependability argument for
+// one UAV, wired to the executable models and reproduced experiments.
+func UAVAssuranceCase(uav string) (*AssuranceCase, error) { return assurance.UAVCase(uav) }
+
+// ---- Integrated platform (internal/platform) ----
+
+// Platform is the integrated multi-UAV control platform of §IV-A.
+type Platform = platform.Platform
+
+// PlatformConfig parameterizes a Platform.
+type PlatformConfig = platform.Config
+
+// PlatformStatus is the Fig. 4 fleet snapshot.
+type PlatformStatus = platform.Status
+
+// DefaultPlatformConfig returns the experiment calibration (SESAME on).
+func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
+
+// NewPlatform builds a platform over an existing world and optional
+// detection scene.
+func NewPlatform(w *World, scene *Scene, cfg PlatformConfig) (*Platform, error) {
+	return platform.New(w, scene, cfg)
+}
+
+// PlatformHandler serves the platform status over HTTP (the web GUI
+// data feed).
+func PlatformHandler(p *Platform) http.Handler { return p.Handler() }
