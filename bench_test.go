@@ -7,6 +7,7 @@ package sesame_test
 // the Fig. 4 platform tick, and the DESIGN.md ablations.
 
 import (
+	"fmt"
 	"testing"
 
 	"sesame"
@@ -117,6 +118,57 @@ func BenchmarkPlatformMissionTick(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := p.Tick(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlatformTickFleet measures the fleet scheduler across fleet
+// sizes, serial (Workers=1) vs pooled (Workers=0, machine-sized). The
+// pooled path parallelizes the per-UAV monitor evaluation (SafeDrones
+// Markov chains, SafeML windows, the SINADRA network), so on a
+// multi-core host the 12- and 48-UAV pooled variants should beat
+// serial; outputs are bit-identical either way.
+func BenchmarkPlatformTickFleet(b *testing.B) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	a := sesame.Destination(home, 45, 80)
+	bb := sesame.Destination(a, 90, 3000)
+	c := sesame.Destination(bb, 0, 3000)
+	d := sesame.Destination(a, 0, 3000)
+	area := sesame.Polygon{a, bb, c, d}
+	for _, fleet := range []int{3, 12, 48} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"pooled", 0}} {
+			b.Run(fmt.Sprintf("%d/%s", fleet, mode.name), func(b *testing.B) {
+				world := sesame.NewWorld(home, 1)
+				for i := 0; i < fleet; i++ {
+					uc := sesame.UAVConfig{ID: fmt.Sprintf("u%02d", i), Home: home}
+					if _, err := world.AddUAV(uc); err != nil {
+						b.Fatal(err)
+					}
+				}
+				scene, err := sesame.NewRandomScene(area, 20, 0.2, world, "scene")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := sesame.DefaultPlatformConfig()
+				cfg.Workers = mode.workers
+				p, err := sesame.NewPlatform(world, scene, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer p.Close()
+				if err := p.StartMission(area); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := p.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

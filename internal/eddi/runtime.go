@@ -1,0 +1,165 @@
+package eddi
+
+import "fmt"
+
+// This file defines the runtime-monitor contract every EDDI technology
+// plugs into the platform through (paper §IV-A): a monitor observes a
+// per-UAV telemetry snapshot and returns findings (events) plus an
+// adaptation proposal (advice). Monitors of one UAV run as an ordered
+// chain; monitors of different UAVs are independent, which is what lets
+// the platform scheduler evaluate the fleet concurrently.
+
+// Snapshot is the per-UAV observation input handed to every runtime
+// monitor on one platform tick. All snapshots of a tick are taken
+// against the same frozen world state, so chains of different UAVs can
+// be observed concurrently without changing any monitor's inputs.
+type Snapshot struct {
+	UAV  string
+	Time float64
+
+	// Flight state.
+	Airborne bool
+	// InMissionFlight reports the mission-execution flight mode
+	// (waypoints being flown), as opposed to holds, returns or landings.
+	InMissionFlight bool
+	AltitudeM       float64
+
+	// Vehicle health telemetry.
+	ChargePct    float64
+	BatteryTempC float64
+	Overheating  bool
+	FailedRotors int
+	CommsOK      bool
+
+	// Environment.
+	Visibility float64
+
+	// Derived is the per-tick blackboard: monitors earlier in the chain
+	// publish values here for later monitors (e.g. the reliability
+	// monitor's PoF feeds the risk monitor). Never nil inside a chain.
+	Derived *Derived
+}
+
+// Derived carries values produced by earlier monitors in a chain.
+type Derived struct {
+	// PoF and ReliabilityLevel are the reliability monitor's outputs
+	// ("high", "medium", "low").
+	PoF              float64
+	ReliabilityLevel string
+	// SafetyAdvice is the reliability monitor's raw adaptation proposal
+	// before mission-level fusion.
+	SafetyAdvice AdviceKind
+	// Uncertainty is the fused perception uncertainty; HasUncertainty
+	// reports whether a perception window has been evaluated yet.
+	Uncertainty    float64
+	HasUncertainty bool
+	// RiskHigh is the risk monitor's posterior P(risk = high).
+	RiskHigh float64
+}
+
+// AdviceKind enumerates the adaptation proposals a monitor can make.
+type AdviceKind int
+
+// Advice kinds.
+const (
+	AdviceNone AdviceKind = iota
+	// AdviceDescend lowers the survey altitude (SINADRA).
+	AdviceDescend
+	// AdviceRescan descends and re-scans the current cell (SINADRA).
+	AdviceRescan
+	AdviceHold
+	AdviceReturnToBase
+	AdviceEmergencyLand
+	// AdviceCollabLand reports that collaborative localization is
+	// steering the vehicle down; normal mission control is suspended.
+	AdviceCollabLand
+)
+
+func (k AdviceKind) String() string {
+	switch k {
+	case AdviceNone:
+		return "none"
+	case AdviceDescend:
+		return "descend"
+	case AdviceRescan:
+		return "rescan"
+	case AdviceHold:
+		return "hold"
+	case AdviceReturnToBase:
+		return "return-to-base"
+	case AdviceEmergencyLand:
+		return "emergency-land"
+	case AdviceCollabLand:
+		return "collaborative-land"
+	default:
+		return fmt.Sprintf("AdviceKind(%d)", int(k))
+	}
+}
+
+// Advice is one monitor's adaptation proposal for the observed UAV.
+type Advice struct {
+	Kind   AdviceKind
+	Reason string
+	// Override marks advice that must bypass evidence fusion (e.g. the
+	// SafeDrones emergency-PoF threshold, which models the failure trend
+	// the boolean ConSert evidence cannot see).
+	Override bool
+	// Halt stops the chain: no later monitor observes this UAV this
+	// tick (e.g. while collaborative localization owns the vehicle).
+	Halt bool
+}
+
+// Runtime is the pluggable monitor interface: one EDDI technology
+// observing one UAV. Implementations may keep per-UAV state across
+// ticks but must not touch other UAVs' state from Observe, so the
+// platform can evaluate different UAVs' chains concurrently.
+type Runtime interface {
+	// Name identifies the technology (e.g. "safedrones", "sinadra").
+	Name() string
+	// Observe folds one snapshot into the monitor and returns findings
+	// plus advice. Returned events are emitted by the platform in
+	// deterministic fleet order, not by the monitor itself.
+	Observe(s Snapshot) ([]Event, Advice, error)
+}
+
+// ChainResult aggregates one UAV chain's outputs for one tick.
+type ChainResult struct {
+	// Events in chain order, ready for deterministic emission.
+	Events []Event
+	// Advices holds every non-empty advice in chain order.
+	Advices []Advice
+}
+
+// HasAdvice reports whether the chain proposed the given kind.
+func (r ChainResult) HasAdvice(kind AdviceKind) bool {
+	for _, a := range r.Advices {
+		if a.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// RunChain observes the snapshot through each monitor in order,
+// sharing one Derived blackboard, and aggregates events and advice.
+// A Halt advice stops the chain. Errors abort with the monitor named.
+func RunChain(monitors []Runtime, s Snapshot) (ChainResult, error) {
+	if s.Derived == nil {
+		s.Derived = &Derived{}
+	}
+	var res ChainResult
+	for _, m := range monitors {
+		events, advice, err := m.Observe(s)
+		if err != nil {
+			return res, fmt.Errorf("eddi: monitor %s: %w", m.Name(), err)
+		}
+		res.Events = append(res.Events, events...)
+		if advice.Kind != AdviceNone || advice.Halt {
+			res.Advices = append(res.Advices, advice)
+		}
+		if advice.Halt {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+package eddi
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeMonitor is a scriptable Runtime for chain-semantics tests.
+type fakeMonitor struct {
+	name    string
+	advice  Advice
+	err     error
+	observe func(s Snapshot) // side channel to inspect the blackboard
+	called  bool
+}
+
+func (m *fakeMonitor) Name() string { return m.name }
+
+func (m *fakeMonitor) Observe(s Snapshot) ([]Event, Advice, error) {
+	m.called = true
+	if m.observe != nil {
+		m.observe(s)
+	}
+	if m.err != nil {
+		return nil, Advice{}, m.err
+	}
+	ev := Event{Kind: KindSafety, UAV: s.UAV, Time: s.Time, Severity: 0.1, Summary: m.name}
+	return []Event{ev}, m.advice, nil
+}
+
+func TestRunChainOrderAndAggregation(t *testing.T) {
+	a := &fakeMonitor{name: "a", advice: Advice{Kind: AdviceDescend}}
+	b := &fakeMonitor{name: "b"}
+	c := &fakeMonitor{name: "c", advice: Advice{Kind: AdviceRescan}}
+	res, err := RunChain([]Runtime{a, b, c}, Snapshot{UAV: "u1", Time: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 3 || res.Events[0].Summary != "a" || res.Events[2].Summary != "c" {
+		t.Fatalf("events out of chain order: %+v", res.Events)
+	}
+	// b's empty advice must be dropped.
+	if len(res.Advices) != 2 {
+		t.Fatalf("advices = %+v, want 2 entries", res.Advices)
+	}
+	if !res.HasAdvice(AdviceDescend) || !res.HasAdvice(AdviceRescan) || res.HasAdvice(AdviceHold) {
+		t.Errorf("HasAdvice wrong over %+v", res.Advices)
+	}
+}
+
+func TestRunChainHaltStopsChain(t *testing.T) {
+	gate := &fakeMonitor{name: "gate", advice: Advice{Kind: AdviceCollabLand, Halt: true}}
+	after := &fakeMonitor{name: "after"}
+	res, err := RunChain([]Runtime{gate, after}, Snapshot{UAV: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.called {
+		t.Error("monitor after Halt must not observe")
+	}
+	if !res.HasAdvice(AdviceCollabLand) {
+		t.Error("halting advice must still be recorded")
+	}
+}
+
+func TestRunChainErrorNamesMonitor(t *testing.T) {
+	boom := errors.New("boom")
+	bad := &fakeMonitor{name: "flaky", err: boom}
+	after := &fakeMonitor{name: "after"}
+	_, err := RunChain([]Runtime{bad, after}, Snapshot{UAV: "u1"})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "flaky") {
+		t.Errorf("error %q must name the failing monitor", err)
+	}
+	if after.called {
+		t.Error("chain must abort on error")
+	}
+}
+
+func TestRunChainSharedBlackboard(t *testing.T) {
+	writer := &fakeMonitor{name: "writer", observe: func(s Snapshot) {
+		s.Derived.Uncertainty = 0.42
+		s.Derived.HasUncertainty = true
+	}}
+	var seen float64
+	reader := &fakeMonitor{name: "reader", observe: func(s Snapshot) {
+		if s.Derived.HasUncertainty {
+			seen = s.Derived.Uncertainty
+		}
+	}}
+	// Nil Derived must be initialized by RunChain.
+	if _, err := RunChain([]Runtime{writer, reader}, Snapshot{UAV: "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 0.42 {
+		t.Errorf("blackboard value = %v, want 0.42", seen)
+	}
+}
+
+func TestAdviceKindString(t *testing.T) {
+	cases := map[AdviceKind]string{
+		AdviceNone:          "none",
+		AdviceDescend:       "descend",
+		AdviceRescan:        "rescan",
+		AdviceHold:          "hold",
+		AdviceReturnToBase:  "return-to-base",
+		AdviceEmergencyLand: "emergency-land",
+		AdviceCollabLand:    "collaborative-land",
+		AdviceKind(99):      "AdviceKind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

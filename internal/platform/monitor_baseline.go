@@ -1,0 +1,32 @@
+package platform
+
+import "sesame/internal/eddi"
+
+// baselineMonitor is the without-SESAME reactive policy of §V-A as a
+// runtime monitor: it simply forwards the reliability monitor's raw
+// proposal (abort to base on the first battery anomaly, emergency-land
+// past the threshold). The battery-swap ground procedure it triggers is
+// executed by the scheduler's apply phase, which owns all flight
+// commands.
+type baselineMonitor struct {
+	st *uavState
+}
+
+func (m *baselineMonitor) Name() string { return "baseline" }
+
+func (m *baselineMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice, error) {
+	switch s.Derived.SafetyAdvice {
+	case eddi.AdviceReturnToBase:
+		return nil, eddi.Advice{
+			Kind:   eddi.AdviceReturnToBase,
+			Reason: "reactive baseline: battery anomaly, abort for swap",
+		}, nil
+	case eddi.AdviceEmergencyLand:
+		return nil, eddi.Advice{
+			Kind:     eddi.AdviceEmergencyLand,
+			Reason:   "reactive baseline: emergency landing",
+			Override: true,
+		}, nil
+	}
+	return nil, eddi.Advice{}, nil
+}

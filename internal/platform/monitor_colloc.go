@@ -1,0 +1,25 @@
+package platform
+
+import "sesame/internal/eddi"
+
+// collocMonitor is the Collaborative Localization runtime monitor
+// (paper §III-A5 / §V-C). While a controller is steering the (attacked)
+// vehicle down it owns the UAV entirely: the monitor halts the chain so
+// no other technology observes or commands the vehicle, and the
+// scheduler's apply phase steps the controller instead.
+type collocMonitor struct {
+	st *uavState
+}
+
+func (m *collocMonitor) Name() string { return "colloc" }
+
+func (m *collocMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice, error) {
+	if m.st.collocCtrl == nil {
+		return nil, eddi.Advice{}, nil
+	}
+	return nil, eddi.Advice{
+		Kind:   eddi.AdviceCollabLand,
+		Reason: "collaborative localization is landing the vehicle",
+		Halt:   true,
+	}, nil
+}

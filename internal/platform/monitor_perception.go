@@ -1,0 +1,57 @@
+package platform
+
+import (
+	"fmt"
+
+	"sesame/internal/detection"
+	"sesame/internal/eddi"
+)
+
+// perceptionMonitor is the SafeML runtime monitor (paper §III-A2): it
+// feeds each staged camera frame into the per-UAV sliding-window
+// distribution monitor and, once the window fills, publishes the fused
+// perception uncertainty on the chain blackboard for the risk monitor.
+//
+// Frames are staged by the scheduler's serial pre-pass (the detector
+// draws from one shared RNG, so captures must happen in fleet order to
+// keep runs bit-identical); the monitor itself only consumes its own
+// staged frame and is therefore safe to run concurrently with other
+// UAVs' chains.
+type perceptionMonitor struct {
+	p  *Platform
+	st *uavState
+	// pending is the frame captured for this tick, nil when the UAV is
+	// not flying a perception workload. Written by the serial pre-pass,
+	// consumed by the (possibly concurrent) observe phase; the worker
+	// handoff orders the accesses.
+	pending *detection.Frame
+}
+
+func (m *perceptionMonitor) Name() string { return "safeml" }
+
+// stage hands the monitor its frame for the coming observe phase.
+func (m *perceptionMonitor) stage(f *detection.Frame) { m.pending = f }
+
+func (m *perceptionMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice, error) {
+	var events []eddi.Event
+	if frame := m.pending; frame != nil {
+		m.pending = nil
+		countIn(&m.p.drops.perception, m.st.perception.Push(frame.Features))
+		if m.st.perception.Ready() {
+			if report, err := m.st.perception.Evaluate(); countIn(&m.p.drops.perception, err) {
+				m.st.uncertainty = report.Uncertainty
+				m.st.hasUncert = true
+				events = append(events, eddi.Event{
+					Kind: eddi.KindPerception, UAV: s.UAV, Time: s.Time,
+					Severity: report.Uncertainty,
+					Summary:  fmt.Sprintf("perception uncertainty %.2f (%s)", report.Uncertainty, report.Action),
+				})
+			}
+		}
+	}
+	// Publish the persistent uncertainty state (fresh or carried over)
+	// for the risk monitor downstream.
+	s.Derived.Uncertainty = m.st.uncertainty
+	s.Derived.HasUncertainty = m.st.hasUncert
+	return events, eddi.Advice{}, nil
+}

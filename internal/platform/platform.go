@@ -7,11 +7,17 @@
 // and the Fig. 1 ConSert network tying their outputs to flight
 // decisions. A Config switch turns the SESAME technologies off, giving
 // the paper's without-SESAME baseline.
+//
+// Each technology is an eddi.Runtime monitor (monitor_*.go) registered
+// per UAV at New; the fleet scheduler (scheduler.go) evaluates the
+// chains concurrently and applies their findings in deterministic
+// fleet order.
 package platform
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -58,6 +64,14 @@ type Config struct {
 	SafeLandingPoint geo.LatLng
 	// Origin is the platform's own network origin for database calls.
 	Origin string
+	// Workers bounds the fleet scheduler's observe-phase worker pool:
+	// 0 sizes it to the machine (GOMAXPROCS), 1 forces the serial path.
+	// Results are bit-identical regardless of the pool size.
+	Workers int
+	// ExtraMonitors registers additional eddi.Runtime monitors per UAV,
+	// appended after the built-in chain. Their events are emitted in
+	// chain order; Halt and emergency Override advice are honoured.
+	ExtraMonitors []func(uav string) (eddi.Runtime, error)
 }
 
 // DefaultConfig returns the experiment calibration with SESAME on.
@@ -79,6 +93,11 @@ type uavState struct {
 	monitor    *safedrones.Monitor
 	perception *safeml.Monitor
 	action     conserts.UAVAction
+	// chain is the UAV's ordered eddi.Runtime monitor registry,
+	// evaluated by the fleet scheduler every tick.
+	chain []eddi.Runtime
+	// perceptionMon receives the staged camera frame each tick.
+	perceptionMon *perceptionMonitor
 	// lastAssessment caches the newest SafeDrones output.
 	lastAssessment safedrones.Assessment
 	// uncertainty is the latest fused perception uncertainty.
@@ -121,6 +140,10 @@ type Platform struct {
 	states     map[string]*uavState
 	order      []string
 	dispatched map[string]int // task path length already uploaded
+	// workers is the resolved observe-phase pool bound.
+	workers int
+	// drops counts data-path failures that were previously discarded.
+	drops dropCounters
 	// thermal reports whether the perception pipeline runs on the
 	// thermal imager for this mission's visibility.
 	thermal bool
@@ -145,6 +168,10 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 	if cfg.Origin == "" {
 		cfg.Origin = "127.0.0.1"
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	p := &Platform{
 		World:       world,
 		Broker:      mqttlite.NewBroker(),
@@ -154,6 +181,7 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		scene:       scene,
 		states:      make(map[string]*uavState, len(uavs)),
 		dispatched:  make(map[string]int, len(uavs)),
+		workers:     workers,
 	}
 	var err error
 	if cfg.SESAME {
@@ -212,6 +240,9 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 				return nil, err
 			}
 		}
+		if err := p.registerMonitors(st); err != nil {
+			return nil, err
+		}
 		p.states[u.ID()] = st
 		p.order = append(p.order, u.ID())
 	}
@@ -223,6 +254,48 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		}
 	}
 	return p, nil
+}
+
+// registerMonitors builds the UAV's runtime-monitor chain: the colloc
+// gate and the reliability monitor always run; the EDDI stack adds
+// perception and risk, the baseline its reactive policy; Config can
+// append custom monitors.
+func (p *Platform) registerMonitors(st *uavState) error {
+	st.chain = []eddi.Runtime{
+		&collocMonitor{st: st},
+		&reliabilityMonitor{p: p, st: st},
+	}
+	if p.cfg.SESAME {
+		st.perceptionMon = &perceptionMonitor{p: p, st: st}
+		st.chain = append(st.chain, st.perceptionMon, &riskMonitor{p: p, st: st})
+	} else {
+		st.chain = append(st.chain, &baselineMonitor{st: st})
+	}
+	for _, build := range p.cfg.ExtraMonitors {
+		m, err := build(st.uav.ID())
+		if err != nil {
+			return fmt.Errorf("platform: extra monitor for %s: %w", st.uav.ID(), err)
+		}
+		if m == nil {
+			return fmt.Errorf("platform: nil extra monitor for %s", st.uav.ID())
+		}
+		st.chain = append(st.chain, m)
+	}
+	return nil
+}
+
+// Monitors returns the names of the UAV's registered runtime monitors
+// in chain order (nil for an unknown UAV).
+func (p *Platform) Monitors(id string) []string {
+	st := p.states[id]
+	if st == nil {
+		return nil
+	}
+	names := make([]string, len(st.chain))
+	for i, m := range st.chain {
+		names[i] = m.Name()
+	}
+	return names
 }
 
 // StartMission plans the SAR coverage over area, takes the fleet off
@@ -277,17 +350,17 @@ func (p *Platform) Mission() *sar.Mission { return p.mission }
 // platform triggers Collaborative Localization to land the victim.
 func (p *Platform) onSecurityEvent(ev security.Event) {
 	if !ev.RootReached {
-		_ = p.Coordinator.Emit(eddi.Event{
+		countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
 			Kind: eddi.KindSecurity, UAV: ev.UAV, Time: ev.Alert.Stamp,
 			Severity: 0.5, Summary: "attack progress: " + ev.Alert.Type,
-		})
+		}))
 		return
 	}
-	_ = p.Coordinator.Emit(eddi.Event{
+	countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
 		Kind: eddi.KindSecurity, UAV: ev.UAV, Time: ev.Alert.Stamp,
 		Severity: 1, Summary: "compromise: " + ev.Root,
 		Data: map[string]string{"mitigation": ev.Mitigation},
-	})
+	}))
 	// Collaborative localization is the mitigation for position/mapping
 	// manipulation; other compromises (C2 hijack) degrade the comms
 	// evidence and let the ConSert network decide.
@@ -338,11 +411,11 @@ func (p *Platform) onSecurityEvent(ev security.Event) {
 	// Redistribute the victim's unfinished work.
 	if p.mission != nil {
 		if _, assigned := p.mission.Assignments[ev.UAV]; assigned {
-			_ = p.mission.Redistribute(ev.UAV, st.uav.RemainingPath())
+			countIn(&p.drops.mission, p.mission.Redistribute(ev.UAV, st.uav.RemainingPath()))
 			p.redispatch()
 		}
 	}
-	_ = p.avail.MarkDown(ev.UAV, p.World.Clock.Now())
+	countIn(&p.drops.availability, p.avail.MarkDown(ev.UAV, p.World.Clock.Now()))
 }
 
 // redispatch pushes waypoints newly appended by Redistribute to the
@@ -364,41 +437,10 @@ func (p *Platform) redispatch() {
 		}
 		newWps := task.Path[already:]
 		merged := append(st.uav.RemainingPath(), newWps...)
-		if err := st.uav.FlyMission(merged, p.cfg.SurveyAltitudeM); err == nil {
+		if countIn(&p.drops.commands, st.uav.FlyMission(merged, p.cfg.SurveyAltitudeM)) {
 			p.dispatched[id] = len(task.Path)
 		}
 	}
-}
-
-// Tick advances the platform by one second: world physics, telemetry,
-// EDDI evaluation, and mission management.
-func (p *Platform) Tick() error {
-	if err := p.World.Step(1); err != nil {
-		return err
-	}
-	now := p.World.Clock.Now()
-	for _, id := range p.order {
-		if err := p.tickUAV(id, now); err != nil {
-			return err
-		}
-	}
-	p.updateDecision()
-	return nil
-}
-
-// RunMission ticks until every UAV has finished (landed/holding with
-// empty path) or horizon seconds elapse.
-func (p *Platform) RunMission(horizon float64) error {
-	end := p.World.Clock.Now() + horizon
-	for p.World.Clock.Now() < end {
-		if err := p.Tick(); err != nil {
-			return err
-		}
-		if p.missionComplete() {
-			return nil
-		}
-	}
-	return nil
 }
 
 func (p *Platform) missionComplete() bool {
@@ -419,146 +461,6 @@ func (p *Platform) missionComplete() bool {
 	return true
 }
 
-func (p *Platform) tickUAV(id string, now float64) error {
-	st := p.states[id]
-	u := st.uav
-
-	// Database reporting (the §IV-A data path).
-	_ = p.DB.PutLocation(p.cfg.Origin, id, u.TruePosition(), now)
-	_ = p.DB.PutRecord(p.cfg.Origin, id, Record{
-		Key:   "battery",
-		Value: fmt.Sprintf("%.1f", u.Battery.ChargePct),
-		Time:  now,
-	})
-
-	// Collaborative landing in progress: step the controller and skip
-	// normal mission control.
-	if st.collocCtrl != nil {
-		st.collocCtrl.Step()
-		if u.Mode() == uavsim.ModeLanded {
-			_ = p.avail.MarkUp(id, now) // back on the ground, recoverable
-		}
-		return nil
-	}
-
-	// A crash (rotor loss on a quad, battery depletion) takes the
-	// vehicle out of the mission instantly; the Task Manager
-	// redistributes its unfinished work.
-	if u.Mode() == uavsim.ModeCrashed && st.inMission {
-		st.inMission = false
-		st.swapPending = false
-		_ = p.avail.MarkDown(id, now)
-		if p.mission != nil {
-			if _, assigned := p.mission.Assignments[id]; assigned && len(p.mission.Assignments) > 1 {
-				_ = p.mission.Redistribute(id, u.RemainingPath())
-				p.redispatch()
-			}
-		}
-	}
-
-	// SafeDrones observes telemetry every tick.
-	assessment, err := st.monitor.Observe(safedrones.Telemetry{
-		Time:         now,
-		ChargePct:    u.Battery.ChargePct,
-		TempC:        u.Battery.TempC,
-		Overheating:  u.Battery.Overheating(),
-		FailedRotors: u.FailedRotors(),
-		CommsOK:      u.Comms.OK,
-		Airborne:     u.Mode().Airborne(),
-	})
-	if err != nil {
-		return err
-	}
-	st.lastAssessment = assessment
-	_ = p.Coordinator.Emit(eddi.Event{
-		Kind: eddi.KindSafety, UAV: id, Time: now,
-		Severity: assessment.PoF,
-		Summary:  fmt.Sprintf("PoF %.3f level %s", assessment.PoF, assessment.Level),
-	})
-
-	if !p.cfg.SESAME {
-		p.applyBaseline(st, assessment, now)
-		return nil
-	}
-
-	// Perception pipeline: capture a frame and feed SafeML.
-	if p.scene != nil && u.Mode() == uavsim.ModeMission {
-		frame, err := p.detector.Capture(id, now, u.TruePosition(), detection.Conditions{
-			AltitudeM:  u.AltitudeM(),
-			Visibility: p.cfg.Visibility,
-			CameraBlur: u.Camera.BlurSigma,
-			Thermal:    p.thermal,
-		}, p.scene)
-		if err == nil {
-			_ = st.perception.Push(frame.Features)
-			if st.perception.Ready() {
-				if rep, err := st.perception.Evaluate(); err == nil {
-					st.uncertainty = rep.Uncertainty
-					st.hasUncert = true
-					_ = p.Coordinator.Emit(eddi.Event{
-						Kind: eddi.KindPerception, UAV: id, Time: now,
-						Severity: rep.Uncertainty,
-						Summary:  fmt.Sprintf("perception uncertainty %.2f (%s)", rep.Uncertainty, rep.Action),
-					})
-				}
-			}
-		}
-	}
-
-	// SINADRA turns uncertainty into adaptation advice.
-	if st.hasUncert && u.Mode() == uavsim.ModeMission && !st.descended {
-		risk, err := p.assessor.Assess(sinadra.Situation{
-			Uncertainty: st.uncertainty,
-			AltitudeM:   u.AltitudeM(),
-			Visibility:  p.cfg.Visibility,
-		})
-		if err == nil {
-			_ = p.Coordinator.Emit(eddi.Event{
-				Kind: eddi.KindRisk, UAV: id, Time: now,
-				Severity: risk.RiskHigh,
-				Summary:  fmt.Sprintf("risk %.2f advice %s", risk.RiskHigh, risk.Advice),
-			})
-			switch risk.Advice {
-			case sinadra.AdviceDescend:
-				_ = u.SetAltitude(p.cfg.DescendAltitudeM)
-				st.descended = true
-				st.perception.Reset()
-				st.hasUncert = false
-			case sinadra.AdviceRescan:
-				st.rescans++
-				_ = u.SetAltitude(p.cfg.DescendAltitudeM)
-				st.descended = true
-				st.perception.Reset()
-				st.hasUncert = false
-			}
-		}
-	}
-
-	// ConSert evidence mapping and evaluation.
-	ev := conserts.Evidence{
-		conserts.EvGPSQualityOK:         u.GPS.Mode == uavsim.GPSModeNominal || u.GPS.Mode == uavsim.GPSModeSpoofed,
-		conserts.EvNoSpoofing:           !p.Security.CompromisedBy(id, id+"/map-manipulation"),
-		conserts.EvCameraHealthy:        u.Camera.OK,
-		conserts.EvPerceptionConfident:  !st.hasUncert || st.uncertainty < 0.9,
-		conserts.EvNearbyDroneDetection: u.Camera.OK,
-		conserts.EvCommsOK:              u.Comms.OK && !p.Security.CompromisedBy(id, id+"/c2-hijack"),
-		conserts.EvNeighborsAvailable:   p.airborneNeighbors(id) > 0,
-		conserts.EvReliabilityHigh:      assessment.Level == safedrones.LevelHigh,
-		conserts.EvReliabilityMedium:    assessment.Level == safedrones.LevelMedium,
-	}
-	action, _, err := conserts.EvaluateUAV(p.comp, ev)
-	if err != nil {
-		return err
-	}
-	// SafeDrones' emergency threshold overrides (it models the PoF
-	// trend, which the boolean evidence cannot see).
-	if assessment.Advice == safedrones.AdviceEmergencyLand {
-		action = conserts.ActionEmergencyLand
-	}
-	p.applyAction(st, action, now)
-	return nil
-}
-
 // airborneNeighbors counts other airborne fleet members.
 func (p *Platform) airborneNeighbors(id string) int {
 	n := 0
@@ -575,23 +477,25 @@ func (p *Platform) airborneNeighbors(id string) int {
 // for a battery replacement (batterySwapS seconds), then redeploys to
 // finish its own task. No task redistribution happens — there is no
 // mission-level EDDI coordination in the baseline.
-func (p *Platform) applyBaseline(st *uavState, a safedrones.Assessment, now float64) {
-	switch a.Advice {
-	case safedrones.AdviceReturnToBase:
-		if st.uav.Mode() == uavsim.ModeMission && !st.swapPending {
-			st.resumePath = st.uav.RemainingPath()
-			st.swapPending = true
-			st.swapLandedAt = -1
-			st.inMission = false
-			_ = p.avail.MarkDown(st.uav.ID(), now)
-			st.uav.ReturnToBase()
-		}
-	case safedrones.AdviceEmergencyLand:
-		if st.uav.Mode().Airborne() && st.uav.Mode() != uavsim.ModeEmergencyLanding {
-			st.inMission = false
-			st.swapPending = false
-			_ = p.avail.MarkDown(st.uav.ID(), now)
-			st.uav.EmergencyLand()
+func (p *Platform) applyBaseline(st *uavState, advices []eddi.Advice, now float64) {
+	for _, advice := range advices {
+		switch advice.Kind {
+		case eddi.AdviceReturnToBase:
+			if st.uav.Mode() == uavsim.ModeMission && !st.swapPending {
+				st.resumePath = st.uav.RemainingPath()
+				st.swapPending = true
+				st.swapLandedAt = -1
+				st.inMission = false
+				countIn(&p.drops.availability, p.avail.MarkDown(st.uav.ID(), now))
+				st.uav.ReturnToBase()
+			}
+		case eddi.AdviceEmergencyLand:
+			if st.uav.Mode().Airborne() && st.uav.Mode() != uavsim.ModeEmergencyLanding {
+				st.inMission = false
+				st.swapPending = false
+				countIn(&p.drops.availability, p.avail.MarkDown(st.uav.ID(), now))
+				st.uav.EmergencyLand()
+			}
 		}
 	}
 	p.tickBatterySwap(st, now)
@@ -622,16 +526,16 @@ func (p *Platform) tickBatterySwap(st *uavState, now float64) {
 	}
 	st.swapPending = false
 	if len(st.resumePath) > 0 {
-		if err := st.uav.TakeOff(p.cfg.SurveyAltitudeM); err == nil {
-			if err := st.uav.FlyMission(st.resumePath, p.cfg.SurveyAltitudeM); err == nil {
+		if countIn(&p.drops.commands, st.uav.TakeOff(p.cfg.SurveyAltitudeM)) {
+			if countIn(&p.drops.commands, st.uav.FlyMission(st.resumePath, p.cfg.SurveyAltitudeM)) {
 				st.inMission = true
 				st.resumePath = nil
-				_ = p.avail.MarkUp(st.uav.ID(), now)
+				countIn(&p.drops.availability, p.avail.MarkUp(st.uav.ID(), now))
 				return
 			}
 		}
 	}
-	_ = p.avail.MarkUp(st.uav.ID(), now)
+	countIn(&p.drops.availability, p.avail.MarkUp(st.uav.ID(), now))
 }
 
 // applyAction executes a ConSert action change.
@@ -665,12 +569,12 @@ func (p *Platform) retireUAV(st *uavState, now float64, emergency bool) {
 	remaining := st.uav.RemainingPath()
 	if p.mission != nil {
 		if _, assigned := p.mission.Assignments[id]; assigned && len(p.mission.Assignments) > 1 {
-			_ = p.mission.Redistribute(id, remaining)
+			countIn(&p.drops.mission, p.mission.Redistribute(id, remaining))
 			p.redispatch()
 		}
 	}
 	st.inMission = false
-	_ = p.avail.MarkDown(id, now)
+	countIn(&p.drops.availability, p.avail.MarkDown(id, now))
 	if emergency {
 		st.uav.EmergencyLand()
 	} else {
@@ -700,7 +604,8 @@ func (p *Platform) updateDecision() {
 		}
 		actions[id] = a
 	}
-	if d, err := conserts.DecideMission(actions); err == nil {
+	d, err := conserts.DecideMission(actions)
+	if countIn(&p.drops.mission, err) {
 		p.decision = d
 	}
 }

@@ -1,0 +1,264 @@
+package platform
+
+// The fleet scheduler decomposes one platform tick into three phases:
+//
+//  1. prepare (serial, fleet order): freeze one telemetry Snapshot per
+//     UAV against the post-Step world state and stage camera frames.
+//     Captures stay serial because the detector draws from one shared
+//     RNG stream — fleet order keeps the draw sequence, and therefore
+//     every experiment output, bit-identical to the serial loop.
+//  2. observe (concurrent, bounded worker pool): run each UAV's monitor
+//     chain over its snapshot. Chains only touch their own UAV's state
+//     and read-only shared models (the SINADRA network, the config),
+//     so any interleaving yields the same per-UAV results.
+//  3. apply (serial, fleet order): emit the collected events, run
+//     mission management (crash redistribution, collaborative-landing
+//     steps, battery swaps) and execute flight actions. Everything
+//     that reads fleet-wide state (ConSert neighbour evidence) or
+//     mutates shared state (mission assignments, the event log)
+//     happens here, in stable p.order, which makes the concurrent
+//     scheduler's outputs bit-identical to the old serial loop.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sesame/internal/conserts"
+	"sesame/internal/detection"
+	"sesame/internal/eddi"
+	"sesame/internal/safedrones"
+	"sesame/internal/uavsim"
+)
+
+// observation is one UAV's observe-phase output.
+type observation struct {
+	result eddi.ChainResult
+	err    error
+}
+
+// Tick advances the platform by one second: world physics, then the
+// prepare → observe → apply pipeline, then the mission-level decision.
+func (p *Platform) Tick() error {
+	if err := p.World.Step(1); err != nil {
+		return err
+	}
+	now := p.World.Clock.Now()
+	snaps := p.prepare(now)
+	observations := p.observeFleet(snaps)
+	for i, id := range p.order {
+		if err := p.apply(id, observations[i], now); err != nil {
+			return err
+		}
+	}
+	p.updateDecision()
+	return nil
+}
+
+// RunMission ticks until every UAV has finished (landed/holding with
+// empty path) or horizon seconds elapse.
+func (p *Platform) RunMission(horizon float64) error {
+	end := p.World.Clock.Now() + horizon
+	for p.World.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return err
+		}
+		if p.missionComplete() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// prepare freezes one snapshot per UAV and stages perception frames in
+// fleet order (shared detector RNG — see package comment).
+func (p *Platform) prepare(now float64) []eddi.Snapshot {
+	snaps := make([]eddi.Snapshot, len(p.order))
+	for i, id := range p.order {
+		st := p.states[id]
+		u := st.uav
+		snaps[i] = eddi.Snapshot{
+			UAV:             id,
+			Time:            now,
+			Airborne:        u.Mode().Airborne(),
+			InMissionFlight: u.Mode() == uavsim.ModeMission,
+			AltitudeM:       u.AltitudeM(),
+			ChargePct:       u.Battery.ChargePct,
+			BatteryTempC:    u.Battery.TempC,
+			Overheating:     u.Battery.Overheating(),
+			FailedRotors:    u.FailedRotors(),
+			CommsOK:         u.Comms.OK,
+			Visibility:      p.cfg.Visibility,
+			Derived:         &eddi.Derived{},
+		}
+		if p.cfg.SESAME && p.scene != nil && st.collocCtrl == nil && u.Mode() == uavsim.ModeMission {
+			frame, err := p.detector.Capture(id, now, u.TruePosition(), detection.Conditions{
+				AltitudeM:  u.AltitudeM(),
+				Visibility: p.cfg.Visibility,
+				CameraBlur: u.Camera.BlurSigma,
+				Thermal:    p.thermal,
+			}, p.scene)
+			if countIn(&p.drops.perception, err) {
+				st.perceptionMon.stage(frame)
+			}
+		}
+	}
+	return snaps
+}
+
+// observeFleet fans the monitor chains out across the worker pool and
+// collects per-UAV results into fleet-order slots.
+func (p *Platform) observeFleet(snaps []eddi.Snapshot) []observation {
+	out := make([]observation, len(snaps))
+	workers := p.workers
+	if workers > len(snaps) {
+		workers = len(snaps)
+	}
+	if workers <= 1 || len(snaps) == 1 {
+		for i := range snaps {
+			out[i] = p.observeUAV(snaps[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(snaps) {
+					return
+				}
+				out[i] = p.observeUAV(snaps[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// observeUAV runs one UAV's telemetry reporting and monitor chain.
+// Safe to call concurrently for different UAVs.
+func (p *Platform) observeUAV(s eddi.Snapshot) observation {
+	st := p.states[s.UAV]
+	p.reportTelemetry(st, s.Time)
+	result, err := eddi.RunChain(st.chain, s)
+	return observation{result: result, err: err}
+}
+
+// reportTelemetry is the §IV-A database path: every tick each UAV
+// stores its location and battery record; rejected writes are counted.
+func (p *Platform) reportTelemetry(st *uavState, now float64) {
+	u := st.uav
+	countIn(&p.drops.database, p.DB.PutLocation(p.cfg.Origin, u.ID(), u.TruePosition(), now))
+	countIn(&p.drops.database, p.DB.PutRecord(p.cfg.Origin, u.ID(), Record{
+		Key:   "battery",
+		Value: fmt.Sprintf("%.1f", u.Battery.ChargePct),
+		Time:  now,
+	}))
+}
+
+// apply executes one UAV's collected findings in fleet order: event
+// emission, mission management and flight actions.
+func (p *Platform) apply(id string, ob observation, now float64) error {
+	if ob.err != nil {
+		return ob.err
+	}
+	st := p.states[id]
+	u := st.uav
+
+	// Collaborative landing halted the chain: step the controller and
+	// skip normal mission control.
+	if ob.result.HasAdvice(eddi.AdviceCollabLand) {
+		st.collocCtrl.Step()
+		if u.Mode() == uavsim.ModeLanded {
+			// Back on the ground, recoverable.
+			countIn(&p.drops.availability, p.avail.MarkUp(id, now))
+		}
+		return nil
+	}
+
+	// A crash (rotor loss on a quad, battery depletion) takes the
+	// vehicle out of the mission instantly; the Task Manager
+	// redistributes its unfinished work.
+	if u.Mode() == uavsim.ModeCrashed && st.inMission {
+		st.inMission = false
+		st.swapPending = false
+		countIn(&p.drops.availability, p.avail.MarkDown(id, now))
+		if p.mission != nil {
+			if _, assigned := p.mission.Assignments[id]; assigned && len(p.mission.Assignments) > 1 {
+				countIn(&p.drops.mission, p.mission.Redistribute(id, u.RemainingPath()))
+				p.redispatch()
+			}
+		}
+	}
+
+	// Emit the chain's findings in deterministic fleet order.
+	for _, ev := range ob.result.Events {
+		countIn(&p.drops.events, p.Coordinator.Emit(ev))
+	}
+
+	if !p.cfg.SESAME {
+		p.applyBaseline(st, ob.result.Advices, now)
+		return nil
+	}
+
+	// SINADRA adaptation: descend (optionally re-scanning) and restart
+	// the perception window at the new altitude.
+	for _, advice := range ob.result.Advices {
+		switch advice.Kind {
+		case eddi.AdviceRescan:
+			st.rescans++
+			p.descend(st)
+		case eddi.AdviceDescend:
+			p.descend(st)
+		}
+	}
+
+	// ConSert evidence mapping and evaluation over the fleet state as
+	// left by the UAVs earlier in p.order — the same view the serial
+	// loop had.
+	action, err := p.fuse(st, u, id)
+	if err != nil {
+		return err
+	}
+	// Monitor overrides (the SafeDrones emergency threshold) bypass the
+	// boolean evidence network.
+	for _, advice := range ob.result.Advices {
+		if advice.Override && advice.Kind == eddi.AdviceEmergencyLand {
+			action = conserts.ActionEmergencyLand
+		}
+	}
+	p.applyAction(st, action, now)
+	return nil
+}
+
+// descend executes SINADRA's altitude adaptation and resets the
+// perception window for the new operating point.
+func (p *Platform) descend(st *uavState) {
+	countIn(&p.drops.commands, st.uav.SetAltitude(p.cfg.DescendAltitudeM))
+	st.descended = true
+	st.perception.Reset()
+	st.hasUncert = false
+}
+
+// fuse maps the UAV's state onto ConSert evidence and evaluates the
+// Fig. 1 composition.
+func (p *Platform) fuse(st *uavState, u *uavsim.UAV, id string) (conserts.UAVAction, error) {
+	evidence := conserts.Evidence{
+		conserts.EvGPSQualityOK:         u.GPS.Mode == uavsim.GPSModeNominal || u.GPS.Mode == uavsim.GPSModeSpoofed,
+		conserts.EvNoSpoofing:           !p.Security.CompromisedBy(id, id+"/map-manipulation"),
+		conserts.EvCameraHealthy:        u.Camera.OK,
+		conserts.EvPerceptionConfident:  !st.hasUncert || st.uncertainty < 0.9,
+		conserts.EvNearbyDroneDetection: u.Camera.OK,
+		conserts.EvCommsOK:              u.Comms.OK && !p.Security.CompromisedBy(id, id+"/c2-hijack"),
+		conserts.EvNeighborsAvailable:   p.airborneNeighbors(id) > 0,
+		conserts.EvReliabilityHigh:      st.lastAssessment.Level == safedrones.LevelHigh,
+		conserts.EvReliabilityMedium:    st.lastAssessment.Level == safedrones.LevelMedium,
+	}
+	action, _, err := conserts.EvaluateUAV(p.comp, evidence)
+	return action, err
+}

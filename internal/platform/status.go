@@ -33,6 +33,10 @@ type Status struct {
 	SESAME   bool        `json:"sesame_enabled"`
 	Decision string      `json:"mission_decision"`
 	UAVs     []UAVStatus `json:"uavs"`
+	// Drops counts data-path operations (database writes, event
+	// emissions, availability marks, flight commands, mission
+	// management) that failed and were previously discarded silently.
+	Drops DropCounters `json:"data_path_drops"`
 }
 
 // Status captures a point-in-time snapshot of the fleet.
@@ -41,6 +45,7 @@ func (p *Platform) Status() Status {
 		Time:     p.World.Clock.Now(),
 		SESAME:   p.cfg.SESAME,
 		Decision: p.decision.String(),
+		Drops:    p.drops.snapshot(),
 	}
 	for _, id := range p.order {
 		st := p.states[id]

@@ -192,6 +192,29 @@ func TestRedistributeLastUAV(t *testing.T) {
 	}
 }
 
+func TestRedistributeCascadeToLastSurvivor(t *testing.T) {
+	m, _ := PlanMission(squareArea(300), []string{"u1", "u2"}, 25)
+	before := len(m.Assignments["u2"].Path)
+	handoff := m.Assignments["u1"].Path[2:]
+	if err := m.Redistribute("u1", handoff); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Assignments["u2"].Path); got != before+len(handoff) {
+		t.Fatalf("sole survivor has %d waypoints, want %d", got, before+len(handoff))
+	}
+	if len(m.Assignments) != 1 {
+		t.Fatalf("expected a single assignment, have %d", len(m.Assignments))
+	}
+	// The survivor fails too: nobody is left to take over, the mission
+	// plan empties and the caller must see the error.
+	if err := m.Redistribute("u2", m.Assignments["u2"].Path); err == nil {
+		t.Fatal("redistributing from the last survivor must fail")
+	}
+	if len(m.Assignments) != 0 {
+		t.Fatal("failed survivor must still be removed from the plan")
+	}
+}
+
 func TestRedistributeNothingRemaining(t *testing.T) {
 	m, _ := PlanMission(squareArea(300), []string{"u1", "u2"}, 25)
 	before := len(m.Assignments["u1"].Path)

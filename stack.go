@@ -7,6 +7,7 @@ import (
 	"sesame/internal/attacktree"
 	"sesame/internal/colloc"
 	"sesame/internal/detection"
+	"sesame/internal/eddi"
 	"sesame/internal/geo"
 	"sesame/internal/hiphops"
 	"sesame/internal/ids"
@@ -224,6 +225,67 @@ type AssuranceCase = assurance.Case
 // one UAV, wired to the executable models and reproduced experiments.
 func UAVAssuranceCase(uav string) (*AssuranceCase, error) { return assurance.UAVCase(uav) }
 
+// ---- EDDI runtime (internal/eddi) ----
+
+// RuntimeMonitor is the common interface every EDDI technology
+// implements to join a UAV's monitor chain: SafeDrones, SafeML,
+// SINADRA, the baseline policy and the collaborative-localization gate
+// all observe the same frozen telemetry snapshot and return events plus
+// flight advice. Custom monitors plug in via
+// PlatformConfig.ExtraMonitors.
+type RuntimeMonitor = eddi.Runtime
+
+// MonitorSnapshot is the per-UAV telemetry snapshot frozen at the start
+// of each platform tick and handed to every monitor in the chain.
+type MonitorSnapshot = eddi.Snapshot
+
+// MonitorDerived is the chain blackboard: values earlier monitors
+// derive for later ones (PoF, perception uncertainty, risk).
+type MonitorDerived = eddi.Derived
+
+// MonitorAdvice is one monitor's proposed intervention.
+type MonitorAdvice = eddi.Advice
+
+// MonitorAdviceKind enumerates the interventions a monitor may propose.
+type MonitorAdviceKind = eddi.AdviceKind
+
+// Monitor advice kinds.
+const (
+	AdviceNone          = eddi.AdviceNone
+	AdviceDescend       = eddi.AdviceDescend
+	AdviceRescan        = eddi.AdviceRescan
+	AdviceHold          = eddi.AdviceHold
+	AdviceReturnToBase  = eddi.AdviceReturnToBase
+	AdviceEmergencyLand = eddi.AdviceEmergencyLand
+	AdviceCollabLand    = eddi.AdviceCollabLand
+)
+
+// EDDIEvent is one runtime-monitor finding.
+type EDDIEvent = eddi.Event
+
+// EDDIKind classifies an event's originating discipline.
+type EDDIKind = eddi.Kind
+
+// Event kinds.
+const (
+	EDDISafety     = eddi.KindSafety
+	EDDISecurity   = eddi.KindSecurity
+	EDDIPerception = eddi.KindPerception
+	EDDIRisk       = eddi.KindRisk
+)
+
+// EDDICoordinator is the fleet-wide event log.
+type EDDICoordinator = eddi.Coordinator
+
+// ChainResult aggregates one chain evaluation's events and advice.
+type ChainResult = eddi.ChainResult
+
+// RunMonitorChain evaluates monitors in order over one snapshot,
+// stopping at the first Halt advice.
+func RunMonitorChain(monitors []RuntimeMonitor, s MonitorSnapshot) (ChainResult, error) {
+	return eddi.RunChain(monitors, s)
+}
+
 // ---- Integrated platform (internal/platform) ----
 
 // Platform is the integrated multi-UAV control platform of §IV-A.
@@ -234,6 +296,10 @@ type PlatformConfig = platform.Config
 
 // PlatformStatus is the Fig. 4 fleet snapshot.
 type PlatformStatus = platform.Status
+
+// PlatformDrops counts failed data-path operations the platform
+// previously discarded silently (exposed in PlatformStatus).
+type PlatformDrops = platform.DropCounters
 
 // DefaultPlatformConfig returns the experiment calibration (SESAME on).
 func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
