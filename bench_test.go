@@ -15,6 +15,7 @@ import (
 )
 
 func BenchmarkFig1ConSertEvaluation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFig1(); err != nil {
 			b.Fatal(err)
@@ -23,6 +24,7 @@ func BenchmarkFig1ConSertEvaluation(b *testing.B) {
 }
 
 func BenchmarkFig5BatteryFailure(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunFig5(int64(i + 1))
 		if err != nil {
@@ -35,6 +37,7 @@ func BenchmarkFig5BatteryFailure(b *testing.B) {
 }
 
 func BenchmarkSARAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunAccuracy(int64(i + 1))
 		if err != nil {
@@ -47,6 +50,7 @@ func BenchmarkSARAccuracy(b *testing.B) {
 }
 
 func BenchmarkFig6Spoofing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunFig6(int64(i + 1))
 		if err != nil {
@@ -59,6 +63,7 @@ func BenchmarkFig6Spoofing(b *testing.B) {
 }
 
 func BenchmarkFig7CollaborativeLanding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.RunFig7(int64(i + 1))
 		if err != nil {
@@ -71,6 +76,7 @@ func BenchmarkFig7CollaborativeLanding(b *testing.B) {
 }
 
 func BenchmarkCoveragePatterns(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunPatterns(int64(i + 1)); err != nil {
 			b.Fatal(err)
@@ -79,6 +85,7 @@ func BenchmarkCoveragePatterns(b *testing.B) {
 }
 
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunAblations(int64(i + 1)); err != nil {
 			b.Fatal(err)
@@ -90,6 +97,7 @@ func BenchmarkAblations(b *testing.B) {
 // integrated platform tick with three UAVs and the full EDDI stack —
 // the Fig. 4 runtime loop.
 func BenchmarkPlatformMissionTick(b *testing.B) {
+	b.ReportAllocs()
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
 	world := sesame.NewWorld(home, 1)
 	for _, id := range []string{"u1", "u2", "u3"} {
@@ -129,6 +137,7 @@ func BenchmarkPlatformMissionTick(b *testing.B) {
 // multi-core host the 12- and 48-UAV pooled variants should beat
 // serial; outputs are bit-identical either way.
 func BenchmarkPlatformTickFleet(b *testing.B) {
+	b.ReportAllocs()
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
 	a := sesame.Destination(home, 45, 80)
 	bb := sesame.Destination(a, 90, 3000)
@@ -141,6 +150,7 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 			workers int
 		}{{"serial", 1}, {"pooled", 0}} {
 			b.Run(fmt.Sprintf("%d/%s", fleet, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
 				world := sesame.NewWorld(home, 1)
 				for i := 0; i < fleet; i++ {
 					uc := sesame.UAVConfig{ID: fmt.Sprintf("u%02d", i), Home: home}

@@ -20,6 +20,9 @@ type Network struct {
 	states [][]string       // states[v] = state labels of variable v
 	stIdx  []map[string]int // stIdx[v][label] = state index
 	cpts   []*cpt           // cpts[v] = CPT of variable v (nil until set)
+	// validated caches a successful Validate so repeated Posterior
+	// queries skip re-walking the graph; any structural change resets it.
+	validated bool
 }
 
 type cpt struct {
@@ -57,6 +60,7 @@ func (n *Network) AddVariable(name string, states ...string) error {
 		si[s] = i
 	}
 	n.index[name] = len(n.names)
+	n.validated = false
 	n.names = append(n.names, name)
 	n.states = append(n.states, append([]string(nil), states...))
 	n.stIdx = append(n.stIdx, si)
@@ -126,6 +130,7 @@ func (n *Network) SetCPT(child string, parents []string, rows [][]float64) error
 		cp[r] = append([]float64(nil), row...)
 	}
 	n.cpts[cid] = &cpt{child: cid, parents: pids, rows: cp}
+	n.validated = false
 	return nil
 }
 
@@ -172,6 +177,7 @@ func (n *Network) Validate() error {
 	if seen != len(n.names) {
 		return errors.New("bayes: parent graph has a cycle")
 	}
+	n.validated = true
 	return nil
 }
 
@@ -360,8 +366,10 @@ func (f *factor) sumOut(v int) *factor {
 // Posterior returns P(query | evidence) as a map from the query
 // variable's state labels to probabilities.
 func (n *Network) Posterior(query string, ev Evidence) (map[string]float64, error) {
-	if err := n.Validate(); err != nil {
-		return nil, err
+	if !n.validated {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	qid, err := n.varID(query)
 	if err != nil {

@@ -242,24 +242,37 @@ func EvaluateUAV(comp *Composition, ev Evidence) (UAVAction, map[string]Result, 
 		return ActionEmergencyLand, nil, errors.New("conserts: nil composition")
 	}
 	results := comp.Evaluate(ev)
+	action, err := uavActionFrom(results)
+	return action, results, err
+}
+
+// UAVAction is EvaluateUAV over the evaluator's reusable storage: the
+// per-tick hot path, allocation-free in steady state.
+func (e *Evaluator) UAVAction(ev Evidence) (UAVAction, error) {
+	return uavActionFrom(e.Evaluate(ev))
+}
+
+// uavActionFrom maps the UAV ConSert's best guarantee to the flight
+// action.
+func uavActionFrom(results map[string]Result) (UAVAction, error) {
 	uavRes, ok := results[ConSertUAV]
 	if !ok {
-		return ActionEmergencyLand, results, fmt.Errorf("conserts: composition has no %q ConSert", ConSertUAV)
+		return ActionEmergencyLand, fmt.Errorf("conserts: composition has no %q ConSert", ConSertUAV)
 	}
 	if uavRes.Best == nil {
-		return ActionEmergencyLand, results, nil
+		return ActionEmergencyLand, nil
 	}
 	switch uavRes.Best.ID {
 	case GuaranteeUAVContinueTakeover:
-		return ActionContinueTakeover, results, nil
+		return ActionContinueTakeover, nil
 	case GuaranteeUAVContinue:
-		return ActionContinue, results, nil
+		return ActionContinue, nil
 	case GuaranteeUAVHold:
-		return ActionHold, results, nil
+		return ActionHold, nil
 	case GuaranteeUAVReturn:
-		return ActionReturnToBase, results, nil
+		return ActionReturnToBase, nil
 	default:
-		return ActionEmergencyLand, results, fmt.Errorf("conserts: unknown UAV guarantee %q", uavRes.Best.ID)
+		return ActionEmergencyLand, fmt.Errorf("conserts: unknown UAV guarantee %q", uavRes.Best.ID)
 	}
 }
 

@@ -28,7 +28,7 @@ func (c *Chain) MarshalJSON() ([]byte, error) {
 			if i == j {
 				continue
 			}
-			if r := c.gen[i][j]; r > 0 {
+			if r := c.gen[i*len(c.states)+j]; r > 0 {
 				doc.Transitions = append(doc.Transitions, transitionJSON{From: from, To: to, Rate: r})
 			}
 		}

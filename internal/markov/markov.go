@@ -17,9 +17,11 @@ import (
 type Chain struct {
 	states []string
 	index  map[string]int
-	// gen[i][j] is the transition rate from state i to state j (i != j);
-	// the diagonal is maintained as the negative row sum.
-	gen [][]float64
+	// gen is the row-major n×n generator: gen[i*n+j] is the transition
+	// rate from state i to state j (i != j); the diagonal is maintained
+	// as the negative row sum. Flat storage keeps the uniformization
+	// inner product on one cache line per row.
+	gen []float64
 }
 
 // NewChain creates a chain with the given state names. Names must be
@@ -41,10 +43,7 @@ func NewChain(states ...string) (*Chain, error) {
 		}
 		c.index[s] = i
 	}
-	c.gen = make([][]float64, len(states))
-	for i := range c.gen {
-		c.gen[i] = make([]float64, len(states))
-	}
+	c.gen = make([]float64, len(states)*len(states))
 	return c, nil
 }
 
@@ -91,9 +90,10 @@ func (c *Chain) AddTransition(from, to string, rate float64) error {
 		return fmt.Errorf("markov: self transition on %q", from)
 	}
 	// Restore diagonal contribution of any previous rate, then set.
-	c.gen[i][i] += c.gen[i][j]
-	c.gen[i][j] = rate
-	c.gen[i][i] -= rate
+	n := len(c.states)
+	c.gen[i*n+i] += c.gen[i*n+j]
+	c.gen[i*n+j] = rate
+	c.gen[i*n+i] -= rate
 	return nil
 }
 
@@ -111,7 +111,7 @@ func (c *Chain) Rate(from, to string) float64 {
 	if err1 != nil || err2 != nil || i == j {
 		return 0
 	}
-	return c.gen[i][j]
+	return c.gen[i*len(c.states)+j]
 }
 
 // ExitRate returns the total outgoing rate of the named state.
@@ -120,7 +120,7 @@ func (c *Chain) ExitRate(state string) float64 {
 	if err != nil {
 		return 0
 	}
-	return -c.gen[i][i]
+	return -c.gen[i*len(c.states)+i]
 }
 
 // IsAbsorbing reports whether the named state has no outgoing
@@ -159,6 +159,29 @@ const uniformizationEpsilon = 1e-12
 // is linear in q*t either way, but each step stays numerically tame).
 const maxQTPerStep = 4000
 
+// Workspace holds the scratch vectors of one uniformization solve so
+// repeated TransientAtInto calls allocate nothing. A zero Workspace is
+// ready to use; buffers grow on first use and are reused afterwards.
+// A Workspace must not be shared between concurrent solves — give each
+// goroutine (each UAV monitor, in the platform) its own.
+type Workspace struct {
+	cur, stepOut, vec, next []float64
+}
+
+// grow sizes every scratch vector to n, reusing capacity.
+func (w *Workspace) grow(n int) {
+	if cap(w.cur) < n {
+		w.cur = make([]float64, n)
+		w.stepOut = make([]float64, n)
+		w.vec = make([]float64, n)
+		w.next = make([]float64, n)
+	}
+	w.cur = w.cur[:n]
+	w.stepOut = w.stepOut[:n]
+	w.vec = w.vec[:n]
+	w.next = w.next[:n]
+}
+
 // TransientAt returns the state distribution at time t starting from
 // p0, computed by uniformization (Jensen's method): with q >= max exit
 // rate and P = I + Q/q,
@@ -170,53 +193,76 @@ const maxQTPerStep = 4000
 // evaluated by stepping the chain, so arbitrarily long missions stay
 // numerically stable.
 func (c *Chain) TransientAt(p0 Distribution, t float64) (Distribution, error) {
+	out := make(Distribution, len(c.states))
+	if err := c.TransientAtInto(out, p0, t, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransientAtInto is TransientAt writing the result into dst (length
+// NumStates, must not alias p0) and drawing all scratch from ws, so a
+// caller that reuses its Workspace performs no allocation. A nil ws
+// uses a throwaway workspace. The result is bit-identical to
+// TransientAt.
+func (c *Chain) TransientAtInto(dst, p0 Distribution, t float64, ws *Workspace) error {
 	n := len(c.states)
 	if len(p0) != n {
-		return nil, fmt.Errorf("markov: p0 has %d entries, chain has %d states", len(p0), n)
+		return fmt.Errorf("markov: p0 has %d entries, chain has %d states", len(p0), n)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("markov: dst has %d entries, chain has %d states", len(dst), n)
 	}
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return nil, fmt.Errorf("markov: invalid time %v", t)
+		return fmt.Errorf("markov: invalid time %v", t)
 	}
 	if math.Abs(p0.Sum()-1) > 1e-9 {
-		return nil, fmt.Errorf("markov: p0 sums to %v, want 1", p0.Sum())
+		return fmt.Errorf("markov: p0 sums to %v, want 1", p0.Sum())
 	}
 	var q float64
 	for i := 0; i < n; i++ {
-		if r := -c.gen[i][i]; r > q {
+		if r := -c.gen[i*n+i]; r > q {
 			q = r
 		}
 	}
 	if q == 0 || t == 0 {
-		out := make(Distribution, n)
-		copy(out, p0)
-		return out, nil
+		copy(dst, p0)
+		return nil
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.grow(n)
 	qEff := q * 1.02
 	steps := 1
 	if qEff*t > maxQTPerStep {
 		steps = int(math.Ceil(qEff * t / maxQTPerStep))
 	}
-	cur := append(Distribution(nil), p0...)
+	cur, out := ws.cur, ws.stepOut
+	copy(cur, p0)
 	dt := t / float64(steps)
 	for s := 0; s < steps; s++ {
-		next, err := c.transientStep(cur, dt, qEff)
-		if err != nil {
-			return nil, err
+		if err := c.transientStep(out, cur, dt, qEff, ws); err != nil {
+			return err
 		}
-		cur = next
+		cur, out = out, cur
 	}
-	return cur, nil
+	copy(dst, cur)
+	ws.cur, ws.stepOut = cur, out
+	return nil
 }
 
-// transientStep runs one uniformization evaluation with q*t bounded.
-func (c *Chain) transientStep(p0 Distribution, t, q float64) (Distribution, error) {
+// transientStep runs one uniformization evaluation with q*t bounded,
+// writing into out and using ws.vec/ws.next as scratch.
+func (c *Chain) transientStep(out, p0 []float64, t, q float64, ws *Workspace) error {
 	n := len(c.states)
-	out := make(Distribution, n)
+	for i := range out {
+		out[i] = 0
+	}
 
 	// DTMC kernel P = I + Q/q, applied as vector-matrix products.
-	vec := make([]float64, n)
+	vec, next := ws.vec, ws.next
 	copy(vec, p0)
-	next := make([]float64, n)
 
 	qt := q * t
 	// Poisson term computed iteratively in log space to survive large qt.
@@ -238,13 +284,13 @@ func (c *Chain) transientStep(p0 Distribution, t, q float64) (Distribution, erro
 			break
 		}
 		if k > 2*maxQTPerStep {
-			return nil, errors.New("markov: uniformization failed to converge")
+			return errors.New("markov: uniformization failed to converge")
 		}
 		// vec <- vec * P  ==  vec + (vec*Q)/q
 		for j := 0; j < n; j++ {
 			var acc float64
 			for i := 0; i < n; i++ {
-				acc += vec[i] * c.gen[i][j]
+				acc += vec[i] * c.gen[i*n+j]
 			}
 			next[j] = vec[j] + acc/q
 			if next[j] < 0 { // clamp tiny negative round-off
@@ -255,12 +301,16 @@ func (c *Chain) transientStep(p0 Distribution, t, q float64) (Distribution, erro
 		logTerm += math.Log(qt) - math.Log(float64(k+1))
 	}
 	// Renormalize the truncated series.
-	if s := out.Sum(); s > 0 {
+	var s float64
+	for _, v := range out {
+		s += v
+	}
+	if s > 0 {
 		for i := range out {
 			out[i] /= s
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // ProbabilityAt returns the probability of occupying the named state at
@@ -317,7 +367,7 @@ func (c *Chain) StationaryDistribution() (Distribution, error) {
 	var slowest float64 = math.Inf(1)
 	any := false
 	for i := 0; i < n; i++ {
-		if r := -c.gen[i][i]; r > 0 {
+		if r := -c.gen[i*n+i]; r > 0 {
 			any = true
 			if r < slowest {
 				slowest = r

@@ -233,6 +233,7 @@ func TestLargeQT(t *testing.T) {
 }
 
 func BenchmarkTransient4State(b *testing.B) {
+	b.ReportAllocs()
 	c := MustChain("s0", "s1", "s2", "dead")
 	c.MustAddTransition("s0", "s1", 0.5)
 	c.MustAddTransition("s1", "s2", 0.5)
@@ -242,6 +243,54 @@ func BenchmarkTransient4State(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := c.TransientAt(p0, 10); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransient4StateWorkspace is the reusable-workspace hot path
+// SafeDrones runs per tick; steady state it must not allocate.
+func BenchmarkTransient4StateWorkspace(b *testing.B) {
+	b.ReportAllocs()
+	c := MustChain("s0", "s1", "s2", "dead")
+	c.MustAddTransition("s0", "s1", 0.5)
+	c.MustAddTransition("s1", "s2", 0.5)
+	c.MustAddTransition("s2", "dead", 0.5)
+	p0, _ := c.PointMass("s0")
+	dst := make(Distribution, c.NumStates())
+	var ws Workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.TransientAtInto(dst, p0, 10, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTransientAtIntoMatchesTransientAt pins the workspace path to the
+// allocating wrapper bit for bit, across horizons short and long (the
+// multi-step uniformization split).
+func TestTransientAtIntoMatchesTransientAt(t *testing.T) {
+	c := MustChain("s0", "s1", "s2", "dead")
+	c.MustAddTransition("s0", "s1", 0.5)
+	c.MustAddTransition("s1", "s2", 0.3)
+	c.MustAddTransition("s2", "s1", 0.2)
+	c.MustAddTransition("s2", "dead", 0.5)
+	p0, _ := c.PointMass("s0")
+	var ws Workspace
+	dst := make(Distribution, c.NumStates())
+	for _, horizon := range []float64{0, 0.001, 1, 10, 500, 5000} {
+		want, err := c.TransientAt(p0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reuse the same workspace across horizons, as SafeDrones does.
+		if err := c.TransientAtInto(dst, p0, horizon, &ws); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("horizon %v state %d: workspace %v != wrapper %v (must be bit-identical)", horizon, i, dst[i], want[i])
+			}
 		}
 	}
 }

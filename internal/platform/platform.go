@@ -110,6 +110,10 @@ type uavState struct {
 	collocCtrl *colloc.Controller
 	descended  bool
 	rescans    int
+	// mapManipKey / c2HijackKey are the "<id>/<attack>" security query
+	// keys, concatenated once instead of every tick.
+	mapManipKey string
+	c2HijackKey string
 	// Baseline battery-swap state (§V-A without-SESAME behaviour):
 	// abort to base, swap the pack (60 s), resume the stored path.
 	swapPending  bool
@@ -129,8 +133,13 @@ type Platform struct {
 	Coordinator *eddi.Coordinator
 	DB          *Database
 
-	cfg      Config
-	comp     *conserts.Composition
+	cfg  Config
+	comp *conserts.Composition
+	// eval and evidence are the reusable ConSert evaluation scratch.
+	// fuse runs only in the serial apply phase, so sharing one across
+	// the fleet is race-free.
+	eval     *conserts.Evaluator
+	evidence conserts.Evidence
 	assessor *sinadra.Assessor
 	detector *detection.Detector
 	scene    *detection.Scene
@@ -197,6 +206,8 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		if err != nil {
 			return nil, err
 		}
+		p.eval = conserts.NewEvaluator(p.comp)
+		p.evidence = make(conserts.Evidence, 16)
 		p.assessor, err = sinadra.NewAssessor(sinadra.DefaultConfig())
 		if err != nil {
 			return nil, err
@@ -208,7 +219,11 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		p.thermal = cfg.UseThermalBelow > 0 && cfg.Visibility < cfg.UseThermalBelow
 	}
 	for _, u := range uavs {
-		st := &uavState{uav: u, action: conserts.ActionContinue}
+		st := &uavState{
+			uav: u, action: conserts.ActionContinue,
+			mapManipKey: u.ID() + "/map-manipulation",
+			c2HijackKey: u.ID() + "/c2-hijack",
+		}
 		mcfg := safedrones.DefaultConfig()
 		if !cfg.SESAME {
 			mcfg.Policy = safedrones.PolicyReactive

@@ -374,6 +374,7 @@ func TestBaselineHasNoSecurityDetection(t *testing.T) {
 }
 
 func BenchmarkPlatformTick(b *testing.B) {
+	b.ReportAllocs()
 	w := uavsim.NewWorld(origin, 1)
 	for _, id := range []string{"u1", "u2", "u3"} {
 		_, _ = w.AddUAV(uavsim.UAVConfig{ID: id, Home: origin})

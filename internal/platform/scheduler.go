@@ -248,17 +248,17 @@ func (p *Platform) descend(st *uavState) {
 // fuse maps the UAV's state onto ConSert evidence and evaluates the
 // Fig. 1 composition.
 func (p *Platform) fuse(st *uavState, u *uavsim.UAV, id string) (conserts.UAVAction, error) {
-	evidence := conserts.Evidence{
-		conserts.EvGPSQualityOK:         u.GPS.Mode == uavsim.GPSModeNominal || u.GPS.Mode == uavsim.GPSModeSpoofed,
-		conserts.EvNoSpoofing:           !p.Security.CompromisedBy(id, id+"/map-manipulation"),
-		conserts.EvCameraHealthy:        u.Camera.OK,
-		conserts.EvPerceptionConfident:  !st.hasUncert || st.uncertainty < 0.9,
-		conserts.EvNearbyDroneDetection: u.Camera.OK,
-		conserts.EvCommsOK:              u.Comms.OK && !p.Security.CompromisedBy(id, id+"/c2-hijack"),
-		conserts.EvNeighborsAvailable:   p.airborneNeighbors(id) > 0,
-		conserts.EvReliabilityHigh:      st.lastAssessment.Level == safedrones.LevelHigh,
-		conserts.EvReliabilityMedium:    st.lastAssessment.Level == safedrones.LevelMedium,
-	}
-	action, _, err := conserts.EvaluateUAV(p.comp, evidence)
-	return action, err
+	// p.evidence and p.eval are shared scratch, reused every tick; fuse
+	// only runs in the serial apply phase (see the phase comment above).
+	ev := p.evidence
+	ev[conserts.EvGPSQualityOK] = u.GPS.Mode == uavsim.GPSModeNominal || u.GPS.Mode == uavsim.GPSModeSpoofed
+	ev[conserts.EvNoSpoofing] = !p.Security.CompromisedBy(id, st.mapManipKey)
+	ev[conserts.EvCameraHealthy] = u.Camera.OK
+	ev[conserts.EvPerceptionConfident] = !st.hasUncert || st.uncertainty < 0.9
+	ev[conserts.EvNearbyDroneDetection] = u.Camera.OK
+	ev[conserts.EvCommsOK] = u.Comms.OK && !p.Security.CompromisedBy(id, st.c2HijackKey)
+	ev[conserts.EvNeighborsAvailable] = p.airborneNeighbors(id) > 0
+	ev[conserts.EvReliabilityHigh] = st.lastAssessment.Level == safedrones.LevelHigh
+	ev[conserts.EvReliabilityMedium] = st.lastAssessment.Level == safedrones.LevelMedium
+	return p.eval.UAVAction(ev)
 }

@@ -175,6 +175,18 @@ type Monitor struct {
 	// of mission length).
 	procDist markov.Distribution
 	propDist markov.Distribution
+	// Scratch distributions the transient solver writes into; swapped
+	// with the live ones after each solve so steady-state Observe does
+	// not allocate.
+	procScratch markov.Distribution
+	propScratch markov.Distribution
+	// ws is this monitor's uniformization workspace. Each monitor owns
+	// its own, so per-UAV Observe calls stay race-free under the
+	// platform's concurrent fleet scheduler.
+	ws markov.Workspace
+	// Failure-state indexes resolved once at construction.
+	propFailIdx int
+	procFailIdx int
 
 	// rotor observation filter
 	observedFailures int
@@ -207,10 +219,21 @@ func NewMonitor(uav string, cfg Config) (*Monitor, error) {
 	if err != nil {
 		return nil, err
 	}
+	propFailIdx, err := prop.StateIndex("failure")
+	if err != nil {
+		return nil, err
+	}
+	procFailIdx, err := proc.StateIndex("failure")
+	if err != nil {
+		return nil, err
+	}
 	return &Monitor{
 		uav: uav, cfg: cfg,
 		propChain: prop, procChain: proc,
 		propDist: propDist, procDist: procDist,
+		propScratch: make(markov.Distribution, len(propDist)),
+		procScratch: make(markov.Distribution, len(procDist)),
+		propFailIdx: propFailIdx, procFailIdx: procFailIdx,
 	}, nil
 }
 
@@ -250,36 +273,26 @@ func (m *Monitor) Observe(tel Telemetry) (Assessment, error) {
 			m.propDist = d
 		}
 	} else if dt > 0 {
-		d, err := m.propChain.TransientAt(m.propDist, dt)
-		if err != nil {
+		if err := m.propChain.TransientAtInto(m.propScratch, m.propDist, dt, &m.ws); err != nil {
 			return Assessment{}, err
 		}
-		m.propDist = d
+		m.propDist, m.propScratch = m.propScratch, m.propDist
 	}
 	var propPoF float64
 	if m.observedFailures > tolerable {
 		propPoF = 1
 	} else {
-		idx, err := m.propChain.StateIndex("failure")
-		if err != nil {
-			return Assessment{}, err
-		}
-		propPoF = m.propDist[idx]
+		propPoF = m.propDist[m.propFailIdx]
 	}
 
 	// Processor: the SER chain stepped over the mission.
 	if dt > 0 {
-		d, err := m.procChain.TransientAt(m.procDist, dt)
-		if err != nil {
+		if err := m.procChain.TransientAtInto(m.procScratch, m.procDist, dt, &m.ws); err != nil {
 			return Assessment{}, err
 		}
-		m.procDist = d
+		m.procDist, m.procScratch = m.procScratch, m.procDist
 	}
-	procIdx, err := m.procChain.StateIndex("failure")
-	if err != nil {
-		return Assessment{}, err
-	}
-	procPoF := m.procDist[procIdx]
+	procPoF := m.procDist[m.procFailIdx]
 
 	// Comms: exponential, saturating to 1 on an observed outage.
 	var commsPoF float64
@@ -294,10 +307,7 @@ func (m *Monitor) Observe(tel Telemetry) (Assessment, error) {
 
 	// Compose through the UAV-loss fault tree: any subsystem loss
 	// fails the vehicle.
-	pof, err := composePoF(propPoF, battPoF, procPoF, commsPoF)
-	if err != nil {
-		return Assessment{}, err
-	}
+	pof := composePoF(propPoF, battPoF, procPoF, commsPoF)
 
 	anomaly := tel.Overheating || tel.ChargePct < m.cfg.AnomalyChargePct ||
 		tel.FailedRotors > 0 || !tel.CommsOK
@@ -326,39 +336,23 @@ func (m *Monitor) Observe(tel Telemetry) (Assessment, error) {
 }
 
 // composePoF evaluates the UAV-loss OR tree over the four subsystem
-// PoFs via the fta engine.
-func composePoF(prop, batt, proc, comms float64) (float64, error) {
-	mk := func(name string, p float64) (fta.Event, error) {
+// PoFs. It is the inline form of the fta engine's OR gate over fixed
+// events in child order [propulsion, battery, processor, comms] —
+// 1 - Π(1-p) with each p clamped to [0,1] — kept bit-identical to the
+// tree evaluation (pinned by TestComposePoFMatchesTree) so the per-tick
+// hot path neither builds a tree nor allocates.
+func composePoF(prop, batt, proc, comms float64) float64 {
+	prod := 1.0
+	for _, p := range [...]float64{prop, batt, proc, comms} {
 		if p < 0 {
 			p = 0
 		}
 		if p > 1 {
 			p = 1
 		}
-		return fta.NewFixedEvent(name, p)
+		prod *= 1 - p
 	}
-	var events []fta.Event
-	for _, e := range []struct {
-		name string
-		p    float64
-	}{
-		{"propulsion", prop}, {"battery", batt}, {"processor", proc}, {"comms", comms},
-	} {
-		ev, err := mk(e.name, e.p)
-		if err != nil {
-			return 0, err
-		}
-		events = append(events, ev)
-	}
-	top, err := fta.NewGate("uav-loss", fta.OR, events...)
-	if err != nil {
-		return 0, err
-	}
-	tree, err := fta.NewTree(top)
-	if err != nil {
-		return 0, err
-	}
-	return tree.Probability(0)
+	return 1 - prod
 }
 
 // advise maps the assessment to a mission adaptation under the

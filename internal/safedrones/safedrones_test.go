@@ -2,7 +2,10 @@ package safedrones
 
 import (
 	"math"
+	"math/rand"
 	"testing"
+
+	"sesame/internal/fta"
 )
 
 func TestArrheniusFactor(t *testing.T) {
@@ -373,6 +376,7 @@ func TestLevelAndAdviceStrings(t *testing.T) {
 }
 
 func BenchmarkMonitorObserve(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := NewMonitor("u1", DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -380,6 +384,64 @@ func BenchmarkMonitorObserve(b *testing.B) {
 			Time: float64(i), ChargePct: 80, TempC: 40, CommsOK: true, Airborne: true,
 		}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestComposePoFMatchesTree pins the inlined UAV-loss OR composition to
+// the fta engine's tree evaluation it replaced: same clamping, same
+// child order, bit-identical result.
+func TestComposePoFMatchesTree(t *testing.T) {
+	treePoF := func(prop, batt, proc, comms float64) float64 {
+		var events []fta.Event
+		for _, e := range []struct {
+			name string
+			p    float64
+		}{
+			{"propulsion", prop}, {"battery", batt}, {"processor", proc}, {"comms", comms},
+		} {
+			p := e.p
+			if p < 0 {
+				p = 0
+			}
+			if p > 1 {
+				p = 1
+			}
+			ev, err := fta.NewFixedEvent(e.name, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+		}
+		top, err := fta.NewGate("uav-loss", fta.OR, events...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := fta.NewTree(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tree.Probability(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	rng := rand.New(rand.NewSource(11))
+	cases := [][4]float64{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{-0.5, 1.5, 0.3, 0.7},
+		{0.123456789, 0.987654321, 1e-15, 0.5},
+	}
+	for i := 0; i < 200; i++ {
+		cases = append(cases, [4]float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	for _, c := range cases {
+		want := treePoF(c[0], c[1], c[2], c[3])
+		got := composePoF(c[0], c[1], c[2], c[3])
+		if got != want {
+			t.Fatalf("composePoF(%v) = %v, tree gives %v (must be bit-identical)", c, got, want)
 		}
 	}
 }

@@ -12,7 +12,9 @@ package safeml
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"sesame/internal/statdist"
 )
@@ -77,7 +79,9 @@ type Report struct {
 	// Distance is the mean per-feature statistical distance between
 	// the window and the reference.
 	Distance float64
-	// PerFeature are the individual feature distances.
+	// PerFeature are the individual feature distances. The slice is
+	// owned by the Monitor and overwritten by the next Evaluate; copy
+	// it if you need it to survive.
 	PerFeature []float64
 	// Uncertainty in [0,1]; Confidence = 1 - Uncertainty.
 	Uncertainty float64
@@ -88,13 +92,36 @@ type Report struct {
 }
 
 // Monitor is the runtime SafeML instance for one perception model.
+//
+// The steady-state Evaluate path is incremental and allocation-free:
+// the reference is column-sorted once at NewMonitor, the runtime
+// window maintains one sorted column per feature by binary-search
+// insert/remove on Push, and sorted-capable measures (every measure in
+// statdist) compare the two sorted columns directly. The reported
+// distances are bit-identical to sorting the raw window on every call.
 type Monitor struct {
 	cfg Config
 	ref [][]float64
+	// refSorted[f] is the reference's feature-f column, sorted once.
+	refSorted [][]float64
 
+	// window is the ring buffer of raw feature rows (rows preallocated,
+	// reused in place).
 	window [][]float64
 	next   int
 	filled bool
+	count  int
+	// winSorted[f] is the incrementally maintained sorted column of the
+	// current window's feature f. NaN values are excluded (they have no
+	// order) and tracked by nanCount instead.
+	winSorted [][]float64
+	nanCount  int
+
+	// sorted is cfg.Measure's allocation-free fast path (nil if the
+	// measure does not implement statdist.SortedMeasure).
+	sorted statdist.SortedMeasure
+	// perFeature is the reusable Report.PerFeature buffer.
+	perFeature []float64
 }
 
 // NewMonitor builds a monitor around the training reference feature
@@ -125,7 +152,24 @@ func NewMonitor(reference [][]float64, cfg Config) (*Monitor, error) {
 	for i, row := range reference {
 		ref[i] = append([]float64(nil), row...)
 	}
-	return &Monitor{cfg: cfg, ref: ref, window: make([][]float64, cfg.WindowSize)}, nil
+	m := &Monitor{cfg: cfg, ref: ref, window: make([][]float64, cfg.WindowSize)}
+	for i := range m.window {
+		m.window[i] = make([]float64, width)
+	}
+	m.refSorted = make([][]float64, width)
+	m.winSorted = make([][]float64, width)
+	for f := 0; f < width; f++ {
+		col := make([]float64, len(ref))
+		for i, row := range ref {
+			col[i] = row[f]
+		}
+		sort.Float64s(col)
+		m.refSorted[f] = col
+		m.winSorted[f] = make([]float64, 0, cfg.WindowSize)
+	}
+	m.sorted, _ = cfg.Measure.(statdist.SortedMeasure)
+	m.perFeature = make([]float64, width)
+	return m, nil
 }
 
 // FeatureDim returns the expected feature vector width.
@@ -134,12 +178,27 @@ func (m *Monitor) FeatureDim() int { return len(m.ref[0]) }
 // Ready reports whether the window has filled at least once.
 func (m *Monitor) Ready() bool { return m.filled }
 
-// Push adds one runtime feature vector to the sliding window.
+// Push adds one runtime feature vector to the sliding window,
+// updating the per-feature sorted columns incrementally. Amortized it
+// performs no allocation.
 func (m *Monitor) Push(features []float64) error {
 	if len(features) != m.FeatureDim() {
 		return fmt.Errorf("safeml: got %d features, want %d", len(features), m.FeatureDim())
 	}
-	m.window[m.next] = append([]float64(nil), features...)
+	row := m.window[m.next]
+	if m.count == len(m.window) {
+		// The ring is full: the slot being overwritten holds the oldest
+		// sample, whose values leave the sorted columns.
+		for f, old := range row {
+			m.removeSorted(f, old)
+		}
+	} else {
+		m.count++
+	}
+	copy(row, features)
+	for f, v := range features {
+		m.insertSorted(f, v)
+	}
 	m.next++
 	if m.next == len(m.window) {
 		m.next = 0
@@ -148,13 +207,44 @@ func (m *Monitor) Push(features []float64) error {
 	return nil
 }
 
+// insertSorted adds v to feature f's sorted window column.
+func (m *Monitor) insertSorted(f int, v float64) {
+	if math.IsNaN(v) {
+		// NaN has no order; track it separately and keep the column
+		// well-sorted. Evaluate falls back to the raw path (which
+		// reports the same error the unoptimized monitor did).
+		m.nanCount++
+		return
+	}
+	col := m.winSorted[f]
+	i := sort.SearchFloat64s(col, v)
+	col = col[:len(col)+1]
+	copy(col[i+1:], col[i:])
+	col[i] = v
+	m.winSorted[f] = col
+}
+
+// removeSorted drops one instance of v from feature f's sorted column.
+func (m *Monitor) removeSorted(f int, v float64) {
+	if math.IsNaN(v) {
+		m.nanCount--
+		return
+	}
+	col := m.winSorted[f]
+	i := sort.SearchFloat64s(col, v)
+	copy(col[i:], col[i+1:])
+	m.winSorted[f] = col[:len(col)-1]
+}
+
 // Reset clears the runtime window (e.g. after a commanded altitude
 // change invalidates the old samples).
 func (m *Monitor) Reset() {
 	m.next = 0
 	m.filled = false
-	for i := range m.window {
-		m.window[i] = nil
+	m.count = 0
+	m.nanCount = 0
+	for f := range m.winSorted {
+		m.winSorted[f] = m.winSorted[f][:0]
 	}
 }
 
@@ -165,7 +255,7 @@ func (m *Monitor) Evaluate() (Report, error) {
 	if !m.filled {
 		return Report{}, fmt.Errorf("safeml: window not yet full (%d/%d)", m.next, len(m.window))
 	}
-	per, mean, err := statdist.FeatureDistance(m.cfg.Measure, m.ref, m.window)
+	per, mean, err := m.featureDistances()
 	if err != nil {
 		return Report{}, err
 	}
@@ -192,6 +282,30 @@ func (m *Monitor) Evaluate() (Report, error) {
 		r.Action = ActionAccept
 	}
 	return r, nil
+}
+
+// featureDistances computes the per-feature distances of the full
+// window against the reference. The steady-state path compares the
+// pre-sorted reference columns against the incrementally maintained
+// sorted window columns without sorting or allocating; the result is
+// bit-identical to statdist.FeatureDistance over the raw rows, which
+// remains the fallback for non-sorted measures and NaN-polluted
+// windows.
+func (m *Monitor) featureDistances() ([]float64, float64, error) {
+	if m.sorted == nil || m.nanCount > 0 {
+		return statdist.FeatureDistance(m.cfg.Measure, m.ref, m.window)
+	}
+	var mean float64
+	for f := range m.perFeature {
+		d, err := m.sorted.DistanceSorted(m.refSorted[f], m.winSorted[f])
+		if err != nil {
+			return nil, 0, err
+		}
+		m.perFeature[f] = d
+		mean += d
+	}
+	mean /= float64(len(m.perFeature))
+	return m.perFeature, mean, nil
 }
 
 // EvaluateWithPValue augments Evaluate with a per-feature permutation

@@ -244,6 +244,7 @@ func TestDetectorIntegrationAltitudeDrift(t *testing.T) {
 }
 
 func BenchmarkEvaluate(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	ref := reference(rng, 200, 6)
 	m, _ := NewMonitor(ref, DefaultConfig())

@@ -89,15 +89,28 @@ type Assessment struct {
 	// risk is high.
 	RiskHigh float64
 	// Posterior is the full distribution over risk states
-	// ("low"/"medium"/"high").
+	// ("low"/"medium"/"high"). The map is owned by the Assessor's
+	// precomputed table and shared, read-only, by every Assessment for
+	// the same discretized situation; do not mutate it.
 	Posterior map[string]float64
 	Advice    Advice
 }
 
 // Assessor owns the situation BN.
+//
+// The evidence space is finite — 3 uncertainty bands × 2 altitude ×
+// 2 visibility × 2 criticality = 24 combinations — so NewAssessor runs
+// exact inference once per combination and Assess reduces to input
+// validation plus a table lookup. The table is immutable after
+// construction, making a single Assessor safe to share across
+// concurrently assessed UAVs.
 type Assessor struct {
 	cfg Config
 	net *bayes.Network
+	// table[((u*2+alt)*2+vis)*2+crit] holds the precomputed assessment
+	// for discretized evidence (u: 0=low,1=medium,2=high; alt/vis/crit:
+	// binary as in discretize).
+	table [24]Assessment
 }
 
 // NewAssessor builds the SAR risk network.
@@ -186,69 +199,85 @@ func NewAssessor(cfg Config) (*Assessor, error) {
 	if err := n.Validate(); err != nil {
 		return nil, fmt.Errorf("sinadra: %w", err)
 	}
-	return &Assessor{cfg: cfg, net: n}, nil
+	a := &Assessor{cfg: cfg, net: n}
+	// Precompute the posterior and advice of every discretized
+	// situation; Assess then never runs inference.
+	uncLabels := [...]string{"low", "medium", "high"}
+	altLabels := [...]string{"low", "high"}
+	visLabels := [...]string{"good", "poor"}
+	critLabels := [...]string{"low", "high"}
+	for u := 0; u < len(uncLabels); u++ {
+		for alt := 0; alt < 2; alt++ {
+			for vis := 0; vis < 2; vis++ {
+				for crit := 0; crit < 2; crit++ {
+					ev := bayes.Evidence{
+						"Uncertainty": uncLabels[u],
+						"Altitude":    altLabels[alt],
+						"Visibility":  visLabels[vis],
+						"Criticality": critLabels[crit],
+					}
+					post, err := n.Posterior("Risk", ev)
+					if err != nil {
+						return nil, fmt.Errorf("sinadra: precomputing posterior: %w", err)
+					}
+					out := Assessment{RiskHigh: post["high"], Posterior: post}
+					switch {
+					case out.RiskHigh >= cfg.RescanRisk:
+						out.Advice = AdviceRescan
+					case out.RiskHigh >= cfg.DescendRisk && alt == 1:
+						out.Advice = AdviceDescend
+					case post["high"]+post["medium"] >= cfg.RescanRisk && alt == 1:
+						out.Advice = AdviceDescend
+					default:
+						out.Advice = AdviceProceed
+					}
+					a.table[((u*2+alt)*2+vis)*2+crit] = out
+				}
+			}
+		}
+	}
+	return a, nil
 }
 
-// discretize maps the continuous situation onto BN evidence.
-func (a *Assessor) discretize(s Situation) (bayes.Evidence, error) {
+// discretize maps the continuous situation onto the indexes of the
+// precomputed table: u over {low, medium, high}, and binary alt
+// (1 = high), vis (1 = poor), crit (1 = high).
+func (a *Assessor) discretize(s Situation) (u, alt, vis, crit int, err error) {
 	if s.Uncertainty < 0 || s.Uncertainty > 1 {
-		return nil, fmt.Errorf("sinadra: uncertainty %v out of [0,1]", s.Uncertainty)
+		return 0, 0, 0, 0, fmt.Errorf("sinadra: uncertainty %v out of [0,1]", s.Uncertainty)
 	}
 	if s.AltitudeM <= 0 {
-		return nil, fmt.Errorf("sinadra: altitude %v must be positive", s.AltitudeM)
+		return 0, 0, 0, 0, fmt.Errorf("sinadra: altitude %v must be positive", s.AltitudeM)
 	}
-	ev := bayes.Evidence{}
 	switch {
 	case s.Uncertainty >= a.cfg.UncertaintyHighAt:
-		ev["Uncertainty"] = "high"
+		u = 2
 	case s.Uncertainty >= a.cfg.UncertaintyMediumAt:
-		ev["Uncertainty"] = "medium"
-	default:
-		ev["Uncertainty"] = "low"
+		u = 1
 	}
-	if s.AltitudeM < a.cfg.LowAltitudeBelowM {
-		ev["Altitude"] = "low"
-	} else {
-		ev["Altitude"] = "high"
+	if s.AltitudeM >= a.cfg.LowAltitudeBelowM {
+		alt = 1
 	}
-	vis := s.Visibility
-	if vis <= 0 {
+	v := s.Visibility
+	if v <= 0 {
+		v = 1
+	}
+	if v < a.cfg.GoodVisibilityAt {
 		vis = 1
 	}
-	if vis >= a.cfg.GoodVisibilityAt {
-		ev["Visibility"] = "good"
-	} else {
-		ev["Visibility"] = "poor"
-	}
 	if s.CriticalPersons {
-		ev["Criticality"] = "high"
-	} else {
-		ev["Criticality"] = "low"
+		crit = 1
 	}
-	return ev, nil
+	return u, alt, vis, crit, nil
 }
 
 // Assess evaluates the situation and returns the risk posterior and
-// the adaptation advice.
+// the adaptation advice. It is a validation plus table lookup —
+// allocation-free and safe for concurrent use.
 func (a *Assessor) Assess(s Situation) (Assessment, error) {
-	ev, err := a.discretize(s)
+	u, alt, vis, crit, err := a.discretize(s)
 	if err != nil {
 		return Assessment{}, err
 	}
-	post, err := a.net.Posterior("Risk", ev)
-	if err != nil {
-		return Assessment{}, err
-	}
-	out := Assessment{RiskHigh: post["high"], Posterior: post}
-	switch {
-	case out.RiskHigh >= a.cfg.RescanRisk:
-		out.Advice = AdviceRescan
-	case out.RiskHigh >= a.cfg.DescendRisk && ev["Altitude"] == "high":
-		out.Advice = AdviceDescend
-	case post["high"]+post["medium"] >= a.cfg.RescanRisk && ev["Altitude"] == "high":
-		out.Advice = AdviceDescend
-	default:
-		out.Advice = AdviceProceed
-	}
-	return out, nil
+	return a.table[((u*2+alt)*2+vis)*2+crit], nil
 }

@@ -166,6 +166,7 @@ func TestAdviceString(t *testing.T) {
 }
 
 func BenchmarkAssess(b *testing.B) {
+	b.ReportAllocs()
 	a, err := NewAssessor(DefaultConfig())
 	if err != nil {
 		b.Fatal(err)

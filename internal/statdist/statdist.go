@@ -23,6 +23,20 @@ type Measure interface {
 	Distance(a, b []float64) (float64, error)
 }
 
+// SortedMeasure is implemented by measures that can evaluate
+// pre-sorted samples without sorting or allocating. All measures in
+// this package implement it; callers that keep their samples sorted
+// (safeml's reference columns and sliding window) use it to make the
+// per-tick evaluation allocation-free.
+type SortedMeasure interface {
+	Measure
+	// DistanceSorted returns Distance(a, b) assuming a and b are each
+	// sorted ascending. The result is bit-identical to Distance on the
+	// same multisets; passing unsorted input is a caller error and
+	// yields an unspecified value. It performs no allocation.
+	DistanceSorted(a, b []float64) (float64, error)
+}
+
 // All returns one instance of every implemented measure, in a stable
 // order.
 func All() []Measure {
@@ -71,22 +85,32 @@ func sortedCopy(x []float64) []float64 {
 	return out
 }
 
-// ecdf returns the empirical CDF of sorted sample x evaluated at v
-// (right-continuous: proportion of x <= v).
-func ecdf(x []float64, v float64) float64 {
-	// Index of first element > v.
-	i := sort.Search(len(x), func(i int) bool { return x[i] > v })
-	return float64(i) / float64(len(x))
-}
-
-// ecdfDeviations walks the pooled sorted values and returns the maximum
-// positive and negative deviations of Fa - Fb.
-func ecdfDeviations(a, b []float64) (dPlus, dMinus float64) {
-	sa, sb := sortedCopy(a), sortedCopy(b)
-	pooled := append(append([]float64(nil), sa...), sb...)
-	sort.Float64s(pooled)
-	for _, v := range pooled {
-		d := ecdf(sa, v) - ecdf(sb, v)
+// ecdfDevSorted merge-walks two sorted samples and returns the maximum
+// positive and negative deviations of Fa - Fb over the pooled support.
+// It computes the exact values the pooled-sort formulation produced,
+// in O(n+m) without allocating.
+func ecdfDevSorted(sa, sb []float64) (dPlus, dMinus float64) {
+	na, nb := len(sa), len(sb)
+	i, j := 0, 0
+	for i < na || j < nb {
+		var v float64
+		switch {
+		case i >= na:
+			v = sb[j]
+		case j >= nb:
+			v = sa[i]
+		case sa[i] <= sb[j]:
+			v = sa[i]
+		default:
+			v = sb[j]
+		}
+		for i < na && sa[i] == v {
+			i++
+		}
+		for j < nb && sb[j] == v {
+			j++
+		}
+		d := float64(i)/float64(na) - float64(j)/float64(nb)
 		if d > dPlus {
 			dPlus = d
 		}
@@ -104,11 +128,20 @@ type KolmogorovSmirnov struct{}
 func (KolmogorovSmirnov) Name() string { return "kolmogorov-smirnov" }
 
 // Distance implements Measure.
-func (KolmogorovSmirnov) Distance(a, b []float64) (float64, error) {
+func (m KolmogorovSmirnov) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	dp, dm := ecdfDeviations(a, b)
+	dp, dm := ecdfDevSorted(sortedCopy(a), sortedCopy(b))
+	return math.Max(dp, dm), nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (KolmogorovSmirnov) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	dp, dm := ecdfDevSorted(a, b)
 	return math.Max(dp, dm), nil
 }
 
@@ -125,7 +158,16 @@ func (Kuiper) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	dp, dm := ecdfDeviations(a, b)
+	dp, dm := ecdfDevSorted(sortedCopy(a), sortedCopy(b))
+	return dp + dm, nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (Kuiper) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	dp, dm := ecdfDevSorted(a, b)
 	return dp + dm, nil
 }
 
@@ -142,31 +184,59 @@ func (AndersonDarling) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	sa, sb := sortedCopy(a), sortedCopy(b)
-	n, m := float64(len(a)), float64(len(b))
+	return adSorted(sortedCopy(a), sortedCopy(b)), nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (AndersonDarling) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	return adSorted(a, b), nil
+}
+
+// adSorted merge-walks two sorted samples and evaluates the tie-aware
+// ECDF-integral form of Pettitt's A²: sum over distinct pooled values z
+// (excluding the last, where H = 1) of
+//
+//	(Fa(z) - Fb(z))^2 / (H(z)(1 - H(z))) * h/N
+//
+// weighted by nm/N, where H is the pooled ECDF and h the multiplicity
+// of z. The walk visits the same distinct values in the same ascending
+// order as the pooled-sort formulation, so the result is bit-identical.
+func adSorted(sa, sb []float64) float64 {
+	na, nb := len(sa), len(sb)
+	n, m := float64(na), float64(nb)
 	nn := n + m
-	pooled := append(append([]float64(nil), sa...), sb...)
-	sort.Float64s(pooled)
-	// Tie-aware ECDF-integral form: sum over distinct pooled values z
-	// (excluding the last, where H = 1) of
-	//   (Fa(z) - Fb(z))^2 / (H(z)(1 - H(z))) * h/N
-	// weighted by nm/N, where H is the pooled ECDF and h the
-	// multiplicity of z. Zero for identical samples, ties included.
+	i, j := 0, 0
 	var a2 float64
-	for i := 0; i < len(pooled); {
-		j := i
-		for j < len(pooled) && pooled[j] == pooled[i] {
+	for i < na || j < nb {
+		var v float64
+		switch {
+		case i >= na:
+			v = sb[j]
+		case j >= nb:
+			v = sa[i]
+		case sa[i] <= sb[j]:
+			v = sa[i]
+		default:
+			v = sb[j]
+		}
+		i0, j0 := i, j
+		for i < na && sa[i] == v {
+			i++
+		}
+		for j < nb && sb[j] == v {
 			j++
 		}
-		h := float64(j - i)
-		hz := float64(j) / nn // pooled ECDF at this value
+		h := float64((i - i0) + (j - j0))
+		hz := float64(i+j) / nn // pooled ECDF at this value
 		if hz < 1 {
-			d := ecdf(sa, pooled[i]) - ecdf(sb, pooled[i])
+			d := float64(i)/n - float64(j)/m
 			a2 += d * d / (hz * (1 - hz)) * h / nn
 		}
-		i = j
 	}
-	return n * m / nn * a2, nil
+	return n * m / nn * a2
 }
 
 // CramerVonMises is the two-sample Cramér–von Mises criterion
@@ -181,16 +251,52 @@ func (CramerVonMises) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	sa, sb := sortedCopy(a), sortedCopy(b)
-	pooled := append(append([]float64(nil), sa...), sb...)
-	sort.Float64s(pooled)
-	var sum float64
-	for _, v := range pooled {
-		d := ecdf(sa, v) - ecdf(sb, v)
-		sum += d * d
+	return cvmSorted(sortedCopy(a), sortedCopy(b)), nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (CramerVonMises) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
 	}
-	n, m := float64(len(a)), float64(len(b))
-	return n * m / ((n + m) * (n + m)) * sum, nil
+	return cvmSorted(a, b), nil
+}
+
+// cvmSorted merge-walks two sorted samples and sums (Fa - Fb)² over
+// every pooled element (each distinct value contributes once per
+// multiplicity, added one term at a time so the float accumulation
+// matches the pooled-sort formulation bit for bit).
+func cvmSorted(sa, sb []float64) float64 {
+	na, nb := len(sa), len(sb)
+	n, m := float64(na), float64(nb)
+	i, j := 0, 0
+	var sum float64
+	for i < na || j < nb {
+		var v float64
+		switch {
+		case i >= na:
+			v = sb[j]
+		case j >= nb:
+			v = sa[i]
+		case sa[i] <= sb[j]:
+			v = sa[i]
+		default:
+			v = sb[j]
+		}
+		i0, j0 := i, j
+		for i < na && sa[i] == v {
+			i++
+		}
+		for j < nb && sb[j] == v {
+			j++
+		}
+		d := float64(i)/n - float64(j)/m
+		dd := d * d
+		for k := 0; k < (i-i0)+(j-j0); k++ {
+			sum += dd
+		}
+	}
+	return n * m / ((n + m) * (n + m)) * sum
 }
 
 // Wasserstein is the 1-Wasserstein (earth mover's) distance between the
@@ -206,20 +312,56 @@ func (Wasserstein) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	sa, sb := sortedCopy(a), sortedCopy(b)
-	// Integrate |Fa - Fb| over the pooled support.
-	pooled := append(append([]float64(nil), sa...), sb...)
-	sort.Float64s(pooled)
-	var sum float64
-	for i := 1; i < len(pooled); i++ {
-		width := pooled[i] - pooled[i-1]
-		if width <= 0 {
-			continue
-		}
-		d := math.Abs(ecdf(sa, pooled[i-1]) - ecdf(sb, pooled[i-1]))
-		sum += d * width
+	return wassersteinSorted(sortedCopy(a), sortedCopy(b)), nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (Wasserstein) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
 	}
-	return sum, nil
+	return wassersteinSorted(a, b), nil
+}
+
+// wassersteinSorted integrates |Fa - Fb| over the pooled support via a
+// merge walk: for each consecutive pair of distinct pooled values
+// (prev, v) it adds |Fa(prev) - Fb(prev)| * (v - prev), the same terms
+// in the same ascending order as the pooled-sort formulation.
+func wassersteinSorted(sa, sb []float64) float64 {
+	na, nb := len(sa), len(sb)
+	n, m := float64(na), float64(nb)
+	i, j := 0, 0
+	var sum float64
+	var prev, dPrev float64
+	first := true
+	for i < na || j < nb {
+		var v float64
+		switch {
+		case i >= na:
+			v = sb[j]
+		case j >= nb:
+			v = sa[i]
+		case sa[i] <= sb[j]:
+			v = sa[i]
+		default:
+			v = sb[j]
+		}
+		if !first {
+			if width := v - prev; width > 0 {
+				sum += dPrev * width
+			}
+		}
+		for i < na && sa[i] == v {
+			i++
+		}
+		for j < nb && sb[j] == v {
+			j++
+		}
+		prev = v
+		dPrev = math.Abs(float64(i)/n - float64(j)/m)
+		first = false
+	}
+	return sum
 }
 
 // Energy is the (squared) energy distance of Székely & Rizzo:
@@ -236,23 +378,44 @@ func (Energy) Distance(a, b []float64) (float64, error) {
 	if err := checkSamples(a, b); err != nil {
 		return 0, err
 	}
-	cross := meanAbsDiff(a, b)
-	within1 := meanAbsDiffSelf(a)
-	within2 := meanAbsDiffSelf(b)
+	return energySorted(sortedCopy(a), sortedCopy(b)), nil
+}
+
+// DistanceSorted implements SortedMeasure.
+func (Energy) DistanceSorted(a, b []float64) (float64, error) {
+	if err := checkSamples(a, b); err != nil {
+		return 0, err
+	}
+	return energySorted(a, b), nil
+}
+
+func energySorted(sa, sb []float64) float64 {
+	cross := sortedMeanAbsDiff(sa, sb)
+	within1 := sortedMeanAbsDiffSelf(sa)
+	within2 := sortedMeanAbsDiffSelf(sb)
 	d := 2*cross - within1 - within2
 	if d < 0 { // numeric round-off on (near-)identical samples
 		d = 0
 	}
-	return d, nil
+	return d
 }
 
-// meanAbsDiff returns E|X-Y| over all cross pairs, in O((n+m) log)
-// time via sorted prefix sums.
-func meanAbsDiff(a, b []float64) float64 {
-	sa, sb := sortedCopy(a), sortedCopy(b)
+// energyPrefixMax bounds the stack-allocated prefix-sum scratch of
+// sortedMeanAbsDiff; larger windows fall back to one heap allocation.
+const energyPrefixMax = 512
+
+// sortedMeanAbsDiff returns E|X-Y| over all cross pairs of two sorted
+// samples, in O((n+m) log) time via sorted prefix sums.
+func sortedMeanAbsDiff(sa, sb []float64) float64 {
 	// Sum over x in a of sum over y in b of |x-y|:
 	// for each x, |{y<=x}|*x - sum(y<=x) + sum(y>x) - |{y>x}|*x.
-	prefix := make([]float64, len(sb)+1)
+	var stack [energyPrefixMax + 1]float64
+	var prefix []float64
+	if len(sb) <= energyPrefixMax {
+		prefix = stack[:len(sb)+1]
+	} else {
+		prefix = make([]float64, len(sb)+1)
+	}
 	for i, v := range sb {
 		prefix[i+1] = prefix[i] + v
 	}
@@ -264,22 +427,22 @@ func meanAbsDiff(a, b []float64) float64 {
 		// zero-contribution either way.
 		sum += float64(k)*x - prefix[k] + (total - prefix[k]) - float64(len(sb)-k)*x
 	}
-	return sum / float64(len(a)*len(b))
+	return sum / float64(len(sa)*len(sb))
 }
 
-// meanAbsDiffSelf returns E|X-X'| for pairs within one sample.
-func meanAbsDiffSelf(x []float64) float64 {
-	if len(x) < 2 {
+// sortedMeanAbsDiffSelf returns E|X-X'| for pairs within one sorted
+// sample.
+func sortedMeanAbsDiffSelf(s []float64) float64 {
+	if len(s) < 2 {
 		return 0
 	}
-	s := sortedCopy(x)
 	// sum over i<j of (s[j]-s[i]) = sum_j s[j]*j - prefix sums.
 	var sum, prefix float64
 	for j, v := range s {
 		sum += v*float64(j) - prefix
 		prefix += v
 	}
-	n := float64(len(x))
+	n := float64(len(s))
 	return 2 * sum / (n * n)
 }
 
@@ -298,11 +461,30 @@ func PermutationPValue(m Measure, a, b []float64, rounds int, rng *rand.Rand) (p
 	if err != nil {
 		return 0, 0, err
 	}
+	// All scratch is hoisted out of the resampling loop: the pooled
+	// array is shuffled in place, and for sorted-capable measures the
+	// two half buffers are re-sorted in place each round, so the loop
+	// itself performs no allocation.
 	pooled := append(append([]float64(nil), a...), b...)
+	sm, fast := m.(SortedMeasure)
+	var ha, hb []float64
+	if fast {
+		ha = make([]float64, len(a))
+		hb = make([]float64, len(b))
+	}
 	exceed := 0
 	for r := 0; r < rounds; r++ {
 		rng.Shuffle(len(pooled), func(i, j int) { pooled[i], pooled[j] = pooled[j], pooled[i] })
-		d, err := m.Distance(pooled[:len(a)], pooled[len(a):])
+		var d float64
+		if fast {
+			copy(ha, pooled[:len(a)])
+			copy(hb, pooled[len(a):])
+			sort.Float64s(ha)
+			sort.Float64s(hb)
+			d, err = sm.DistanceSorted(ha, hb)
+		} else {
+			d, err = m.Distance(pooled[:len(a)], pooled[len(a):])
+		}
 		if err != nil {
 			return 0, 0, err
 		}
@@ -338,6 +520,9 @@ func FeatureDistance(m Measure, ref, obs [][]float64) (perFeature []float64, mea
 	perFeature = make([]float64, nf)
 	col := make([]float64, 0, len(ref))
 	colObs := make([]float64, 0, len(obs))
+	// The column buffers are scratch, so sorted-capable measures can
+	// sort them in place and skip Distance's internal copies.
+	sm, fast := m.(SortedMeasure)
 	for f := 0; f < nf; f++ {
 		col = col[:0]
 		colObs = colObs[:0]
@@ -347,7 +532,15 @@ func FeatureDistance(m Measure, ref, obs [][]float64) (perFeature []float64, mea
 		for _, row := range obs {
 			colObs = append(colObs, row[f])
 		}
-		d, err := m.Distance(col, colObs)
+		var d float64
+		var err error
+		if fast {
+			sort.Float64s(col)
+			sort.Float64s(colObs)
+			d, err = sm.DistanceSorted(col, colObs)
+		} else {
+			d, err = m.Distance(col, colObs)
+		}
 		if err != nil {
 			return nil, 0, err
 		}

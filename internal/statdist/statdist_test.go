@@ -254,6 +254,7 @@ func TestFeatureDistanceValidation(t *testing.T) {
 }
 
 func BenchmarkKS200(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := gaussian(rng, 200, 0, 1)
 	y := gaussian(rng, 200, 1, 1)
@@ -266,6 +267,7 @@ func BenchmarkKS200(b *testing.B) {
 }
 
 func BenchmarkAllMeasures200(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := gaussian(rng, 200, 0, 1)
 	y := gaussian(rng, 200, 1, 1)
