@@ -11,6 +11,7 @@
 //	sesame-experiments -exp fig7          # §V-C collaborative safe landing
 //	sesame-experiments -exp fig1          # ConSert network evaluation
 //	sesame-experiments -exp ablations     # design-choice ablations
+//	sesame-experiments -exp comms         # degraded-comms robustness matrix
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -106,6 +107,14 @@ func main() {
 		r.Print(os.Stdout)
 		return writeCSV(r.WriteCSV)
 	})
+	run("comms", func() error {
+		r, err := experiments.RunComms(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return writeCSV(r.WriteCSV)
+	})
 	run("night", func() error {
 		r, err := experiments.RunNight(*seed)
 		if err != nil {
@@ -116,7 +125,7 @@ func main() {
 	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -31,6 +31,12 @@ func writeCSV(dir, name string, header []string, rows [][]string) error {
 
 func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
 
+func i2s(v int) string { return strconv.Itoa(v) }
+
+func u2s(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func boolS(v bool) string { return strconv.FormatBool(v) }
+
 // WriteCSV dumps the Fig. 5 PoF curves to dir/fig5_pof.csv.
 func (r *Fig5Result) WriteCSV(dir string) error {
 	rows := make([][]string, 0, len(r.Curve))

@@ -328,6 +328,20 @@ func TestWriteCSV(t *testing.T) {
 	if err := r7.WriteCSV(dir); err != nil {
 		t.Fatal(err)
 	}
+	rc, err := RunComms(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "comms_scenarios.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 7 || !strings.Contains(lines[0], "scenario") {
+		t.Fatalf("comms_scenarios.csv malformed: %d lines", len(lines))
+	}
 	for _, name := range []string{"fig5_pof.csv", "fig7_tracks.csv"} {
 		data, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
@@ -403,5 +417,76 @@ func TestRunFig7Stats(t *testing.T) {
 	s.Print(&buf)
 	if !strings.Contains(buf.String(), "p95") {
 		t.Fatal("report incomplete")
+	}
+}
+
+func TestRunCommsShape(t *testing.T) {
+	r, err := RunComms(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 6 {
+		t.Fatalf("got %d scenarios", len(r.Scenarios))
+	}
+	byName := map[string]CommsScenario{}
+	for _, s := range r.Scenarios {
+		byName[s.Name] = s
+		if !s.ReplayIdentical {
+			t.Errorf("%s: replay diverged — determinism contract broken", s.Name)
+		}
+		if s.Link.Pending != 0 {
+			t.Errorf("%s: %d frames stranded in the link queue", s.Name, s.Link.Pending)
+		}
+		if s.Link.Offered+s.Link.Duplicated != s.Link.Delivered+s.Link.Dropped+s.Link.Rejected {
+			t.Errorf("%s: link conservation violated: %+v", s.Name, s.Link)
+		}
+	}
+	nominal := byName["nominal"]
+	if !nominal.Completed || nominal.Drops.Total() != 0 || nominal.Link.Dropped != 0 {
+		t.Fatalf("nominal run not clean: %+v", nominal)
+	}
+	// Duplication must be invisible to the mission outcome.
+	dup := byName["dup-5"]
+	if dup.Link.Duplicated == 0 {
+		t.Error("dup-5 duplicated nothing")
+	}
+	if dup.CompletionS != nominal.CompletionS || dup.Availability != nominal.Availability {
+		t.Errorf("duplication changed the outcome: %+v vs %+v", dup, nominal)
+	}
+	// The brownout stays below the lost-link window: staleness visible,
+	// no contingency.
+	brown := byName["brownout-12s"]
+	if brown.MaxTelemetryAgeS < 11 || brown.MaxTelemetryAgeS > 15 {
+		t.Errorf("brownout max age = %v, want ~12", brown.MaxTelemetryAgeS)
+	}
+	if brown.LostLinkEvents != 0 {
+		t.Errorf("brownout fired %d lost-link contingencies, want 0", brown.LostLinkEvents)
+	}
+	// The blackout crosses it: exactly one contingency, visible
+	// staleness beyond the window, mission still completes.
+	black := byName["blackout-45s"]
+	if black.LostLinkEvents != 1 {
+		t.Errorf("blackout fired %d lost-link contingencies, want 1", black.LostLinkEvents)
+	}
+	if black.MaxTelemetryAgeS <= 15 {
+		t.Errorf("blackout max age = %v, want > window", black.MaxTelemetryAgeS)
+	}
+	if !black.Completed {
+		t.Error("fleet must finish the mission despite the blackout")
+	}
+	if black.Link.OutageDropped == 0 {
+		t.Error("blackout dropped no frames")
+	}
+	// The database brownout exercises retry: some writes recover, the
+	// rest are abandoned within the bounded budget and counted.
+	db := byName["db-brownout-15s"]
+	if db.DBRetries.Scheduled == 0 || db.DBRetries.Succeeded == 0 {
+		t.Errorf("db brownout retries: %+v", db.DBRetries)
+	}
+	if db.DBRetries.Scheduled != db.DBRetries.Succeeded+db.DBRetries.Abandoned {
+		t.Errorf("retry accounting leaks: %+v", db.DBRetries)
+	}
+	if db.Drops.Database != db.DBRetries.Abandoned {
+		t.Errorf("abandoned writes not counted as drops: %+v vs %+v", db.Drops, db.DBRetries)
 	}
 }

@@ -1,0 +1,336 @@
+package linksim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sesame/internal/mqttlite"
+	"sesame/internal/rosbus"
+	"sesame/internal/simclock"
+)
+
+// rig is one bus + clock + layer with a recording subscriber.
+type rig struct {
+	clock *simclock.Clock
+	bus   *rosbus.Bus
+	layer *Layer
+	pub   *rosbus.Publisher
+	got   []string
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	r := &rig{clock: simclock.New(seed), bus: rosbus.NewBus()}
+	r.layer = New(r.clock, "test")
+	r.layer.AttachBus(r.bus)
+	var err error
+	r.pub, err = r.bus.Advertise("/uav/u1/status", "u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bus.Subscribe("/uav/u1/status", func(m rosbus.Message) {
+		r.got = append(r.got, m.Payload.(string))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func checkConservation(t *testing.T, s LinkStats) {
+	t.Helper()
+	if s.Offered+s.Duplicated != s.Delivered+s.Dropped+s.Rejected+s.Pending {
+		t.Fatalf("conservation violated: %+v", s)
+	}
+}
+
+func TestPassThroughWithoutLink(t *testing.T) {
+	r := newRig(t, 1)
+	// No link configured for "u1": the layer must be invisible.
+	for i := 0; i < 5; i++ {
+		if err := r.pub.Publish(float64(i), fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.got) != 5 {
+		t.Fatalf("pass-through delivered %d, want 5", len(r.got))
+	}
+	if len(r.layer.Links()) != 0 {
+		t.Fatal("no link should have been created")
+	}
+}
+
+func TestPerfectLinkIsTransparent(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	for i := 0; i < 5; i++ {
+		if err := r.pub.Publish(float64(i), fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.got) != 5 {
+		t.Fatalf("perfect link delivered %d, want 5", len(r.got))
+	}
+	s := lk.Stats()
+	if s.Offered != 5 || s.Delivered != 5 || s.Dropped+s.Rejected+s.Pending != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestDropAll(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.SetProfile(Profile{DropProb: 1})
+	for i := 0; i < 10; i++ {
+		if err := r.pub.Publish(float64(i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(r.got) != 0 {
+		t.Fatalf("lossy link leaked %d messages", len(r.got))
+	}
+	s := lk.Stats()
+	if s.Dropped != 10 || s.Offered != 10 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestOutageWindows(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.AddOutage(2, 4)       // silent loss for t in [2,4)
+	lk.AddRejectOutage(6, 8) // rejecting for t in [6,8)
+	for i := 0; i < 10; i++ {
+		r.clock.RunUntil(float64(i))
+		err := r.pub.Publish(float64(i), fmt.Sprintf("m%d", i))
+		switch {
+		case i >= 6 && i < 8:
+			if !errors.Is(err, ErrLinkDown) {
+				t.Fatalf("t=%d err=%v, want ErrLinkDown", i, err)
+			}
+		default:
+			if err != nil {
+				t.Fatalf("t=%d unexpected err %v", i, err)
+			}
+		}
+	}
+	want := []string{"m0", "m1", "m4", "m5", "m8", "m9"}
+	if !reflect.DeepEqual(r.got, want) {
+		t.Fatalf("got %v want %v", r.got, want)
+	}
+	s := lk.Stats()
+	if s.OutageDropped != 2 || s.Dropped != 2 || s.Rejected != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !lk.DownNow(3) || lk.DownNow(5) {
+		t.Fatal("DownNow window check failed")
+	}
+	checkConservation(t, s)
+}
+
+func TestDownAtIsPermanent(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.DownAt(5)
+	r.clock.RunUntil(4)
+	_ = r.pub.Publish(4, "before")
+	r.clock.RunUntil(1000)
+	_ = r.pub.Publish(1000, "after")
+	if !reflect.DeepEqual(r.got, []string{"before"}) {
+		t.Fatalf("got %v", r.got)
+	}
+}
+
+func TestDelayReleasesThroughClock(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.SetProfile(Profile{DelayProb: 1, DelayMinS: 2, DelayMaxS: 3})
+	if err := r.pub.Publish(0, "late"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.got) != 0 {
+		t.Fatal("delayed frame delivered inline")
+	}
+	if lk.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", lk.Pending())
+	}
+	r.clock.RunUntil(1.9)
+	if len(r.got) != 0 {
+		t.Fatal("frame released before DelayMinS")
+	}
+	r.clock.RunUntil(3.1)
+	if !reflect.DeepEqual(r.got, []string{"late"}) {
+		t.Fatalf("got %v", r.got)
+	}
+	s := lk.Stats()
+	if s.Delayed != 1 || s.Delivered != 1 || s.Pending != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestDuplication(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.SetProfile(Profile{DupProb: 1})
+	if err := r.pub.Publish(0, "twin"); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.got, []string{"twin", "twin"}) {
+		t.Fatalf("got %v", r.got)
+	}
+	s := lk.Stats()
+	if s.Duplicated != 1 || s.Delivered != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestReorderSwapsAdjacentFrames(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.SetProfile(Profile{ReorderProb: 1, HoldMaxS: 100})
+	for i := 0; i < 4; i++ {
+		if err := r.pub.Publish(float64(i), fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With ReorderProb=1 every other frame is held and released by its
+	// successor: pairwise swaps.
+	want := []string{"m1", "m0", "m3", "m2"}
+	if !reflect.DeepEqual(r.got, want) {
+		t.Fatalf("got %v want %v", r.got, want)
+	}
+	s := lk.Stats()
+	if s.Reordered != 2 || s.Delivered != 4 || s.Pending != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestReorderFailsafeReleasesHeldFrame(t *testing.T) {
+	r := newRig(t, 1)
+	lk := r.layer.Link("u1")
+	lk.SetProfile(Profile{ReorderProb: 1, HoldMaxS: 5})
+	if err := r.pub.Publish(0, "only"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.got) != 0 {
+		t.Fatal("held frame delivered early")
+	}
+	// No successor ever arrives; the fail-safe timer must deliver it.
+	r.clock.RunUntil(10)
+	if !reflect.DeepEqual(r.got, []string{"only"}) {
+		t.Fatalf("got %v", r.got)
+	}
+	s := lk.Stats()
+	if s.Pending != 0 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+// TestDeterministicReplay is the linksim determinism contract: the same
+// seed, profile and traffic produce a bit-identical delivery sequence
+// and stats.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]string, LinkStats) {
+		r := newRig(t, 99)
+		lk := r.layer.Link("u1")
+		lk.SetProfile(Profile{
+			DropProb: 0.2, DupProb: 0.15, DelayProb: 0.3,
+			DelayMinS: 0.5, DelayMaxS: 2.5, ReorderProb: 0.2,
+		})
+		for i := 0; i < 200; i++ {
+			r.clock.RunUntil(float64(i))
+			_ = r.pub.Publish(float64(i), fmt.Sprintf("m%d", i))
+		}
+		r.clock.RunUntil(300)
+		s := lk.Stats()
+		checkConservation(t, s)
+		if s.Pending != 0 {
+			t.Fatalf("frames still pending after drain: %+v", s)
+		}
+		return r.got, s
+	}
+	got1, s1 := run()
+	got2, s2 := run()
+	if !reflect.DeepEqual(got1, got2) {
+		t.Fatal("same seed produced different delivery sequences")
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", s1, s2)
+	}
+	if s1.Dropped == 0 || s1.Delayed == 0 || s1.Duplicated == 0 || s1.Reordered == 0 {
+		t.Fatalf("profile did not exercise every impairment: %+v", s1)
+	}
+}
+
+// TestDifferentSeedsDiverge guards against an accidentally constant RNG.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	run := func(seed int64) []string {
+		r := newRig(t, seed)
+		r.layer.Link("u1").SetProfile(Profile{DropProb: 0.5})
+		for i := 0; i < 50; i++ {
+			_ = r.pub.Publish(float64(i), fmt.Sprintf("m%d", i))
+		}
+		return r.got
+	}
+	if reflect.DeepEqual(run(1), run(2)) {
+		t.Fatal("different seeds produced identical loss patterns")
+	}
+}
+
+func TestBrokerAttachRoutesAlertTraffic(t *testing.T) {
+	clock := simclock.New(7)
+	layer := New(clock, "test")
+	broker := mqttlite.NewBroker()
+	layer.AttachBroker(broker, func(topic string) string {
+		if topic == "alerts/ids/u2" {
+			return "u2"
+		}
+		return ""
+	})
+	var got []string
+	_, _ = broker.Subscribe("alerts/#", func(m mqttlite.Message) {
+		got = append(got, m.Topic+":"+string(m.Payload))
+	})
+	lk := layer.Link("u2")
+	lk.AddOutage(0, 10)
+	if err := broker.Publish("alerts/ids/u2", []byte("a"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Publish("alerts/ids/u1", []byte("b"), false); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntil(20)
+	if err := broker.Publish("alerts/ids/u2", []byte("c"), false); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alerts/ids/u1:b", "alerts/ids/u2:c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	s := lk.Stats()
+	if s.OutageDropped != 1 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkConservation(t, s)
+}
+
+func TestLayerStatsSnapshot(t *testing.T) {
+	r := newRig(t, 1)
+	r.layer.Link("u1").SetProfile(Profile{DropProb: 1})
+	r.layer.Link("u2")
+	_ = r.pub.Publish(0, "x")
+	all := r.layer.Stats()
+	if len(all) != 2 || all["u1"].Dropped != 1 || all["u2"].Offered != 0 {
+		t.Fatalf("layer stats = %+v", all)
+	}
+	if !reflect.DeepEqual(r.layer.Links(), []string{"u1", "u2"}) {
+		t.Fatalf("Links() = %v", r.layer.Links())
+	}
+}

@@ -24,6 +24,12 @@ type Message struct {
 // Handler consumes messages matched to a subscription filter.
 type Handler func(Message)
 
+// Filter inspects every publication before routing. Returning
+// forward=false consumes the message (no delivery, no retention); the
+// filter owns its fate and may re-inject it later via Deliver. A
+// non-nil error is surfaced to the publisher.
+type Filter func(topic string, payload []byte) (forward bool, err error)
+
 // Broker routes publications to wildcard subscriptions. The zero value
 // is not usable; call NewBroker.
 type Broker struct {
@@ -31,6 +37,7 @@ type Broker struct {
 	subs     map[int]*subscription
 	retained map[string][]byte
 	nextID   int
+	filter   Filter
 }
 
 type subscription struct {
@@ -104,10 +111,38 @@ func matches(filter, topic []string) bool {
 	return fi == len(filter) || (fi == len(filter)-1 && filter[fi] == "#")
 }
 
+// SetFilter installs (or, with nil, removes) the broker-wide link
+// filter applied to every Publish.
+func (b *Broker) SetFilter(f Filter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter = f
+}
+
 // Publish routes payload to every matching subscription. With retain
 // set, the payload replaces the topic's retained message (an empty
-// payload clears it, per MQTT convention).
+// payload clears it, per MQTT convention). A consumed (filtered)
+// message is neither delivered nor retained — a frame lost on the air
+// never reaches the broker's store.
 func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if err := ValidateTopic(topic); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	filter := b.filter
+	b.mu.Unlock()
+	if filter != nil {
+		fwd, err := filter(topic, payload)
+		if !fwd || err != nil {
+			return err
+		}
+	}
+	return b.Deliver(topic, payload, retain)
+}
+
+// Deliver routes payload bypassing the filter — the re-injection path
+// for a link layer releasing delayed or duplicated frames.
+func (b *Broker) Deliver(topic string, payload []byte, retain bool) error {
 	if err := ValidateTopic(topic); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package mqttlite
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -170,6 +171,68 @@ func TestMatchesProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFilterConsumesPublish(t *testing.T) {
+	b := NewBroker()
+	var got []Message
+	_, _ = b.Subscribe("alerts/#", func(m Message) { got = append(got, m) })
+	type frame struct {
+		topic   string
+		payload []byte
+	}
+	var held []frame
+	b.SetFilter(func(topic string, payload []byte) (bool, error) {
+		if topic == "alerts/ids/u2" {
+			held = append(held, frame{topic, append([]byte(nil), payload...)})
+			return false, nil
+		}
+		return true, nil
+	})
+	if err := b.Publish("alerts/ids/u2", []byte("lost"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("alerts/ids/u1", []byte("ok"), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "ok" {
+		t.Fatalf("filter leak: %v", got)
+	}
+	// A consumed frame must not have been retained either: the broker
+	// never saw it.
+	if b.Retained("alerts/ids/u2") != nil {
+		t.Fatal("filtered message was retained")
+	}
+	// Deliver re-injects past the filter.
+	for _, f := range held {
+		if err := b.Deliver(f.topic, f.payload, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 || string(got[1].Payload) != "lost" {
+		t.Fatalf("redelivery wrong: %v", got)
+	}
+	b.SetFilter(nil)
+	if err := b.Publish("alerts/ids/u2", []byte("again"), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatal("filter still active after SetFilter(nil)")
+	}
+}
+
+func TestFilterErrorReachesPublisher(t *testing.T) {
+	b := NewBroker()
+	boom := errors.New("link down")
+	b.SetFilter(func(string, []byte) (bool, error) { return false, boom })
+	delivered := 0
+	_, _ = b.Subscribe("#", func(Message) { delivered++ })
+	if err := b.Publish("a/b", []byte("x"), false); !errors.Is(err, boom) {
+		t.Fatalf("publish error = %v, want %v", err, boom)
+	}
+	if delivered != 0 {
+		t.Fatal("rejected message must not be delivered")
 	}
 }
 

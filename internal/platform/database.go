@@ -18,6 +18,7 @@ type Database struct {
 	telemetry map[string][]Record
 	locations map[string]locEntry
 	limit     int
+	faultHook func(uav string) error
 }
 
 type locEntry struct {
@@ -35,6 +36,12 @@ type Record struct {
 // ErrForbiddenOrigin is returned for requests from outside the
 // platform network.
 var ErrForbiddenOrigin = errors.New("platform: request origin outside the network")
+
+// ErrUnavailable marks a transient database failure (the store is
+// unreachable over a degraded link). Unlike validation errors it is
+// retryable: the scheduler's bounded retry-with-backoff path re-offers
+// such writes on later ticks instead of dropping them immediately.
+var ErrUnavailable = errors.New("platform: database unavailable")
 
 // NewDatabase returns a database keeping at most limit records per UAV
 // (0 = unbounded).
@@ -63,6 +70,26 @@ func checkOrigin(origin string) error {
 	return ErrForbiddenOrigin
 }
 
+// SetFaultHook installs (or, with nil, removes) a per-write fault
+// injector consulted after request validation on PutRecord and
+// PutLocation. It models the store's own data path failing — return
+// ErrUnavailable to exercise the retry machinery.
+func (d *Database) SetFaultHook(fn func(uav string) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faultHook = fn
+}
+
+func (d *Database) faultFor(uav string) error {
+	d.mu.Lock()
+	fn := d.faultHook
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(uav)
+}
+
 // PutRecord stores a telemetry record for the UAV; origin must be an
 // in-network address ("ip" or "ip:port").
 func (d *Database) PutRecord(origin, uav string, rec Record) error {
@@ -71,6 +98,9 @@ func (d *Database) PutRecord(origin, uav string, rec Record) error {
 	}
 	if uav == "" || rec.Key == "" {
 		return errors.New("platform: record needs uav and key")
+	}
+	if err := d.faultFor(uav); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -98,6 +128,9 @@ func (d *Database) PutLocation(origin, uav string, pos geo.LatLng, t float64) er
 	}
 	if uav == "" || !pos.Valid() {
 		return errors.New("platform: invalid location report")
+	}
+	if err := d.faultFor(uav); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()

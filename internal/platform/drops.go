@@ -25,11 +25,28 @@ type DropCounters struct {
 	// Perception counts dropped perception work (failed captures,
 	// window pushes, evaluations, risk assessments).
 	Perception uint64 `json:"perception"`
+	// Monitors counts monitor-chain evaluations lost to a panicking
+	// runtime monitor (the UAV's tick result is replaced by a fail-safe
+	// Halt).
+	Monitors uint64 `json:"monitors"`
 }
 
 // Total sums all drop categories.
 func (c DropCounters) Total() uint64 {
-	return c.Database + c.Events + c.Availability + c.Commands + c.Mission + c.Perception
+	return c.Database + c.Events + c.Availability + c.Commands + c.Mission + c.Perception + c.Monitors
+}
+
+// RetryCounters is the externally visible snapshot of the database
+// retry-with-backoff machinery.
+type RetryCounters struct {
+	// Scheduled counts writes that failed transiently and entered the
+	// retry queue.
+	Scheduled uint64 `json:"scheduled"`
+	// Succeeded counts queued writes that eventually landed.
+	Succeeded uint64 `json:"succeeded"`
+	// Abandoned counts queued writes dropped after exhausting their
+	// attempts (these also appear in DropCounters.Database).
+	Abandoned uint64 `json:"abandoned"`
 }
 
 // dropCounters is the internal atomic store. Monitors increment it
@@ -41,6 +58,7 @@ type dropCounters struct {
 	commands     atomic.Uint64
 	mission      atomic.Uint64
 	perception   atomic.Uint64
+	monitors     atomic.Uint64
 }
 
 // snapshot returns a point-in-time copy for Status.
@@ -52,6 +70,23 @@ func (c *dropCounters) snapshot() DropCounters {
 		Commands:     c.commands.Load(),
 		Mission:      c.mission.Load(),
 		Perception:   c.perception.Load(),
+		Monitors:     c.monitors.Load(),
+	}
+}
+
+// retryCounters is the internal atomic store behind RetryCounters;
+// retries are enqueued from the concurrent observe phase.
+type retryCounters struct {
+	scheduled atomic.Uint64
+	succeeded atomic.Uint64
+	abandoned atomic.Uint64
+}
+
+func (c *retryCounters) snapshot() RetryCounters {
+	return RetryCounters{
+		Scheduled: c.scheduled.Load(),
+		Succeeded: c.succeeded.Load(),
+		Abandoned: c.abandoned.Load(),
 	}
 }
 
@@ -67,3 +102,6 @@ func countIn(ctr *atomic.Uint64, err error) bool {
 
 // Drops returns the platform's data-path drop counters.
 func (p *Platform) Drops() DropCounters { return p.drops.snapshot() }
+
+// DBRetries returns the database retry-with-backoff counters.
+func (p *Platform) DBRetries() RetryCounters { return p.retries.snapshot() }

@@ -28,6 +28,7 @@ import (
 	"sesame/internal/geo"
 	"sesame/internal/ids"
 	"sesame/internal/mqttlite"
+	"sesame/internal/rosbus"
 	"sesame/internal/safedrones"
 	"sesame/internal/safeml"
 	"sesame/internal/sar"
@@ -72,6 +73,22 @@ type Config struct {
 	// appended after the built-in chain. Their events are emitted in
 	// chain order; Halt and emergency Override advice are honoured.
 	ExtraMonitors []func(uav string) (eddi.Runtime, error)
+	// LostLinkWindowS is the telemetry-silence window (seconds) after
+	// which the lost-link watchdog fires the RTB/land contingency for an
+	// in-mission UAV and demotes its comms evidence. Zero disables the
+	// watchdog.
+	LostLinkWindowS float64
+	// LostLinkLand lands the vehicle in place on lost link instead of
+	// returning it to base (the conservative contingency when the home
+	// corridor cannot be trusted without C2).
+	LostLinkLand bool
+	// DBRetryAttempts bounds how many times a transiently failed
+	// database write (ErrUnavailable) is retried before it is abandoned
+	// and counted as a drop. Values <= 1 disable retrying.
+	DBRetryAttempts int
+	// DBRetryBackoffS is the first retry backoff in sim seconds; each
+	// further attempt doubles it.
+	DBRetryBackoffS float64
 }
 
 // DefaultConfig returns the experiment calibration with SESAME on.
@@ -84,6 +101,9 @@ func DefaultConfig() Config {
 		Visibility:       1,
 		UseThermalBelow:  0.5,
 		Origin:           "10.0.0.1",
+		LostLinkWindowS:  15,
+		DBRetryAttempts:  3,
+		DBRetryBackoffS:  2,
 	}
 }
 
@@ -119,6 +139,27 @@ type uavState struct {
 	swapPending  bool
 	swapLandedAt float64
 	resumePath   []geo.LatLng
+	// lastTelemetryAt is the stamp of the newest telemetry message the
+	// GCS received from this UAV over the bus (the last-known-good
+	// cache age base). Written by bus handlers during the serial world
+	// step, read in the serial prepare/apply phases.
+	lastTelemetryAt float64
+	// lostLink latches while the lost-link watchdog considers the link
+	// silent; it clears when telemetry resumes.
+	lostLink bool
+	// monitorPanicked latches after the first monitor-chain panic so
+	// the fail-safe event is emitted once.
+	monitorPanicked bool
+	// dbRetries is this UAV's pending database retry queue. Only the
+	// observe-phase worker that owns the UAV touches it, so no lock.
+	dbRetries []dbRetry
+}
+
+// dbRetry is one deferred database write awaiting its backoff.
+type dbRetry struct {
+	write    func() error
+	attempts int
+	nextAt   float64
 }
 
 // batterySwapS is the §V-A battery replacement time at base.
@@ -153,6 +194,11 @@ type Platform struct {
 	workers int
 	// drops counts data-path failures that were previously discarded.
 	drops dropCounters
+	// retries counts the database retry-with-backoff machinery.
+	retries retryCounters
+	// subs are the GCS-side telemetry subscriptions feeding the
+	// staleness cache; Close cancels them.
+	subs []rosbus.Subscription
 	// thermal reports whether the perception pipeline runs on the
 	// thermal imager for this mission's visibility.
 	thermal bool
@@ -268,7 +314,90 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 			return nil, err
 		}
 	}
+	// GCS-side staleness cache: the platform listens to each UAV's
+	// telemetry topics and records the newest stamp seen. This is the
+	// ground station's view of the link — it goes stale when the link
+	// layer drops or delays frames, independent of vehicle truth.
+	for _, u := range uavs {
+		st := p.states[u.ID()]
+		topics := []string{
+			uavsim.StatusTopic(u.ID()),
+			uavsim.GPSTopic(u.ID()),
+			uavsim.BatteryTopic(u.ID()),
+			uavsim.HealthTopic(u.ID()),
+		}
+		for _, topic := range topics {
+			sub, err := world.Bus.Subscribe(topic, func(m rosbus.Message) {
+				// Reordered or duplicated frames may arrive out of stamp
+				// order; last-known-good keeps the newest.
+				if m.Stamp > st.lastTelemetryAt {
+					st.lastTelemetryAt = m.Stamp
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.subs = append(p.subs, sub)
+		}
+	}
 	return p, nil
+}
+
+// telemetryAge is the GCS-observed staleness of the UAV's telemetry.
+func (st *uavState) telemetryAge(now float64) float64 {
+	age := now - st.lastTelemetryAt
+	if age < 0 {
+		return 0
+	}
+	return age
+}
+
+// tickLinkWatchdog is the lost-link contingency (the MRS-style C2
+// timeout): when an in-mission UAV's telemetry has been silent longer
+// than the configured window, the platform assumes the link is gone,
+// demotes the UAV's availability, redistributes its task and commands
+// the vehicle's failsafe (RTB by default, land-in-place when
+// configured). The staleness demotion of ConSert comms evidence
+// happens separately in fuse.
+func (p *Platform) tickLinkWatchdog(st *uavState, now float64) {
+	window := p.cfg.LostLinkWindowS
+	if window <= 0 {
+		return
+	}
+	if st.telemetryAge(now) <= window {
+		st.lostLink = false
+		return
+	}
+	if st.lostLink || st.collocCtrl != nil || !st.inMission {
+		return
+	}
+	u := st.uav
+	if !u.Mode().Airborne() {
+		return
+	}
+	st.lostLink = true
+	verb := "return to base"
+	if p.cfg.LostLinkLand {
+		verb = "land in place"
+	}
+	countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
+		Kind: eddi.KindSafety, UAV: u.ID(), Time: now, Severity: 0.9,
+		Summary: fmt.Sprintf("lost link: telemetry silent %.0f s, contingency: %s", st.telemetryAge(now), verb),
+	}))
+	st.inMission = false
+	st.swapPending = false
+	countIn(&p.drops.availability, p.avail.MarkDown(u.ID(), now))
+	if p.mission != nil {
+		if _, assigned := p.mission.Assignments[u.ID()]; assigned {
+			countIn(&p.drops.mission, p.mission.Redistribute(u.ID(), u.RemainingPath()))
+			p.redispatch()
+		}
+	}
+	if p.cfg.LostLinkLand {
+		u.Land()
+	} else {
+		u.ReturnToBase()
+	}
 }
 
 // registerMonitors builds the UAV's runtime-monitor chain: the colloc
@@ -457,6 +586,11 @@ func (p *Platform) redispatch() {
 		}
 	}
 }
+
+// MissionComplete reports whether every UAV has finished (landed or
+// holding with no pending swap or collaborative landing) — the same
+// predicate RunMission uses, exposed for external tick loops.
+func (p *Platform) MissionComplete() bool { return p.missionComplete() }
 
 func (p *Platform) missionComplete() bool {
 	for _, id := range p.order {
@@ -653,4 +787,8 @@ func (p *Platform) Close() {
 	if p.Security != nil {
 		p.Security.Close()
 	}
+	for _, sub := range p.subs {
+		p.World.Bus.Unsubscribe(sub)
+	}
+	p.subs = nil
 }

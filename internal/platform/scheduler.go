@@ -20,6 +20,7 @@ package platform
 //     scheduler's outputs bit-identical to the old serial loop.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,10 @@ import (
 type observation struct {
 	result eddi.ChainResult
 	err    error
+	// panicked marks a monitor-chain panic caught by observeUAV; the
+	// apply phase converts it into a fail-safe Hold for the UAV.
+	panicked bool
+	panicMsg string
 }
 
 // Tick advances the platform by one second: world physics, then the
@@ -77,6 +82,9 @@ func (p *Platform) prepare(now float64) []eddi.Snapshot {
 	for i, id := range p.order {
 		st := p.states[id]
 		u := st.uav
+		// Lost-link watchdog first: the snapshot then reflects any
+		// contingency commanded this tick.
+		p.tickLinkWatchdog(st, now)
 		snaps[i] = eddi.Snapshot{
 			UAV:             id,
 			Time:            now,
@@ -141,8 +149,26 @@ func (p *Platform) observeFleet(snaps []eddi.Snapshot) []observation {
 }
 
 // observeUAV runs one UAV's telemetry reporting and monitor chain.
-// Safe to call concurrently for different UAVs.
-func (p *Platform) observeUAV(s eddi.Snapshot) observation {
+// Safe to call concurrently for different UAVs. A panicking monitor is
+// contained here: it becomes a counted drop plus a fail-safe result
+// instead of killing the worker goroutine (and with it the process).
+func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.drops.monitors.Add(1)
+			ob = observation{
+				result: eddi.ChainResult{
+					Advices: []eddi.Advice{{
+						Kind:   eddi.AdviceHold,
+						Reason: "monitor chain panicked; failing safe",
+						Halt:   true,
+					}},
+				},
+				panicked: true,
+				panicMsg: fmt.Sprint(r),
+			}
+		}
+	}()
 	st := p.states[s.UAV]
 	p.reportTelemetry(st, s.Time)
 	result, err := eddi.RunChain(st.chain, s)
@@ -150,15 +176,79 @@ func (p *Platform) observeUAV(s eddi.Snapshot) observation {
 }
 
 // reportTelemetry is the §IV-A database path: every tick each UAV
-// stores its location and battery record; rejected writes are counted.
+// stores its location and battery record. Transient failures
+// (ErrUnavailable) enter a bounded retry-with-backoff queue drained
+// here on later ticks; permanent rejections are counted as drops.
+// Retries drain first so a recovered old datum cannot overwrite this
+// tick's fresher write.
 func (p *Platform) reportTelemetry(st *uavState, now float64) {
+	p.drainDBRetries(st, now)
 	u := st.uav
-	countIn(&p.drops.database, p.DB.PutLocation(p.cfg.Origin, u.ID(), u.TruePosition(), now))
-	countIn(&p.drops.database, p.DB.PutRecord(p.cfg.Origin, u.ID(), Record{
+	id := u.ID()
+	if err := p.DB.PutLocation(p.cfg.Origin, id, u.TruePosition(), now); err != nil {
+		pos := u.TruePosition()
+		p.deferOrDrop(st, now, err, func() error {
+			return p.DB.PutLocation(p.cfg.Origin, id, pos, now)
+		})
+	}
+	rec := Record{
 		Key:   "battery",
 		Value: fmt.Sprintf("%.1f", u.Battery.ChargePct),
 		Time:  now,
-	}))
+	}
+	if err := p.DB.PutRecord(p.cfg.Origin, id, rec); err != nil {
+		p.deferOrDrop(st, now, err, func() error {
+			return p.DB.PutRecord(p.cfg.Origin, id, rec)
+		})
+	}
+}
+
+// deferOrDrop queues a transiently failed database write for retry, or
+// counts it as a drop when retrying is disabled or the failure is
+// permanent (validation, forbidden origin).
+func (p *Platform) deferOrDrop(st *uavState, now float64, err error, write func() error) {
+	if p.cfg.DBRetryAttempts > 1 && errors.Is(err, ErrUnavailable) {
+		st.dbRetries = append(st.dbRetries, dbRetry{
+			write:    write,
+			attempts: 1,
+			nextAt:   now + p.cfg.DBRetryBackoffS,
+		})
+		p.retries.scheduled.Add(1)
+		return
+	}
+	p.drops.database.Add(1)
+}
+
+// drainDBRetries re-offers due queued writes. Each failure doubles the
+// backoff until the attempt budget is spent, at which point the write
+// is abandoned and finally counted as a database drop. The queue is
+// per-UAV state owned by the observing worker, so this is race-free
+// and deterministic.
+func (p *Platform) drainDBRetries(st *uavState, now float64) {
+	if len(st.dbRetries) == 0 {
+		return
+	}
+	kept := st.dbRetries[:0]
+	for _, r := range st.dbRetries {
+		if now < r.nextAt {
+			kept = append(kept, r)
+			continue
+		}
+		err := r.write()
+		if err == nil {
+			p.retries.succeeded.Add(1)
+			continue
+		}
+		r.attempts++
+		if !errors.Is(err, ErrUnavailable) || r.attempts >= p.cfg.DBRetryAttempts {
+			p.retries.abandoned.Add(1)
+			p.drops.database.Add(1)
+			continue
+		}
+		r.nextAt = now + p.cfg.DBRetryBackoffS*float64(uint64(1)<<uint(r.attempts-1))
+		kept = append(kept, r)
+	}
+	st.dbRetries = kept
 }
 
 // apply executes one UAV's collected findings in fleet order: event
@@ -169,6 +259,22 @@ func (p *Platform) apply(id string, ob observation, now float64) error {
 	}
 	st := p.states[id]
 	u := st.uav
+
+	// A contained monitor panic fails the UAV safe: emit the event once,
+	// hold position, and skip the (unavailable) chain findings.
+	if ob.panicked {
+		if !st.monitorPanicked {
+			st.monitorPanicked = true
+			countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
+				Kind: eddi.KindSafety, UAV: id, Time: now, Severity: 1,
+				Summary: "monitor chain panic: " + ob.panicMsg + "; holding position fail-safe",
+			}))
+		}
+		if u.Mode() == uavsim.ModeMission {
+			u.Hold()
+		}
+		return nil
+	}
 
 	// Collaborative landing halted the chain: step the controller and
 	// skip normal mission control.
@@ -256,7 +362,14 @@ func (p *Platform) fuse(st *uavState, u *uavsim.UAV, id string) (conserts.UAVAct
 	ev[conserts.EvCameraHealthy] = u.Camera.OK
 	ev[conserts.EvPerceptionConfident] = !st.hasUncert || st.uncertainty < 0.9
 	ev[conserts.EvNearbyDroneDetection] = u.Camera.OK
-	ev[conserts.EvCommsOK] = u.Comms.OK && !p.Security.CompromisedBy(id, st.c2HijackKey)
+	commsOK := u.Comms.OK && !p.Security.CompromisedBy(id, st.c2HijackKey)
+	// GCS-observed staleness demotes the comms guarantee: evidence must
+	// reflect what the ground station can actually see, not vehicle
+	// ground truth, once a lossy link sits between them.
+	if w := p.cfg.LostLinkWindowS; w > 0 && (st.lostLink || st.telemetryAge(p.World.Clock.Now()) > w) {
+		commsOK = false
+	}
+	ev[conserts.EvCommsOK] = commsOK
 	ev[conserts.EvNeighborsAvailable] = p.airborneNeighbors(id) > 0
 	ev[conserts.EvReliabilityHigh] = st.lastAssessment.Level == safedrones.LevelHigh
 	ev[conserts.EvReliabilityMedium] = st.lastAssessment.Level == safedrones.LevelMedium

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"sesame/internal/geo"
+	"sesame/internal/uavsim"
 )
 
 // UAVStatus is the per-vehicle snapshot served to the GUI layer — the
@@ -25,6 +26,10 @@ type UAVStatus struct {
 	Compromised bool       `json:"compromised"`
 	CollocLand  bool       `json:"collaborative_landing"`
 	Rescans     int        `json:"rescans"`
+	// TelemetryAgeS is how stale the GCS's last-known-good telemetry
+	// for this UAV is; LinkLost marks a fired lost-link watchdog.
+	TelemetryAgeS float64 `json:"telemetry_age_s"`
+	LinkLost      bool    `json:"link_lost"`
 }
 
 // Status is the full platform snapshot — the Fig. 4 view as data.
@@ -37,33 +42,43 @@ type Status struct {
 	// emissions, availability marks, flight commands, mission
 	// management) that failed and were previously discarded silently.
 	Drops DropCounters `json:"data_path_drops"`
+	// DBRetries summarizes the database retry-with-backoff machinery.
+	DBRetries RetryCounters `json:"database_retries"`
+	// WorldDrops surfaces vehicle-side losses (refused telemetry
+	// publishes) alongside the platform's own counters.
+	WorldDrops uavsim.DropCounters `json:"world_drops"`
 }
 
 // Status captures a point-in-time snapshot of the fleet.
 func (p *Platform) Status() Status {
+	now := p.World.Clock.Now()
 	s := Status{
-		Time:     p.World.Clock.Now(),
-		SESAME:   p.cfg.SESAME,
-		Decision: p.decision.String(),
-		Drops:    p.drops.snapshot(),
+		Time:       now,
+		SESAME:     p.cfg.SESAME,
+		Decision:   p.decision.String(),
+		Drops:      p.drops.snapshot(),
+		DBRetries:  p.retries.snapshot(),
+		WorldDrops: p.World.Drops(),
 	}
 	for _, id := range p.order {
 		st := p.states[id]
 		u := st.uav
 		us := UAVStatus{
-			ID:          id,
-			Mode:        u.Mode().String(),
-			Action:      st.action.String(),
-			Position:    u.TruePosition(),
-			AltitudeM:   u.AltitudeM(),
-			SpeedMS:     u.SpeedMS(),
-			BatteryPct:  u.Battery.ChargePct,
-			BatteryTemp: u.Battery.TempC,
-			PoF:         st.lastAssessment.PoF,
-			Reliability: st.lastAssessment.Level.String(),
-			Waypoints:   u.RemainingWaypoints(),
-			CollocLand:  st.collocCtrl != nil,
-			Rescans:     st.rescans,
+			ID:            id,
+			Mode:          u.Mode().String(),
+			Action:        st.action.String(),
+			Position:      u.TruePosition(),
+			AltitudeM:     u.AltitudeM(),
+			SpeedMS:       u.SpeedMS(),
+			BatteryPct:    u.Battery.ChargePct,
+			BatteryTemp:   u.Battery.TempC,
+			PoF:           st.lastAssessment.PoF,
+			Reliability:   st.lastAssessment.Level.String(),
+			Waypoints:     u.RemainingWaypoints(),
+			CollocLand:    st.collocCtrl != nil,
+			Rescans:       st.rescans,
+			TelemetryAgeS: st.telemetryAge(now),
+			LinkLost:      st.lostLink,
 		}
 		if st.hasUncert {
 			us.Uncertainty = st.uncertainty

@@ -37,6 +37,33 @@ type Subscription struct {
 	id    int
 }
 
+// ErrDepthExceeded is returned when the publish-from-handler recursion
+// guard trips; match it with errors.Is.
+var ErrDepthExceeded = errors.New("rosbus: publish depth exceeded")
+
+// Filter inspects every message accepted from a publisher before it is
+// delivered. Returning forward=false consumes the message: the bus does
+// not deliver it, and the filter owns its fate (it may call Deliver
+// later, once, several times, or never — the hook a lossy-link layer
+// needs). A non-nil error is additionally surfaced to the publisher,
+// which models a link that rejects frames rather than eating them.
+type Filter func(Message) (forward bool, err error)
+
+// Stats is a point-in-time snapshot of bus-wide counters.
+type Stats struct {
+	// Published counts messages accepted from publishers (a sequence
+	// number was assigned), whether or not they were delivered.
+	Published uint64
+	// Delivered counts messages dispatched to subscribers and taps,
+	// including filter redeliveries via Deliver.
+	Delivered uint64
+	// FilterConsumed counts messages a filter kept from synchronous
+	// delivery (dropped, delayed or rejected by the link layer).
+	FilterConsumed uint64
+	// DepthExceeded counts publishes refused by the recursion guard.
+	DepthExceeded uint64
+}
+
 // Bus is the topic registry and router (the roscore equivalent).
 // The zero value is not usable; call NewBus.
 type Bus struct {
@@ -44,8 +71,13 @@ type Bus struct {
 	topics map[string]*topicState
 	taps   map[int]Handler
 	nextID int
+	filter Filter
 	// depth guards against unbounded publish-from-handler recursion.
 	depth int
+	// stats
+	delivered      uint64
+	filterConsumed uint64
+	depthExceeded  uint64
 }
 
 type topicState struct {
@@ -112,21 +144,85 @@ func (b *Bus) Inject(msg Message) error {
 	return b.publish(msg)
 }
 
+// SetFilter installs (or, with nil, removes) the bus-wide link filter.
+// Only one filter is supported; a link layer multiplexes internally.
+func (b *Bus) SetFilter(f Filter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter = f
+}
+
 func (b *Bus) publish(msg Message) error {
 	if msg.Topic == "" {
 		return errors.New("rosbus: empty topic")
 	}
 	b.mu.Lock()
 	if b.depth >= maxPublishDepth {
+		b.depthExceeded++
 		b.mu.Unlock()
-		return fmt.Errorf("rosbus: publish depth exceeds %d (handler loop?)", maxPublishDepth)
+		return fmt.Errorf("%w: %d levels (handler loop?)", ErrDepthExceeded, maxPublishDepth)
 	}
 	b.depth++
 	ts := b.ensureTopic(msg.Topic)
 	ts.seq++
 	ts.published++
 	msg.Seq = ts.seq
-	// Snapshot handlers in deterministic id order.
+	filter := b.filter
+	b.mu.Unlock()
+
+	// The filter runs outside the lock: a link layer may call Deliver
+	// (inline dup/reorder release) or schedule clock callbacks that do.
+	if filter != nil {
+		fwd, err := filter(msg)
+		if !fwd || err != nil {
+			b.mu.Lock()
+			b.filterConsumed++
+			b.depth--
+			b.mu.Unlock()
+			return err
+		}
+	}
+
+	b.dispatch(msg)
+
+	b.mu.Lock()
+	b.depth--
+	b.mu.Unlock()
+	return nil
+}
+
+// Deliver dispatches a message to subscribers and taps, bypassing the
+// filter and sequence assignment. It is the re-injection path for a
+// link layer releasing delayed, duplicated or reordered frames; msg
+// should be a message the filter previously consumed (Seq already
+// assigned). The recursion guard still applies.
+func (b *Bus) Deliver(msg Message) error {
+	if msg.Topic == "" {
+		return errors.New("rosbus: empty topic")
+	}
+	b.mu.Lock()
+	if b.depth >= maxPublishDepth {
+		b.depthExceeded++
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %d levels (handler loop?)", ErrDepthExceeded, maxPublishDepth)
+	}
+	b.depth++
+	b.ensureTopic(msg.Topic)
+	b.mu.Unlock()
+
+	b.dispatch(msg)
+
+	b.mu.Lock()
+	b.depth--
+	b.mu.Unlock()
+	return nil
+}
+
+// dispatch snapshots the handler set under the lock and runs the
+// handlers unlocked, in deterministic id order.
+func (b *Bus) dispatch(msg Message) {
+	b.mu.Lock()
+	ts := b.ensureTopic(msg.Topic)
 	subIDs := make([]int, 0, len(ts.subs))
 	for id := range ts.subs {
 		subIDs = append(subIDs, id)
@@ -144,16 +240,28 @@ func (b *Bus) publish(msg Message) error {
 	for _, id := range tapIDs {
 		handlers = append(handlers, b.taps[id])
 	}
+	b.delivered++
 	b.mu.Unlock()
 
 	for _, h := range handlers {
 		h(msg)
 	}
+}
 
+// Stats returns a snapshot of the bus-wide counters.
+func (b *Bus) Stats() Stats {
 	b.mu.Lock()
-	b.depth--
-	b.mu.Unlock()
-	return nil
+	defer b.mu.Unlock()
+	var published uint64
+	for _, ts := range b.topics {
+		published += ts.published
+	}
+	return Stats{
+		Published:      published,
+		Delivered:      b.delivered,
+		FilterConsumed: b.filterConsumed,
+		DepthExceeded:  b.depthExceeded,
+	}
 }
 
 // Subscribe registers handler for every future message on topic.

@@ -1,6 +1,7 @@
 package rosbus
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -165,11 +166,95 @@ func TestPublishLoopDetected(t *testing.T) {
 	_, _ = b.Subscribe("/loop", func(m Message) {
 		if err := p.Publish(m.Stamp+1, nil); err != nil {
 			sawErr = true
+			if !errors.Is(err, ErrDepthExceeded) {
+				t.Errorf("loop error = %v, want ErrDepthExceeded", err)
+			}
 		}
 	})
 	_ = p.Publish(0, nil)
 	if !sawErr {
 		t.Fatal("infinite publish loop must be cut off with an error")
+	}
+	if got := b.Stats().DepthExceeded; got != 1 {
+		t.Fatalf("Stats().DepthExceeded = %d, want 1", got)
+	}
+}
+
+func TestDeliverLoopDetected(t *testing.T) {
+	b := NewBus()
+	sawErr := false
+	_, _ = b.Subscribe("/loop", func(m Message) {
+		if err := b.Deliver(m); err != nil {
+			sawErr = true
+			if !errors.Is(err, ErrDepthExceeded) {
+				t.Errorf("loop error = %v, want ErrDepthExceeded", err)
+			}
+		}
+	})
+	if err := b.Deliver(Message{Topic: "/loop"}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawErr {
+		t.Fatal("infinite Deliver loop must be cut off with an error")
+	}
+	if b.Stats().DepthExceeded == 0 {
+		t.Fatal("DepthExceeded not counted for Deliver recursion")
+	}
+}
+
+func TestFilterConsumesAndRedelivers(t *testing.T) {
+	b := NewBus()
+	var got []Message
+	_, _ = b.Subscribe("/t", func(m Message) { got = append(got, m) })
+	var held []Message
+	b.SetFilter(func(m Message) (bool, error) {
+		if m.Payload == "hold" {
+			held = append(held, m)
+			return false, nil
+		}
+		return true, nil
+	})
+	p, _ := b.Advertise("/t", "n")
+	_ = p.Publish(0, "hold")
+	if err := p.Publish(1, "pass"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Payload != "pass" {
+		t.Fatalf("filter leak: got %v", got)
+	}
+	// Re-injection bypasses the filter and keeps the original seq.
+	for _, m := range held {
+		if err := b.Deliver(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 2 || got[1].Payload != "hold" || got[1].Seq != 1 {
+		t.Fatalf("redelivery wrong: %+v", got)
+	}
+	st := b.Stats()
+	if st.Published != 2 || st.Delivered != 2 || st.FilterConsumed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Removing the filter restores plain delivery.
+	b.SetFilter(nil)
+	_ = p.Publish(2, "hold")
+	if len(got) != 3 {
+		t.Fatalf("filter still active after SetFilter(nil): %v", got)
+	}
+}
+
+func TestFilterErrorReachesPublisher(t *testing.T) {
+	b := NewBus()
+	boom := errors.New("link rejected")
+	b.SetFilter(func(Message) (bool, error) { return false, boom })
+	delivered := 0
+	_, _ = b.Subscribe("/t", func(Message) { delivered++ })
+	p, _ := b.Advertise("/t", "n")
+	if err := p.Publish(0, nil); !errors.Is(err, boom) {
+		t.Fatalf("publish error = %v, want %v", err, boom)
+	}
+	if delivered != 0 {
+		t.Fatal("rejected message must not be delivered")
 	}
 }
 

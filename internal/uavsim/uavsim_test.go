@@ -1,6 +1,7 @@
 package uavsim
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -341,6 +342,36 @@ func TestTelemetryPublished(t *testing.T) {
 	}
 	if batt[4].ChargePct >= batt[0].ChargePct {
 		t.Fatal("battery telemetry must show drain")
+	}
+}
+
+func TestTelemetryPublishFailuresCounted(t *testing.T) {
+	w := newTestWorld(t)
+	u := addUAV(t, w, "u1")
+	if err := u.TakeOff(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Drops().TelemetryPublish; got != 0 {
+		t.Fatalf("healthy bus produced %d telemetry drops", got)
+	}
+	// A bus filter rejecting every frame from u1 models a refusing
+	// link; every failed publish must be counted, not discarded.
+	boom := errors.New("link rejects frame")
+	w.Bus.SetFilter(func(m rosbus.Message) (bool, error) {
+		if m.Publisher == "u1" {
+			return false, boom
+		}
+		return true, nil
+	})
+	if err := w.Run(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	// 3 seconds × 4 topics.
+	if got := w.Drops().TelemetryPublish; got != 12 {
+		t.Fatalf("TelemetryPublish = %d, want 12", got)
 	}
 }
 

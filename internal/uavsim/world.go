@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sesame/internal/geo"
 	"sesame/internal/rosbus"
@@ -35,6 +36,21 @@ type World struct {
 	// TelemetryHz is how often telemetry publishes per simulated second
 	// when stepping with StepTelemetry (default 1 Hz).
 	TelemetryHz float64
+
+	telemetryDrops atomic.Uint64
+}
+
+// DropCounters tallies world-side data losses, mirroring the platform's
+// DropCounters: nothing fails silently.
+type DropCounters struct {
+	// TelemetryPublish counts telemetry messages the bus (or the link
+	// layer between vehicle and GCS) refused.
+	TelemetryPublish uint64 `json:"telemetry_publish"`
+}
+
+// Drops returns a snapshot of the world's drop counters.
+func (w *World) Drops() DropCounters {
+	return DropCounters{TelemetryPublish: w.telemetryDrops.Load()}
 }
 
 // NewWorld creates a world whose local frame is centred at origin.
@@ -286,7 +302,7 @@ func (w *World) publishTelemetry(now float64) {
 
 		// Status (IMU/odometry-grade) goes out before the GPS fix so
 		// consumers correlating the two streams see same-tick data.
-		_ = pubs["status"].Publish(now, StatusReport{
+		w.countPublish(pubs["status"].Publish(now, StatusReport{
 			UAV:       id,
 			Mode:      u.mode,
 			Position:  u.TruePosition(),
@@ -295,19 +311,27 @@ func (w *World) publishTelemetry(now float64) {
 			HeadingD:  u.head,
 			Waypoints: len(u.wps),
 			Stamp:     now,
-		})
+		}))
 		// A lost fix is still published, with Quality=GPSLost, so
 		// downstream monitors observe the dropout.
 		fix, _ := u.GPS.Fix(u.TruePosition(), u.altM, id, now)
-		_ = pubs["gps"].Publish(now, fix)
-		_ = pubs["battery"].Publish(now, u.Battery.State(id, now))
-		_ = pubs["health"].Publish(now, HealthState{
+		w.countPublish(pubs["gps"].Publish(now, fix))
+		w.countPublish(pubs["battery"].Publish(now, u.Battery.State(id, now)))
+		w.countPublish(pubs["health"].Publish(now, HealthState{
 			UAV:          id,
 			Rotors:       u.RotorStates(),
 			FailedRotors: u.FailedRotors(),
 			CameraOK:     u.Camera.OK,
 			CommsOK:      u.Comms.OK,
 			Stamp:        now,
-		})
+		}))
+	}
+}
+
+// countPublish records a refused telemetry publish instead of
+// discarding the error.
+func (w *World) countPublish(err error) {
+	if err != nil {
+		w.telemetryDrops.Add(1)
 	}
 }

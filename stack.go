@@ -11,6 +11,7 @@ import (
 	"sesame/internal/geo"
 	"sesame/internal/hiphops"
 	"sesame/internal/ids"
+	"sesame/internal/linksim"
 	"sesame/internal/mqttlite"
 	"sesame/internal/platform"
 	"sesame/internal/safeml"
@@ -313,3 +314,41 @@ func NewPlatform(w *World, scene *Scene, cfg PlatformConfig) (*Platform, error) 
 // PlatformHandler serves the platform status over HTTP (the web GUI
 // data feed).
 func PlatformHandler(p *Platform) http.Handler { return p.Handler() }
+
+// PlatformRetries counts the bounded database retry-with-backoff
+// outcomes (exposed in PlatformStatus).
+type PlatformRetries = platform.RetryCounters
+
+// ErrDatabaseUnavailable marks a transient mission-database failure;
+// the platform retries such writes with backoff instead of dropping
+// them.
+var ErrDatabaseUnavailable = platform.ErrUnavailable
+
+// ---- Degraded-comms fault layer (internal/linksim) ----
+
+// LinkLayer injects deterministic, seeded link faults (loss, delay,
+// duplication, reordering, outage windows) between the UAVs and the
+// ground station.
+type LinkLayer = linksim.Layer
+
+// Link is one UAV's impaired channel within a LinkLayer.
+type Link = linksim.Link
+
+// LinkProfile sets a link's stochastic impairments.
+type LinkProfile = linksim.Profile
+
+// LinkStats is a link's frame accounting snapshot.
+type LinkStats = linksim.LinkStats
+
+// ErrLinkDown is returned to publishers while a rejecting outage is
+// active on their link.
+var ErrLinkDown = linksim.ErrLinkDown
+
+// NewLinkLayer creates a fault layer driven by the world's clock and
+// attaches it to the world's ROS bus, so each UAV's telemetry crosses
+// its configured link. Use AttachBroker to also impair the alert path.
+func NewLinkLayer(w *World, name string) *LinkLayer {
+	l := linksim.New(w.Clock, name)
+	l.AttachBus(w.Bus)
+	return l
+}
