@@ -148,7 +148,16 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 		for _, mode := range []struct {
 			name    string
 			workers int
-		}{{"serial", 1}, {"pooled", 0}} {
+			obsv    bool
+		}{
+			{"serial", 1, false},
+			{"pooled", 0, false},
+			// The -obsv variants run with a metrics registry attached;
+			// BENCH_PR4.json records the instrumentation overhead
+			// (budget: <5% ns/op enabled, zero extra allocs disabled).
+			{"serial-obsv", 1, true},
+			{"pooled-obsv", 0, true},
+		} {
 			b.Run(fmt.Sprintf("%d/%s", fleet, mode.name), func(b *testing.B) {
 				b.ReportAllocs()
 				world := sesame.NewWorld(home, 1)
@@ -164,6 +173,9 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 				}
 				cfg := sesame.DefaultPlatformConfig()
 				cfg.Workers = mode.workers
+				if mode.obsv {
+					cfg.Observability = sesame.NewObsvRegistry()
+				}
 				p, err := sesame.NewPlatform(world, scene, cfg)
 				if err != nil {
 					b.Fatal(err)

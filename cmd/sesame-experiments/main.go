@@ -12,6 +12,7 @@
 //	sesame-experiments -exp fig1          # ConSert network evaluation
 //	sesame-experiments -exp ablations     # design-choice ablations
 //	sesame-experiments -exp comms         # degraded-comms robustness matrix
+//	sesame-experiments -exp obsv          # observability self-measurement
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -123,9 +124,17 @@ func main() {
 		r.Print(os.Stdout)
 		return nil
 	})
+	run("obsv", func() error {
+		r, err := experiments.RunObsv(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -3,8 +3,10 @@
 // the data feed behind the paper's Fig. 4 web GUI.
 //
 //	sesame-gcs -addr :8080
-//	curl localhost:8080/          # fleet status snapshot
-//	curl localhost:8080/events    # EDDI event history
+//	curl localhost:8080/              # fleet status snapshot
+//	curl localhost:8080/events       # EDDI event history
+//	curl localhost:8080/metrics      # Prometheus text exposition
+//	curl localhost:8080/debug/pprof/ # pprof index
 package main
 
 import (
@@ -12,24 +14,34 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"sesame"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	tickMS := flag.Int("tick-ms", 200, "wall-clock milliseconds per simulated second")
-	spoofAt := flag.Float64("spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
-	flag.Parse()
+// gcs bundles one running mission with its HTTP surface: the Fig. 4
+// JSON feed plus the observability endpoints.
+type gcs struct {
+	world *sesame.World
+	p     *sesame.Platform
+	reg   *sesame.ObsvRegistry
+	// The platform is not internally synchronized, so one mutex
+	// serializes ticks against status/event requests. The metrics
+	// registry IS internally synchronized: /metrics and /debug/* are
+	// served without the lock and stay responsive mid-tick.
+	mu sync.Mutex
+}
 
+// newGCS builds the seeded demo mission: three UAVs sweeping a 400 m
+// square with ten survivors, fully instrumented.
+func newGCS(seed int64, spoofAt float64) (*gcs, error) {
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
-	world := sesame.NewWorld(home, *seed)
+	world := sesame.NewWorld(home, seed)
 	for _, id := range []string{"u1", "u2", "u3"} {
 		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
-			fail(err)
+			return nil, err
 		}
 	}
 	a := sesame.Destination(home, 45, 80)
@@ -39,53 +51,83 @@ func main() {
 	area := sesame.Polygon{a, b, c, d}
 	scene, err := sesame.NewRandomScene(area, 10, 0.2, world, "scene")
 	if err != nil {
-		fail(err)
+		return nil, err
 	}
-	p, err := sesame.NewPlatform(world, scene, sesame.DefaultPlatformConfig())
+	reg := sesame.NewObsvRegistry()
+	reg.SetTrace(sesame.NewObsvTraceRing(4096))
+	cfg := sesame.DefaultPlatformConfig()
+	cfg.Observability = reg
+	p, err := sesame.NewPlatform(world, scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.StartMission(area); err != nil {
+		p.Close()
+		return nil, err
+	}
+	if spoofAt > 0 {
+		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+spoofAt, "u2", 135, 3)); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return &gcs{world: world, p: p, reg: reg}, nil
+}
+
+// tick advances the simulation by one step under the platform lock.
+func (g *gcs) tick() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.p.Tick()
+}
+
+// handler merges the platform's JSON feed (served under the tick
+// mutex) with the UI page and the lock-free observability routes.
+func (g *gcs) handler() http.Handler {
+	inner := sesame.PlatformHandler(g.p)
+	debug := sesame.ObsvDebugMux(g.reg)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/ui":
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = w.Write([]byte(uiPage))
+		case r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/"):
+			debug.ServeHTTP(w, r)
+		default:
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			inner.ServeHTTP(w, r)
+		}
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	tickMS := flag.Int("tick-ms", 200, "wall-clock milliseconds per simulated second")
+	spoofAt := flag.Float64("spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
+	flag.Parse()
+
+	g, err := newGCS(*seed, *spoofAt)
 	if err != nil {
 		fail(err)
 	}
-	defer p.Close()
-	if err := p.StartMission(area); err != nil {
-		fail(err)
-	}
-	if *spoofAt > 0 {
-		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+*spoofAt, "u2", 135, 3)); err != nil {
-			fail(err)
-		}
-	}
+	defer g.p.Close()
 
 	// Drive the simulation in the background; HTTP reads snapshots.
-	// The platform is not internally synchronized, so one mutex
-	// serializes ticks against request handling.
-	var mu sync.Mutex
 	go func() {
 		ticker := time.NewTicker(time.Duration(*tickMS) * time.Millisecond)
 		defer ticker.Stop()
 		for range ticker.C {
-			mu.Lock()
-			err := p.Tick()
-			mu.Unlock()
-			if err != nil {
+			if err := g.tick(); err != nil {
 				fmt.Fprintln(os.Stderr, "sesame-gcs: tick:", err)
 				return
 			}
 		}
 	}()
 
-	inner := sesame.PlatformHandler(p)
-	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/ui" {
-			w.Header().Set("Content-Type", "text/html; charset=utf-8")
-			_, _ = w.Write([]byte(uiPage))
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		inner.ServeHTTP(w, r)
-	})
-	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui)\n", *addr)
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/)\n", *addr)
+	if err := http.ListenAndServe(*addr, g.handler()); err != nil {
 		fail(err)
 	}
 }

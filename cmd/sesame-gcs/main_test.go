@@ -1,0 +1,99 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestGCSRoutes exercises the merged HTTP surface of the ground
+// station: the JSON feed, the UI page, the Prometheus exposition and
+// the pprof index, against a live (briefly ticked) mission.
+func TestGCSRoutes(t *testing.T) {
+	g, err := newGCS(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.p.Close()
+	for i := 0; i < 5; i++ {
+		if err := g.tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(g.handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	tests := []struct {
+		path        string
+		wantType    string
+		wantContain string
+	}{
+		{"/", "application/json", `"mission_decision"`},
+		{"/events", "application/json", ""},
+		{"/ui", "text/html; charset=utf-8", "SESAME multi-UAV GCS"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8", "sesame_platform_ticks_total 5"},
+		{"/debug/pprof/", "", "profiles"},
+		{"/debug/pprof/cmdline", "", ""},
+		{"/debug/trace", "application/json", `"phase"`},
+	}
+	for _, tc := range tests {
+		code, body, ctype := get(tc.path)
+		if code != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", tc.path, code)
+		}
+		if tc.wantType != "" && ctype != tc.wantType {
+			t.Errorf("GET %s: Content-Type %q, want %q", tc.path, ctype, tc.wantType)
+		}
+		if tc.wantContain != "" && !strings.Contains(body, tc.wantContain) {
+			t.Errorf("GET %s: body does not contain %q:\n%s", tc.path, tc.wantContain, truncate(body))
+		}
+	}
+}
+
+// TestGCSMetricsLockFree proves /metrics is served even while the tick
+// mutex is held: the observability path must not block on the
+// simulation.
+func TestGCSMetricsLockFree(t *testing.T) {
+	g, err := newGCS(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.p.Close()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		g.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		close(done)
+	}()
+	<-done
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics under held tick lock: status %d", rec.Code)
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "..."
+	}
+	return s
+}

@@ -1,6 +1,9 @@
 package eddi
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // This file defines the runtime-monitor contract every EDDI technology
 // plugs into the platform through (paper §IV-A): a monitor observes a
@@ -140,16 +143,45 @@ func (r ChainResult) HasAdvice(kind AdviceKind) bool {
 	return false
 }
 
+// ChainObserver receives one callback per monitor invocation during an
+// observed chain run. Implementations must be cheap: MonitorDone is on
+// the platform's per-tick hot path and may be called concurrently for
+// chains of different UAVs.
+type ChainObserver interface {
+	// MonitorDone reports that monitors[index] finished one Observe with
+	// the given wall-clock duration, event count, advice and error. It
+	// fires for the erroring monitor too, just before the chain aborts.
+	MonitorDone(index int, m Runtime, elapsed time.Duration, events int, advice Advice, err error)
+}
+
 // RunChain observes the snapshot through each monitor in order,
 // sharing one Derived blackboard, and aggregates events and advice.
 // A Halt advice stops the chain. Errors abort with the monitor named.
 func RunChain(monitors []Runtime, s Snapshot) (ChainResult, error) {
+	return RunChainObserved(monitors, s, nil)
+}
+
+// RunChainObserved is RunChain with a per-monitor observation hook. A
+// nil observer skips all timing work, making it exactly RunChain.
+func RunChainObserved(monitors []Runtime, s Snapshot, obs ChainObserver) (ChainResult, error) {
 	if s.Derived == nil {
 		s.Derived = &Derived{}
 	}
 	var res ChainResult
-	for _, m := range monitors {
+	// Consecutive monitors share a timestamp: monitor i's end is
+	// monitor i+1's start, so an n-monitor chain costs n+1 clock reads
+	// instead of 2n.
+	var prev time.Time
+	if obs != nil {
+		prev = time.Now()
+	}
+	for i, m := range monitors {
 		events, advice, err := m.Observe(s)
+		if obs != nil {
+			now := time.Now()
+			obs.MonitorDone(i, m, now.Sub(prev), len(events), advice, err)
+			prev = now
+		}
 		if err != nil {
 			return res, fmt.Errorf("eddi: monitor %s: %w", m.Name(), err)
 		}

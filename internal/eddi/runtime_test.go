@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 // fakeMonitor is a scriptable Runtime for chain-semantics tests.
@@ -97,6 +98,61 @@ func TestRunChainSharedBlackboard(t *testing.T) {
 	}
 	if seen != 0.42 {
 		t.Errorf("blackboard value = %v, want 0.42", seen)
+	}
+}
+
+// chainRecord captures one MonitorDone callback.
+type chainRecord struct {
+	index  int
+	name   string
+	events int
+	advice Advice
+	err    error
+}
+
+type recordingObserver struct{ records []chainRecord }
+
+func (o *recordingObserver) MonitorDone(index int, m Runtime, elapsed time.Duration, events int, advice Advice, err error) {
+	o.records = append(o.records, chainRecord{index: index, name: m.Name(), events: events, advice: advice, err: err})
+}
+
+func TestRunChainObserved(t *testing.T) {
+	a := &fakeMonitor{name: "a", advice: Advice{Kind: AdviceDescend}}
+	gate := &fakeMonitor{name: "gate", advice: Advice{Kind: AdviceHold, Halt: true}}
+	after := &fakeMonitor{name: "after"}
+	obs := &recordingObserver{}
+	res, err := RunChainObserved([]Runtime{a, gate, after}, Snapshot{UAV: "u1"}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Advices) != 2 {
+		t.Fatalf("advices = %+v, want 2", res.Advices)
+	}
+	// One callback per invoked monitor, none for the halted-over one.
+	if len(obs.records) != 2 {
+		t.Fatalf("records = %+v, want 2", obs.records)
+	}
+	if obs.records[0].name != "a" || obs.records[0].index != 0 || obs.records[0].events != 1 {
+		t.Errorf("record[0] = %+v", obs.records[0])
+	}
+	if obs.records[1].name != "gate" || !obs.records[1].advice.Halt {
+		t.Errorf("record[1] = %+v", obs.records[1])
+	}
+	if after.called {
+		t.Error("monitor after Halt must not observe")
+	}
+}
+
+func TestRunChainObservedError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := &fakeMonitor{name: "flaky", err: boom}
+	obs := &recordingObserver{}
+	if _, err := RunChainObserved([]Runtime{bad}, Snapshot{UAV: "u1"}, obs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The erroring monitor must still be reported, error attached.
+	if len(obs.records) != 1 || !errors.Is(obs.records[0].err, boom) {
+		t.Fatalf("records = %+v, want one with the error", obs.records)
 	}
 }
 

@@ -27,9 +27,9 @@ type CommsScenario struct {
 	Completed        bool
 	CompletionS      float64
 	Availability     float64
-	MaxTelemetryAgeS float64 // worst staleness seen on the outage UAV
-	LostLinkEvents   int     // watchdog contingencies fired
-	CompromiseEvents int     // IDS-driven compromise responses
+	MaxTelemetryAgeS float64           // worst staleness seen on the outage UAV
+	LostLinkEvents   int               // watchdog contingencies fired
+	CompromiseEvents int               // IDS-driven compromise responses
 	Link             linksim.LinkStats // aggregated over all links
 	Drops            platform.DropCounters
 	WorldDrops       uavsim.DropCounters

@@ -26,6 +26,7 @@ import (
 
 	"sesame/internal/geo"
 	"sesame/internal/mqttlite"
+	"sesame/internal/obsv"
 	"sesame/internal/rosbus"
 	"sesame/internal/uavsim"
 )
@@ -105,6 +106,18 @@ type IDS struct {
 	lastOdo  map[string]geo.LatLng
 	hasOdo   map[string]bool
 	lastHit  map[string]float64 // type+uav -> stamp of last alert
+
+	// Observability mirrors (nil when uninstrumented; all nil-safe).
+	// The per-rule evaluation counters are resolved once at Instrument:
+	// inspect runs on every bus message, so the hot path must not pay a
+	// labeled-series lookup per rule.
+	mEvalAllow    *obsv.Counter
+	mEvalRate     *obsv.Counter
+	mEvalSilence  *obsv.Counter
+	mEvalTeleport *obsv.Counter
+	mEvalGPS      *obsv.Counter
+	mAlerts       *obsv.CounterVec
+	mSuppressed   *obsv.Counter
 }
 
 // New attaches the IDS to the bus and starts publishing alerts to the
@@ -132,6 +145,24 @@ func New(bus *rosbus.Bus, broker *mqttlite.Broker, cfg Config) (*IDS, error) {
 	}
 	d.cancel = cancel
 	return d, nil
+}
+
+// Instrument mirrors rule evaluations and alert emissions into reg. A
+// nil registry leaves the IDS uninstrumented (nil handles are no-ops).
+func (d *IDS) Instrument(reg *obsv.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	evals := reg.CounterVec("sesame_ids_rule_evaluations_total",
+		"Detection-rule evaluations, by rule.", "rule")
+	d.mEvalAllow = evals.With("allow-list")
+	d.mEvalRate = evals.With("rate")
+	d.mEvalSilence = evals.With("silence")
+	d.mEvalTeleport = evals.With("teleport")
+	d.mEvalGPS = evals.With("gps-divergence")
+	d.mAlerts = reg.CounterVec("sesame_ids_alerts_total",
+		"Alerts raised (post-cooldown), by type.", "type")
+	d.mSuppressed = reg.Counter("sesame_ids_alerts_suppressed_total",
+		"Alerts suppressed by the per-(type,uav) cooldown.")
 }
 
 // Close detaches the IDS from the bus.
@@ -168,6 +199,7 @@ func (d *IDS) inspect(m rosbus.Message) {
 
 	// Rule 1: publisher allow-list.
 	if allowed, checked := d.cfg.AllowedPublishers[m.Topic]; checked {
+		d.mEvalAllow.Inc()
 		ok := false
 		for _, a := range allowed {
 			if a == m.Publisher {
@@ -188,6 +220,7 @@ func (d *IDS) inspect(m rosbus.Message) {
 
 	// Rule 2: rate anomaly.
 	if d.cfg.MaxRateHz > 0 {
+		d.mEvalRate.Inc()
 		window := d.arrival[m.Topic]
 		cutoff := m.Stamp - d.cfg.RateWindowS
 		keep := window[:0]
@@ -213,6 +246,7 @@ func (d *IDS) inspect(m rosbus.Message) {
 	// Rule: link silence. Lazily scan tracked topics whenever traffic
 	// arrives; a topic quiet past the timeout looks like jamming.
 	if d.cfg.SilenceTimeoutS > 0 {
+		d.mEvalSilence.Inc()
 		for topic, last := range d.lastSeen {
 			if topic == m.Topic {
 				continue
@@ -264,6 +298,7 @@ func (d *IDS) inspectGPS(m rosbus.Message, fix uavsim.GPSFix) {
 	}
 	// Teleport: implied speed between consecutive fixes.
 	if prev, ok := d.lastGPS[fix.UAV]; ok && fix.Stamp > prev.Stamp {
+		d.mEvalTeleport.Inc()
 		dt := fix.Stamp - prev.Stamp
 		speed := geo.Haversine(prev.Position, fix.Position) / dt
 		if d.cfg.MaxSpeedMS > 0 && speed > d.cfg.MaxSpeedMS {
@@ -280,6 +315,7 @@ func (d *IDS) inspectGPS(m rosbus.Message, fix uavsim.GPSFix) {
 
 	// GPS/odometry divergence.
 	if d.cfg.GPSDivergenceM > 0 && d.hasOdo[fix.UAV] {
+		d.mEvalGPS.Inc()
 		div := geo.Haversine(fix.Position, d.lastOdo[fix.UAV])
 		if div > d.cfg.GPSDivergenceM {
 			d.raise(Alert{
@@ -298,9 +334,11 @@ func (d *IDS) inspectGPS(m rosbus.Message, fix uavsim.GPSFix) {
 func (d *IDS) raise(a Alert) {
 	key := a.Type + "|" + a.UAV
 	if last, ok := d.lastHit[key]; ok && a.Stamp-last < d.cfg.CooldownS {
+		d.mSuppressed.Inc()
 		return
 	}
 	d.lastHit[key] = a.Stamp
+	d.mAlerts.With(a.Type).Inc()
 	d.alerts = append(d.alerts, a)
 	d.pending = append(d.pending, a)
 }

@@ -1,0 +1,96 @@
+package mqttlite
+
+import (
+	"strings"
+	"testing"
+)
+
+// refMatch is a naive recursive reference implementation of MQTT
+// filter matching, written for obviousness rather than speed: `+`
+// consumes exactly one level, `#` (only valid as the final level)
+// consumes zero or more. The production matcher must agree with it on
+// every valid (filter, topic) pair.
+func refMatch(filter, topic []string) bool {
+	if len(filter) == 0 {
+		return len(topic) == 0
+	}
+	if filter[0] == "#" {
+		return true
+	}
+	if len(topic) == 0 {
+		return false
+	}
+	if filter[0] == "+" || filter[0] == topic[0] {
+		return refMatch(filter[1:], topic[1:])
+	}
+	return false
+}
+
+// matchCases pins the tricky corners of the wildcard grammar.
+var matchCases = []struct {
+	filter, topic string
+	want          bool
+}{
+	{"a/b/c", "a/b/c", true},
+	{"a/b/c", "a/b", false},
+	{"a/b", "a/b/c", false},
+	{"+/b/c", "a/b/c", true},
+	{"a/+/c", "a/b/c", true},
+	{"a/b/+", "a/b/c", true},
+	{"a/b/+", "a/b/c/d", false},
+	{"#", "a", true},
+	{"#", "a/b/c", true},
+	{"a/#", "a", true}, // '#' includes the parent level
+	{"a/#", "a/b/c", true},
+	{"a/#", "b/a", false},
+	{"+/#", "a/b/c", true},
+	{"+", "a", true},
+	{"+", "a/b", false},
+	{"alerts/ids/+", "alerts/ids/u1", true},
+	{"alerts/ids/+", "alerts/ids/u1/extra", false},
+	{"a/+/+", "a/b", false},
+}
+
+// TestTopicMatchTable drives both matchers through the pinned corners.
+func TestTopicMatchTable(t *testing.T) {
+	for _, tc := range matchCases {
+		f := strings.Split(tc.filter, "/")
+		top := strings.Split(tc.topic, "/")
+		if got := matches(f, top); got != tc.want {
+			t.Errorf("matches(%q, %q) = %v, want %v", tc.filter, tc.topic, got, tc.want)
+		}
+		if got := refMatch(f, top); got != tc.want {
+			t.Errorf("refMatch(%q, %q) = %v, want %v (reference matcher is wrong)", tc.filter, tc.topic, got, tc.want)
+		}
+	}
+}
+
+// FuzzTopicMatch cross-checks the production matcher against refMatch
+// on arbitrary valid filter/topic pairs. Invalid inputs (per the
+// broker's own validators) are skipped: the broker rejects them before
+// matching ever runs.
+func FuzzTopicMatch(f *testing.F) {
+	f.Add("#", "a/b/c")     // '#' at root
+	f.Add("a/+", "a/b")     // trailing '+'
+	f.Add("a/#", "a")       // '#' matching its parent
+	f.Add("+/+/+", "a/b/c") // all-wildcard
+	f.Add("alerts/ids/+", "alerts/ids/u1")
+	f.Add("a/b/c", "a/b/c")
+	f.Add("+", "a")
+	f.Add("a/+/c/#", "a/x/c/d/e")
+	for _, tc := range matchCases {
+		f.Add(tc.filter, tc.topic)
+	}
+	f.Fuzz(func(t *testing.T, filter, topic string) {
+		if ValidateFilter(filter) != nil || ValidateTopic(topic) != nil {
+			t.Skip()
+		}
+		fs := strings.Split(filter, "/")
+		ts := strings.Split(topic, "/")
+		got := matches(fs, ts)
+		want := refMatch(fs, ts)
+		if got != want {
+			t.Errorf("matches(%q, %q) = %v, reference says %v", filter, topic, got, want)
+		}
+	})
+}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"sesame/internal/obsv"
 )
 
 // Message is one published datagram.
@@ -38,6 +40,13 @@ type Broker struct {
 	retained map[string][]byte
 	nextID   int
 	filter   Filter
+	// Observability mirrors (nil when uninstrumented; all nil-safe).
+	mPublished     *obsv.CounterVec
+	pubCounters    map[string]*obsv.Counter // per-topic handles, under mu
+	mConsumed      *obsv.Counter
+	mMatched       *obsv.Counter
+	mRetainedSize  *obsv.Gauge
+	mRetainedServe *obsv.Counter
 }
 
 type subscription struct {
@@ -51,6 +60,26 @@ func NewBroker() *Broker {
 		subs:     make(map[int]*subscription),
 		retained: make(map[string][]byte),
 	}
+}
+
+// Instrument mirrors the broker counters into reg. A nil registry
+// leaves the broker uninstrumented (nil handles are no-ops).
+func (b *Broker) Instrument(reg *obsv.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mPublished = reg.CounterVec("sesame_mqtt_published_total",
+		"Publications accepted by the broker, by topic.", "topic")
+	if b.mPublished != nil {
+		b.pubCounters = make(map[string]*obsv.Counter)
+	}
+	b.mConsumed = reg.Counter("sesame_mqtt_filter_consumed_total",
+		"Publications consumed by the link filter before routing.")
+	b.mMatched = reg.Counter("sesame_mqtt_matched_total",
+		"Subscription filter matches during routing.")
+	b.mRetainedSize = reg.Gauge("sesame_mqtt_retained_topics",
+		"Topics currently holding a retained message.")
+	b.mRetainedServe = reg.Counter("sesame_mqtt_retained_served_total",
+		"Retained messages served to new subscriptions.")
 }
 
 // ValidateTopic checks a concrete (publishable) topic name: non-empty
@@ -134,6 +163,7 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 	if filter != nil {
 		fwd, err := filter(topic, payload)
 		if !fwd || err != nil {
+			b.mConsumed.Inc()
 			return err
 		}
 	}
@@ -148,12 +178,21 @@ func (b *Broker) Deliver(topic string, payload []byte, retain bool) error {
 	}
 	split := strings.Split(topic, "/")
 	b.mu.Lock()
+	if b.pubCounters != nil {
+		c := b.pubCounters[topic]
+		if c == nil {
+			c = b.mPublished.With(topic)
+			b.pubCounters[topic] = c
+		}
+		c.Inc()
+	}
 	if retain {
 		if len(payload) == 0 {
 			delete(b.retained, topic)
 		} else {
 			b.retained[topic] = append([]byte(nil), payload...)
 		}
+		b.mRetainedSize.Set(float64(len(b.retained)))
 	}
 	ids := make([]int, 0, len(b.subs))
 	for id, s := range b.subs {
@@ -162,6 +201,7 @@ func (b *Broker) Deliver(topic string, payload []byte, retain bool) error {
 		}
 	}
 	sort.Ints(ids)
+	b.mMatched.Add(uint64(len(ids)))
 	handlers := make([]Handler, 0, len(ids))
 	for _, id := range ids {
 		handlers = append(handlers, b.subs[id].handler)
@@ -209,6 +249,7 @@ func (b *Broker) Subscribe(filter string, handler Handler) (cancel func(), err e
 	}
 	b.mu.Unlock()
 
+	b.mRetainedServe.Add(uint64(len(pending)))
 	for _, m := range pending {
 		handler(m)
 	}

@@ -1,0 +1,152 @@
+package obsv
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets is the default bucket layout for second-valued
+// latency histograms: 1 µs to 100 ms in a 1-2.5-5 progression, wide
+// enough for a monitor Observe on one end and a full fleet tick on the
+// other.
+var DefLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1,
+}
+
+// Histogram is a fixed-bucket histogram with an exact observation sum
+// and count. Observe is lock-free (atomic adds plus one CAS loop for
+// the float sum) and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending finite upper bounds
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// normalizeBounds copies, sorts and dedups bucket bounds, dropping
+// non-finite entries (+Inf is implicit).
+func normalizeBounds(bounds []float64) []float64 {
+	out := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if i == 0 || b != out[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return dedup
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return newFromBounds(normalizeBounds(bounds))
+}
+
+// newFromBounds builds a histogram over already-normalized bounds
+// (shared by HistogramVec so every series reuses one bounds slice).
+func newFromBounds(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// NewHistogram returns a standalone (unregistered) histogram — the
+// registry-free constructor used by tests and ad-hoc measurement.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Observe records v. A value lands in the first bucket whose upper
+// bound is >= v (Prometheus "le" semantics); values above every bound
+// land in the implicit +Inf bucket. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (q in [0,1]) — a conservative estimate adequate for
+// overhead tables. Observations in the +Inf bucket report the largest
+// finite bound. Returns 0 with no observations or on nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// sample copies the histogram state into a HistogramSample.
+func (h *Histogram) sample(name, label, value string) HistogramSample {
+	s := HistogramSample{
+		Name: name, Label: label, Value: value,
+		Count: h.Count(), Sum: h.Sum(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,40 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in the Prometheus text exposition
+// format. A nil registry serves an empty (valid) exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// DebugMux returns the observability endpoint set wired into
+// sesame-gcs: the Prometheus exposition on /metrics, the standard
+// net/http/pprof profile suite under /debug/pprof/, and the trace ring
+// as JSON on /debug/trace. The pprof handlers are mounted explicitly
+// so no process-global DefaultServeMux state is relied on.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		events := r.Trace().Snapshot()
+		if events == nil {
+			events = []TraceEvent{}
+		}
+		_ = json.NewEncoder(w).Encode(events)
+	})
+	return mux
+}

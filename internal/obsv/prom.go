@@ -1,0 +1,161 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label value, histograms as cumulative _bucket/_sum/_count
+// series. Safe to call concurrently with metric writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	ew := &errWriter{w: w}
+
+	// Each kind slice is sorted by name; merge them so families of
+	// different kinds still come out in global name order.
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	last := ""
+	collect := func(name string) {
+		if name != last {
+			names = append(names, name)
+			last = name
+		}
+	}
+	for _, c := range s.Counters {
+		collect(c.Name)
+	}
+	for _, g := range s.Gauges {
+		collect(g.Name)
+	}
+	for _, h := range s.Histograms {
+		collect(h.Name)
+	}
+	sort.Strings(names)
+
+	header := func(name, kind string) {
+		if help := r.Help(name); help != "" {
+			ew.printf("# HELP %s %s\n", name, escapeHelp(help))
+		}
+		ew.printf("# TYPE %s %s\n", name, kind)
+	}
+
+	ci, gi, hi := 0, 0, 0
+	for _, name := range names {
+		for first := true; ci < len(s.Counters) && s.Counters[ci].Name == name; ci++ {
+			c := s.Counters[ci]
+			if first {
+				header(name, "counter")
+				first = false
+			}
+			ew.printf("%s%s %d\n", c.Name, labelPair(c.Label, c.Value), c.Count)
+		}
+		for first := true; gi < len(s.Gauges) && s.Gauges[gi].Name == name; gi++ {
+			g := s.Gauges[gi]
+			if first {
+				header(name, "gauge")
+				first = false
+			}
+			ew.printf("%s %s\n", g.Name, formatFloat(g.Level))
+		}
+		for first := true; hi < len(s.Histograms) && s.Histograms[hi].Name == name; hi++ {
+			h := s.Histograms[hi]
+			if first {
+				header(name, "histogram")
+				first = false
+			}
+			var cum uint64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				ew.printf("%s_bucket%s %d\n", h.Name, bucketLabels(h.Label, h.Value, formatFloat(bound)), cum)
+			}
+			cum += h.Counts[len(h.Counts)-1]
+			ew.printf("%s_bucket%s %d\n", h.Name, bucketLabels(h.Label, h.Value, "+Inf"), cum)
+			ew.printf("%s_sum%s %s\n", h.Name, labelPair(h.Label, h.Value), formatFloat(h.Sum))
+			ew.printf("%s_count%s %d\n", h.Name, labelPair(h.Label, h.Value), h.Count)
+		}
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// labelPair renders `{key="value"}` or "" for unlabeled series.
+func labelPair(key, value string) string {
+	if key == "" {
+		return ""
+	}
+	return "{" + key + `="` + escapeLabel(value) + `"}`
+}
+
+// bucketLabels renders histogram bucket labels with the le bound,
+// merging the series label when present.
+func bucketLabels(key, value, le string) string {
+	if key == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + key + `="` + escapeLabel(value) + `",le="` + le + `"}`
+}
+
+// escapeLabel applies the text-format label escaping: backslash,
+// double-quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the help-string escaping: backslash and newline.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the shortest way that round-trips,
+// matching Prometheus client conventions.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

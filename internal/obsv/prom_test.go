@@ -1,0 +1,209 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionFormat pins the text-format output end to end: family
+// ordering, TYPE/HELP headers, cumulative buckets, +Inf, sum/count.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family").Add(7)
+	r.CounterVec("aa_total", "first family", "topic").With("t/b").Add(2)
+	r.CounterVec("aa_total", "first family", "topic").With("t/a").Add(1)
+	r.Gauge("mm_level", "a gauge").Set(1.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_total first family
+# TYPE aa_total counter
+aa_total{topic="t/a"} 1
+aa_total{topic="t/b"} 2
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 2
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 5.6
+lat_seconds_count 4
+# HELP mm_level a gauge
+# TYPE mm_level gauge
+mm_level 1.5
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionEscaping checks label-value and help escaping per the
+// text format: backslash, quote and newline in labels; backslash and
+// newline in help.
+func TestExpositionEscaping(t *testing.T) {
+	cases := []struct {
+		name  string
+		label string
+		want  string
+	}{
+		{"quote", `says "hi"`, `esc_total{k="says \"hi\""} 1`},
+		{"backslash", `a\b`, `esc_total{k="a\\b"} 1`},
+		{"newline", "two\nlines", `esc_total{k="two\nlines"} 1`},
+		{"plain", "plain", `esc_total{k="plain"} 1`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			r.CounterVec("esc_total", "", "k").With(tc.label).Inc()
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(b.String(), tc.want+"\n") {
+				t.Errorf("exposition %q missing %q", b.String(), tc.want)
+			}
+		})
+	}
+
+	r := NewRegistry()
+	r.Counter("h_total", "line1\nline2 with \\ slash").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP h_total line1\nline2 with \\ slash`) {
+		t.Errorf("help not escaped: %q", b.String())
+	}
+}
+
+// TestExpositionHistogramVec checks labeled histogram exposition keeps
+// the series label alongside le.
+func TestExpositionHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("obs_seconds", "", "monitor", []float64{1})
+	hv.With("safeml").Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`obs_seconds_bucket{monitor="safeml",le="1"} 1`,
+		`obs_seconds_bucket{monitor="safeml",le="+Inf"} 1`,
+		`obs_seconds_sum{monitor="safeml"} 0.5`,
+		`obs_seconds_count{monitor="safeml"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// errorWriter fails after n bytes, exercising the errWriter latch.
+type errorWriter struct{ left int }
+
+func (w *errorWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestExpositionWriteError(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help").Inc()
+	r.Counter("b_total", "help").Inc()
+	if err := r.WritePrometheus(&errorWriter{left: 10}); err == nil {
+		t.Error("write error must surface")
+	}
+}
+
+// TestDebugMux drives the sesame-gcs observability routes through
+// httptest: /metrics exposition, the pprof index and profile suite,
+// and the JSON trace dump.
+func TestDebugMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sesame_test_total", "a test counter").Add(3)
+	r.SetTrace(NewTraceRing(8))
+	r.Trace().Record(TraceEvent{Tick: 4, UAV: "u1", Monitor: "safeml", Phase: "observe", Outcome: OutcomeOK})
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE sesame_test_total counter") ||
+		!strings.Contains(body, "sesame_test_total 3") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ status=%d, body missing profile index", code)
+	}
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/symbol"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/symbol status = %d", code)
+	}
+
+	code, body, ctype = get("/debug/trace")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/debug/trace status=%d ctype=%q", code, ctype)
+	}
+	var events []TraceEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 1 || events[0].UAV != "u1" || events[0].Monitor != "safeml" {
+		t.Errorf("/debug/trace events = %+v", events)
+	}
+}
+
+// TestHandlerNilRegistry: a nil registry serves an empty, valid
+// exposition (the disabled-observability endpoint contract).
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Errorf("nil registry: status=%d body=%q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,130 @@
+package obsv
+
+import (
+	"sort"
+	"sync"
+)
+
+// CounterVec is a single-label counter family with a hard cardinality
+// cap: once cap distinct label values exist, further values share the
+// OverflowLabel series, so an unbounded label domain (topic names,
+// node ids) cannot grow memory without bound.
+type CounterVec struct {
+	mu       sync.RWMutex
+	series   map[string]*Counter
+	cap      int
+	overflow *Counter
+}
+
+// With returns the counter for the label value, creating it (or the
+// shared overflow series, past the cap) on first use. Returns nil on a
+// nil receiver. The fast path is a read-locked map hit: no allocation.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.series[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.series[value]; c != nil {
+		return c
+	}
+	if len(v.series) >= v.cap {
+		if v.overflow == nil {
+			v.overflow = &Counter{}
+			v.series[OverflowLabel] = v.overflow
+		}
+		return v.overflow
+	}
+	c = &Counter{}
+	v.series[value] = c
+	return c
+}
+
+// Len returns the number of live series (overflow included).
+func (v *CounterVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// labels returns the sorted label values.
+func (v *CounterVec) labels() []string {
+	v.mu.RLock()
+	out := make([]string, 0, len(v.series))
+	for lv := range v.series {
+		out = append(out, lv)
+	}
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// HistogramVec is a single-label histogram family sharing one bucket
+// layout, with the same cardinality cap behaviour as CounterVec.
+type HistogramVec struct {
+	mu       sync.RWMutex
+	series   map[string]*Histogram
+	cap      int
+	bounds   []float64
+	overflow *Histogram
+}
+
+// With returns the histogram for the label value, creating it (or the
+// shared overflow series) on first use. Returns nil on a nil receiver.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.series[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.series[value]; h != nil {
+		return h
+	}
+	if len(v.series) >= v.cap {
+		if v.overflow == nil {
+			v.overflow = newFromBounds(v.bounds)
+			v.series[OverflowLabel] = v.overflow
+		}
+		return v.overflow
+	}
+	h = newFromBounds(v.bounds)
+	v.series[value] = h
+	return h
+}
+
+// Len returns the number of live series (overflow included).
+func (v *HistogramVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// labels returns the sorted label values.
+func (v *HistogramVec) labels() []string {
+	v.mu.RLock()
+	out := make([]string, 0, len(v.series))
+	for lv := range v.series {
+		out = append(out, lv)
+	}
+	v.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}

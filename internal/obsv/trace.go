@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace outcome values used by the platform instrumentation.
+const (
+	OutcomeOK    = "ok"
+	OutcomeError = "error"
+	OutcomePanic = "panic"
+	OutcomeHalt  = "halt"
+)
+
+// TraceEvent is one timed step of a platform tick: a scheduler phase
+// (UAV/Monitor empty) or one monitor evaluation.
+type TraceEvent struct {
+	Tick     uint64        `json:"tick"`
+	UAV      string        `json:"uav,omitempty"`
+	Monitor  string        `json:"monitor,omitempty"`
+	Phase    string        `json:"phase"`
+	Duration time.Duration `json:"duration_ns"`
+	Outcome  string        `json:"outcome"`
+}
+
+// traceEventFootprint is the per-slot memory estimate used to size a
+// ring from a byte budget: the struct itself (~72 B on 64-bit) plus
+// slack for the string headers' backing data being pinned. Event
+// strings are shared constants/ids in practice, so this overestimates.
+const traceEventFootprint = 128
+
+// TraceRing is a bounded ring buffer of the most recent trace events.
+// Record overwrites the oldest event once the ring is full, so memory
+// stays capped no matter how long the mission runs. All methods are
+// safe for concurrent use; a nil *TraceRing is a no-op.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	total uint64
+}
+
+// NewTraceRing returns a ring holding the last capacity events
+// (clamped to at least 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// TraceRingForBudget sizes a ring to roughly maxBytes of event
+// storage.
+func TraceRingForBudget(maxBytes int) *TraceRing {
+	return NewTraceRing(maxBytes / traceEventFootprint)
+}
+
+// Record appends ev, evicting the oldest event when full. No-op on a
+// nil receiver; allocation-free once the ring has filled.
+func (t *TraceRing) Record(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.total%uint64(cap(t.buf))] = ev
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Capacity returns the ring's event capacity (0 on nil).
+func (t *TraceRing) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.buf)
+}
+
+// Total returns how many events were ever recorded, including
+// overwritten ones (0 on nil).
+func (t *TraceRing) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot copies the retained events, oldest first (nil on an empty
+// or nil ring).
+func (t *TraceRing) Snapshot() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) || t.total <= uint64(cap(t.buf)) {
+		return append(out, t.buf...)
+	}
+	start := int(t.total % uint64(cap(t.buf)))
+	out = append(out, t.buf[start:]...)
+	return append(out, t.buf[:start]...)
+}

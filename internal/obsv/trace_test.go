@@ -1,0 +1,108 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceRingWraparound fills a small ring past capacity and checks
+// the retained window is exactly the newest events, oldest first.
+func TestTraceRingWraparound(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		record   int
+		wantLen  int
+		first    uint64 // Tick of the oldest retained event
+	}{
+		{"empty", 4, 0, 0, 0},
+		{"partial", 4, 3, 3, 0},
+		{"exactly-full", 4, 4, 4, 0},
+		{"wrap-once", 4, 5, 4, 1},
+		{"wrap-many", 4, 11, 4, 7},
+		{"clamped-capacity", 0, 3, 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ring := NewTraceRing(tc.capacity)
+			for i := 0; i < tc.record; i++ {
+				ring.Record(TraceEvent{Tick: uint64(i), Phase: "observe"})
+			}
+			if ring.Total() != uint64(tc.record) {
+				t.Errorf("Total = %d, want %d", ring.Total(), tc.record)
+			}
+			snap := ring.Snapshot()
+			if len(snap) != tc.wantLen {
+				t.Fatalf("snapshot len = %d, want %d", len(snap), tc.wantLen)
+			}
+			for i, ev := range snap {
+				if want := tc.first + uint64(i); ev.Tick != want {
+					t.Errorf("snap[%d].Tick = %d, want %d", i, ev.Tick, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceRingBudget checks the byte-budget sizing helper bounds the
+// ring's capacity.
+func TestTraceRingBudget(t *testing.T) {
+	ring := TraceRingForBudget(1 << 20)
+	if got, want := ring.Capacity(), (1<<20)/traceEventFootprint; got != want {
+		t.Errorf("capacity = %d, want %d", got, want)
+	}
+	if tiny := TraceRingForBudget(1); tiny.Capacity() != 1 {
+		t.Errorf("tiny budget capacity = %d, want 1 (clamped)", tiny.Capacity())
+	}
+}
+
+// TestTraceRingConcurrency records from many goroutines; under -race
+// this is the synchronization check. The invariant: total equals the
+// records issued and the snapshot holds capacity events.
+func TestTraceRingConcurrency(t *testing.T) {
+	ring := NewTraceRing(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ring.Record(TraceEvent{
+					Tick: uint64(i), UAV: fmt.Sprintf("u%d", w),
+					Phase: "observe", Duration: time.Microsecond, Outcome: OutcomeOK,
+				})
+				if i%100 == 0 {
+					_ = ring.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ring.Total() != workers*per {
+		t.Errorf("Total = %d, want %d", ring.Total(), workers*per)
+	}
+	if got := len(ring.Snapshot()); got != 64 {
+		t.Errorf("snapshot len = %d, want 64", got)
+	}
+}
+
+// TestRegistryTraceInstall checks SetTrace/Trace plumbing.
+func TestRegistryTraceInstall(t *testing.T) {
+	r := NewRegistry()
+	if r.Trace() != nil {
+		t.Error("fresh registry must have no trace ring")
+	}
+	ring := NewTraceRing(8)
+	r.SetTrace(ring)
+	if r.Trace() != ring {
+		t.Error("installed ring not returned")
+	}
+	r.Trace().Record(TraceEvent{Tick: 1, Phase: "prepare", Outcome: OutcomeOK})
+	if r.Trace().Total() != 1 {
+		t.Error("record through registry accessor failed")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sesame/internal/geo"
 	"sesame/internal/ids"
 	"sesame/internal/mqttlite"
+	"sesame/internal/obsv"
 	"sesame/internal/rosbus"
 	"sesame/internal/safedrones"
 	"sesame/internal/safeml"
@@ -89,6 +90,12 @@ type Config struct {
 	// DBRetryBackoffS is the first retry backoff in sim seconds; each
 	// further attempt doubles it.
 	DBRetryBackoffS float64
+	// Observability mirrors the platform's data-path counters and hot-
+	// path latencies into the given registry (bus, broker, IDS, scheduler
+	// phases, per-monitor timings). Nil disables all instrumentation at
+	// zero cost; digested outputs are identical either way because only
+	// deterministic counters reach Status.
+	Observability *obsv.Registry
 }
 
 // DefaultConfig returns the experiment calibration with SESAME on.
@@ -118,6 +125,9 @@ type uavState struct {
 	chain []eddi.Runtime
 	// perceptionMon receives the staged camera frame each tick.
 	perceptionMon *perceptionMonitor
+	// recorder mirrors per-monitor timings when observability is on
+	// (nil otherwise; observeUAV branches on it).
+	recorder *chainRecorder
 	// lastAssessment caches the newest SafeDrones output.
 	lastAssessment safedrones.Assessment
 	// uncertainty is the latest fused perception uncertainty.
@@ -192,6 +202,8 @@ type Platform struct {
 	dispatched map[string]int // task path length already uploaded
 	// workers is the resolved observe-phase pool bound.
 	workers int
+	// obs holds the resolved observability handles (nil when disabled).
+	obs *platformMetrics
 	// drops counts data-path failures that were previously discarded.
 	drops dropCounters
 	// retries counts the database retry-with-backoff machinery.
@@ -238,11 +250,19 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		dispatched:  make(map[string]int, len(uavs)),
 		workers:     workers,
 	}
+	if cfg.Observability != nil {
+		p.obs = newPlatformMetrics(cfg.Observability)
+		world.Bus.Instrument(cfg.Observability)
+		p.Broker.Instrument(cfg.Observability)
+	}
 	var err error
 	if cfg.SESAME {
 		p.IDS, err = ids.New(world.Bus, p.Broker, ids.DefaultConfig())
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Observability != nil {
+			p.IDS.Instrument(cfg.Observability)
 		}
 		p.Security, err = security.New(p.Broker)
 		if err != nil {
@@ -303,6 +323,9 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		}
 		if err := p.registerMonitors(st); err != nil {
 			return nil, err
+		}
+		if p.obs != nil {
+			st.recorder = newChainRecorder(p.obs, u.ID(), st.chain)
 		}
 		p.states[u.ID()] = st
 		p.order = append(p.order, u.ID())

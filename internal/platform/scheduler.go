@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sesame/internal/conserts"
 	"sesame/internal/detection"
@@ -45,6 +46,15 @@ type observation struct {
 // Tick advances the platform by one second: world physics, then the
 // prepare → observe → apply pipeline, then the mission-level decision.
 func (p *Platform) Tick() error {
+	if p.obs == nil {
+		return p.tickFast()
+	}
+	return p.tickObserved()
+}
+
+// tickFast is the uninstrumented tick: no clock reads, no metric
+// touches, byte-for-byte the pre-observability hot path.
+func (p *Platform) tickFast() error {
 	if err := p.World.Step(1); err != nil {
 		return err
 	}
@@ -57,6 +67,36 @@ func (p *Platform) Tick() error {
 		}
 	}
 	p.updateDecision()
+	return nil
+}
+
+// tickObserved is the same pipeline with per-phase wall-clock timing.
+// Phase durations only enter histograms (never Status), so digested
+// outputs stay identical to tickFast.
+func (p *Platform) tickObserved() error {
+	obs := p.obs
+	obs.tick.Add(1)
+	obs.ticks.Inc()
+	t := time.Now()
+	if err := p.World.Step(1); err != nil {
+		return err
+	}
+	obs.phaseStep.Observe(time.Since(t).Seconds())
+	now := p.World.Clock.Now()
+	t = time.Now()
+	snaps := p.prepare(now)
+	obs.phasePrepare.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	observations := p.observeFleet(snaps)
+	obs.phaseObserve.Observe(time.Since(t).Seconds())
+	t = time.Now()
+	for i, id := range p.order {
+		if err := p.apply(id, observations[i], now); err != nil {
+			return err
+		}
+	}
+	p.updateDecision()
+	obs.phaseApply.Observe(time.Since(t).Seconds())
 	return nil
 }
 
@@ -153,9 +193,13 @@ func (p *Platform) observeFleet(snaps []eddi.Snapshot) []observation {
 // contained here: it becomes a counted drop plus a fail-safe result
 // instead of killing the worker goroutine (and with it the process).
 func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
+	st := p.states[s.UAV]
 	defer func() {
 		if r := recover(); r != nil {
 			p.drops.monitors.Add(1)
+			if st.recorder != nil {
+				st.recorder.recordPanic()
+			}
 			ob = observation{
 				result: eddi.ChainResult{
 					Advices: []eddi.Advice{{
@@ -169,9 +213,16 @@ func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
 			}
 		}
 	}()
-	st := p.states[s.UAV]
 	p.reportTelemetry(st, s.Time)
-	result, err := eddi.RunChain(st.chain, s)
+	// The typed-nil guard matters: a nil *chainRecorder in a non-nil
+	// interface would turn the observer path on for uninstrumented runs.
+	var result eddi.ChainResult
+	var err error
+	if st.recorder != nil {
+		result, err = eddi.RunChainObserved(st.chain, s, st.recorder)
+	} else {
+		result, err = eddi.RunChain(st.chain, s)
+	}
 	return observation{result: result, err: err}
 }
 

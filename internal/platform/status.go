@@ -47,6 +47,11 @@ type Status struct {
 	// WorldDrops surfaces vehicle-side losses (refused telemetry
 	// publishes) alongside the platform's own counters.
 	WorldDrops uavsim.DropCounters `json:"world_drops"`
+	// Observability is the deterministic counter subset of the metrics
+	// registry (counters and histogram observation counts — never
+	// wall-clock sums or buckets). Absent when observability is off, so
+	// disabled runs serialize exactly as before.
+	Observability map[string]uint64 `json:"observability,omitempty"`
 }
 
 // Status captures a point-in-time snapshot of the fleet.
@@ -59,6 +64,9 @@ func (p *Platform) Status() Status {
 		Drops:      p.drops.snapshot(),
 		DBRetries:  p.retries.snapshot(),
 		WorldDrops: p.World.Drops(),
+	}
+	if p.obs != nil {
+		s.Observability = p.obs.reg.CounterValues()
 	}
 	for _, id := range p.order {
 		st := p.states[id]

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"sesame/internal/obsv"
 )
 
 // Message is one bus datagram. Payloads are domain structs defined by
@@ -78,6 +80,11 @@ type Bus struct {
 	delivered      uint64
 	filterConsumed uint64
 	depthExceeded  uint64
+	// Observability mirrors (nil when uninstrumented; all nil-safe).
+	mPublished     *obsv.CounterVec
+	mDelivered     *obsv.Counter
+	mConsumed      *obsv.Counter
+	mDepthExceeded *obsv.Counter
 }
 
 type topicState struct {
@@ -85,6 +92,9 @@ type topicState struct {
 	subs map[int]Handler
 	// stats
 	published uint64
+	// mPublished caches this topic's labeled counter so the publish
+	// hot path never pays a series lookup (nil when uninstrumented).
+	mPublished *obsv.Counter
 }
 
 // NewBus returns an empty bus.
@@ -93,6 +103,24 @@ func NewBus() *Bus {
 		topics: make(map[string]*topicState),
 		taps:   make(map[int]Handler),
 	}
+}
+
+// Instrument mirrors the bus counters into reg. A nil registry leaves
+// the bus uninstrumented (every mirror stays a no-op nil handle).
+func (b *Bus) Instrument(reg *obsv.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mPublished = reg.CounterVec("sesame_rosbus_published_total",
+		"Messages accepted from publishers, by topic.", "topic")
+	for topic, ts := range b.topics {
+		ts.mPublished = b.mPublished.With(topic)
+	}
+	b.mDelivered = reg.Counter("sesame_rosbus_delivered_total",
+		"Messages dispatched to subscribers and taps.")
+	b.mConsumed = reg.Counter("sesame_rosbus_filter_consumed_total",
+		"Messages consumed by the link filter before delivery.")
+	b.mDepthExceeded = reg.Counter("sesame_rosbus_depth_exceeded_total",
+		"Publishes refused by the recursion guard.")
 }
 
 // maxPublishDepth bounds handler->publish recursion.
@@ -122,6 +150,9 @@ func (b *Bus) ensureTopic(topic string) *topicState {
 	ts, ok := b.topics[topic]
 	if !ok {
 		ts = &topicState{subs: make(map[int]Handler)}
+		if b.mPublished != nil {
+			ts.mPublished = b.mPublished.With(topic)
+		}
 		b.topics[topic] = ts
 	}
 	return ts
@@ -159,6 +190,7 @@ func (b *Bus) publish(msg Message) error {
 	b.mu.Lock()
 	if b.depth >= maxPublishDepth {
 		b.depthExceeded++
+		b.mDepthExceeded.Inc()
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %d levels (handler loop?)", ErrDepthExceeded, maxPublishDepth)
 	}
@@ -166,6 +198,7 @@ func (b *Bus) publish(msg Message) error {
 	ts := b.ensureTopic(msg.Topic)
 	ts.seq++
 	ts.published++
+	ts.mPublished.Inc()
 	msg.Seq = ts.seq
 	filter := b.filter
 	b.mu.Unlock()
@@ -177,6 +210,7 @@ func (b *Bus) publish(msg Message) error {
 		if !fwd || err != nil {
 			b.mu.Lock()
 			b.filterConsumed++
+			b.mConsumed.Inc()
 			b.depth--
 			b.mu.Unlock()
 			return err
@@ -203,6 +237,7 @@ func (b *Bus) Deliver(msg Message) error {
 	b.mu.Lock()
 	if b.depth >= maxPublishDepth {
 		b.depthExceeded++
+		b.mDepthExceeded.Inc()
 		b.mu.Unlock()
 		return fmt.Errorf("%w: %d levels (handler loop?)", ErrDepthExceeded, maxPublishDepth)
 	}
@@ -241,6 +276,7 @@ func (b *Bus) dispatch(msg Message) {
 		handlers = append(handlers, b.taps[id])
 	}
 	b.delivered++
+	b.mDelivered.Inc()
 	b.mu.Unlock()
 
 	for _, h := range handlers {

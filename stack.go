@@ -13,6 +13,7 @@ import (
 	"sesame/internal/ids"
 	"sesame/internal/linksim"
 	"sesame/internal/mqttlite"
+	"sesame/internal/obsv"
 	"sesame/internal/platform"
 	"sesame/internal/safeml"
 	"sesame/internal/sar"
@@ -352,3 +353,27 @@ func NewLinkLayer(w *World, name string) *LinkLayer {
 	l.AttachBus(w.Bus)
 	return l
 }
+
+// ---- Observability (internal/obsv) ----
+
+// ObsvRegistry is the dependency-free metrics registry. Hand one to
+// PlatformConfig.Observability to instrument a platform; nil keeps the
+// whole layer disabled at zero cost.
+type ObsvRegistry = obsv.Registry
+
+// ObsvTraceRing is the bounded per-tick trace buffer; install one on a
+// registry with SetTrace to record (tick, uav, monitor, duration)
+// events for the hottest paths.
+type ObsvTraceRing = obsv.TraceRing
+
+// NewObsvRegistry returns an empty metrics registry.
+func NewObsvRegistry() *ObsvRegistry { return obsv.NewRegistry() }
+
+// NewObsvTraceRing returns a trace ring holding the last n events.
+func NewObsvTraceRing(n int) *ObsvTraceRing { return obsv.NewTraceRing(n) }
+
+// ObsvDebugMux mounts the observability endpoints (/metrics in
+// Prometheus text format, /debug/pprof/*, /debug/trace) for a registry.
+// The registry is internally synchronized, so the mux can be served
+// without holding any platform lock.
+func ObsvDebugMux(r *ObsvRegistry) *http.ServeMux { return obsv.DebugMux(r) }
