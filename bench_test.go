@@ -146,17 +146,31 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 	area := sesame.Polygon{a, bb, c, d}
 	for _, fleet := range []int{3, 12, 48} {
 		for _, mode := range []struct {
-			name    string
-			workers int
-			obsv    bool
+			name      string
+			workers   int
+			obsv      bool
+			snapEvery int // 0 = recorder off
 		}{
-			{"serial", 1, false},
-			{"pooled", 0, false},
+			{"serial", 1, false, 0},
+			{"pooled", 0, false, 0},
 			// The -obsv variants run with a metrics registry attached;
 			// BENCH_PR4.json records the instrumentation overhead
 			// (budget: <5% ns/op enabled, zero extra allocs disabled).
-			{"serial-obsv", 1, true},
-			{"pooled-obsv", 0, true},
+			{"serial-obsv", 1, true, 0},
+			{"pooled-obsv", 0, true, 0},
+			// The -rec variants additionally fly with the black-box
+			// flight recorder appending tick/bus/event records every
+			// tick, checkpoints effectively disabled; BENCH_PR5.json
+			// records the steady-state append-path overhead (budget:
+			// <5% ns/op over the -obsv baseline).
+			{"serial-rec", 1, true, 1 << 30},
+			{"pooled-rec", 0, true, 1 << 30},
+			// The -ckpt variants run the full black box with a
+			// checkpoint every 50 ticks. Checkpoint cost is O(EDDI
+			// history), so this amortized number grows with mission
+			// length; BENCH_PR5.json reports it separately.
+			{"serial-ckpt", 1, true, 50},
+			{"pooled-ckpt", 0, true, 50},
 		} {
 			b.Run(fmt.Sprintf("%d/%s", fleet, mode.name), func(b *testing.B) {
 				b.ReportAllocs()
@@ -183,6 +197,15 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 				defer p.Close()
 				if err := p.StartMission(area); err != nil {
 					b.Fatal(err)
+				}
+				if mode.snapEvery > 0 {
+					rec, err := sesame.NewFlightRecorder(b.TempDir(), 1, p.ConfigDigest(), mode.snapEvery,
+						sesame.FlightRecorderOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer rec.Close()
+					p.SetRecorder(rec)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

@@ -13,6 +13,7 @@
 //	sesame-experiments -exp ablations     # design-choice ablations
 //	sesame-experiments -exp comms         # degraded-comms robustness matrix
 //	sesame-experiments -exp obsv          # observability self-measurement
+//	sesame-experiments -exp flightrec     # black-box crash/resume replay
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -132,9 +133,20 @@ func main() {
 		r.Print(os.Stdout)
 		return nil
 	})
+	run("flightrec", func() error {
+		r, err := experiments.RunFlightRec(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		if !r.Match {
+			return fmt.Errorf("resumed mission diverged from the uninterrupted run")
+		}
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -7,9 +7,11 @@
 //	curl localhost:8080/events       # EDDI event history
 //	curl localhost:8080/metrics      # Prometheus text exposition
 //	curl localhost:8080/debug/pprof/ # pprof index
+//	curl localhost:8080/blackbox     # recent incident window (-blackbox)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -27,6 +29,10 @@ type gcs struct {
 	world *sesame.World
 	p     *sesame.Platform
 	reg   *sesame.ObsvRegistry
+	// rec/recDir are the attached black-box recorder (nil when the
+	// -blackbox flag is off); /blackbox serves its recent window.
+	rec    *sesame.FlightRecorder
+	recDir string
 	// The platform is not internally synchronized, so one mutex
 	// serializes ticks against status/event requests. The metrics
 	// registry IS internally synchronized: /metrics and /debug/* are
@@ -36,7 +42,7 @@ type gcs struct {
 
 // newGCS builds the seeded demo mission: three UAVs sweeping a 400 m
 // square with ten survivors, fully instrumented.
-func newGCS(seed int64, spoofAt float64) (*gcs, error) {
+func newGCS(seed int64, spoofAt float64, blackbox string) (*gcs, error) {
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
 	world := sesame.NewWorld(home, seed)
 	for _, id := range []string{"u1", "u2", "u3"} {
@@ -71,7 +77,102 @@ func newGCS(seed int64, spoofAt float64) (*gcs, error) {
 			return nil, err
 		}
 	}
-	return &gcs{world: world, p: p, reg: reg}, nil
+	g := &gcs{world: world, p: p, reg: reg}
+	if blackbox != "" {
+		rec, err := sesame.NewFlightRecorder(blackbox, seed, p.ConfigDigest(), 50, sesame.FlightRecorderOptions{})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.SetRecorder(rec)
+		g.rec, g.recDir = rec, blackbox
+	}
+	return g, nil
+}
+
+// incidentWindow is the /blackbox response: the recording identity
+// plus the most recent slice of the recorded stream — what an operator
+// inspects right after an incident, while the mission is still flying.
+type incidentWindow struct {
+	Header        sesame.FlightRecordingHeader `json:"header"`
+	Records       int                          `json:"records"`
+	SnapshotTicks []uint64                     `json:"snapshot_ticks"`
+	Ticks         []json.RawMessage            `json:"ticks"`
+	Events        []json.RawMessage            `json:"events"`
+	Faults        []json.RawMessage            `json:"faults"`
+	Advice        []json.RawMessage            `json:"advice"`
+}
+
+// incidentWindowSize bounds each record class served by /blackbox.
+const incidentWindowSize = 120
+
+// keepTail appends raw (copied — the reader reuses its buffer) keeping
+// only the newest incidentWindowSize entries.
+func keepTail(tail []json.RawMessage, raw []byte) []json.RawMessage {
+	cp := make(json.RawMessage, len(raw))
+	copy(cp, raw)
+	if len(tail) == incidentWindowSize {
+		tail = append(tail[:0], tail[1:]...)
+	}
+	return append(tail, cp)
+}
+
+// readIncidentWindow decodes the recording's usable prefix and keeps
+// the newest records of each class. A torn tail (the segment is being
+// appended to while we read) simply ends the window.
+func readIncidentWindow(dir string) (*incidentWindow, error) {
+	r, err := sesame.OpenFlightRecording(dir)
+	if err != nil {
+		return nil, err
+	}
+	win := &incidentWindow{Header: r.Header()}
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break // io.EOF or torn tail: the window is what we have
+		}
+		win.Records++
+		switch rec.Type {
+		case sesame.FlightRecordTick:
+			win.Ticks = keepTail(win.Ticks, rec.Payload)
+		case sesame.FlightRecordEvent:
+			win.Events = keepTail(win.Events, rec.Payload)
+		case sesame.FlightRecordFault:
+			win.Faults = keepTail(win.Faults, rec.Payload)
+		case sesame.FlightRecordAdvice:
+			win.Advice = keepTail(win.Advice, rec.Payload)
+		case sesame.FlightRecordSnapshot:
+			if s, err := sesame.DecodeFlightSnapshot(rec.Payload); err == nil {
+				win.SnapshotTicks = append(win.SnapshotTicks, s.Tick)
+			}
+		}
+	}
+	return win, nil
+}
+
+// blackboxHandler serves the recent incident window. The sync runs
+// under the tick mutex (the recorder is the platform's); the decode
+// reads the segment files without blocking the simulation.
+func (g *gcs) blackboxHandler(w http.ResponseWriter, _ *http.Request) {
+	if g.rec == nil {
+		http.Error(w, "no black box attached (run with -blackbox DIR)", http.StatusNotFound)
+		return
+	}
+	g.mu.Lock()
+	err := g.rec.Sync()
+	g.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	win, err := readIncidentWindow(g.recDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(win)
 }
 
 // tick advances the simulation by one step under the platform lock.
@@ -91,6 +192,8 @@ func (g *gcs) handler() http.Handler {
 		case r.URL.Path == "/ui":
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")
 			_, _ = w.Write([]byte(uiPage))
+		case r.URL.Path == "/blackbox":
+			g.blackboxHandler(w, r)
 		case r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/"):
 			debug.ServeHTTP(w, r)
 		default:
@@ -106,13 +209,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	tickMS := flag.Int("tick-ms", 200, "wall-clock milliseconds per simulated second")
 	spoofAt := flag.Float64("spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
+	blackbox := flag.String("blackbox", "", "record the mission into this black-box directory and serve /blackbox")
 	flag.Parse()
 
-	g, err := newGCS(*seed, *spoofAt)
+	g, err := newGCS(*seed, *spoofAt, *blackbox)
 	if err != nil {
 		fail(err)
 	}
 	defer g.p.Close()
+	if g.rec != nil {
+		defer func() { _ = g.rec.Close() }()
+	}
 
 	// Drive the simulation in the background; HTTP reads snapshots.
 	go func() {
@@ -126,7 +233,8 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/)\n", *addr)
+	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/%s)\n",
+		*addr, map[bool]string{true: ", /blackbox"}[g.rec != nil])
 	if err := http.ListenAndServe(*addr, g.handler()); err != nil {
 		fail(err)
 	}

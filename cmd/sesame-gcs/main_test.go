@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -12,7 +13,7 @@ import (
 // station: the JSON feed, the UI page, the Prometheus exposition and
 // the pprof index, against a live (briefly ticked) mission.
 func TestGCSRoutes(t *testing.T) {
-	g, err := newGCS(1, 0)
+	g, err := newGCS(1, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestGCSRoutes(t *testing.T) {
 // mutex is held: the observability path must not block on the
 // simulation.
 func TestGCSMetricsLockFree(t *testing.T) {
-	g, err := newGCS(1, 0)
+	g, err := newGCS(1, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,4 +97,54 @@ func truncate(s string) string {
 		return s[:400] + "..."
 	}
 	return s
+}
+
+// TestGCSBlackbox flies a short recorded mission and checks /blackbox
+// serves the recent incident window while the recording is still open.
+func TestGCSBlackbox(t *testing.T) {
+	dir := t.TempDir()
+	g, err := newGCS(1, 0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.p.Close()
+	defer g.rec.Close()
+	for i := 0; i < 60; i++ {
+		if err := g.tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	g.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/blackbox", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/blackbox: status %d: %s", rec.Code, truncate(rec.Body.String()))
+	}
+	var win incidentWindow
+	if err := json.Unmarshal(rec.Body.Bytes(), &win); err != nil {
+		t.Fatal(err)
+	}
+	if win.Header.Seed != 1 {
+		t.Errorf("window header seed %d, want 1", win.Header.Seed)
+	}
+	if len(win.Ticks) == 0 || win.Records < 60 {
+		t.Errorf("window too small: %d records, %d ticks", win.Records, len(win.Ticks))
+	}
+	if len(win.SnapshotTicks) == 0 {
+		t.Errorf("no checkpoints in a 60-tick window at cadence 50")
+	}
+}
+
+// TestGCSBlackboxOff proves the endpoint 404s without -blackbox.
+func TestGCSBlackboxOff(t *testing.T) {
+	g, err := newGCS(1, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.p.Close()
+	rec := httptest.NewRecorder()
+	g.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/blackbox", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("/blackbox without recorder: status %d, want 404", rec.Code)
+	}
 }

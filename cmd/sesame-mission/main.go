@@ -1,7 +1,8 @@
 // Command sesame-mission runs a full three-UAV SAR mission on the
 // integrated platform — the Fig. 4 scenario — printing fleet status
 // snapshots as the mission progresses. Optional fault flags reproduce
-// the paper's scenarios in one run.
+// the paper's scenarios in one run; the black-box flags record,
+// resume and inspect missions through the flight recorder.
 //
 // Usage:
 //
@@ -9,99 +10,318 @@
 //	sesame-mission -sesame=false           # reactive baseline
 //	sesame-mission -battery-fault=60       # §V-A battery collapse at t=60
 //	sesame-mission -spoof=30 -spoof-uav=u2 # §V-C spoofing attack at t=30
+//	sesame-mission -record box/            # fly with the black box on
+//	sesame-mission -resume box/            # resume a crashed mission
+//	sesame-mission -replay box/            # dump a recording, no sim
+//	sesame-mission -debug-addr :6060       # /metrics + /debug/pprof/
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 
 	"sesame"
 )
 
-func main() {
-	sesameOn := flag.Bool("sesame", true, "enable the SESAME EDDI stack")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	batteryFault := flag.Float64("battery-fault", 0, "inject a battery collapse on u1 at this mission time (0 = off)")
-	spoofAt := flag.Float64("spoof", 0, "start a GPS spoofing attack at this mission time (0 = off)")
-	spoofUAV := flag.String("spoof-uav", "u2", "victim of the spoofing attack")
-	persons := flag.Int("persons", 10, "persons scattered in the search area")
-	horizon := flag.Float64("horizon", 1500, "maximum mission time in seconds")
-	every := flag.Float64("status-every", 60, "status print interval in seconds")
-	asJSON := flag.Bool("json", false, "print status snapshots as JSON")
-	flag.Parse()
+// options carries every flag; parseArgs fills it so tests can drive
+// run without touching the process-global flag set.
+type options struct {
+	sesameOn      bool
+	seed          int64
+	batteryFault  float64
+	spoofAt       float64
+	spoofUAV      string
+	persons       int
+	horizon       float64
+	every         float64
+	asJSON        bool
+	record        string
+	snapshotEvery int
+	resume        string
+	resumeTick    uint64
+	replay        string
+	debugAddr     string
+}
 
-	if err := run(*sesameOn, *seed, *batteryFault, *spoofAt, *spoofUAV, *persons, *horizon, *every, *asJSON); err != nil {
+// parseArgs parses argv (without the program name) into options.
+func parseArgs(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("sesame-mission", flag.ContinueOnError)
+	fs.BoolVar(&o.sesameOn, "sesame", true, "enable the SESAME EDDI stack")
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.Float64Var(&o.batteryFault, "battery-fault", 0, "inject a battery collapse on u1 at this mission time (0 = off)")
+	fs.Float64Var(&o.spoofAt, "spoof", 0, "start a GPS spoofing attack at this mission time (0 = off)")
+	fs.StringVar(&o.spoofUAV, "spoof-uav", "u2", "victim of the spoofing attack")
+	fs.IntVar(&o.persons, "persons", 10, "persons scattered in the search area")
+	fs.Float64Var(&o.horizon, "horizon", 1500, "maximum mission time in seconds")
+	fs.Float64Var(&o.every, "status-every", 60, "status print interval in seconds")
+	fs.BoolVar(&o.asJSON, "json", false, "print status snapshots as JSON")
+	fs.StringVar(&o.record, "record", "", "record the mission into this black-box directory")
+	fs.IntVar(&o.snapshotEvery, "snapshot-every", 50, "full checkpoint cadence in ticks while recording")
+	fs.StringVar(&o.resume, "resume", "", "resume a crashed mission from this black-box directory (pass the same scenario flags)")
+	fs.Uint64Var(&o.resumeTick, "resume-tick", 0, "resume from the newest checkpoint at or before this tick (0 = latest)")
+	fs.StringVar(&o.replay, "replay", "", "dump this black-box recording and exit (no simulation)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.record != "" && o.resume != "" && o.record == o.resume {
+		return o, errors.New("-record and -resume must name different directories (appending to the recording being resumed would corrupt it)")
+	}
+	return o, nil
+}
+
+func main() {
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(opts, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sesame-mission:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sesameOn bool, seed int64, batteryFault, spoofAt float64, spoofUAV string, persons int, horizon, every float64, asJSON bool) error {
-	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
-	world := sesame.NewWorld(home, seed)
-	for _, id := range []string{"u1", "u2", "u3"} {
-		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
-			return err
-		}
+// run executes one invocation: a replay dump, or a (possibly recorded
+// and/or resumed) mission.
+func run(opts options, out io.Writer) error {
+	if opts.replay != "" {
+		return replayDump(opts.replay, out)
 	}
-	a := sesame.Destination(home, 45, 80)
-	b := sesame.Destination(a, 90, 400)
-	c := sesame.Destination(b, 0, 400)
-	d := sesame.Destination(a, 0, 400)
-	area := sesame.Polygon{a, b, c, d}
 
-	var scene *sesame.Scene
-	if persons > 0 {
-		var err error
-		scene, err = sesame.NewRandomScene(area, persons, 0.2, world, "scene")
-		if err != nil {
-			return err
-		}
-	}
-	cfg := sesame.DefaultPlatformConfig()
-	cfg.SESAME = sesameOn
-	p, err := sesame.NewPlatform(world, scene, cfg)
+	world, p, err := buildMission(opts)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
-	if err := p.StartMission(area); err != nil {
+
+	if opts.debugAddr != "" {
+		ln, err := startDebug(opts.debugAddr, p.Observability())
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "debug endpoints on http://%s/metrics and /debug/pprof/\n", ln.Addr())
+	}
+
+	// The mission end is fixed before any restore so a resumed run
+	// stops at exactly the tick the uninterrupted run would have.
+	end := world.Clock.Now() + opts.horizon
+
+	if opts.resume != "" {
+		tick, err := resumeFromBlackBox(opts, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed from %s at tick %d (t=%.0f s)\n", opts.resume, tick, world.Clock.Now())
+	}
+
+	if opts.record != "" {
+		rec, err := sesame.NewFlightRecorder(opts.record, opts.seed, p.ConfigDigest(),
+			opts.snapshotEvery, sesame.FlightRecorderOptions{})
+		if err != nil {
+			return err
+		}
+		defer func() { _ = rec.Close() }()
+		p.SetRecorder(rec)
+		fmt.Fprintf(out, "black box recording into %s (checkpoint every %d ticks)\n",
+			opts.record, opts.snapshotEvery)
+	}
+
+	if err := scheduleFaults(opts, world, out); err != nil {
 		return err
-	}
-	if batteryFault > 0 {
-		if err := world.ScheduleFault(sesame.BatteryCollapseFault(world.Clock.Now()+batteryFault, "u1", 70, 40)); err != nil {
-			return err
-		}
-		fmt.Printf("scheduled: battery collapse on u1 at t=+%.0f s\n", batteryFault)
-	}
-	if spoofAt > 0 {
-		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+spoofAt, spoofUAV, 135, 3)); err != nil {
-			return err
-		}
-		fmt.Printf("scheduled: GPS spoofing on %s at t=+%.0f s\n", spoofUAV, spoofAt)
 	}
 
 	nextStatus := world.Clock.Now()
-	end := world.Clock.Now() + horizon
 	for world.Clock.Now() < end {
 		if err := p.Tick(); err != nil {
 			return err
 		}
 		if world.Clock.Now() >= nextStatus {
-			printStatus(p.Status(), asJSON)
-			nextStatus += every
+			printStatus(out, p.Status(), opts.asJSON)
+			nextStatus += opts.every
 		}
 		if done(p) {
 			break
 		}
 	}
-	printStatus(p.Status(), asJSON)
+	printStatus(out, p.Status(), opts.asJSON)
 	if av, err := p.Availability(); err == nil {
-		fmt.Printf("\nfleet availability: %.1f%%   mission decision: %s\n", av*100, p.Decision())
+		fmt.Fprintf(out, "\nfleet availability: %.1f%%   mission decision: %s\n", av*100, p.Decision())
 	}
 	return nil
+}
+
+// buildMission constructs the standard scenario — world, fleet, scene,
+// platform, mission start — exactly the same way every run of a given
+// option set does, which is what makes black-box resume possible.
+func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
+	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
+	world := sesame.NewWorld(home, opts.seed)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
+			return nil, nil, err
+		}
+	}
+	area := missionArea(home)
+
+	var scene *sesame.Scene
+	if opts.persons > 0 {
+		var err error
+		scene, err = sesame.NewRandomScene(area, opts.persons, 0.2, world, "scene")
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg := sesame.DefaultPlatformConfig()
+	cfg.SESAME = opts.sesameOn
+	if opts.debugAddr != "" {
+		reg := sesame.NewObsvRegistry()
+		reg.SetTrace(sesame.NewObsvTraceRing(4096))
+		cfg.Observability = reg
+	}
+	p, err := sesame.NewPlatform(world, scene, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.StartMission(area); err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	return world, p, nil
+}
+
+// missionArea is the 400 m survey square north-east of home.
+func missionArea(home sesame.LatLng) sesame.Polygon {
+	a := sesame.Destination(home, 45, 80)
+	b := sesame.Destination(a, 90, 400)
+	c := sesame.Destination(b, 0, 400)
+	d := sesame.Destination(a, 0, 400)
+	return sesame.Polygon{a, b, c, d}
+}
+
+// scheduleFaults injects the flag-selected fault scenarios. Resumed
+// runs re-schedule them identically; injections already applied before
+// the checkpoint are dropped by the restore.
+func scheduleFaults(opts options, world *sesame.World, out io.Writer) error {
+	if opts.batteryFault > 0 {
+		at := world.Clock.Now() + opts.batteryFault
+		if err := world.ScheduleFault(sesame.BatteryCollapseFault(at, "u1", 70, 40)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scheduled: battery collapse on u1 at t=+%.0f s\n", opts.batteryFault)
+	}
+	if opts.spoofAt > 0 {
+		at := world.Clock.Now() + opts.spoofAt
+		if err := world.ScheduleFault(sesame.GPSSpoofFault(at, opts.spoofUAV, 135, 3)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scheduled: GPS spoofing on %s at t=+%.0f s\n", opts.spoofUAV, opts.spoofAt)
+	}
+	return nil
+}
+
+// resumeFromBlackBox overlays the recording's newest usable checkpoint
+// onto the freshly built scenario and returns the restored tick.
+func resumeFromBlackBox(opts options, p *sesame.Platform) (uint64, error) {
+	snap, hdr, err := sesame.LatestFlightSnapshot(opts.resume, opts.resumeTick)
+	if err != nil {
+		return 0, err
+	}
+	if hdr.Seed != opts.seed {
+		return 0, fmt.Errorf("recording was flown with -seed %d, not %d", hdr.Seed, opts.seed)
+	}
+	if hdr.ConfigDigest != p.ConfigDigest() {
+		return 0, fmt.Errorf("recording config digest %s does not match this platform (%s); pass the same scenario flags", hdr.ConfigDigest, p.ConfigDigest())
+	}
+	var ps sesame.PlatformCheckpoint
+	if err := json.Unmarshal(snap.State, &ps); err != nil {
+		return 0, fmt.Errorf("decode checkpoint: %w", err)
+	}
+	if err := p.RestoreCheckpoint(&ps); err != nil {
+		return 0, err
+	}
+	return snap.Tick, nil
+}
+
+// replayDump prints a recording's header, integrity summary and the
+// recorded tick stream's tail — the post-incident inspection view.
+func replayDump(dir string, out io.Writer) error {
+	r, err := sesame.OpenFlightRecording(dir)
+	if err != nil {
+		return err
+	}
+	hdr := r.Header()
+	fmt.Fprintf(out, "recording %s\n", dir)
+	fmt.Fprintf(out, "  format v%d  seed %d  snapshot every %d ticks\n", hdr.Version, hdr.Seed, hdr.SnapshotEvery)
+	fmt.Fprintf(out, "  config %s\n", hdr.ConfigDigest)
+
+	counts := map[string]int{}
+	var snapshotTicks []uint64
+	var lastTick json.RawMessage
+	var readErr error
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn tail (the recorded process died mid-write) ends
+			// the usable prefix; everything before it is intact.
+			readErr = err
+			break
+		}
+		switch rec.Type {
+		case sesame.FlightRecordTick:
+			counts["tick"]++
+			lastTick = append(lastTick[:0], rec.Payload...)
+		case sesame.FlightRecordEvent:
+			counts["event"]++
+		case sesame.FlightRecordAdvice:
+			counts["advice"]++
+		case sesame.FlightRecordFault:
+			counts["fault"]++
+		case sesame.FlightRecordSnapshot:
+			counts["snapshot"]++
+			if s, err := sesame.DecodeFlightSnapshot(rec.Payload); err == nil {
+				snapshotTicks = append(snapshotTicks, s.Tick)
+			}
+		case sesame.FlightRecordBus:
+			counts["bus"]++
+		}
+	}
+	fmt.Fprintf(out, "  records: %d ticks, %d events, %d advice, %d faults, %d bus, %d snapshots\n",
+		counts["tick"], counts["event"], counts["advice"], counts["fault"], counts["bus"], counts["snapshot"])
+	if len(snapshotTicks) > 0 {
+		fmt.Fprintf(out, "  checkpoints at ticks %v\n", snapshotTicks)
+	}
+	if lastTick != nil {
+		fmt.Fprintf(out, "  last recorded tick: %s\n", lastTick)
+	}
+	if readErr != nil {
+		fmt.Fprintf(out, "  torn tail after last intact record: %v\n", readErr)
+	}
+	return nil
+}
+
+// startDebug serves the observability endpoints on addr, returning the
+// bound listener so callers (and tests, via port 0) can find it.
+func startDebug(addr string, reg *sesame.ObsvRegistry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, sesame.ObsvDebugMux(reg)) }()
+	return ln, nil
 }
 
 // done reports whether the whole fleet is inactive.
@@ -115,22 +335,22 @@ func done(p *sesame.Platform) bool {
 	return true
 }
 
-func printStatus(s sesame.PlatformStatus, asJSON bool) {
+func printStatus(out io.Writer, s sesame.PlatformStatus, asJSON bool) {
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		_ = enc.Encode(s)
 		return
 	}
-	fmt.Printf("t=%6.0f  decision=%s\n", s.Time, s.Decision)
+	fmt.Fprintf(out, "t=%6.0f  decision=%s\n", s.Time, s.Decision)
 	for _, u := range s.UAVs {
-		fmt.Printf("  %-4s mode=%-18s batt=%5.1f%% PoF=%.3f rel=%-6s wps=%3d",
+		fmt.Fprintf(out, "  %-4s mode=%-18s batt=%5.1f%% PoF=%.3f rel=%-6s wps=%3d",
 			u.ID, u.Mode, u.BatteryPct, u.PoF, u.Reliability, u.Waypoints)
 		if u.Compromised {
-			fmt.Print("  [COMPROMISED]")
+			fmt.Fprint(out, "  [COMPROMISED]")
 		}
 		if u.CollocLand {
-			fmt.Print("  [collaborative landing]")
+			fmt.Fprint(out, "  [collaborative landing]")
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }

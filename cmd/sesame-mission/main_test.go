@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sesame"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.sesameOn || o.seed != 1 || o.persons != 10 || o.horizon != 1500 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if o.record != "" || o.resume != "" || o.replay != "" || o.debugAddr != "" {
+		t.Fatalf("black-box flags must default off: %+v", o)
+	}
+	if o.snapshotEvery != 50 || o.resumeTick != 0 {
+		t.Fatalf("unexpected recorder defaults: %+v", o)
+	}
+}
+
+func TestParseArgsFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-seed", "9", "-sesame=false", "-persons", "3",
+		"-record", "box", "-snapshot-every", "10",
+		"-replay", "old", "-debug-addr", ":0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.seed != 9 || o.sesameOn || o.persons != 3 {
+		t.Fatalf("scenario flags not applied: %+v", o)
+	}
+	if o.record != "box" || o.snapshotEvery != 10 || o.replay != "old" || o.debugAddr != ":0" {
+		t.Fatalf("black-box flags not applied: %+v", o)
+	}
+}
+
+func TestParseArgsRejects(t *testing.T) {
+	if _, err := parseArgs([]string{"stray"}); err == nil {
+		t.Error("stray positional argument must fail")
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag must fail")
+	}
+	if _, err := parseArgs([]string{"-record", "box", "-resume", "box"}); err == nil {
+		t.Error("recording into the directory being resumed must fail")
+	}
+}
+
+// finalStatusJSON returns the last JSON status line a -json run wrote.
+func finalStatusJSON(t *testing.T, out string) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.HasPrefix(lines[i], "{") {
+			return lines[i]
+		}
+	}
+	t.Fatalf("no JSON status line in output:\n%s", out)
+	return ""
+}
+
+// TestRecordResumeReplay drives the full black-box cycle through the
+// CLI entry points: a recorded mission, resumed mid-flight on a fresh
+// process, must print a final fleet status byte-identical to the
+// uninterrupted run's; the replay dump must describe the recording.
+func TestRecordResumeReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "box")
+	base := options{
+		sesameOn: true, seed: 7, spoofAt: 30, spoofUAV: "u2",
+		persons: 5, horizon: 400, every: 1e9, asJSON: true,
+		snapshotEvery: 25,
+	}
+
+	var plain bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	want := finalStatusJSON(t, plain.String())
+
+	recOpts := base
+	recOpts.record = dir
+	var recorded bytes.Buffer
+	if err := run(recOpts, &recorded); err != nil {
+		t.Fatal(err)
+	}
+	if got := finalStatusJSON(t, recorded.String()); got != want {
+		t.Errorf("recording perturbed the mission:\n got %s\nwant %s", got, want)
+	}
+
+	resOpts := base
+	resOpts.resume = dir
+	resOpts.resumeTick = 200
+	var resumed bytes.Buffer
+	if err := run(resOpts, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "resumed from") {
+		t.Errorf("resume banner missing:\n%s", resumed.String())
+	}
+	if got := finalStatusJSON(t, resumed.String()); got != want {
+		t.Errorf("resumed mission diverges:\n got %s\nwant %s", got, want)
+	}
+
+	var dump bytes.Buffer
+	if err := run(options{replay: dir}, &dump); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantFrag := range []string{"seed 7", "snapshot every 25 ticks", "checkpoints at ticks", "last recorded tick"} {
+		if !strings.Contains(dump.String(), wantFrag) {
+			t.Errorf("replay dump missing %q:\n%s", wantFrag, dump.String())
+		}
+	}
+}
+
+func TestResumeRejectsWrongScenario(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "box")
+	base := options{
+		sesameOn: true, seed: 3, persons: 0, horizon: 120, every: 1e9,
+		asJSON: true, snapshotEvery: 20, record: dir,
+	}
+	if err := run(base, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	wrongSeed := base
+	wrongSeed.record = ""
+	wrongSeed.resume = dir
+	wrongSeed.seed = 4
+	if err := run(wrongSeed, io.Discard); err == nil || !strings.Contains(err.Error(), "-seed") {
+		t.Errorf("wrong seed must fail with a seed message, got %v", err)
+	}
+
+	wrongCfg := base
+	wrongCfg.record = ""
+	wrongCfg.resume = dir
+	wrongCfg.sesameOn = false
+	if err := run(wrongCfg, io.Discard); err == nil || !strings.Contains(err.Error(), "config digest") {
+		t.Errorf("wrong config must fail with a digest message, got %v", err)
+	}
+}
+
+// TestDebugEndpoints exercises the -debug-addr surface: the bound
+// listener must serve the Prometheus exposition and the pprof index.
+func TestDebugEndpoints(t *testing.T) {
+	reg := sesame.NewObsvRegistry()
+	reg.Counter("sesame_platform_ticks_total", "").Inc()
+	ln, err := startDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ln.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "sesame_platform_ticks_total") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}

@@ -1,0 +1,54 @@
+package colloc
+
+import (
+	"errors"
+
+	"sesame/internal/geo"
+)
+
+// ControllerState is the controller's serializable mutable state for
+// the flight recorder (internal/flightrec). The affected UAV, the
+// observers and their RNGs are wiring: restore rebuilds them (the
+// observer noise streams are checkpointed as clock stream positions)
+// and overlays this state.
+type ControllerState struct {
+	Target    geo.LatLng `json:"target"`
+	Desired   geo.ENU    `json:"desired"`
+	Landed    bool       `json:"landed"`
+	LastObsOK int        `json:"last_obs_ok"`
+	// LocalizerEst is the fused position estimate; LocalizerHas
+	// reports whether one exists yet.
+	LocalizerEst geo.LatLng `json:"localizer_est"`
+	LocalizerHas bool       `json:"localizer_has"`
+}
+
+// State exports the controller's mutable state.
+func (c *Controller) State() ControllerState {
+	return ControllerState{
+		Target:       c.Target,
+		Desired:      c.desired,
+		Landed:       c.landed,
+		LastObsOK:    c.lastObsOK,
+		LocalizerEst: c.Localizer.est,
+		LocalizerHas: c.Localizer.hasEst,
+	}
+}
+
+// RestoreState overwrites the mutable state of a freshly built
+// controller (NewController installs the guidance override; a landed
+// controller releases it again, exactly as Step does on capture).
+func (c *Controller) RestoreState(s ControllerState) error {
+	if c.Localizer == nil {
+		return errors.New("colloc: restore into controller without localizer")
+	}
+	c.Target = s.Target
+	c.desired = s.Desired
+	c.landed = s.Landed
+	c.lastObsOK = s.LastObsOK
+	c.Localizer.est = s.LocalizerEst
+	c.Localizer.hasEst = s.LocalizerHas
+	if c.landed && c.Affected != nil {
+		c.Affected.GuidanceOverride = nil
+	}
+	return nil
+}

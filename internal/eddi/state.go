@@ -1,0 +1,68 @@
+package eddi
+
+import "sort"
+
+// This file is the EDDI half of the flight-recorder checkpoint
+// contract (internal/flightrec): monitors expose their incremental
+// state through the optional Snapshotter interface, and the
+// coordinator's event memory serializes to plain data. Handlers are
+// closures and are deliberately excluded — restore rebuilds the
+// platform first (re-registering handlers) and overlays this state.
+
+// Snapshotter is the optional checkpoint interface a Runtime monitor
+// implements when it keeps incremental state across ticks. The
+// platform snapshots every monitor that implements it and restores
+// the blobs after rebuilding the chain; stateless monitors simply
+// don't implement it.
+type Snapshotter interface {
+	// SnapshotState serializes the monitor's mutable state.
+	SnapshotState() ([]byte, error)
+	// RestoreState overwrites the monitor's mutable state from a blob
+	// produced by SnapshotState on an identically configured monitor.
+	RestoreState(data []byte) error
+}
+
+// CoordinatorState is the coordinator's serializable event memory.
+// Latest is kept separately from History: the history log is bounded
+// by HistoryLimit, so the latest finding per (UAV, kind) may no longer
+// be present in it.
+type CoordinatorState struct {
+	History []Event `json:"history"`
+	// Latest is the flattened latest-event table, sorted by (UAV, Kind)
+	// for deterministic serialization.
+	Latest []Event `json:"latest"`
+}
+
+// State exports the coordinator's event memory.
+func (c *Coordinator) State() CoordinatorState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CoordinatorState{History: append([]Event(nil), c.history...)}
+	for _, kinds := range c.latest {
+		for _, ev := range kinds {
+			s.Latest = append(s.Latest, ev)
+		}
+	}
+	sort.Slice(s.Latest, func(i, j int) bool {
+		if s.Latest[i].UAV != s.Latest[j].UAV {
+			return s.Latest[i].UAV < s.Latest[j].UAV
+		}
+		return s.Latest[i].Kind < s.Latest[j].Kind
+	})
+	return s
+}
+
+// Restore overwrites the coordinator's event memory. Registered
+// handlers are kept: the rebuilt platform owns those.
+func (c *Coordinator) Restore(s CoordinatorState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.history = append(c.history[:0:0], s.History...)
+	c.latest = make(map[string]map[Kind]Event, len(s.Latest))
+	for _, ev := range s.Latest {
+		if c.latest[ev.UAV] == nil {
+			c.latest[ev.UAV] = make(map[Kind]Event)
+		}
+		c.latest[ev.UAV][ev.Kind] = ev
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sesame/internal/detection"
+	"sesame/internal/flightrec"
+	"sesame/internal/platform"
+	"sesame/internal/uavsim"
+)
+
+// FlightRecResult is the black-box crash/resume demonstration: one
+// eventful mission is flown with the recorder on, "crashes" halfway,
+// and is resumed from the newest checkpoint before the crash — the
+// resumed fleet must finish bit-identically to the uninterrupted run.
+type FlightRecResult struct {
+	Seed      int64
+	Horizon   float64
+	FinalTick uint64 // ticks the uninterrupted mission ran
+
+	// Recording shape.
+	TickRecords  int
+	EventRecords int
+	FaultRecords int
+	AdviceReords int
+	BusRecords   int
+	Snapshots    int
+	Segments     int
+	BytesOnDisk  int64
+
+	// Crash/resume outcome.
+	CrashTick           uint64 // the tick the "crash" cut the mission at
+	ResumeTick          uint64 // the checkpoint the resume restarted from
+	ReplayedTicks       uint64 // ticks re-driven after the restore
+	DigestUninterrupted string
+	DigestResumed       string
+	Match               bool
+}
+
+// RunFlightRec flies the §V fault cocktail (battery collapse + GPS
+// spoofing) three times: uninterrupted, recorded, and resumed from the
+// recording's mid-flight checkpoint, then compares final-state digests.
+func RunFlightRec(seed int64) (*FlightRecResult, error) {
+	const horizon = 900.0
+	res := &FlightRecResult{Seed: seed, Horizon: horizon}
+
+	// Uninterrupted reference flight.
+	p, err := buildFlightRecScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	end := p.World.Clock.Now() + horizon
+	if err := flyUntil(p, end); err != nil {
+		return nil, err
+	}
+	res.FinalTick = p.Ticks()
+	if res.DigestUninterrupted, err = missionDigest(p); err != nil {
+		return nil, err
+	}
+	p.Close()
+
+	// Recorded flight: black box on, checkpoint every 50 ticks.
+	dir, err := os.MkdirTemp("", "sesame-flightrec-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	p, err = buildFlightRecScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := flightrec.NewRecorder(dir, seed, p.ConfigDigest(), 50, flightrec.Options{})
+	if err != nil {
+		return nil, err
+	}
+	p.SetRecorder(rec)
+	if err := flyUntil(p, end); err != nil {
+		return nil, err
+	}
+	if err := rec.Close(); err != nil {
+		return nil, err
+	}
+	recordedDigest, err := missionDigest(p)
+	if err != nil {
+		return nil, err
+	}
+	if recordedDigest != res.DigestUninterrupted {
+		return nil, fmt.Errorf("recording perturbed the mission: %s != %s",
+			recordedDigest, res.DigestUninterrupted)
+	}
+	p.Close()
+	if err := res.surveyRecording(dir); err != nil {
+		return nil, err
+	}
+
+	// Crash mid-flight, resume from the newest checkpoint before it.
+	res.CrashTick = res.FinalTick / 2
+	snap, _, err := flightrec.LatestSnapshot(dir, res.CrashTick)
+	if err != nil {
+		return nil, err
+	}
+	res.ResumeTick = snap.Tick
+	var ps platform.PlatformSnapshot
+	if err := json.Unmarshal(snap.State, &ps); err != nil {
+		return nil, err
+	}
+	p, err = buildFlightRecScenario(seed)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	if err := p.RestoreCheckpoint(&ps); err != nil {
+		return nil, err
+	}
+	if err := flyUntil(p, end); err != nil {
+		return nil, err
+	}
+	res.ReplayedTicks = p.Ticks() - res.ResumeTick
+	if res.DigestResumed, err = missionDigest(p); err != nil {
+		return nil, err
+	}
+	res.Match = res.DigestResumed == res.DigestUninterrupted
+	return res, nil
+}
+
+// buildFlightRecScenario rebuilds the eventful demo mission: three
+// UAVs, eight scattered persons, a battery collapse at t=+60 and a GPS
+// spoofing attack at t=+30. Every run — reference, recorded, resumed —
+// starts from this exact construction.
+func buildFlightRecScenario(seed int64) (*platform.Platform, error) {
+	w := uavsim.NewWorld(testOrigin, seed)
+	for _, id := range []string{"u1", "u2", "u3"} {
+		if _, err := w.AddUAV(uavsim.UAVConfig{ID: id, Home: testOrigin, CruiseSpeedMS: 12}); err != nil {
+			return nil, err
+		}
+	}
+	area := squareArea(350)
+	scene, err := detection.NewRandomScene(area, 8, 0.2, w.Clock.Stream("scene"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := platform.New(w, scene, platform.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.StartMission(area); err != nil {
+		p.Close()
+		return nil, err
+	}
+	now := w.Clock.Now()
+	if err := w.ScheduleFault(uavsim.GPSSpoofFault(now+30, "u2", 135, 3)); err != nil {
+		return nil, err
+	}
+	if err := w.ScheduleFault(uavsim.BatteryCollapseFault(now+60, "u1", 70, 40)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// flyUntil drives the platform to the fixed absolute end time.
+func flyUntil(p *platform.Platform, end float64) error {
+	for p.World.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return err
+		}
+		if p.MissionComplete() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// missionDigest fingerprints the mission's externally observable final
+// state: fleet status, mission decision, full EDDI event history and
+// the availability number.
+func missionDigest(p *platform.Platform) (string, error) {
+	blob := struct {
+		Status   platform.Status
+		Decision string
+		History  interface{}
+	}{p.Status(), p.Decision().String(), p.Coordinator.History("")}
+	data, err := json.Marshal(blob)
+	if err != nil {
+		return "", err
+	}
+	if a, err := p.Availability(); err == nil {
+		data = append(data, []byte(fmt.Sprintf("avail=%.12f", a))...)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}
+
+// surveyRecording fills the recording-shape fields from the black box.
+func (r *FlightRecResult) surveyRecording(dir string) error {
+	rd, err := flightrec.OpenReader(dir)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch rec.Type {
+		case flightrec.TypeTick:
+			r.TickRecords++
+		case flightrec.TypeEvent:
+			r.EventRecords++
+		case flightrec.TypeFault:
+			r.FaultRecords++
+		case flightrec.TypeAdvice:
+			r.AdviceReords++
+		case flightrec.TypeBus:
+			r.BusRecords++
+		case flightrec.TypeSnapshot:
+			r.Snapshots++
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		r.BytesOnDisk += info.Size()
+		if filepath.Ext(e.Name()) == ".rec" {
+			r.Segments++
+		}
+	}
+	return nil
+}
+
+// Print writes the crash/resume report.
+func (r *FlightRecResult) Print(w io.Writer) {
+	printf(w, "== Black-box flight recorder crash/resume (-exp flightrec) ==\n")
+	printf(w, "Mission: seed %d, horizon %.0f s, %d ticks flown\n", r.Seed, r.Horizon, r.FinalTick)
+	printf(w, "Recording: %d ticks, %d events, %d advice, %d faults, %d bus summaries, %d checkpoints\n",
+		r.TickRecords, r.EventRecords, r.AdviceReords, r.FaultRecords, r.BusRecords, r.Snapshots)
+	printf(w, "           %d segment(s), %.1f KiB on disk (%.1f B/tick)\n",
+		r.Segments, float64(r.BytesOnDisk)/1024, float64(r.BytesOnDisk)/float64(max(r.TickRecords, 1)))
+	printf(w, "Crash at tick %d -> resumed from checkpoint tick %d, re-drove %d ticks\n",
+		r.CrashTick, r.ResumeTick, r.ReplayedTicks)
+	printf(w, "Uninterrupted digest: %s\n", r.DigestUninterrupted[:16])
+	printf(w, "Resumed digest:       %s\n", r.DigestResumed[:16])
+	if r.Match {
+		printf(w, "Result: bit-identical resume — PASS\n")
+	} else {
+		printf(w, "Result: DIVERGED — FAIL\n")
+	}
+}

@@ -1,0 +1,50 @@
+package flightrec
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkRecorderAppend measures the recording hot path: framing +
+// CRC + write of one per-tick record. Steady state must not allocate —
+// the scratch buffer is reused across appends.
+func BenchmarkRecorderAppend(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "rec")
+	rec, err := NewRecorder(dir, 1, "bench", 1000, Options{SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Close()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	// Warm the scratch buffer so the timed loop sees steady state.
+	if err := rec.RecordTick(payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.RecordTick(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures checkpoint encoding for a
+// representative state blob size.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	state := make([]byte, 64<<10)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	s := Snapshot{Tick: 42, Time: 21.5, State: state}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf := EncodeSnapshot(s); len(buf) == 0 {
+			b.Fatal("empty encode")
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package flightrec is the black-box flight recorder: a dependency-free
+// append-only binary segment log plus a snapshot codec, giving every
+// mission a durable record that can be resumed after a crash and
+// replayed bit-identically (the paper's dependability-evidence
+// requirement: EDDIs must justify, after the fact, why the fleet
+// degraded, returned or kept flying).
+//
+// On-disk format, little-endian throughout:
+//
+//	segment file = magic "SESAREC1" ‖ record*
+//	record       = uvarint n ‖ body[n] ‖ crc32(body) (4 bytes LE)
+//	body         = type byte ‖ payload
+//
+// The first record of every segment is a TypeHeader carrying the run's
+// seed, config digest and snapshot cadence, so any single segment is
+// self-describing. Segments rotate at a size cap and are numbered
+// seg-00000000.rec, seg-00000001.rec, ... within the recording
+// directory.
+package flightrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Record types.
+const (
+	// TypeHeader is the self-describing first record of each segment.
+	TypeHeader byte = 1
+	// TypeTick is a per-tick platform telemetry summary.
+	TypeTick byte = 2
+	// TypeEvent is an EDDI event (safety/security/perception/risk).
+	TypeEvent byte = 3
+	// TypeAdvice is a monitor adaptation proposal that won fusion.
+	TypeAdvice byte = 4
+	// TypeFault is a fault/attack injection or contingency activation.
+	TypeFault byte = 5
+	// TypeSnapshot is a full platform state checkpoint.
+	TypeSnapshot byte = 6
+	// TypeBus is a bus/mqtt traffic summary.
+	TypeBus byte = 7
+)
+
+// Magic starts every segment file.
+const Magic = "SESAREC1"
+
+// Version is the current format version, stamped into headers.
+const Version = 1
+
+// MaxRecordBytes bounds a single record body; decoders reject larger
+// length prefixes instead of over-allocating on corrupt input.
+const MaxRecordBytes = 16 << 20
+
+// DefaultSegmentBytes is the rotation size cap.
+const DefaultSegmentBytes = 4 << 20
+
+// Header identifies a recording: decoders refuse to resume or replay
+// against a run with a different seed or configuration digest.
+type Header struct {
+	Version       uint32 `json:"version"`
+	Segment       uint32 `json:"segment"`
+	Seed          int64  `json:"seed"`
+	ConfigDigest  string `json:"config_digest"`
+	SnapshotEvery uint32 `json:"snapshot_every"`
+}
+
+// EncodeHeader serializes h as a TypeHeader payload.
+func EncodeHeader(h Header) []byte {
+	buf := make([]byte, 0, 32+len(h.ConfigDigest))
+	buf = binary.AppendUvarint(buf, uint64(h.Version))
+	buf = binary.AppendUvarint(buf, uint64(h.Segment))
+	buf = binary.AppendVarint(buf, h.Seed)
+	buf = binary.AppendUvarint(buf, uint64(len(h.ConfigDigest)))
+	buf = append(buf, h.ConfigDigest...)
+	buf = binary.AppendUvarint(buf, uint64(h.SnapshotEvery))
+	return buf
+}
+
+// DecodeHeader parses a TypeHeader payload.
+func DecodeHeader(payload []byte) (Header, error) {
+	var h Header
+	version, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return h, errors.New("flightrec: header: truncated version")
+	}
+	payload = payload[n:]
+	segment, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return h, errors.New("flightrec: header: truncated segment index")
+	}
+	payload = payload[n:]
+	seed, n := binary.Varint(payload)
+	if n <= 0 {
+		return h, errors.New("flightrec: header: truncated seed")
+	}
+	payload = payload[n:]
+	dlen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return h, errors.New("flightrec: header: truncated digest length")
+	}
+	payload = payload[n:]
+	if dlen > uint64(len(payload)) {
+		return h, fmt.Errorf("flightrec: header: digest length %d exceeds %d remaining bytes", dlen, len(payload))
+	}
+	digest := string(payload[:dlen])
+	payload = payload[dlen:]
+	every, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return h, errors.New("flightrec: header: truncated snapshot cadence")
+	}
+	if version > uint64(^uint32(0)) || segment > uint64(^uint32(0)) || every > uint64(^uint32(0)) {
+		return h, errors.New("flightrec: header: field out of range")
+	}
+	h.Version = uint32(version)
+	h.Segment = uint32(segment)
+	h.Seed = seed
+	h.ConfigDigest = digest
+	h.SnapshotEvery = uint32(every)
+	return h, nil
+}
+
+// Options tunes a Writer.
+type Options struct {
+	// SegmentBytes is the rotation size cap (default
+	// DefaultSegmentBytes). A segment always holds at least its header
+	// and one record, so oversized records still land somewhere.
+	SegmentBytes int64
+}
+
+// Writer is the append-only segment log writer. Append is the
+// recording hot path: records are framed into one reused in-memory
+// buffer, so steady-state appends perform no allocation and no
+// syscall — the buffer is written out when it passes writeBufBytes,
+// on rotation, and on Sync/Close.
+type Writer struct {
+	dir     string
+	header  Header
+	opts    Options
+	file    *os.File
+	segSize int64
+	segIdx  uint32
+	buf     []byte
+	err     error
+}
+
+// writeBufBytes is the flush threshold for the in-memory write buffer.
+const writeBufBytes = 64 << 10
+
+// SegmentName returns the file name of segment idx.
+func SegmentName(idx uint32) string {
+	return fmt.Sprintf("seg-%08d.rec", idx)
+}
+
+// OpenWriter creates a recording directory (if needed) and starts
+// segment 0. An existing recording in dir is an error: recordings are
+// immutable evidence, never silently appended to.
+func OpenWriter(dir string, h Header, opts Options) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flightrec: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentName(0))); err == nil {
+		return nil, fmt.Errorf("flightrec: %s already holds a recording", dir)
+	}
+	h.Version = Version
+	w := &Writer{dir: dir, header: h, opts: opts, buf: make([]byte, 0, writeBufBytes+4096)}
+	if err := w.openSegment(0); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) openSegment(idx uint32) error {
+	f, err := os.OpenFile(filepath.Join(w.dir, SegmentName(idx)),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	w.file = f
+	w.segIdx = idx
+	w.segSize = int64(len(Magic))
+	w.buf = append(w.buf, Magic...)
+	h := w.header
+	h.Segment = idx
+	return w.Append(TypeHeader, EncodeHeader(h))
+}
+
+// Append frames one record and writes it to the current segment,
+// rotating first when the size cap is reached.
+func (w *Writer) Append(typ byte, payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.file == nil {
+		return errors.New("flightrec: append to closed writer")
+	}
+	if len(payload) >= MaxRecordBytes {
+		return fmt.Errorf("flightrec: record of %d bytes exceeds cap", len(payload))
+	}
+	bodyLen := 1 + len(payload)
+	frameLen := int64(binary.MaxVarintLen64 + bodyLen + crcLen)
+	if typ != TypeHeader && w.segSize+frameLen > w.opts.SegmentBytes && w.segSize > int64(len(Magic)) {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	start := len(w.buf)
+	w.buf = binary.AppendUvarint(w.buf, uint64(bodyLen))
+	bodyStart := len(w.buf)
+	w.buf = append(w.buf, typ)
+	w.buf = append(w.buf, payload...)
+	crc := crc32.ChecksumIEEE(w.buf[bodyStart:])
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
+	w.segSize += int64(len(w.buf) - start)
+	if len(w.buf) >= writeBufBytes {
+		return w.flush()
+	}
+	return nil
+}
+
+const crcLen = 4
+
+// flush writes the buffered frames to the current segment file.
+func (w *Writer) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.file.Write(w.buf)
+	w.buf = w.buf[:0]
+	if err != nil {
+		w.err = fmt.Errorf("flightrec: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// rotate flushes and closes the current segment and opens the next.
+func (w *Writer) rotate() error {
+	if err := w.flush(); err != nil {
+		return err
+	}
+	if err := w.file.Close(); err != nil {
+		w.err = fmt.Errorf("flightrec: %w", err)
+		return w.err
+	}
+	return w.openSegment(w.segIdx + 1)
+}
+
+// Sync flushes the buffer and the current segment to stable storage.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.file == nil {
+		return nil
+	}
+	if err := w.flush(); err != nil {
+		return err
+	}
+	return w.file.Sync()
+}
+
+// Segments returns how many segments the writer has opened so far.
+func (w *Writer) Segments() int { return int(w.segIdx) + 1 }
+
+// Close flushes and closes the current segment.
+func (w *Writer) Close() error {
+	if w.file == nil {
+		return w.err
+	}
+	_ = w.flush()
+	err := w.file.Close()
+	w.file = nil
+	if w.err == nil && err != nil {
+		w.err = fmt.Errorf("flightrec: %w", err)
+	}
+	return w.err
+}

@@ -1,0 +1,513 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Version: Version, Segment: 7, Seed: -42, ConfigDigest: "sha256:abc", SnapshotEvery: 25}
+	got, err := DecodeHeader(EncodeHeader(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := Snapshot{Tick: 123, Time: 45.625, State: []byte(`{"hello":"world"}`)}
+	got, err := DecodeSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != s.Tick || got.Time != s.Time || !bytes.Equal(got.State, s.State) {
+		t.Fatalf("round trip: got %+v want %+v", got, s)
+	}
+}
+
+func TestWriteReadAcrossRotation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	w, err := OpenWriter(dir, Header{Seed: 99, ConfigDigest: "cfg", SnapshotEvery: 10},
+		Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 50; i++ {
+		typ := TypeTick
+		if i%10 == 9 {
+			typ = TypeEvent
+		}
+		payload := []byte(fmt.Sprintf("record-%02d-%s", i, bytes.Repeat([]byte("x"), 20)))
+		if err := w.Append(typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Record{Type: typ, Payload: payload})
+	}
+	if w.Segments() < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", w.Segments())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Header()
+	if h.Seed != 99 || h.ConfigDigest != "cfg" || h.SnapshotEvery != 10 || h.Version != Version {
+		t.Fatalf("header: %+v", h)
+	}
+	var got []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %v %q want %v %q",
+				i, got[i].Type, got[i].Payload, want[i].Type, want[i].Payload)
+		}
+	}
+}
+
+func TestOpenWriterRefusesExistingRecording(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	w, err := OpenWriter(dir, Header{Seed: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := OpenWriter(dir, Header{Seed: 1}, Options{}); err == nil {
+		t.Fatal("expected error reopening an existing recording")
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	w, err := OpenWriter(dir, Header{Seed: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(TypeTick, make([]byte, MaxRecordBytes)); err == nil {
+		t.Fatal("expected oversized record to be rejected")
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	valid := func() []byte {
+		dir := filepath.Join(t.TempDir(), "rec")
+		w, err := OpenWriter(dir, Header{Seed: 5}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(TypeTick, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		buf, err := os.ReadFile(filepath.Join(dir, SegmentName(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf[len(Magic):]
+	}()
+
+	// The full stream decodes: header record then the tick record.
+	rec, n, err := DecodeRecord(valid)
+	if err != nil || rec.Type != TypeHeader {
+		t.Fatalf("header record: %v %v", rec, err)
+	}
+	tick, _, err := DecodeRecord(valid[n:])
+	if err != nil || tick.Type != TypeTick || string(tick.Payload) != "payload" {
+		t.Fatalf("tick record: %v %v", tick, err)
+	}
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": valid[n : len(valid)-3],
+		"zero body": {0x00},
+		"huge len":  {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt the last record's CRC
+	cases["bad crc"] = flipped[n:]
+	for name, buf := range cases {
+		if _, _, err := DecodeRecord(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(0)), []byte("NOTAMAGIC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLatestSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	rec, err := NewRecorder(dir, 7, "cfg", 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := uint64(1); tick <= 20; tick++ {
+		if err := rec.RecordTick([]byte("t")); err != nil {
+			t.Fatal(err)
+		}
+		if rec.ShouldSnapshot(tick) {
+			s := Snapshot{Tick: tick, Time: float64(tick) / 2, State: []byte(fmt.Sprintf("state@%d", tick))}
+			if err := rec.RecordSnapshot(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, h, err := LatestSnapshot(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seed != 7 || h.ConfigDigest != "cfg" {
+		t.Fatalf("header: %+v", h)
+	}
+	if snap.Tick != 20 || string(snap.State) != "state@20" {
+		t.Fatalf("latest: %+v", snap)
+	}
+
+	snap, _, err = LatestSnapshot(dir, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tick != 10 {
+		t.Fatalf("capped latest: tick %d, want 10", snap.Tick)
+	}
+
+	if _, _, err := LatestSnapshot(dir, 3); err == nil {
+		t.Fatal("expected error when no snapshot fits the cap")
+	}
+}
+
+func TestLatestSnapshotSurvivesTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	rec, err := NewRecorder(dir, 7, "cfg", 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RecordSnapshot(Snapshot{Tick: 1, Time: 0.5, State: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-record at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, SegmentName(0)), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, TypeTick, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	snap, _, err := LatestSnapshot(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tick != 1 || string(snap.State) != "good" {
+		t.Fatalf("snapshot after torn tail: %+v", snap)
+	}
+}
+
+func TestNewRecorderRejectsBadCadence(t *testing.T) {
+	if _, err := NewRecorder(t.TempDir(), 1, "cfg", 0, Options{}); err == nil {
+		t.Fatal("expected cadence error")
+	}
+}
+
+// TestRecorderTypedRecords drives every typed append through a
+// Recorder and reads the stream back in order.
+func TestRecorderTypedRecords(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(dir, 5, "sha256:abc", 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		typ     byte
+		append  func([]byte) error
+		payload string
+	}{
+		{TypeTick, rec.RecordTick, `{"tick":1}`},
+		{TypeEvent, rec.RecordEvent, `{"kind":"safety"}`},
+		{TypeAdvice, rec.RecordAdvice, `{"action":"hold"}`},
+		{TypeFault, rec.RecordFault, `{"kind":"spoof"}`},
+		{TypeBus, rec.RecordBus, `{"published":3}`},
+	}
+	for _, s := range steps {
+		if err := s.append([]byte(s.payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.RecordSnapshot(Snapshot{Tick: 2, Time: 2, State: []byte("{}")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := r.Header(); h.Seed != 5 || h.ConfigDigest != "sha256:abc" || h.SnapshotEvery != 2 {
+		t.Fatalf("header round trip: %+v", h)
+	}
+	for i, s := range steps {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != s.typ || string(got.Payload) != s.payload {
+			t.Fatalf("record %d: type %d payload %q, want %d %q", i, got.Type, got.Payload, s.typ, s.payload)
+		}
+	}
+	got, err := r.Next()
+	if err != nil || got.Type != TypeSnapshot {
+		t.Fatalf("snapshot record: type %d err %v", got.Type, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: %v, want io.EOF", err)
+	}
+}
+
+// TestRecorderShouldSnapshot pins the cadence arithmetic.
+func TestRecorderShouldSnapshot(t *testing.T) {
+	rec, err := NewRecorder(t.TempDir(), 1, "d", 25, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	for _, tc := range []struct {
+		tick uint64
+		want bool
+	}{{1, false}, {24, false}, {25, true}, {26, false}, {50, true}} {
+		if got := rec.ShouldSnapshot(tc.tick); got != tc.want {
+			t.Errorf("ShouldSnapshot(%d) = %v, want %v", tc.tick, got, tc.want)
+		}
+	}
+}
+
+// TestNewRecorderRefusesExisting proves a Recorder never appends to
+// an existing recording.
+func TestNewRecorderRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(dir, 1, "d", 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Close()
+	if _, err := NewRecorder(dir, 1, "d", 10, Options{}); err == nil {
+		t.Error("second recorder on the same directory must fail")
+	}
+}
+
+// TestWriterClosedAndSync pins the writer lifecycle edges.
+func TestWriterClosedAndSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Header{Seed: 1, ConfigDigest: "d"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segments() != 1 {
+		t.Fatalf("segments = %d, want 1", w.Segments())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(TypeTick, []byte("x")); err == nil {
+		t.Error("append after close must fail")
+	}
+	if err := w.Sync(); err != nil {
+		t.Errorf("sync after close is a no-op, got %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close is a no-op, got %v", err)
+	}
+}
+
+// TestDecodeHeaderTruncations feeds every strict prefix of a valid
+// header to the decoder; each must fail, none may panic.
+func TestDecodeHeaderTruncations(t *testing.T) {
+	full := EncodeHeader(Header{Version: 1, Segment: 2, Seed: -7, ConfigDigest: "sha256:xyz", SnapshotEvery: 50})
+	if _, err := DecodeHeader(full); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeHeader(full[:i]); err == nil {
+			t.Errorf("prefix of %d bytes decoded without error", i)
+		}
+	}
+}
+
+// TestDecodeHeaderOutOfRange rejects fields beyond uint32.
+func TestDecodeHeaderOutOfRange(t *testing.T) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, 1<<40) // version
+	buf = binary.AppendUvarint(buf, 0)     // segment
+	buf = binary.AppendVarint(buf, 1)      // seed
+	buf = binary.AppendUvarint(buf, 0)     // digest length
+	buf = binary.AppendUvarint(buf, 1)     // cadence
+	if _, err := DecodeHeader(buf); err == nil {
+		t.Error("version beyond uint32 must fail")
+	}
+}
+
+// TestDecodeSnapshotErrors pins the snapshot decoder's corrupt-input
+// branches.
+func TestDecodeSnapshotErrors(t *testing.T) {
+	full := EncodeSnapshot(Snapshot{Tick: 9, Time: 3.5, State: []byte("state")})
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeSnapshot(full[:i]); err == nil {
+			t.Errorf("prefix of %d bytes decoded without error", i)
+		}
+	}
+	var huge []byte
+	huge = binary.AppendUvarint(huge, 1)
+	huge = binary.LittleEndian.AppendUint64(huge, 0)
+	huge = binary.AppendUvarint(huge, MaxRecordBytes+1)
+	if _, err := DecodeSnapshot(huge); err == nil {
+		t.Error("state length beyond cap must fail")
+	}
+}
+
+// TestReaderRejectsForeignSegment proves segment headers are checked
+// against the recording identity when the reader crosses segments.
+func TestReaderRejectsForeignSegment(t *testing.T) {
+	small := Options{SegmentBytes: 96} // force rotation quickly
+	mk := func(seed int64) string {
+		dir := t.TempDir()
+		w, err := OpenWriter(dir, Header{Seed: seed, ConfigDigest: "d"}, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := w.Append(TypeTick, bytes.Repeat([]byte("x"), 40)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Segments() < 2 {
+			t.Fatalf("recording did not rotate: %d segment(s)", w.Segments())
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	a, b := mk(1), mk(2)
+	foreign, err := os.ReadFile(filepath.Join(b, SegmentName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(a, SegmentName(1)), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err = r.Next(); err != nil {
+			break
+		}
+	}
+	if err == io.EOF || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("foreign segment must surface ErrCorrupt, got %v", err)
+	}
+}
+
+// TestOpenReaderErrors pins the open-time validation branches.
+func TestOpenReaderErrors(t *testing.T) {
+	if _, err := OpenReader(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing directory must fail")
+	}
+
+	// Segment 0 whose first record is not a header.
+	dir := t.TempDir()
+	var body []byte
+	body = append(body, TypeTick)
+	body = append(body, 'x')
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+	if err := os.WriteFile(filepath.Join(dir, SegmentName(0)), append([]byte(Magic), frame...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(dir); err == nil {
+		t.Error("headerless segment 0 must fail")
+	}
+
+	// Unsupported format version.
+	dir2 := t.TempDir()
+	hbody := append([]byte{TypeHeader}, EncodeHeader(Header{Version: Version + 1, Seed: 1, ConfigDigest: "d"})...)
+	var hframe []byte
+	hframe = binary.AppendUvarint(hframe, uint64(len(hbody)))
+	hframe = append(hframe, hbody...)
+	hframe = binary.LittleEndian.AppendUint32(hframe, crc32.ChecksumIEEE(hbody))
+	if err := os.WriteFile(filepath.Join(dir2, SegmentName(0)), append([]byte(Magic), hframe...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(dir2); err == nil {
+		t.Error("future format version must fail")
+	}
+}
+
+// TestLatestSnapshotEmptyRecording errors when no checkpoint exists.
+func TestLatestSnapshotEmptyRecording(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := NewRecorder(dir, 1, "d", 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RecordTick([]byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LatestSnapshot(dir, 0); err == nil {
+		t.Error("recording without snapshots must fail")
+	}
+}

@@ -1,0 +1,195 @@
+package flightrec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Record is one decoded log entry.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// ErrCorrupt marks framing, bounds or checksum violations. Decoders
+// wrap it so callers can distinguish corruption from I/O errors.
+var ErrCorrupt = errors.New("flightrec: corrupt record")
+
+// DecodeRecord parses the first framed record in buf and returns it
+// together with the number of bytes consumed. It never panics and
+// never reads past len(buf): corrupt or truncated input yields an
+// error wrapping ErrCorrupt.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	bodyLen, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Record{}, 0, fmt.Errorf("%w: truncated length prefix", ErrCorrupt)
+	}
+	if bodyLen == 0 {
+		return Record{}, 0, fmt.Errorf("%w: empty body", ErrCorrupt)
+	}
+	if bodyLen > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: body of %d bytes exceeds cap", ErrCorrupt, bodyLen)
+	}
+	rest := buf[n:]
+	if uint64(len(rest)) < bodyLen+crcLen {
+		return Record{}, 0, fmt.Errorf("%w: %d body+crc bytes declared, %d available",
+			ErrCorrupt, bodyLen+crcLen, len(rest))
+	}
+	body := rest[:bodyLen]
+	want := binary.LittleEndian.Uint32(rest[bodyLen : bodyLen+crcLen])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	return Record{Type: body[0], Payload: body[1:]}, n + int(bodyLen) + crcLen, nil
+}
+
+// Reader iterates the records of a recording directory across all its
+// segments in order.
+type Reader struct {
+	dir    string
+	header Header
+	segIdx uint32
+	buf    []byte
+	off    int
+	done   bool
+}
+
+// OpenReader opens a recording directory and decodes segment 0's
+// header.
+func OpenReader(dir string) (*Reader, error) {
+	r := &Reader{dir: dir}
+	if err := r.loadSegment(0); err != nil {
+		return nil, err
+	}
+	rec, err := r.next()
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: %s: reading header: %w", dir, err)
+	}
+	if rec.Type != TypeHeader {
+		return nil, fmt.Errorf("%w: segment 0 does not start with a header", ErrCorrupt)
+	}
+	h, err := DecodeHeader(rec.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("flightrec: unsupported format version %d", h.Version)
+	}
+	r.header = h
+	return r, nil
+}
+
+// Header returns the recording's identity header.
+func (r *Reader) Header() Header { return r.header }
+
+func (r *Reader) loadSegment(idx uint32) error {
+	buf, err := os.ReadFile(filepath.Join(r.dir, SegmentName(idx)))
+	if err != nil {
+		return fmt.Errorf("flightrec: %w", err)
+	}
+	if len(buf) < len(Magic) || string(buf[:len(Magic)]) != Magic {
+		return fmt.Errorf("%w: segment %d has no magic", ErrCorrupt, idx)
+	}
+	r.segIdx = idx
+	r.buf = buf
+	r.off = len(Magic)
+	return nil
+}
+
+// next decodes the next record of the current segment, crossing into
+// the following segment when exhausted. Segment headers after the
+// first segment are validated against the recording identity and
+// skipped.
+func (r *Reader) next() (Record, error) {
+	for {
+		if r.done {
+			return Record{}, io.EOF
+		}
+		if r.off >= len(r.buf) {
+			if _, err := os.Stat(filepath.Join(r.dir, SegmentName(r.segIdx+1))); err != nil {
+				r.done = true
+				return Record{}, io.EOF
+			}
+			if err := r.loadSegment(r.segIdx + 1); err != nil {
+				return Record{}, err
+			}
+			rec, err := r.nextInSegment()
+			if err != nil {
+				return Record{}, err
+			}
+			if rec.Type != TypeHeader {
+				return Record{}, fmt.Errorf("%w: segment %d does not start with a header", ErrCorrupt, r.segIdx)
+			}
+			h, err := DecodeHeader(rec.Payload)
+			if err != nil {
+				return Record{}, err
+			}
+			if h.Seed != r.header.Seed || h.ConfigDigest != r.header.ConfigDigest {
+				return Record{}, fmt.Errorf("%w: segment %d belongs to a different recording", ErrCorrupt, r.segIdx)
+			}
+			continue
+		}
+		return r.nextInSegment()
+	}
+}
+
+func (r *Reader) nextInSegment() (Record, error) {
+	rec, n, err := DecodeRecord(r.buf[r.off:])
+	if err != nil {
+		return Record{}, fmt.Errorf("segment %d offset %d: %w", r.segIdx, r.off, err)
+	}
+	r.off += n
+	return rec, nil
+}
+
+// Next returns the next record, io.EOF after the last one. The first
+// header record is already consumed by OpenReader; later segments'
+// headers are validated and skipped transparently.
+func (r *Reader) Next() (Record, error) { return r.next() }
+
+// LatestSnapshot scans a recording for the newest snapshot with
+// Tick <= maxTick (maxTick 0 means "any"). It returns the decoded
+// snapshot and the recording header, or an error when the recording
+// holds no usable snapshot.
+func LatestSnapshot(dir string, maxTick uint64) (Snapshot, Header, error) {
+	r, err := OpenReader(dir)
+	if err != nil {
+		return Snapshot{}, Header{}, err
+	}
+	var best Snapshot
+	found := false
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A torn tail (crash mid-write) ends the usable prefix; any
+			// snapshot before it is still good.
+			break
+		}
+		if rec.Type != TypeSnapshot {
+			continue
+		}
+		snap, err := DecodeSnapshot(rec.Payload)
+		if err != nil {
+			break
+		}
+		if maxTick != 0 && snap.Tick > maxTick {
+			continue
+		}
+		if !found || snap.Tick >= best.Tick {
+			best = snap
+			found = true
+		}
+	}
+	if !found {
+		return Snapshot{}, Header{}, fmt.Errorf("flightrec: %s holds no snapshot (tick cap %d)", dir, maxTick)
+	}
+	return best, r.Header(), nil
+}

@@ -1,0 +1,119 @@
+package flightrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshot is one full platform checkpoint: the tick counter and
+// simulation time it was taken at, plus the platform's opaque
+// serialized state (flightrec does not interpret it — the platform
+// owns its own schema, keeping the dependency arrow pointing here).
+type Snapshot struct {
+	Tick  uint64
+	Time  float64
+	State []byte
+}
+
+// EncodeSnapshot serializes s as a TypeSnapshot payload.
+func EncodeSnapshot(s Snapshot) []byte {
+	buf := make([]byte, 0, 24+len(s.State))
+	buf = binary.AppendUvarint(buf, s.Tick)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.Time))
+	buf = binary.AppendUvarint(buf, uint64(len(s.State)))
+	buf = append(buf, s.State...)
+	return buf
+}
+
+// DecodeSnapshot parses a TypeSnapshot payload. It never panics and
+// never reads past the payload: corrupt input yields an error wrapping
+// ErrCorrupt.
+func DecodeSnapshot(payload []byte) (Snapshot, error) {
+	var s Snapshot
+	tick, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return s, fmt.Errorf("%w: snapshot: truncated tick", ErrCorrupt)
+	}
+	payload = payload[n:]
+	if len(payload) < 8 {
+		return s, fmt.Errorf("%w: snapshot: truncated time", ErrCorrupt)
+	}
+	t := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+	payload = payload[8:]
+	slen, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return s, fmt.Errorf("%w: snapshot: truncated state length", ErrCorrupt)
+	}
+	payload = payload[n:]
+	if slen > MaxRecordBytes {
+		return s, fmt.Errorf("%w: snapshot: state of %d bytes exceeds cap", ErrCorrupt, slen)
+	}
+	if slen != uint64(len(payload)) {
+		return s, fmt.Errorf("%w: snapshot: state length %d != %d remaining bytes",
+			ErrCorrupt, slen, len(payload))
+	}
+	s.Tick = tick
+	s.Time = t
+	s.State = append([]byte(nil), payload...)
+	return s, nil
+}
+
+// Recorder is the platform-facing recording handle: a Writer plus the
+// snapshot cadence. The platform appends typed records through it
+// during the serial apply phase and asks ShouldSnapshot after each
+// tick.
+type Recorder struct {
+	w *Writer
+	// SnapshotEvery is the checkpoint cadence in ticks (>= 1).
+	SnapshotEvery int
+}
+
+// NewRecorder opens a recording in dir identified by the run's seed
+// and configuration digest, checkpointing every snapshotEvery ticks.
+func NewRecorder(dir string, seed int64, configDigest string, snapshotEvery int, opts Options) (*Recorder, error) {
+	if snapshotEvery < 1 {
+		return nil, fmt.Errorf("flightrec: snapshot cadence %d < 1", snapshotEvery)
+	}
+	w, err := OpenWriter(dir, Header{
+		Seed:          seed,
+		ConfigDigest:  configDigest,
+		SnapshotEvery: uint32(snapshotEvery),
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{w: w, SnapshotEvery: snapshotEvery}, nil
+}
+
+// ShouldSnapshot reports whether a checkpoint is due after tick (the
+// 1-based count of completed platform ticks).
+func (r *Recorder) ShouldSnapshot(tick uint64) bool {
+	return tick%uint64(r.SnapshotEvery) == 0
+}
+
+// RecordTick appends a per-tick telemetry summary.
+func (r *Recorder) RecordTick(payload []byte) error { return r.w.Append(TypeTick, payload) }
+
+// RecordEvent appends an EDDI event.
+func (r *Recorder) RecordEvent(payload []byte) error { return r.w.Append(TypeEvent, payload) }
+
+// RecordAdvice appends a fused adaptation decision.
+func (r *Recorder) RecordAdvice(payload []byte) error { return r.w.Append(TypeAdvice, payload) }
+
+// RecordFault appends a fault/attack/contingency marker.
+func (r *Recorder) RecordFault(payload []byte) error { return r.w.Append(TypeFault, payload) }
+
+// RecordBus appends a bus/mqtt traffic summary.
+func (r *Recorder) RecordBus(payload []byte) error { return r.w.Append(TypeBus, payload) }
+
+// RecordSnapshot appends a full platform checkpoint.
+func (r *Recorder) RecordSnapshot(s Snapshot) error {
+	return r.w.Append(TypeSnapshot, EncodeSnapshot(s))
+}
+
+// Sync flushes the recording to stable storage.
+func (r *Recorder) Sync() error { return r.w.Sync() }
+
+// Close closes the recording.
+func (r *Recorder) Close() error { return r.w.Close() }

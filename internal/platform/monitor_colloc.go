@@ -1,6 +1,12 @@
 package platform
 
-import "sesame/internal/eddi"
+import (
+	"encoding/json"
+	"fmt"
+
+	"sesame/internal/colloc"
+	"sesame/internal/eddi"
+)
 
 // collocMonitor is the Collaborative Localization runtime monitor
 // (paper §III-A5 / §V-C). While a controller is steering the (attacked)
@@ -8,6 +14,7 @@ import "sesame/internal/eddi"
 // no other technology observes or commands the vehicle, and the
 // scheduler's apply phase steps the controller instead.
 type collocMonitor struct {
+	p  *Platform
 	st *uavState
 }
 
@@ -22,4 +29,63 @@ func (m *collocMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice, err
 		Reason: "collaborative localization is landing the vehicle",
 		Halt:   true,
 	}, nil
+}
+
+// collocState is the checkpointed landing loop: whether a controller
+// is active, which fleet members observe the victim (their noise RNGs
+// are clock streams, checkpointed as stream positions), and the
+// controller's own mutable state.
+type collocState struct {
+	Active    bool                   `json:"active"`
+	Observers []string               `json:"observers"`
+	Ctrl      colloc.ControllerState `json:"ctrl"`
+}
+
+// SnapshotState implements eddi.Snapshotter.
+func (m *collocMonitor) SnapshotState() ([]byte, error) {
+	s := collocState{}
+	if ctrl := m.st.collocCtrl; ctrl != nil {
+		s.Active = true
+		s.Ctrl = ctrl.State()
+		for _, o := range ctrl.Observers {
+			s.Observers = append(s.Observers, o.Assistant.ID())
+		}
+	}
+	return json.Marshal(s)
+}
+
+// RestoreState implements eddi.Snapshotter: an active landing is
+// rebuilt exactly as onSecurityEvent built it — observers over the
+// restored "colloc/<id>" streams, a fresh controller (which installs
+// the guidance override) — then the controller state is overlaid.
+func (m *collocMonitor) RestoreState(data []byte) error {
+	var s collocState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if !s.Active {
+		m.st.collocCtrl = nil
+		return nil
+	}
+	observers := make([]*colloc.Observer, 0, len(s.Observers))
+	for _, id := range s.Observers {
+		other := m.p.states[id]
+		if other == nil {
+			return fmt.Errorf("platform: colloc observer %q not in fleet", id)
+		}
+		o, err := colloc.NewObserver(other.uav, m.p.World.Clock.Stream("colloc/"+id))
+		if err != nil {
+			return err
+		}
+		observers = append(observers, o)
+	}
+	ctrl, err := colloc.NewController(m.st.uav, s.Ctrl.Target, observers, m.p.World)
+	if err != nil {
+		return err
+	}
+	if err := ctrl.RestoreState(s.Ctrl); err != nil {
+		return err
+	}
+	m.st.collocCtrl = ctrl
+	return nil
 }

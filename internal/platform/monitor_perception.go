@@ -1,10 +1,12 @@
 package platform
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"sesame/internal/detection"
 	"sesame/internal/eddi"
+	"sesame/internal/safeml"
 )
 
 // perceptionMonitor is the SafeML runtime monitor (paper §III-A2): it
@@ -54,4 +56,30 @@ func (m *perceptionMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice,
 	s.Derived.Uncertainty = m.st.uncertainty
 	s.Derived.HasUncertainty = m.st.hasUncert
 	return events, eddi.Advice{}, nil
+}
+
+// perceptionState is the checkpointed SafeML window plus any staged
+// frame the observe phase had not consumed (possible when a later
+// chain member halted before this monitor ran).
+type perceptionState struct {
+	Window  safeml.State     `json:"window"`
+	Pending *detection.Frame `json:"pending,omitempty"`
+}
+
+// SnapshotState implements eddi.Snapshotter.
+func (m *perceptionMonitor) SnapshotState() ([]byte, error) {
+	return json.Marshal(perceptionState{Window: m.st.perception.State(), Pending: m.pending})
+}
+
+// RestoreState implements eddi.Snapshotter.
+func (m *perceptionMonitor) RestoreState(data []byte) error {
+	var s perceptionState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if err := m.st.perception.Restore(s.Window); err != nil {
+		return err
+	}
+	m.pending = s.Pending
+	return nil
 }

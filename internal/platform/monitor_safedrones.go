@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"sesame/internal/eddi"
@@ -68,4 +69,19 @@ func (m *reliabilityMonitor) Observe(s eddi.Snapshot) ([]eddi.Event, eddi.Advice
 		}
 	}
 	return events, advice, nil
+}
+
+// SnapshotState implements eddi.Snapshotter: the Markov/fault-tree
+// model's incremental state (distributions, hazard, clock).
+func (m *reliabilityMonitor) SnapshotState() ([]byte, error) {
+	return json.Marshal(m.st.monitor.State())
+}
+
+// RestoreState implements eddi.Snapshotter.
+func (m *reliabilityMonitor) RestoreState(data []byte) error {
+	var s safedrones.State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	return m.st.monitor.Restore(s)
 }

@@ -25,6 +25,7 @@ import (
 	"sesame/internal/conserts"
 	"sesame/internal/detection"
 	"sesame/internal/eddi"
+	"sesame/internal/flightrec"
 	"sesame/internal/geo"
 	"sesame/internal/ids"
 	"sesame/internal/mqttlite"
@@ -96,6 +97,12 @@ type Config struct {
 	// zero cost; digested outputs are identical either way because only
 	// deterministic counters reach Status.
 	Observability *obsv.Registry
+	// Recorder is the black-box flight recorder (internal/flightrec):
+	// when non-nil the platform appends per-tick telemetry, event,
+	// advice and fault records during the serial apply phase and writes
+	// a full checkpoint every Recorder.SnapshotEvery ticks. Nil disables
+	// recording at zero cost.
+	Recorder *flightrec.Recorder
 }
 
 // DefaultConfig returns the experiment calibration with SESAME on.
@@ -165,11 +172,36 @@ type uavState struct {
 	dbRetries []dbRetry
 }
 
-// dbRetry is one deferred database write awaiting its backoff.
+// dbRetryKind selects which database write a queued retry re-offers.
+type dbRetryKind int
+
+const (
+	// dbRetryLocation re-offers a PutLocation of Pos stamped Time.
+	dbRetryLocation dbRetryKind = iota
+	// dbRetryRecord re-offers a PutRecord of Rec.
+	dbRetryRecord
+)
+
+// dbRetry is one deferred database write awaiting its backoff. It is
+// plain data (not a closure) so the flight recorder can checkpoint and
+// restore pending retries exactly.
 type dbRetry struct {
-	write    func() error
-	attempts int
-	nextAt   float64
+	Kind     dbRetryKind `json:"kind"`
+	Pos      geo.LatLng  `json:"pos"`
+	Time     float64     `json:"time"`
+	Rec      Record      `json:"rec"`
+	Attempts int         `json:"attempts"`
+	NextAt   float64     `json:"next_at"`
+}
+
+// exec re-offers the queued write against the database.
+func (p *Platform) execRetry(st *uavState, r dbRetry) error {
+	switch r.Kind {
+	case dbRetryLocation:
+		return p.DB.PutLocation(p.cfg.Origin, st.uav.ID(), r.Pos, r.Time)
+	default:
+		return p.DB.PutRecord(p.cfg.Origin, st.uav.ID(), r.Rec)
+	}
 }
 
 // batterySwapS is the §V-A battery replacement time at base.
@@ -217,7 +249,26 @@ type Platform struct {
 
 	missionArea geo.Polygon
 	decision    conserts.MissionDecision
+	// ticks counts completed platform ticks — the flight recorder's
+	// checkpoint coordinate.
+	ticks uint64
+	// snapOwed defers a cadence checkpoint that landed on a tick with
+	// delayed frames still parked on the clock.
+	snapOwed bool
+	// recBuf is the reused encode buffer for the per-tick recording
+	// path; the writer copies the payload, so one buffer serves all
+	// record kinds. recKeys is the reused key-sort scratch for event
+	// Data maps. recTimeVal/recTimeBuf memoize the encoded simulation
+	// time — every record of a tick shares one clock reading, and
+	// accumulated step times hit strconv's worst (17-digit) case.
+	recBuf     []byte
+	recKeys    []string
+	recTimeVal float64
+	recTimeBuf []byte
 }
+
+// Ticks returns how many platform ticks have completed.
+func (p *Platform) Ticks() uint64 { return p.ticks }
 
 // New builds a platform over an existing world and fleet. The scene
 // may be nil when no person-detection workload is simulated.
@@ -403,6 +454,7 @@ func (p *Platform) tickLinkWatchdog(st *uavState, now float64) {
 	if p.cfg.LostLinkLand {
 		verb = "land in place"
 	}
+	p.recordFault(now, u.ID(), "lost-link", verb)
 	countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
 		Kind: eddi.KindSafety, UAV: u.ID(), Time: now, Severity: 0.9,
 		Summary: fmt.Sprintf("lost link: telemetry silent %.0f s, contingency: %s", st.telemetryAge(now), verb),
@@ -429,7 +481,7 @@ func (p *Platform) tickLinkWatchdog(st *uavState, now float64) {
 // append custom monitors.
 func (p *Platform) registerMonitors(st *uavState) error {
 	st.chain = []eddi.Runtime{
-		&collocMonitor{st: st},
+		&collocMonitor{p: p, st: st},
 		&reliabilityMonitor{p: p, st: st},
 	}
 	if p.cfg.SESAME {
@@ -528,6 +580,7 @@ func (p *Platform) onSecurityEvent(ev security.Event) {
 		Severity: 1, Summary: "compromise: " + ev.Root,
 		Data: map[string]string{"mitigation": ev.Mitigation},
 	}))
+	p.recordFault(ev.Alert.Stamp, ev.UAV, "compromise", ev.Root)
 	// Collaborative localization is the mitigation for position/mapping
 	// manipulation; other compromises (C2 hijack) degrade the comms
 	// evidence and let the ConSert network decide.
@@ -717,6 +770,7 @@ func (p *Platform) applyAction(st *uavState, action conserts.UAVAction, now floa
 	if action == prev {
 		return
 	}
+	p.recordAdvice(now, st.uav.ID(), action.String())
 	switch action {
 	case conserts.ActionEmergencyLand:
 		if st.uav.Mode().Airborne() {

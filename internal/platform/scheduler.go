@@ -45,11 +45,23 @@ type observation struct {
 
 // Tick advances the platform by one second: world physics, then the
 // prepare → observe → apply pipeline, then the mission-level decision.
+// With a flight recorder configured, the completed tick is appended to
+// the black box and a full checkpoint is written on cadence.
 func (p *Platform) Tick() error {
+	var err error
 	if p.obs == nil {
-		return p.tickFast()
+		err = p.tickFast()
+	} else {
+		err = p.tickObserved()
 	}
-	return p.tickObserved()
+	if err != nil {
+		return err
+	}
+	p.ticks++
+	if p.cfg.Recorder != nil {
+		return p.recordTick()
+	}
+	return nil
 }
 
 // tickFast is the uninstrumented tick: no clock reads, no metric
@@ -237,9 +249,8 @@ func (p *Platform) reportTelemetry(st *uavState, now float64) {
 	u := st.uav
 	id := u.ID()
 	if err := p.DB.PutLocation(p.cfg.Origin, id, u.TruePosition(), now); err != nil {
-		pos := u.TruePosition()
-		p.deferOrDrop(st, now, err, func() error {
-			return p.DB.PutLocation(p.cfg.Origin, id, pos, now)
+		p.deferOrDrop(st, now, err, dbRetry{
+			Kind: dbRetryLocation, Pos: u.TruePosition(), Time: now,
 		})
 	}
 	rec := Record{
@@ -248,22 +259,18 @@ func (p *Platform) reportTelemetry(st *uavState, now float64) {
 		Time:  now,
 	}
 	if err := p.DB.PutRecord(p.cfg.Origin, id, rec); err != nil {
-		p.deferOrDrop(st, now, err, func() error {
-			return p.DB.PutRecord(p.cfg.Origin, id, rec)
-		})
+		p.deferOrDrop(st, now, err, dbRetry{Kind: dbRetryRecord, Rec: rec})
 	}
 }
 
 // deferOrDrop queues a transiently failed database write for retry, or
 // counts it as a drop when retrying is disabled or the failure is
 // permanent (validation, forbidden origin).
-func (p *Platform) deferOrDrop(st *uavState, now float64, err error, write func() error) {
+func (p *Platform) deferOrDrop(st *uavState, now float64, err error, r dbRetry) {
 	if p.cfg.DBRetryAttempts > 1 && errors.Is(err, ErrUnavailable) {
-		st.dbRetries = append(st.dbRetries, dbRetry{
-			write:    write,
-			attempts: 1,
-			nextAt:   now + p.cfg.DBRetryBackoffS,
-		})
+		r.Attempts = 1
+		r.NextAt = now + p.cfg.DBRetryBackoffS
+		st.dbRetries = append(st.dbRetries, r)
 		p.retries.scheduled.Add(1)
 		return
 	}
@@ -281,22 +288,22 @@ func (p *Platform) drainDBRetries(st *uavState, now float64) {
 	}
 	kept := st.dbRetries[:0]
 	for _, r := range st.dbRetries {
-		if now < r.nextAt {
+		if now < r.NextAt {
 			kept = append(kept, r)
 			continue
 		}
-		err := r.write()
+		err := p.execRetry(st, r)
 		if err == nil {
 			p.retries.succeeded.Add(1)
 			continue
 		}
-		r.attempts++
-		if !errors.Is(err, ErrUnavailable) || r.attempts >= p.cfg.DBRetryAttempts {
+		r.Attempts++
+		if !errors.Is(err, ErrUnavailable) || r.Attempts >= p.cfg.DBRetryAttempts {
 			p.retries.abandoned.Add(1)
 			p.drops.database.Add(1)
 			continue
 		}
-		r.nextAt = now + p.cfg.DBRetryBackoffS*float64(uint64(1)<<uint(r.attempts-1))
+		r.NextAt = now + p.cfg.DBRetryBackoffS*float64(uint64(1)<<uint(r.Attempts-1))
 		kept = append(kept, r)
 	}
 	st.dbRetries = kept
@@ -356,6 +363,7 @@ func (p *Platform) apply(id string, ob observation, now float64) error {
 	// Emit the chain's findings in deterministic fleet order.
 	for _, ev := range ob.result.Events {
 		countIn(&p.drops.events, p.Coordinator.Emit(ev))
+		p.recordEvent(ev)
 	}
 
 	if !p.cfg.SESAME {

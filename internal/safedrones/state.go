@@ -1,0 +1,55 @@
+package safedrones
+
+import "fmt"
+
+// State is the monitor's serializable mutable state for the flight
+// recorder (internal/flightrec). The Markov chains, scratch buffers,
+// workspace and failure indexes are derived from the configuration and
+// rebuilt by NewMonitor; only the incrementally evolving values are
+// checkpointed.
+type State struct {
+	LastTime         float64 `json:"last_time"`
+	Started          bool    `json:"started"`
+	BattHazard       float64 `json:"batt_hazard"`
+	CommsOut         bool    `json:"comms_out"`
+	ObservedFailures int     `json:"observed_failures"`
+	// PropDist and ProcDist are the incrementally stepped propulsion
+	// and processor state distributions.
+	PropDist []float64 `json:"prop_dist"`
+	ProcDist []float64 `json:"proc_dist"`
+}
+
+// State exports the monitor's mutable state.
+func (m *Monitor) State() State {
+	return State{
+		LastTime:         m.lastTime,
+		Started:          m.started,
+		BattHazard:       m.battHazard,
+		CommsOut:         m.commsOut,
+		ObservedFailures: m.observedFailures,
+		PropDist:         append([]float64(nil), m.propDist...),
+		ProcDist:         append([]float64(nil), m.procDist...),
+	}
+}
+
+// Restore overwrites the monitor's mutable state. The monitor must
+// have been built with the same configuration (same chain shapes) as
+// the one the state was exported from.
+func (m *Monitor) Restore(s State) error {
+	if len(s.PropDist) != len(m.propDist) {
+		return fmt.Errorf("safedrones: %s: propulsion distribution has %d states, want %d",
+			m.uav, len(s.PropDist), len(m.propDist))
+	}
+	if len(s.ProcDist) != len(m.procDist) {
+		return fmt.Errorf("safedrones: %s: processor distribution has %d states, want %d",
+			m.uav, len(s.ProcDist), len(m.procDist))
+	}
+	m.lastTime = s.LastTime
+	m.started = s.Started
+	m.battHazard = s.BattHazard
+	m.commsOut = s.CommsOut
+	m.observedFailures = s.ObservedFailures
+	copy(m.propDist, s.PropDist)
+	copy(m.procDist, s.ProcDist)
+	return nil
+}

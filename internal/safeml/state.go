@@ -1,0 +1,56 @@
+package safeml
+
+import "fmt"
+
+// State is the monitor's serializable sliding-window state for the
+// flight recorder (internal/flightrec). Only the live rows are kept,
+// oldest first; Restore replays them through Push, which rebuilds the
+// ring indexes, the incrementally sorted columns and the NaN counter
+// with identical future behavior (same eviction order, same sorted
+// multisets).
+type State struct {
+	// Rows are the live window rows, oldest first.
+	Rows [][]float64 `json:"rows"`
+	// Filled reports whether the window has wrapped at least once.
+	// With Rows it pins (next, filled, count) exactly: a filled window
+	// always carries WindowSize rows.
+	Filled bool `json:"filled"`
+}
+
+// State exports the live window rows in age order.
+func (m *Monitor) State() State {
+	s := State{Filled: m.filled}
+	if !m.filled {
+		// Never wrapped since the last Reset: rows 0..count-1 are in
+		// insertion order.
+		for i := 0; i < m.count; i++ {
+			s.Rows = append(s.Rows, append([]float64(nil), m.window[i]...))
+		}
+		return s
+	}
+	// Wrapped: the oldest row sits at next.
+	for i := 0; i < len(m.window); i++ {
+		row := m.window[(m.next+i)%len(m.window)]
+		s.Rows = append(s.Rows, append([]float64(nil), row...))
+	}
+	return s
+}
+
+// Restore rebuilds the window by replaying the rows through Push. The
+// monitor must have the same window size and feature width as the one
+// the state was exported from.
+func (m *Monitor) Restore(s State) error {
+	if len(s.Rows) > len(m.window) {
+		return fmt.Errorf("safeml: state has %d rows, window holds %d", len(s.Rows), len(m.window))
+	}
+	if s.Filled && len(s.Rows) != len(m.window) {
+		return fmt.Errorf("safeml: filled state must carry %d rows, got %d", len(m.window), len(s.Rows))
+	}
+	m.Reset()
+	for i, row := range s.Rows {
+		if err := m.Push(row); err != nil {
+			return fmt.Errorf("safeml: restore row %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package security
+
+import "sort"
+
+// State is the security EDDI's serializable progress for the flight
+// recorder (internal/flightrec). The attack trees, broker
+// subscriptions and handlers are wiring the rebuilt platform restores;
+// only the evolving compromise bookkeeping is checkpointed.
+type State struct {
+	// Triggered maps UAV id -> sorted list of satisfied leaf ids.
+	Triggered map[string][]string `json:"triggered"`
+	// Reported are the uav+"/"+root keys already escalated, sorted.
+	Reported []string `json:"reported"`
+	Events   []Event  `json:"events"`
+}
+
+// State exports the compromise bookkeeping.
+func (e *EDDI) State() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := State{
+		Triggered: make(map[string][]string, len(e.triggered)),
+		Events:    append([]Event(nil), e.events...),
+	}
+	for uav, leaves := range e.triggered {
+		ids := make([]string, 0, len(leaves))
+		for id := range leaves {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		s.Triggered[uav] = ids
+	}
+	for key := range e.reported {
+		s.Reported = append(s.Reported, key)
+	}
+	sort.Strings(s.Reported)
+	return s
+}
+
+// Restore overwrites the compromise bookkeeping. Monitored trees and
+// handlers are untouched: the rebuilt platform re-registers those.
+func (e *EDDI) Restore(s State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.triggered = make(map[string]map[string]bool, len(s.Triggered))
+	for uav, leaves := range s.Triggered {
+		set := make(map[string]bool, len(leaves))
+		for _, id := range leaves {
+			set[id] = true
+		}
+		e.triggered[uav] = set
+	}
+	e.reported = make(map[string]bool, len(s.Reported))
+	for _, key := range s.Reported {
+		e.reported[key] = true
+	}
+	e.events = append(e.events[:0:0], s.Events...)
+}

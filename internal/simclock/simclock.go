@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Clock is a discrete-event simulation clock with an event queue and a
@@ -20,34 +21,140 @@ type Clock struct {
 	queue   eventQueue
 	seq     uint64 // tie-breaker for same-time events (FIFO)
 	seed    int64
-	streams map[string]*rand.Rand
+	streams map[string]*countingSource
+	rands   map[string]*rand.Rand
 }
 
 // New returns a clock starting at t=0 whose random streams derive from
 // seed.
 func New(seed int64) *Clock {
-	return &Clock{seed: seed, streams: make(map[string]*rand.Rand)}
+	return &Clock{
+		seed:    seed,
+		streams: make(map[string]*countingSource),
+		rands:   make(map[string]*rand.Rand),
+	}
 }
 
 // Now returns the current simulation time in seconds.
 func (c *Clock) Now() float64 { return c.now }
+
+// Seed returns the seed the clock's streams derive from.
+func (c *Clock) Seed() int64 { return c.seed }
+
+// countingSource wraps a stream's underlying generator and counts how
+// many times it stepped. math/rand's generator advances exactly one
+// step per Int63 or Uint64 call, so the count alone pins the stream's
+// position: recreating the source from (seed, name) and drawing count
+// values restores the identical state. The wrapper implements
+// rand.Source64 exactly like the wrapped rngSource does, so rand.Rand's
+// method selection — hence every emitted sequence — is unchanged.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// streamSeed derives the named stream's seed from the clock seed via
+// FNV-1a, the scheme every stream has used since the seed repo.
+func (c *Clock) streamSeed(name string) int64 {
+	var h uint64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return c.seed ^ int64(h)
+}
 
 // Stream returns the named random stream, creating it deterministically
 // from the clock seed and the name on first use. Distinct names give
 // independent streams; the same (seed, name) pair always gives the same
 // sequence.
 func (c *Clock) Stream(name string) *rand.Rand {
-	if r, ok := c.streams[name]; ok {
+	if r, ok := c.rands[name]; ok {
 		return r
 	}
-	var h uint64 = 1469598103934665603 // FNV-1a offset basis
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
-	}
-	r := rand.New(rand.NewSource(c.seed ^ int64(h)))
-	c.streams[name] = r
+	src := &countingSource{src: rand.NewSource(c.streamSeed(name)).(rand.Source64)}
+	r := rand.New(src)
+	c.streams[name] = src
+	c.rands[name] = r
 	return r
+}
+
+// StreamState records one named stream's position as the number of
+// generator steps consumed since creation.
+type StreamState struct {
+	Name  string `json:"name"`
+	Draws uint64 `json:"draws"`
+}
+
+// StreamStates returns every created stream's position, sorted by name
+// for deterministic serialization.
+func (c *Clock) StreamStates() []StreamState {
+	states := make([]StreamState, 0, len(c.streams))
+	for name, src := range c.streams {
+		states = append(states, StreamState{Name: name, Draws: src.draws})
+	}
+	sort.Slice(states, func(i, j int) bool { return states[i].Name < states[j].Name })
+	return states
+}
+
+// RestoreStreams repositions every stream to the recorded draw count.
+// Existing stream objects are reset IN PLACE rather than replaced:
+// components that captured a *rand.Rand at construction (GPS
+// receivers, the detector) keep their handles, and those handles emit
+// exactly the values the original clock would have emitted had it kept
+// running. Existing streams absent from states are rewound to zero
+// draws — the original run had not touched them by the checkpoint, so
+// first use must see a fresh sequence.
+func (c *Clock) RestoreStreams(states []StreamState) {
+	want := make(map[string]uint64, len(states))
+	for _, st := range states {
+		want[st.Name] = st.Draws
+	}
+	for name, src := range c.streams {
+		src.Seed(c.streamSeed(name))
+		for src.draws < want[name] {
+			src.Uint64()
+		}
+	}
+	for _, st := range states {
+		if _, ok := c.streams[st.Name]; ok {
+			continue
+		}
+		c.Stream(st.Name)
+		src := c.streams[st.Name]
+		for src.draws < st.Draws {
+			src.Uint64()
+		}
+	}
+}
+
+// SetNow jumps the clock to t without running events. It is the restore
+// counterpart of RunUntil: callers must only use it on a quiescent
+// clock (Pending() == 0), since queued events scheduled before t would
+// otherwise fire late. Moving backwards panics like Schedule does.
+func (c *Clock) SetNow(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: set now %v before now %v", t, c.now))
+	}
+	if c.queue.Len() > 0 {
+		panic("simclock: SetNow on a non-quiescent clock")
+	}
+	c.now = t
 }
 
 // Event is a scheduled callback.

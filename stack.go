@@ -8,6 +8,7 @@ import (
 	"sesame/internal/colloc"
 	"sesame/internal/detection"
 	"sesame/internal/eddi"
+	"sesame/internal/flightrec"
 	"sesame/internal/geo"
 	"sesame/internal/hiphops"
 	"sesame/internal/ids"
@@ -352,6 +353,71 @@ func NewLinkLayer(w *World, name string) *LinkLayer {
 	l := linksim.New(w.Clock, name)
 	l.AttachBus(w.Bus)
 	return l
+}
+
+// ---- Black-box flight recorder (internal/flightrec) ----
+
+// FlightRecorder is the black-box mission recorder: an append-only,
+// CRC-protected binary segment log of per-tick telemetry, EDDI events,
+// fault injections and periodic full-platform checkpoints. Attach one
+// with Platform.SetRecorder; a crashed mission then resumes from its
+// newest checkpoint bit-identically to the uninterrupted run.
+type FlightRecorder = flightrec.Recorder
+
+// FlightRecorderOptions tunes segment rotation and sync behaviour.
+type FlightRecorderOptions = flightrec.Options
+
+// FlightRecordingHeader is the self-describing first record of every
+// segment: format version, seed, config digest, snapshot cadence.
+type FlightRecordingHeader = flightrec.Header
+
+// FlightRecord is one decoded log record.
+type FlightRecord = flightrec.Record
+
+// FlightSnapshot is one full-platform checkpoint held in a recording.
+type FlightSnapshot = flightrec.Snapshot
+
+// FlightRecordingReader iterates a recording's records in order.
+type FlightRecordingReader = flightrec.Reader
+
+// Flight record types.
+const (
+	FlightRecordHeader   = flightrec.TypeHeader
+	FlightRecordTick     = flightrec.TypeTick
+	FlightRecordEvent    = flightrec.TypeEvent
+	FlightRecordAdvice   = flightrec.TypeAdvice
+	FlightRecordFault    = flightrec.TypeFault
+	FlightRecordSnapshot = flightrec.TypeSnapshot
+	FlightRecordBus      = flightrec.TypeBus
+)
+
+// PlatformCheckpoint is the full platform state a recording's snapshot
+// records hold (as JSON); Platform.Checkpoint produces one and
+// Platform.RestoreCheckpoint overlays one onto a rebuilt scenario.
+type PlatformCheckpoint = platform.PlatformSnapshot
+
+// NewFlightRecorder opens a recorder writing into dir, embedding the
+// platform's seed and ConfigDigest and checkpointing every
+// snapshotEvery ticks.
+func NewFlightRecorder(dir string, seed int64, configDigest string, snapshotEvery int, opts FlightRecorderOptions) (*FlightRecorder, error) {
+	return flightrec.NewRecorder(dir, seed, configDigest, snapshotEvery, opts)
+}
+
+// OpenFlightRecording opens a recording directory for sequential
+// reads.
+func OpenFlightRecording(dir string) (*FlightRecordingReader, error) {
+	return flightrec.OpenReader(dir)
+}
+
+// LatestFlightSnapshot returns the newest checkpoint at or before
+// maxTick (0 = any), with the recording header for validation.
+func LatestFlightSnapshot(dir string, maxTick uint64) (FlightSnapshot, FlightRecordingHeader, error) {
+	return flightrec.LatestSnapshot(dir, maxTick)
+}
+
+// DecodeFlightSnapshot decodes a FlightRecordSnapshot record payload.
+func DecodeFlightSnapshot(payload []byte) (FlightSnapshot, error) {
+	return flightrec.DecodeSnapshot(payload)
 }
 
 // ---- Observability (internal/obsv) ----
