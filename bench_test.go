@@ -131,11 +131,13 @@ func BenchmarkPlatformMissionTick(b *testing.B) {
 }
 
 // BenchmarkPlatformTickFleet measures the fleet scheduler across fleet
-// sizes, serial (Workers=1) vs pooled (Workers=0, machine-sized). The
-// pooled path parallelizes the per-UAV monitor evaluation (SafeDrones
-// Markov chains, SafeML windows, the SINADRA network), so on a
-// multi-core host the 12- and 48-UAV pooled variants should beat
-// serial; outputs are bit-identical either way.
+// sizes, serial (Workers=1) vs pooled (Workers=0, machine-sized) vs
+// sharded (cell-sharded pipeline: per-cell physics and fused
+// prepare+observe on the pool, not just the monitor evaluation). The
+// sharded variant forces at least two cells so the small-fleet rows
+// measure the sharded pipeline rather than falling back to legacy; at
+// 1k and 10k UAVs it uses the production auto layout (one cell per 64
+// vehicles). Outputs are bit-identical across workers and cell counts.
 func BenchmarkPlatformTickFleet(b *testing.B) {
 	b.ReportAllocs()
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
@@ -144,39 +146,49 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 	c := sesame.Destination(bb, 0, 3000)
 	d := sesame.Destination(a, 0, 3000)
 	area := sesame.Polygon{a, bb, c, d}
-	for _, fleet := range []int{3, 12, 48} {
-		for _, mode := range []struct {
-			name      string
-			workers   int
-			obsv      bool
-			snapEvery int // 0 = recorder off
-		}{
-			{"serial", 1, false, 0},
-			{"pooled", 0, false, 0},
-			// The -obsv variants run with a metrics registry attached;
-			// BENCH_PR4.json records the instrumentation overhead
-			// (budget: <5% ns/op enabled, zero extra allocs disabled).
-			{"serial-obsv", 1, true, 0},
-			{"pooled-obsv", 0, true, 0},
-			// The -rec variants additionally fly with the black-box
-			// flight recorder appending tick/bus/event records every
-			// tick, checkpoints effectively disabled; BENCH_PR5.json
-			// records the steady-state append-path overhead (budget:
-			// <5% ns/op over the -obsv baseline).
-			{"serial-rec", 1, true, 1 << 30},
-			{"pooled-rec", 0, true, 1 << 30},
-			// The -ckpt variants run the full black box with a
-			// checkpoint every 50 ticks. Checkpoint cost is O(EDDI
-			// history), so this amortized number grows with mission
-			// length; BENCH_PR5.json reports it separately.
-			{"serial-ckpt", 1, true, 50},
-			{"pooled-ckpt", 0, true, 50},
-		} {
+	type mode struct {
+		name      string
+		workers   int
+		cells     int // 0 = legacy pipeline, -1 = sharded (auto, min 2)
+		obsv      bool
+		snapEvery int // 0 = recorder off
+	}
+	fullModes := []mode{
+		{"serial", 1, 0, false, 0},
+		{"pooled", 0, 0, false, 0},
+		{"sharded", 0, -1, false, 0},
+		// The -obsv variants run with a metrics registry attached;
+		// BENCH_PR4.json records the instrumentation overhead
+		// (budget: <5% ns/op enabled, zero extra allocs disabled).
+		{"serial-obsv", 1, 0, true, 0},
+		{"pooled-obsv", 0, 0, true, 0},
+		// The -rec variants additionally fly with the black-box
+		// flight recorder appending tick/bus/event records every
+		// tick, checkpoints effectively disabled; BENCH_PR5.json
+		// records the steady-state append-path overhead (budget:
+		// <5% ns/op over the -obsv baseline).
+		{"serial-rec", 1, 0, true, 1 << 30},
+		{"pooled-rec", 0, 0, true, 1 << 30},
+		// The -ckpt variants run the full black box with a
+		// checkpoint every 50 ticks. Checkpoint cost is O(EDDI
+		// history), so this amortized number grows with mission
+		// length; BENCH_PR5.json reports it separately.
+		{"serial-ckpt", 1, 0, true, 50},
+		{"pooled-ckpt", 0, 0, true, 50},
+	}
+	for _, fleet := range []int{3, 12, 48, 1000, 10000} {
+		modes := fullModes
+		if fleet >= 1000 {
+			// At fleet scale only the three scheduler regimes matter;
+			// the instrumentation variants are covered at 3/12/48.
+			modes = fullModes[:3]
+		}
+		for _, mode := range modes {
 			b.Run(fmt.Sprintf("%d/%s", fleet, mode.name), func(b *testing.B) {
 				b.ReportAllocs()
 				world := sesame.NewWorld(home, 1)
 				for i := 0; i < fleet; i++ {
-					uc := sesame.UAVConfig{ID: fmt.Sprintf("u%02d", i), Home: home}
+					uc := sesame.UAVConfig{ID: fmt.Sprintf("u%05d", i), Home: home}
 					if _, err := world.AddUAV(uc); err != nil {
 						b.Fatal(err)
 					}
@@ -187,6 +199,12 @@ func BenchmarkPlatformTickFleet(b *testing.B) {
 				}
 				cfg := sesame.DefaultPlatformConfig()
 				cfg.Workers = mode.workers
+				if mode.cells == -1 {
+					cfg.Cells = sesame.AutoCells(fleet)
+					if cfg.Cells < 2 {
+						cfg.Cells = 2
+					}
+				}
 				if mode.obsv {
 					cfg.Observability = sesame.NewObsvRegistry()
 				}

@@ -3,6 +3,7 @@
 // the data feed behind the paper's Fig. 4 web GUI.
 //
 //	sesame-gcs -addr :8080
+//	sesame-gcs -uavs 128 -cells 0    # fleet-scale sharded mission
 //	curl localhost:8080/              # fleet status snapshot
 //	curl localhost:8080/events       # EDDI event history
 //	curl localhost:8080/metrics      # Prometheus text exposition
@@ -40,12 +41,61 @@ type gcs struct {
 	mu sync.Mutex
 }
 
-// newGCS builds the seeded demo mission: three UAVs sweeping a 400 m
+// gcsOptions carries every flag; parseArgs fills it so tests can build
+// stations without touching the process-global flag set.
+type gcsOptions struct {
+	addr     string
+	seed     int64
+	uavs     int
+	cells    int
+	tickMS   int
+	spoofAt  float64
+	blackbox string
+}
+
+// parseArgs parses argv (without the program name) into gcsOptions.
+func parseArgs(args []string) (gcsOptions, error) {
+	var o gcsOptions
+	fs := flag.NewFlagSet("sesame-gcs", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "HTTP listen address")
+	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.uavs, "uavs", 3, "fleet size (UAVs u1..uN)")
+	fs.IntVar(&o.cells, "cells", 0, "scheduler cells for the sharded fleet pipeline (0 = auto: one cell per 64 UAVs, 1 = unsharded)")
+	fs.IntVar(&o.tickMS, "tick-ms", 200, "wall-clock milliseconds per simulated second")
+	fs.Float64Var(&o.spoofAt, "spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
+	fs.StringVar(&o.blackbox, "blackbox", "", "record the mission into this black-box directory and serve /blackbox")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.uavs < 1 {
+		return o, fmt.Errorf("-uavs %d: the fleet needs at least one UAV", o.uavs)
+	}
+	if o.cells < 0 {
+		return o, fmt.Errorf("-cells %d: must be >= 0 (0 = auto)", o.cells)
+	}
+	return o, nil
+}
+
+// defaultGCSOptions mirrors a flagless invocation — the seeded demo
+// mission the tests build stations from.
+func defaultGCSOptions() gcsOptions {
+	o, err := parseArgs(nil)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// newGCS builds the seeded demo mission: u1..uN sweeping a 400 m
 // square with ten survivors, fully instrumented.
-func newGCS(seed int64, spoofAt float64, blackbox string) (*gcs, error) {
+func newGCS(o gcsOptions) (*gcs, error) {
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
-	world := sesame.NewWorld(home, seed)
-	for _, id := range []string{"u1", "u2", "u3"} {
+	world := sesame.NewWorld(home, o.seed)
+	for i := 1; i <= o.uavs; i++ {
+		id := fmt.Sprintf("u%d", i)
 		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
 			return nil, err
 		}
@@ -63,6 +113,7 @@ func newGCS(seed int64, spoofAt float64, blackbox string) (*gcs, error) {
 	reg.SetTrace(sesame.NewObsvTraceRing(4096))
 	cfg := sesame.DefaultPlatformConfig()
 	cfg.Observability = reg
+	cfg.Cells = o.cells
 	p, err := sesame.NewPlatform(world, scene, cfg)
 	if err != nil {
 		return nil, err
@@ -71,21 +122,21 @@ func newGCS(seed int64, spoofAt float64, blackbox string) (*gcs, error) {
 		p.Close()
 		return nil, err
 	}
-	if spoofAt > 0 {
-		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+spoofAt, "u2", 135, 3)); err != nil {
+	if o.spoofAt > 0 {
+		if err := world.ScheduleFault(sesame.GPSSpoofFault(world.Clock.Now()+o.spoofAt, "u2", 135, 3)); err != nil {
 			p.Close()
 			return nil, err
 		}
 	}
 	g := &gcs{world: world, p: p, reg: reg}
-	if blackbox != "" {
-		rec, err := sesame.NewFlightRecorder(blackbox, seed, p.ConfigDigest(), 50, sesame.FlightRecorderOptions{})
+	if o.blackbox != "" {
+		rec, err := sesame.NewFlightRecorder(o.blackbox, o.seed, p.ConfigDigest(), 50, sesame.FlightRecorderOptions{})
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
 		p.SetRecorder(rec)
-		g.rec, g.recDir = rec, blackbox
+		g.rec, g.recDir = rec, o.blackbox
 	}
 	return g, nil
 }
@@ -205,14 +256,12 @@ func (g *gcs) handler() http.Handler {
 }
 
 func main() {
-	addr := flag.String("addr", ":8080", "HTTP listen address")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	tickMS := flag.Int("tick-ms", 200, "wall-clock milliseconds per simulated second")
-	spoofAt := flag.Float64("spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
-	blackbox := flag.String("blackbox", "", "record the mission into this black-box directory and serve /blackbox")
-	flag.Parse()
+	opts, err := parseArgs(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
 
-	g, err := newGCS(*seed, *spoofAt, *blackbox)
+	g, err := newGCS(opts)
 	if err != nil {
 		fail(err)
 	}
@@ -223,7 +272,7 @@ func main() {
 
 	// Drive the simulation in the background; HTTP reads snapshots.
 	go func() {
-		ticker := time.NewTicker(time.Duration(*tickMS) * time.Millisecond)
+		ticker := time.NewTicker(time.Duration(opts.tickMS) * time.Millisecond)
 		defer ticker.Stop()
 		for range ticker.C {
 			if err := g.tick(); err != nil {
@@ -234,8 +283,8 @@ func main() {
 	}()
 
 	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/%s)\n",
-		*addr, map[bool]string{true: ", /blackbox"}[g.rec != nil])
-	if err := http.ListenAndServe(*addr, g.handler()); err != nil {
+		opts.addr, map[bool]string{true: ", /blackbox"}[g.rec != nil])
+	if err := http.ListenAndServe(opts.addr, g.handler()); err != nil {
 		fail(err)
 	}
 }

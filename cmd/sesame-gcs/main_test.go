@@ -9,11 +9,76 @@ import (
 	"testing"
 )
 
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.seed != 1 || o.tickMS != 200 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if o.uavs != 3 || o.cells != 0 {
+		t.Fatalf("fleet flags must default to 3 UAVs with auto cells: %+v", o)
+	}
+	if o.spoofAt != 0 || o.blackbox != "" {
+		t.Fatalf("fault and black-box flags must default off: %+v", o)
+	}
+}
+
+func TestParseArgsFlags(t *testing.T) {
+	o, err := parseArgs([]string{
+		"-addr", ":0", "-seed", "9", "-uavs", "128", "-cells", "4",
+		"-tick-ms", "50", "-spoof", "30", "-blackbox", "box",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":0" || o.seed != 9 || o.uavs != 128 || o.cells != 4 {
+		t.Fatalf("fleet flags not applied: %+v", o)
+	}
+	if o.tickMS != 50 || o.spoofAt != 30 || o.blackbox != "box" {
+		t.Fatalf("flags not applied: %+v", o)
+	}
+}
+
+func TestParseArgsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"stray"},
+		{"-no-such-flag"},
+		{"-uavs", "0"},
+		{"-cells", "-1"},
+	} {
+		if _, err := parseArgs(args); err == nil {
+			t.Errorf("parseArgs(%v) must fail", args)
+		}
+	}
+}
+
+// TestGCSShardedFleet builds a station large enough to cross the auto
+// cell threshold and proves the sharded platform serves the same feed.
+func TestGCSShardedFleet(t *testing.T) {
+	opts := defaultGCSOptions()
+	opts.uavs = 70 // AutoCells(70) = 2: the sharded pipeline engages
+	g, err := newGCS(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.p.Close()
+	for i := 0; i < 3; i++ {
+		if err := g.tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(g.p.Status().UAVs); got != 70 {
+		t.Fatalf("fleet size = %d, want 70", got)
+	}
+}
+
 // TestGCSRoutes exercises the merged HTTP surface of the ground
 // station: the JSON feed, the UI page, the Prometheus exposition and
 // the pprof index, against a live (briefly ticked) mission.
 func TestGCSRoutes(t *testing.T) {
-	g, err := newGCS(1, 0, "")
+	g, err := newGCS(defaultGCSOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +137,7 @@ func TestGCSRoutes(t *testing.T) {
 // mutex is held: the observability path must not block on the
 // simulation.
 func TestGCSMetricsLockFree(t *testing.T) {
-	g, err := newGCS(1, 0, "")
+	g, err := newGCS(defaultGCSOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +168,9 @@ func truncate(s string) string {
 // serves the recent incident window while the recording is still open.
 func TestGCSBlackbox(t *testing.T) {
 	dir := t.TempDir()
-	g, err := newGCS(1, 0, dir)
+	opts := defaultGCSOptions()
+	opts.blackbox = dir
+	g, err := newGCS(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +204,7 @@ func TestGCSBlackbox(t *testing.T) {
 
 // TestGCSBlackboxOff proves the endpoint 404s without -blackbox.
 func TestGCSBlackboxOff(t *testing.T) {
-	g, err := newGCS(1, 0, "")
+	g, err := newGCS(defaultGCSOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 //	sesame-mission -sesame=false           # reactive baseline
 //	sesame-mission -battery-fault=60       # §V-A battery collapse at t=60
 //	sesame-mission -spoof=30 -spoof-uav=u2 # §V-C spoofing attack at t=30
+//	sesame-mission -uavs 128 -cells 0      # fleet-scale sharded run
 //	sesame-mission -record box/            # fly with the black box on
 //	sesame-mission -resume box/            # resume a crashed mission
 //	sesame-mission -replay box/            # dump a recording, no sim
@@ -34,6 +35,8 @@ import (
 type options struct {
 	sesameOn      bool
 	seed          int64
+	uavs          int
+	cells         int
 	batteryFault  float64
 	spoofAt       float64
 	spoofUAV      string
@@ -55,6 +58,8 @@ func parseArgs(args []string) (options, error) {
 	fs := flag.NewFlagSet("sesame-mission", flag.ContinueOnError)
 	fs.BoolVar(&o.sesameOn, "sesame", true, "enable the SESAME EDDI stack")
 	fs.Int64Var(&o.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&o.uavs, "uavs", 3, "fleet size (UAVs u1..uN)")
+	fs.IntVar(&o.cells, "cells", 0, "scheduler cells for the sharded fleet pipeline (0 = auto: one cell per 64 UAVs, 1 = unsharded)")
 	fs.Float64Var(&o.batteryFault, "battery-fault", 0, "inject a battery collapse on u1 at this mission time (0 = off)")
 	fs.Float64Var(&o.spoofAt, "spoof", 0, "start a GPS spoofing attack at this mission time (0 = off)")
 	fs.StringVar(&o.spoofUAV, "spoof-uav", "u2", "victim of the spoofing attack")
@@ -76,6 +81,12 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.record != "" && o.resume != "" && o.record == o.resume {
 		return o, errors.New("-record and -resume must name different directories (appending to the recording being resumed would corrupt it)")
+	}
+	if o.uavs < 1 {
+		return o, fmt.Errorf("-uavs %d: the fleet needs at least one UAV", o.uavs)
+	}
+	if o.cells < 0 {
+		return o, fmt.Errorf("-cells %d: must be >= 0 (0 = auto)", o.cells)
 	}
 	return o, nil
 }
@@ -167,7 +178,10 @@ func run(opts options, out io.Writer) error {
 func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
 	world := sesame.NewWorld(home, opts.seed)
-	for _, id := range []string{"u1", "u2", "u3"} {
+	// IDs u1..uN keep the default fleet (and the fault targets u1/u2)
+	// identical to every run before the -uavs flag existed.
+	for i := 1; i <= opts.uavs; i++ {
+		id := fmt.Sprintf("u%d", i)
 		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
 			return nil, nil, err
 		}
@@ -184,6 +198,7 @@ func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
 	}
 	cfg := sesame.DefaultPlatformConfig()
 	cfg.SESAME = opts.sesameOn
+	cfg.Cells = opts.cells
 	if opts.debugAddr != "" {
 		reg := sesame.NewObsvRegistry()
 		reg.SetTrace(sesame.NewObsvTraceRing(4096))

@@ -20,6 +20,9 @@ func TestParseArgsDefaults(t *testing.T) {
 	if !o.sesameOn || o.seed != 1 || o.persons != 10 || o.horizon != 1500 {
 		t.Fatalf("unexpected defaults: %+v", o)
 	}
+	if o.uavs != 3 || o.cells != 0 {
+		t.Fatalf("fleet flags must default to 3 UAVs with auto cells: %+v", o)
+	}
 	if o.record != "" || o.resume != "" || o.replay != "" || o.debugAddr != "" {
 		t.Fatalf("black-box flags must default off: %+v", o)
 	}
@@ -31,6 +34,7 @@ func TestParseArgsDefaults(t *testing.T) {
 func TestParseArgsFlags(t *testing.T) {
 	o, err := parseArgs([]string{
 		"-seed", "9", "-sesame=false", "-persons", "3",
+		"-uavs", "128", "-cells", "4",
 		"-record", "box", "-snapshot-every", "10",
 		"-replay", "old", "-debug-addr", ":0",
 	})
@@ -39,6 +43,9 @@ func TestParseArgsFlags(t *testing.T) {
 	}
 	if o.seed != 9 || o.sesameOn || o.persons != 3 {
 		t.Fatalf("scenario flags not applied: %+v", o)
+	}
+	if o.uavs != 128 || o.cells != 4 {
+		t.Fatalf("fleet flags not applied: %+v", o)
 	}
 	if o.record != "box" || o.snapshotEvery != 10 || o.replay != "old" || o.debugAddr != ":0" {
 		t.Fatalf("black-box flags not applied: %+v", o)
@@ -54,6 +61,12 @@ func TestParseArgsRejects(t *testing.T) {
 	}
 	if _, err := parseArgs([]string{"-record", "box", "-resume", "box"}); err == nil {
 		t.Error("recording into the directory being resumed must fail")
+	}
+	if _, err := parseArgs([]string{"-uavs", "0"}); err == nil {
+		t.Error("an empty fleet must fail")
+	}
+	if _, err := parseArgs([]string{"-cells", "-1"}); err == nil {
+		t.Error("a negative cell count must fail")
 	}
 }
 
@@ -77,7 +90,7 @@ func finalStatusJSON(t *testing.T, out string) string {
 func TestRecordResumeReplay(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "box")
 	base := options{
-		sesameOn: true, seed: 7, spoofAt: 30, spoofUAV: "u2",
+		sesameOn: true, seed: 7, uavs: 3, spoofAt: 30, spoofUAV: "u2",
 		persons: 5, horizon: 400, every: 1e9, asJSON: true,
 		snapshotEvery: 25,
 	}
@@ -123,10 +136,53 @@ func TestRecordResumeReplay(t *testing.T) {
 	}
 }
 
+// TestShardedMissionResume drives the black-box cycle on a sharded
+// fleet: a -uavs 8 -cells 2 mission recorded and resumed mid-flight
+// must end byte-identical to the uninterrupted sharded run.
+func TestShardedMissionResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "box")
+	base := options{
+		sesameOn: true, seed: 5, uavs: 8, cells: 2, persons: 4,
+		horizon: 200, every: 1e9, asJSON: true, snapshotEvery: 25,
+	}
+
+	var plain bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	want := finalStatusJSON(t, plain.String())
+
+	recOpts := base
+	recOpts.record = dir
+	if err := run(recOpts, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	resOpts := base
+	resOpts.resume = dir
+	resOpts.resumeTick = 100
+	var resumed bytes.Buffer
+	if err := run(resOpts, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if got := finalStatusJSON(t, resumed.String()); got != want {
+		t.Errorf("resumed sharded mission diverges:\n got %s\nwant %s", got, want)
+	}
+
+	// The cell layout is part of the config digest: a recording flown
+	// sharded must refuse to resume into an unsharded platform.
+	wrongCells := base
+	wrongCells.resume = dir
+	wrongCells.cells = 1
+	if err := run(wrongCells, io.Discard); err == nil || !strings.Contains(err.Error(), "config digest") {
+		t.Errorf("resuming with different -cells must fail with a digest message, got %v", err)
+	}
+}
+
 func TestResumeRejectsWrongScenario(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "box")
 	base := options{
-		sesameOn: true, seed: 3, persons: 0, horizon: 120, every: 1e9,
+		sesameOn: true, seed: 3, uavs: 3, persons: 0, horizon: 120, every: 1e9,
 		asJSON: true, snapshotEvery: 20, record: dir,
 	}
 	if err := run(base, io.Discard); err != nil {

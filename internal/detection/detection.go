@@ -188,8 +188,19 @@ func (d *Detector) FootprintRadiusM(altM float64) float64 {
 }
 
 // Capture runs the detector over the scene from a camera at pos/cond
-// and returns the frame.
+// and returns the frame, drawing from the detector's own stream.
 func (d *Detector) Capture(uav string, stamp float64, pos geo.LatLng, cond Conditions, scene *Scene) (*Frame, error) {
+	return d.CaptureWith(d.rng, uav, stamp, pos, cond, scene)
+}
+
+// CaptureWith is Capture drawing stochastic outcomes from the given
+// stream instead of the detector's own. A sharded fleet scheduler gives
+// every vehicle (or shard) its own stream so captures can run
+// concurrently while each stream's draw sequence stays deterministic.
+func (d *Detector) CaptureWith(rng *rand.Rand, uav string, stamp float64, pos geo.LatLng, cond Conditions, scene *Scene) (*Frame, error) {
+	if rng == nil {
+		return nil, errors.New("detection: nil rng")
+	}
 	if scene == nil {
 		return nil, errors.New("detection: nil scene")
 	}
@@ -204,18 +215,18 @@ func (d *Detector) Capture(uav string, stamp float64, pos geo.LatLng, cond Condi
 			continue
 		}
 		f.InView = append(f.InView, p.ID)
-		if d.rng.Float64() < recall {
+		if rng.Float64() < recall {
 			// Localization error grows with altitude.
 			sigma := 0.5 + cond.AltitudeM/50
 			pr := geo.NewProjection(p.Position)
 			measured := pr.ToLatLng(geo.ENU{
-				East:  d.rng.NormFloat64() * sigma,
-				North: d.rng.NormFloat64() * sigma,
+				East:  rng.NormFloat64() * sigma,
+				North: rng.NormFloat64() * sigma,
 			})
 			f.Detections = append(f.Detections, Detection{
 				PersonID:   p.ID,
 				Position:   measured,
-				Confidence: clamp01(recall + 0.15*d.rng.NormFloat64()),
+				Confidence: clamp01(recall + 0.15*rng.NormFloat64()),
 			})
 		}
 	}
@@ -225,17 +236,17 @@ func (d *Detector) Capture(uav string, stamp float64, pos geo.LatLng, cond Condi
 	if cond.Thermal {
 		fpRate *= ThermalFalsePositiveFactor
 	}
-	for fpRate > 0 && d.rng.Float64() < fpRate {
+	for fpRate > 0 && rng.Float64() < fpRate {
 		fpRate--
-		bearing := d.rng.Float64() * 360
-		dist := d.rng.Float64() * radius
+		bearing := rng.Float64() * 360
+		dist := rng.Float64() * radius
 		f.Detections = append(f.Detections, Detection{
 			PersonID:   -1,
 			Position:   geo.Destination(pos, bearing, dist),
-			Confidence: clamp01(0.3 + 0.2*d.rng.NormFloat64()),
+			Confidence: clamp01(0.3 + 0.2*rng.NormFloat64()),
 		})
 	}
-	f.Features = d.features(cond)
+	f.Features = d.featuresWith(rng, cond)
 	return f, nil
 }
 
@@ -244,6 +255,11 @@ func (d *Detector) Capture(uav string, stamp float64, pos geo.LatLng, cond Condi
 // means and widen the spread, giving SafeML a real distribution shift
 // to detect.
 func (d *Detector) features(cond Conditions) []float64 {
+	return d.featuresWith(d.rng, cond)
+}
+
+// featuresWith draws the feature vector from the given stream.
+func (d *Detector) featuresWith(rng *rand.Rand, cond Conditions) []float64 {
 	shift := 0.0
 	if dAlt := cond.AltitudeM - d.RefAltitudeM; dAlt > 0 {
 		shift = dAlt / 15
@@ -262,7 +278,7 @@ func (d *Detector) features(cond Conditions) []float64 {
 	out := make([]float64, FeatureDim)
 	for i := range out {
 		mu := float64(i) + shift*(1+0.2*float64(i%3))
-		out[i] = mu + spread*d.rng.NormFloat64()
+		out[i] = mu + spread*rng.NormFloat64()
 	}
 	return out
 }

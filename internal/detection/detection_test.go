@@ -3,6 +3,7 @@ package detection
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"sesame/internal/geo"
@@ -317,5 +318,54 @@ func TestScoreCritical(t *testing.T) {
 	}
 	if _, err := ScoreCritical(frames, nil); err == nil {
 		t.Fatal("nil scene must fail")
+	}
+}
+
+// TestCaptureWithMatchesCapture proves CaptureWith is Capture with the
+// stream made explicit: driven by the detector's own stream it emits
+// the exact frames Capture would, an independent stream reproduces its
+// own deterministic sequence, and a nil stream is rejected.
+func TestCaptureWithMatchesCapture(t *testing.T) {
+	area := squareArea(500)
+	scene, err := NewRandomScene(area, 15, 0.3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := Conditions{AltitudeM: 25, Visibility: 0.8}
+
+	d1, _ := NewDetector(rand.New(rand.NewSource(9)))
+	d2, _ := NewDetector(rand.New(rand.NewSource(9)))
+	for i := 0; i < 50; i++ {
+		f1, err1 := d1.Capture("u1", float64(i), origin, cond, scene)
+		f2, err2 := d2.CaptureWith(d2.rng, "u1", float64(i), origin, cond, scene)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(f1, f2) {
+			t.Fatalf("frame %d diverges:\n Capture:     %+v\n CaptureWith: %+v", i, f1, f2)
+		}
+	}
+
+	// An external stream is deterministic in its own right.
+	mk := func() []*Frame {
+		d, _ := NewDetector(rand.New(rand.NewSource(1)))
+		rng := rand.New(rand.NewSource(77))
+		var out []*Frame
+		for i := 0; i < 20; i++ {
+			f, err := d.CaptureWith(rng, "u2", float64(i), origin, cond, scene)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(mk(), mk()) {
+		t.Error("CaptureWith with an identical external stream diverged")
+	}
+
+	d3, _ := NewDetector(rand.New(rand.NewSource(1)))
+	if _, err := d3.CaptureWith(nil, "u", 0, origin, cond, scene); err == nil {
+		t.Error("nil rng must fail")
 	}
 }

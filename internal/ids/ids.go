@@ -97,15 +97,16 @@ type IDS struct {
 	broker *mqttlite.Broker
 	cancel func()
 
-	mu       sync.Mutex
-	alerts   []Alert
-	pending  []Alert
-	arrival  map[string][]float64 // topic -> recent stamps
-	lastSeen map[string]float64   // topic -> newest stamp (silence rule)
-	lastGPS  map[string]uavsim.GPSFix
-	lastOdo  map[string]geo.LatLng
-	hasOdo   map[string]bool
-	lastHit  map[string]float64 // type+uav -> stamp of last alert
+	mu        sync.Mutex
+	alerts    []Alert
+	pending   []Alert
+	arrival   map[string][]float64 // topic -> recent stamps
+	lastSeen  map[string]float64   // topic -> newest stamp (silence rule)
+	lastSweep float64              // newest stamp the silence sweep ran at
+	lastGPS   map[string]uavsim.GPSFix
+	lastOdo   map[string]geo.LatLng
+	hasOdo    map[string]bool
+	lastHit   map[string]float64 // type+uav -> stamp of last alert
 
 	// Observability mirrors (nil when uninstrumented; all nil-safe).
 	// The per-rule evaluation counters are resolved once at Instrument:
@@ -180,13 +181,23 @@ func (d *IDS) Alerts() []Alert {
 	return append([]Alert(nil), d.alerts...)
 }
 
-// uavOf extracts the UAV id from a "/uav/<id>/<kind>" topic.
+// uavOf extracts the UAV id from a "/uav/<id>/<kind>" topic. It runs
+// on every bus message, so it parses in place rather than splitting
+// (the Split allocation dominated large-fleet tick profiles).
 func uavOf(topic string) string {
-	parts := strings.Split(topic, "/")
-	if len(parts) >= 3 && parts[1] == "uav" {
-		return parts[2]
+	i := strings.IndexByte(topic, '/')
+	if i < 0 {
+		return ""
 	}
-	return ""
+	rest := topic[i+1:]
+	if !strings.HasPrefix(rest, "uav/") {
+		return ""
+	}
+	id := rest[len("uav/"):]
+	if j := strings.IndexByte(id, '/'); j >= 0 {
+		id = id[:j]
+	}
+	return id
 }
 
 // inspect is the bus tap. Alerts are accumulated under the lock and
@@ -244,23 +255,31 @@ func (d *IDS) inspect(m rosbus.Message) {
 	}
 
 	// Rule: link silence. Lazily scan tracked topics whenever traffic
-	// arrives; a topic quiet past the timeout looks like jamming.
+	// arrives; a topic quiet past the timeout looks like jamming. All
+	// messages of one simulation step carry the same stamp, and within a
+	// stamp no tracked entry can newly cross the timeout, so one sweep
+	// per distinct stamp raises exactly the alerts a per-message sweep
+	// would — without the O(topics) scan on every message, which made
+	// each simulation step quadratic in fleet size.
 	if d.cfg.SilenceTimeoutS > 0 {
-		d.mEvalSilence.Inc()
-		for topic, last := range d.lastSeen {
-			if topic == m.Topic {
-				continue
-			}
-			if m.Stamp-last > d.cfg.SilenceTimeoutS {
-				d.raise(Alert{
-					Type:   AlertLinkSilence,
-					UAV:    uavOf(topic),
-					Topic:  topic,
-					Detail: fmt.Sprintf("no traffic for %.0f s (timeout %.0f s)", m.Stamp-last, d.cfg.SilenceTimeoutS),
-					Stamp:  m.Stamp,
-				})
-				// Re-arm only after fresh traffic.
-				delete(d.lastSeen, topic)
+		if m.Stamp > d.lastSweep {
+			d.lastSweep = m.Stamp
+			d.mEvalSilence.Inc()
+			for topic, last := range d.lastSeen {
+				if topic == m.Topic {
+					continue
+				}
+				if m.Stamp-last > d.cfg.SilenceTimeoutS {
+					d.raise(Alert{
+						Type:   AlertLinkSilence,
+						UAV:    uavOf(topic),
+						Topic:  topic,
+						Detail: fmt.Sprintf("no traffic for %.0f s (timeout %.0f s)", m.Stamp-last, d.cfg.SilenceTimeoutS),
+						Stamp:  m.Stamp,
+					})
+					// Re-arm only after fresh traffic.
+					delete(d.lastSeen, topic)
+				}
 			}
 		}
 		if m.Stamp > d.lastSeen[m.Topic] {

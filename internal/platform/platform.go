@@ -17,6 +17,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
@@ -71,6 +72,15 @@ type Config struct {
 	// 0 sizes it to the machine (GOMAXPROCS), 1 forces the serial path.
 	// Results are bit-identical regardless of the pool size.
 	Workers int
+	// Cells shards the fleet into contiguous cells of the deterministic
+	// fleet order; the scheduler then runs physics, prepare and observe
+	// per cell on the worker pool, with the cross-cell work — lost-link
+	// redistribution, counter merging, the apply phase, the mission
+	// decision — at serial barriers. 0 sizes the layout automatically
+	// (one cell per 64 UAVs, so small fleets keep the legacy pipeline);
+	// 1 forces the legacy unsharded pipeline. Sharded runs are
+	// bit-identical across all cell counts >= 2 and any Workers value.
+	Cells int
 	// ExtraMonitors registers additional eddi.Runtime monitors per UAV,
 	// appended after the built-in chain. Their events are emitted in
 	// chain order; Halt and emergency Override advice are honoured.
@@ -119,6 +129,28 @@ func DefaultConfig() Config {
 		DBRetryAttempts:  3,
 		DBRetryBackoffS:  2,
 	}
+}
+
+// AutoCells is the Cells=0 sizing policy: one cell per 64 UAVs. Small
+// fleets resolve to a single cell (the legacy pipeline); a 10k-vehicle
+// fleet spreads across ~160 cells, enough to keep every worker busy
+// without barrier overhead dominating.
+func AutoCells(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + 63) / 64
+}
+
+// cell is one contiguous shard [lo, hi) of the sorted fleet order plus
+// its shard-local failure counters. Workers tally into their own cell
+// during the concurrent phases; the tick barrier drains every cell into
+// the platform totals in ascending cell order, so the merged counters
+// never depend on goroutine scheduling.
+type cell struct {
+	lo, hi  int
+	drops   dropCounters
+	retries retryCounters
 }
 
 // uavState is the per-vehicle integration state.
@@ -170,6 +202,16 @@ type uavState struct {
 	// dbRetries is this UAV's pending database retry queue. Only the
 	// observe-phase worker that owns the UAV touches it, so no lock.
 	dbRetries []dbRetry
+	// drops and retries are where this UAV's concurrent-phase failures
+	// are tallied: the platform totals when unsharded, the owning cell's
+	// shard-local counters when sharded (drained into the totals at the
+	// tick barrier). Serial-phase call sites keep using the platform
+	// totals directly.
+	drops   *dropCounters
+	retries *retryCounters
+	// detRNG is the vehicle's split detector stream in sharded mode;
+	// nil means captures draw from the shared fleet-order stream.
+	detRNG *rand.Rand
 }
 
 // dbRetryKind selects which database write a queued retry re-offers.
@@ -234,6 +276,14 @@ type Platform struct {
 	dispatched map[string]int // task path length already uploaded
 	// workers is the resolved observe-phase pool bound.
 	workers int
+	// cells is the resolved shard layout over p.order; length 1 selects
+	// the legacy unsharded pipeline.
+	cells []cell
+	// snapBuf, obsBuf and actionsBuf are per-tick scratch reused across
+	// ticks; the pipeline fully consumes them before the tick returns.
+	snapBuf    []eddi.Snapshot
+	obsBuf     []observation
+	actionsBuf map[string]conserts.UAVAction
 	// obs holds the resolved observability handles (nil when disabled).
 	obs *platformMetrics
 	// drops counts data-path failures that were previously discarded.
@@ -382,6 +432,41 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 		p.order = append(p.order, u.ID())
 	}
 	sort.Strings(p.order)
+	nCells := cfg.Cells
+	if nCells <= 0 {
+		nCells = AutoCells(len(p.order))
+	}
+	if nCells > len(p.order) {
+		nCells = len(p.order)
+	}
+	p.cells = make([]cell, nCells)
+	var det []*rand.Rand
+	if nCells > 1 && p.detector != nil && scene != nil {
+		// Sharded captures draw from one split stream per vehicle, keyed
+		// by fleet index, so the draw sequence — hence every digest — is
+		// invariant to the cell layout and the pool size. Streams are
+		// created here, serially, because the clock registry is not
+		// goroutine-safe.
+		det = world.Clock.ShardStreams("platform/detector", len(p.order))
+	}
+	for ci := range p.cells {
+		c := &p.cells[ci]
+		c.lo = ci * len(p.order) / nCells
+		c.hi = (ci + 1) * len(p.order) / nCells
+		for i := c.lo; i < c.hi; i++ {
+			st := p.states[p.order[i]]
+			if nCells > 1 {
+				st.drops = &c.drops
+				st.retries = &c.retries
+			} else {
+				st.drops = &p.drops
+				st.retries = &p.retries
+			}
+			if det != nil {
+				st.detRNG = det[i]
+			}
+		}
+	}
 	if cfg.SESAME {
 		// Compromise events trigger the §V-C mitigation chain.
 		if err := p.Security.OnEvent(p.onSecurityEvent); err != nil {
@@ -686,13 +771,14 @@ func (p *Platform) missionComplete() bool {
 	return true
 }
 
-// airborneNeighbors counts other airborne fleet members.
+// airborneNeighbors counts other airborne fleet members. It reads the
+// world's incrementally maintained airborne counter, which tracks every
+// mode transition instantly — exactly the mid-apply view the old
+// per-fleet scan had, at O(1) instead of O(fleet).
 func (p *Platform) airborneNeighbors(id string) int {
-	n := 0
-	for _, other := range p.order {
-		if other != id && p.states[other].uav.Mode().Airborne() {
-			n++
-		}
+	n := p.World.AirborneCount()
+	if p.states[id].uav.Mode().Airborne() {
+		n--
 	}
 	return n
 }
@@ -813,7 +899,12 @@ func (p *Platform) updateDecision() {
 	if p.mission == nil {
 		return
 	}
-	actions := make(map[string]conserts.UAVAction, len(p.order))
+	actions := p.actionsBuf
+	if actions == nil {
+		actions = make(map[string]conserts.UAVAction, len(p.order))
+		p.actionsBuf = actions
+	}
+	clear(actions)
 	for _, id := range p.order {
 		st := p.states[id]
 		a := st.action

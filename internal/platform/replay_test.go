@@ -45,6 +45,15 @@ func replayScenarios() []replayScenario {
 			now := p.World.Clock.Now()
 			layer.Link("u2").AddOutage(now+30, now+60)
 		}, 1800},
+		// Cell-sharded scheduler with a perception workload: checkpoints
+		// must capture the per-vehicle split detector streams and the
+		// merged shard counters, and the resumed run (pooled) must finish
+		// bit-identically to the uninterrupted sharded runs.
+		{"sharded-perception", func() Config {
+			c := DefaultConfig()
+			c.Cells = 2
+			return c
+		}, 5, 12, false, nil, 900},
 	}
 }
 

@@ -18,6 +18,16 @@ package platform
 //     mutates shared state (mission assignments, the event log)
 //     happens here, in stable p.order, which makes the concurrent
 //     scheduler's outputs bit-identical to the old serial loop.
+//
+// With Config.Cells > 1 the fleet is sharded into contiguous cells of
+// the sorted order and tickSharded replaces the pipeline above:
+// physics and a fused prepare+observe run per cell on the worker pool,
+// while everything that crosses cells — the lost-link watchdog, the
+// counter merge, apply, the mission decision — runs at serial barriers.
+// Sharded captures draw from per-vehicle split detector streams, so
+// sharded outputs are bit-identical across cell counts and pool sizes
+// (though, with a detection scene, not to the unsharded single-stream
+// draw order).
 
 import (
 	"errors"
@@ -49,9 +59,12 @@ type observation struct {
 // the black box and a full checkpoint is written on cadence.
 func (p *Platform) Tick() error {
 	var err error
-	if p.obs == nil {
+	switch {
+	case len(p.cells) > 1:
+		err = p.tickSharded()
+	case p.obs == nil:
 		err = p.tickFast()
-	} else {
+	default:
 		err = p.tickObserved()
 	}
 	if err != nil {
@@ -112,6 +125,110 @@ func (p *Platform) tickObserved() error {
 	return nil
 }
 
+// tickSharded is the cell-sharded pipeline (Config.Cells > 1): physics
+// and a fused prepare+observe run per cell on the worker pool, with
+// everything that crosses cells at serial barriers in fleet (or
+// ascending cell) order. Phase timings are recorded when observability
+// is on; the step/observe split matches the legacy phase labels.
+func (p *Platform) tickSharded() error {
+	obs := p.obs
+	var t time.Time
+	if obs != nil {
+		obs.tick.Add(1)
+		obs.ticks.Inc()
+		t = time.Now()
+	}
+	now, err := p.World.BeginStep(1)
+	if err != nil {
+		return err
+	}
+	p.runCells(func(c *cell) { p.World.StepRange(c.lo, c.hi, 1) })
+	p.World.FinishStep(now)
+	if obs != nil {
+		obs.phaseStep.Observe(time.Since(t).Seconds())
+		t = time.Now()
+	}
+	// The lost-link watchdog mutates shared mission state (availability
+	// marks, task redistribution, the event log), so it runs serially
+	// over the whole fleet before the concurrent phases. Hoisting it out
+	// of prepare is output-neutral: a contingency only touches other
+	// vehicles through redispatch, which never changes a field prepare
+	// snapshots, and the watchdog draws no RNG.
+	for _, id := range p.order {
+		p.tickLinkWatchdog(p.states[id], now)
+	}
+	if obs != nil {
+		obs.phasePrepare.Observe(time.Since(t).Seconds())
+		t = time.Now()
+	}
+	snaps := p.snapshotBuf()
+	out := p.observationBuf()
+	p.runCells(func(c *cell) {
+		for i := c.lo; i < c.hi; i++ {
+			st := p.states[p.order[i]]
+			snaps[i] = p.prepareUAV(st, now)
+			out[i] = p.observeUAV(snaps[i])
+		}
+	})
+	p.mergeCellCounters()
+	if obs != nil {
+		obs.phaseObserve.Observe(time.Since(t).Seconds())
+		t = time.Now()
+	}
+	for i, id := range p.order {
+		if err := p.apply(id, out[i], now); err != nil {
+			return err
+		}
+	}
+	p.updateDecision()
+	if obs != nil {
+		obs.phaseApply.Observe(time.Since(t).Seconds())
+	}
+	return nil
+}
+
+// runCells fans fn out over the cells on the worker pool (the same
+// work-stealing pattern as observeFleet) and waits for all of them.
+func (p *Platform) runCells(fn func(c *cell)) {
+	workers := p.workers
+	if workers > len(p.cells) {
+		workers = len(p.cells)
+	}
+	if workers <= 1 {
+		for i := range p.cells {
+			fn(&p.cells[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(p.cells) {
+					return
+				}
+				fn(&p.cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mergeCellCounters drains every cell's shard-local drop/retry tallies
+// into the platform totals in ascending cell order — the deterministic
+// merge Status and checkpoints read.
+func (p *Platform) mergeCellCounters() {
+	for i := range p.cells {
+		p.cells[i].drops.drainInto(&p.drops)
+		p.cells[i].retries.drainInto(&p.retries)
+	}
+}
+
 // RunMission ticks until every UAV has finished (landed/holding with
 // empty path) or horizon seconds elapse.
 func (p *Platform) RunMission(horizon float64) error {
@@ -130,46 +247,79 @@ func (p *Platform) RunMission(horizon float64) error {
 // prepare freezes one snapshot per UAV and stages perception frames in
 // fleet order (shared detector RNG — see package comment).
 func (p *Platform) prepare(now float64) []eddi.Snapshot {
-	snaps := make([]eddi.Snapshot, len(p.order))
+	snaps := p.snapshotBuf()
 	for i, id := range p.order {
 		st := p.states[id]
-		u := st.uav
 		// Lost-link watchdog first: the snapshot then reflects any
 		// contingency commanded this tick.
 		p.tickLinkWatchdog(st, now)
-		snaps[i] = eddi.Snapshot{
-			UAV:             id,
-			Time:            now,
-			Airborne:        u.Mode().Airborne(),
-			InMissionFlight: u.Mode() == uavsim.ModeMission,
-			AltitudeM:       u.AltitudeM(),
-			ChargePct:       u.Battery.ChargePct,
-			BatteryTempC:    u.Battery.TempC,
-			Overheating:     u.Battery.Overheating(),
-			FailedRotors:    u.FailedRotors(),
-			CommsOK:         u.Comms.OK,
-			Visibility:      p.cfg.Visibility,
-			Derived:         &eddi.Derived{},
-		}
-		if p.cfg.SESAME && p.scene != nil && st.collocCtrl == nil && u.Mode() == uavsim.ModeMission {
-			frame, err := p.detector.Capture(id, now, u.TruePosition(), detection.Conditions{
-				AltitudeM:  u.AltitudeM(),
-				Visibility: p.cfg.Visibility,
-				CameraBlur: u.Camera.BlurSigma,
-				Thermal:    p.thermal,
-			}, p.scene)
-			if countIn(&p.drops.perception, err) {
-				st.perceptionMon.stage(frame)
-			}
-		}
+		snaps[i] = p.prepareUAV(st, now)
 	}
 	return snaps
+}
+
+// prepareUAV freezes one UAV's telemetry snapshot and stages its
+// perception frame. The sharded tick calls it concurrently across
+// cells: every field read is the vehicle's own state, captures draw
+// from the vehicle's split detector stream (st.detRNG), and failures
+// count into the cell's shard-local counters.
+func (p *Platform) prepareUAV(st *uavState, now float64) eddi.Snapshot {
+	u := st.uav
+	s := eddi.Snapshot{
+		UAV:             u.ID(),
+		Time:            now,
+		Airborne:        u.Mode().Airborne(),
+		InMissionFlight: u.Mode() == uavsim.ModeMission,
+		AltitudeM:       u.AltitudeM(),
+		ChargePct:       u.Battery.ChargePct,
+		BatteryTempC:    u.Battery.TempC,
+		Overheating:     u.Battery.Overheating(),
+		FailedRotors:    u.FailedRotors(),
+		CommsOK:         u.Comms.OK,
+		Visibility:      p.cfg.Visibility,
+		Derived:         &eddi.Derived{},
+	}
+	if p.cfg.SESAME && p.scene != nil && st.collocCtrl == nil && u.Mode() == uavsim.ModeMission {
+		cond := detection.Conditions{
+			AltitudeM:  u.AltitudeM(),
+			Visibility: p.cfg.Visibility,
+			CameraBlur: u.Camera.BlurSigma,
+			Thermal:    p.thermal,
+		}
+		var frame *detection.Frame
+		var err error
+		if st.detRNG != nil {
+			frame, err = p.detector.CaptureWith(st.detRNG, u.ID(), now, u.TruePosition(), cond, p.scene)
+		} else {
+			frame, err = p.detector.Capture(u.ID(), now, u.TruePosition(), cond, p.scene)
+		}
+		if countIn(&st.drops.perception, err) {
+			st.perceptionMon.stage(frame)
+		}
+	}
+	return s
+}
+
+// snapshotBuf returns the reusable fleet-sized snapshot scratch.
+func (p *Platform) snapshotBuf() []eddi.Snapshot {
+	if cap(p.snapBuf) < len(p.order) {
+		p.snapBuf = make([]eddi.Snapshot, len(p.order))
+	}
+	return p.snapBuf[:len(p.order)]
+}
+
+// observationBuf returns the reusable fleet-sized observation scratch.
+func (p *Platform) observationBuf() []observation {
+	if cap(p.obsBuf) < len(p.order) {
+		p.obsBuf = make([]observation, len(p.order))
+	}
+	return p.obsBuf[:len(p.order)]
 }
 
 // observeFleet fans the monitor chains out across the worker pool and
 // collects per-UAV results into fleet-order slots.
 func (p *Platform) observeFleet(snaps []eddi.Snapshot) []observation {
-	out := make([]observation, len(snaps))
+	out := p.observationBuf()
 	workers := p.workers
 	if workers > len(snaps) {
 		workers = len(snaps)
@@ -208,7 +358,7 @@ func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
 	st := p.states[s.UAV]
 	defer func() {
 		if r := recover(); r != nil {
-			p.drops.monitors.Add(1)
+			st.drops.monitors.Add(1)
 			if st.recorder != nil {
 				st.recorder.recordPanic()
 			}
@@ -271,10 +421,10 @@ func (p *Platform) deferOrDrop(st *uavState, now float64, err error, r dbRetry) 
 		r.Attempts = 1
 		r.NextAt = now + p.cfg.DBRetryBackoffS
 		st.dbRetries = append(st.dbRetries, r)
-		p.retries.scheduled.Add(1)
+		st.retries.scheduled.Add(1)
 		return
 	}
-	p.drops.database.Add(1)
+	st.drops.database.Add(1)
 }
 
 // drainDBRetries re-offers due queued writes. Each failure doubles the
@@ -294,13 +444,13 @@ func (p *Platform) drainDBRetries(st *uavState, now float64) {
 		}
 		err := p.execRetry(st, r)
 		if err == nil {
-			p.retries.succeeded.Add(1)
+			st.retries.succeeded.Add(1)
 			continue
 		}
 		r.Attempts++
 		if !errors.Is(err, ErrUnavailable) || r.Attempts >= p.cfg.DBRetryAttempts {
-			p.retries.abandoned.Add(1)
-			p.drops.database.Add(1)
+			st.retries.abandoned.Add(1)
+			st.drops.database.Add(1)
 			continue
 		}
 		r.NextAt = now + p.cfg.DBRetryBackoffS*float64(uint64(1)<<uint(r.Attempts-1))

@@ -38,7 +38,10 @@ import (
 // differently tuned platform fails fast instead of diverging silently.
 // Workers is excluded on purpose — the scheduler is bit-identical
 // across pool sizes, so serial and pooled runs replay each other's
-// recordings. Function-typed fields (CoveragePlanner, ExtraMonitors)
+// recordings. Cells IS digested (as the raw configured value): with a
+// detection scene, sharded and unsharded runs draw detector captures
+// from different stream layouts, so their recordings must not replay
+// each other. Function-typed fields (CoveragePlanner, ExtraMonitors)
 // and pure instrumentation (Observability, Recorder) cannot or need
 // not be digested; the caller owns keeping those consistent.
 func (p *Platform) ConfigDigest() string {
@@ -56,6 +59,7 @@ func (p *Platform) ConfigDigest() string {
 		LostLinkLand     bool       `json:"lost_link_land"`
 		DBRetryAttempts  int        `json:"db_retry_attempts"`
 		DBRetryBackoffS  float64    `json:"db_retry_backoff_s"`
+		Cells            int        `json:"cells"`
 	}{
 		SESAME:           c.SESAME,
 		SurveyAltitudeM:  c.SurveyAltitudeM,
@@ -69,6 +73,7 @@ func (p *Platform) ConfigDigest() string {
 		LostLinkLand:     c.LostLinkLand,
 		DBRetryAttempts:  c.DBRetryAttempts,
 		DBRetryBackoffS:  c.DBRetryBackoffS,
+		Cells:            c.Cells,
 	}
 	data, err := json.Marshal(blob)
 	if err != nil {

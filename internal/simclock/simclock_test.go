@@ -304,3 +304,65 @@ func TestRestoreStreamsKeepsCapturedHandles(t *testing.T) {
 		t.Fatalf("unseen stream must rewind: got %v want %v", got, first)
 	}
 }
+
+// TestShardStreams pins the split semantics behind cell-sharded
+// scheduling: n <= 1 degrades to the plain named stream so unsharded
+// callers keep the legacy draw sequence, while n > 1 yields
+// deterministic per-shard sub-streams that reproduce across clocks with
+// the same seed and checkpoint like any other named stream.
+func TestShardStreams(t *testing.T) {
+	a := New(5)
+	if got := a.ShardStreams("det", 1); len(got) != 1 || got[0] != a.Stream("det") {
+		t.Fatal("n=1 must return the plain named stream")
+	}
+	if got := a.ShardStreams("det", 0); len(got) != 1 || got[0] != a.Stream("det") {
+		t.Fatal("n<=0 must return the plain named stream")
+	}
+
+	b := New(5)
+	sa := a.ShardStreams("dets", 4)
+	sb := b.ShardStreams("dets", 4)
+	if len(sa) != 4 || len(sb) != 4 {
+		t.Fatalf("shard count = %d/%d, want 4", len(sa), len(sb))
+	}
+	for i := range sa {
+		for k := 0; k < 8; k++ {
+			if x, y := sa[i].Int63(), sb[i].Int63(); x != y {
+				t.Fatalf("shard %d draw %d diverges across same-seed clocks: %d != %d", i, k, x, y)
+			}
+		}
+	}
+
+	// Shard i is exactly the "<name>/shard%03d" stream, so a caller can
+	// reach the same sequence by name (and checkpoints capture it).
+	c := New(5)
+	byName := c.Stream("dets/shard002")
+	direct := New(5).ShardStreams("dets", 4)[2]
+	for k := 0; k < 8; k++ {
+		if x, y := byName.Int63(), direct.Int63(); x != y {
+			t.Fatalf("shard 2 != named stream at draw %d: %d != %d", k, x, y)
+		}
+	}
+	found := false
+	for _, st := range c.StreamStates() {
+		if st.Name == "dets/shard002" && st.Draws == 8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("shard stream position missing from StreamStates")
+	}
+
+	// Distinct shards must not emit the same sequence.
+	d := New(5)
+	sd := d.ShardStreams("dets", 2)
+	same := true
+	for k := 0; k < 8; k++ {
+		if sd[0].Int63() != sd[1].Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("shards 0 and 1 emitted identical sequences")
+	}
+}

@@ -124,15 +124,16 @@ func (u *UAV) Snapshot() UAVSnapshot {
 	copy(wps, u.wps)
 	rotors := make([]bool, len(u.rotors))
 	copy(rotors, u.rotors)
+	f := &u.world.fleet
 	return UAVSnapshot{
 		ID:              u.cfg.ID,
-		Pos:             u.pos,
-		AltM:            u.altM,
-		SpeedMS:         u.speed,
-		HeadingD:        u.head,
-		Mode:            u.mode,
+		Pos:             f.pos[u.idx],
+		AltM:            f.altM[u.idx],
+		SpeedMS:         f.speed[u.idx],
+		HeadingD:        f.head[u.idx],
+		Mode:            f.mode[u.idx],
 		Waypoints:       wps,
-		WPAltM:          u.wpAltM,
+		WPAltM:          f.wpAltM[u.idx],
 		Rotors:          rotors,
 		Battery:         u.Battery.Snapshot(),
 		GPS:             u.GPS.Snapshot(),
@@ -153,13 +154,16 @@ func (u *UAV) RestoreSnapshot(s UAVSnapshot) error {
 		return fmt.Errorf("uavsim: %s: snapshot has %d rotors, vehicle has %d",
 			u.cfg.ID, len(s.Rotors), len(u.rotors))
 	}
-	u.pos = s.Pos
-	u.altM = s.AltM
-	u.speed = s.SpeedMS
-	u.head = s.HeadingD
-	u.mode = s.Mode
+	f := &u.world.fleet
+	f.pos[u.idx] = s.Pos
+	f.altM[u.idx] = s.AltM
+	f.speed[u.idx] = s.SpeedMS
+	f.head[u.idx] = s.HeadingD
+	// Through the setter so the world's airborne count tracks the
+	// restored mode.
+	u.setMode(s.Mode)
 	u.wps = append(u.wps[:0], s.Waypoints...)
-	u.wpAltM = s.WPAltM
+	f.wpAltM[u.idx] = s.WPAltM
 	copy(u.rotors, s.Rotors)
 	u.Battery.Restore(s.Battery)
 	u.GPS.Restore(s.GPS)

@@ -19,21 +19,24 @@ type UAVConfig struct {
 	ClimbRateMS float64
 	// Rotors is the motor count (quad=4, hex=6; the M300 is a quad).
 	Rotors int
-	// Battery overrides the default pack when non-nil.
+	// Battery overrides the default pack when non-nil. The pack is
+	// copied into the world's contiguous battery store; mutate it via
+	// UAV.Battery afterwards, not through the pointer passed here.
 	Battery *Battery
 }
 
 // UAV is one simulated vehicle. It is owned and stepped by a World.
+// Its hot kinematic state (position, altitude, speed, heading, mode,
+// commanded altitude, battery) lives in the world's struct-of-arrays
+// fleet store at index idx; the accessors below read through to it.
 type UAV struct {
-	cfg    UAVConfig
-	pos    geo.ENU // true position in the world frame
-	altM   float64
-	speed  float64 // current ground speed
-	head   float64 // heading, degrees from north
-	mode   FlightMode
-	wps    []geo.ENU // remaining waypoints (world frame)
-	wpAltM float64   // target altitude
+	cfg UAVConfig
+	// idx is the vehicle's dense index into world.fleet.
+	idx int
+	wps []geo.ENU // remaining waypoints (world frame)
 
+	// Battery points into the world's contiguous pack store
+	// (world.fleet.batt); AddUAV re-pins it after fleet growth.
 	Battery *Battery
 	GPS     *GPS
 	Camera  *Camera
@@ -53,22 +56,24 @@ type UAV struct {
 func (u *UAV) ID() string { return u.cfg.ID }
 
 // Mode returns the current flight mode.
-func (u *UAV) Mode() FlightMode { return u.mode }
+func (u *UAV) Mode() FlightMode { return u.world.fleet.mode[u.idx] }
 
 // TruePosition returns the ground-truth geodetic position.
-func (u *UAV) TruePosition() geo.LatLng { return u.world.proj.ToLatLng(u.pos) }
+func (u *UAV) TruePosition() geo.LatLng {
+	return u.world.proj.ToLatLng(u.world.fleet.pos[u.idx])
+}
 
 // TrueENU returns the ground-truth position in the world frame.
-func (u *UAV) TrueENU() geo.ENU { return u.pos }
+func (u *UAV) TrueENU() geo.ENU { return u.world.fleet.pos[u.idx] }
 
 // AltitudeM returns the true altitude above ground in metres.
-func (u *UAV) AltitudeM() float64 { return u.altM }
+func (u *UAV) AltitudeM() float64 { return u.world.fleet.altM[u.idx] }
 
 // SpeedMS returns the current ground speed.
-func (u *UAV) SpeedMS() float64 { return u.speed }
+func (u *UAV) SpeedMS() float64 { return u.world.fleet.speed[u.idx] }
 
 // HeadingDeg returns the current heading.
-func (u *UAV) HeadingDeg() float64 { return u.head }
+func (u *UAV) HeadingDeg() float64 { return u.world.fleet.head[u.idx] }
 
 // Home returns the configured home point.
 func (u *UAV) Home() geo.LatLng { return u.cfg.Home }
@@ -115,9 +120,9 @@ func (u *UAV) FailRotor(i int) error {
 		return fmt.Errorf("uavsim: rotor %d out of range", i)
 	}
 	u.rotors[i] = true
-	if !u.controllable() && u.mode.Airborne() {
-		u.mode = ModeCrashed
-		u.speed = 0
+	if !u.controllable() && u.Mode().Airborne() {
+		u.setMode(ModeCrashed)
+		u.world.fleet.speed[u.idx] = 0
 	}
 	return nil
 }
@@ -139,8 +144,8 @@ func (u *UAV) controllable() bool {
 
 // TakeOff transitions from idle/landed to a hold at altM metres.
 func (u *UAV) TakeOff(altM float64) error {
-	if u.mode != ModeIdle && u.mode != ModeLanded {
-		return fmt.Errorf("uavsim: %s cannot take off in mode %v", u.cfg.ID, u.mode)
+	if m := u.Mode(); m != ModeIdle && m != ModeLanded {
+		return fmt.Errorf("uavsim: %s cannot take off in mode %v", u.cfg.ID, m)
 	}
 	if !u.controllable() {
 		return fmt.Errorf("uavsim: %s is not controllable", u.cfg.ID)
@@ -148,8 +153,8 @@ func (u *UAV) TakeOff(altM float64) error {
 	if altM <= 0 {
 		return errors.New("uavsim: takeoff altitude must be positive")
 	}
-	u.mode = ModeHold
-	u.wpAltM = altM
+	u.setMode(ModeHold)
+	u.world.fleet.wpAltM[u.idx] = altM
 	return nil
 }
 
@@ -159,15 +164,15 @@ func (u *UAV) FlyMission(waypoints []geo.LatLng, altM float64) error {
 	if len(waypoints) == 0 {
 		return errors.New("uavsim: empty waypoint list")
 	}
-	if !u.mode.Airborne() {
-		return fmt.Errorf("uavsim: %s must be airborne to fly a mission (mode %v)", u.cfg.ID, u.mode)
+	if !u.Mode().Airborne() {
+		return fmt.Errorf("uavsim: %s must be airborne to fly a mission (mode %v)", u.cfg.ID, u.Mode())
 	}
 	u.wps = u.wps[:0]
 	for _, wp := range waypoints {
 		u.wps = append(u.wps, u.world.proj.ToENU(wp))
 	}
-	u.wpAltM = altM
-	u.mode = ModeMission
+	u.world.fleet.wpAltM[u.idx] = altM
+	u.setMode(ModeMission)
 	return nil
 }
 
@@ -176,40 +181,40 @@ func (u *UAV) SetAltitude(altM float64) error {
 	if altM <= 0 {
 		return errors.New("uavsim: altitude must be positive")
 	}
-	u.wpAltM = altM
+	u.world.fleet.wpAltM[u.idx] = altM
 	return nil
 }
 
 // Hold freezes the vehicle at its current position.
 func (u *UAV) Hold() {
-	if u.mode.Airborne() {
-		u.mode = ModeHold
+	if u.Mode().Airborne() {
+		u.setMode(ModeHold)
 		u.wps = u.wps[:0]
 	}
 }
 
 // ReturnToBase flies home and lands.
 func (u *UAV) ReturnToBase() {
-	if !u.mode.Airborne() {
+	if !u.Mode().Airborne() {
 		return
 	}
 	u.wps = u.wps[:0]
 	u.wps = append(u.wps, u.world.proj.ToENU(u.cfg.Home))
-	u.mode = ModeReturnToBase
+	u.setMode(ModeReturnToBase)
 }
 
 // Land descends in place.
 func (u *UAV) Land() {
-	if u.mode.Airborne() {
-		u.mode = ModeLanding
+	if u.Mode().Airborne() {
+		u.setMode(ModeLanding)
 		u.wps = u.wps[:0]
 	}
 }
 
 // EmergencyLand descends immediately at double climb rate.
 func (u *UAV) EmergencyLand() {
-	if u.mode.Airborne() {
-		u.mode = ModeEmergencyLanding
+	if u.Mode().Airborne() {
+		u.setMode(ModeEmergencyLanding)
 		u.wps = u.wps[:0]
 	}
 }
@@ -219,27 +224,30 @@ func (u *UAV) EmergencyLand() {
 // waypointCaptureM is the horizontal capture radius.
 const waypointCaptureM = 1.5
 
-// step advances the vehicle by dt seconds.
+// step advances the vehicle by dt seconds, reading and writing the
+// world's struct-of-arrays slots for this vehicle.
 func (u *UAV) step(dt float64) {
-	if u.mode == ModeCrashed {
+	f := &u.world.fleet
+	i := u.idx
+	if f.mode[i] == ModeCrashed {
 		return
 	}
-	if u.Battery.Depleted() && u.mode.Airborne() {
-		u.mode = ModeCrashed
-		u.speed = 0
+	if u.Battery.Depleted() && f.mode[i].Airborne() {
+		u.setMode(ModeCrashed)
+		f.speed[i] = 0
 		return
 	}
 
 	var vel geo.ENU
 	climb := 0.0
 
-	if u.GuidanceOverride != nil && u.mode.Airborne() {
+	if u.GuidanceOverride != nil && f.mode[i].Airborne() {
 		vel = u.GuidanceOverride(u, dt)
 		if n := vel.Norm(); n > u.cfg.CruiseSpeedMS && n > 0 {
 			vel = vel.Scale(u.cfg.CruiseSpeedMS / n)
 		}
 	} else {
-		switch u.mode {
+		switch f.mode[i] {
 		case ModeMission, ModeReturnToBase:
 			vel = u.seekWaypoint(dt)
 		case ModeHold:
@@ -252,36 +260,36 @@ func (u *UAV) step(dt float64) {
 	}
 
 	// Altitude tracking for non-landing airborne modes.
-	if u.mode == ModeMission || u.mode == ModeHold || u.mode == ModeReturnToBase {
-		dAlt := u.wpAltM - u.altM
+	if m := f.mode[i]; m == ModeMission || m == ModeHold || m == ModeReturnToBase {
+		dAlt := f.wpAltM[i] - f.altM[i]
 		maxStep := u.cfg.ClimbRateMS * dt
 		if math.Abs(dAlt) <= maxStep {
-			u.altM = u.wpAltM
+			f.altM[i] = f.wpAltM[i]
 		} else if dAlt > 0 {
-			u.altM += maxStep
+			f.altM[i] += maxStep
 		} else {
-			u.altM -= maxStep
+			f.altM[i] -= maxStep
 		}
 	} else if climb != 0 {
-		u.altM += climb * dt
-		if u.altM <= 0 {
-			u.altM = 0
-			u.mode = ModeLanded
-			u.speed = 0
+		f.altM[i] += climb * dt
+		if f.altM[i] <= 0 {
+			f.altM[i] = 0
+			u.setMode(ModeLanded)
+			f.speed[i] = 0
 		}
 	}
 
 	// Wind (mean + gust) drifts the true track.
-	if u.mode.Airborne() {
+	if f.mode[i].Airborne() {
 		vel = vel.Add(u.world.CurrentWind())
 	}
-	u.pos = u.pos.Add(vel.Scale(dt))
-	u.speed = vel.Norm()
-	if u.speed > 0.01 {
-		u.head = math.Mod(math.Atan2(vel.East, vel.North)*180/math.Pi+360, 360)
+	f.pos[i] = f.pos[i].Add(vel.Scale(dt))
+	f.speed[i] = vel.Norm()
+	if f.speed[i] > 0.01 {
+		f.head[i] = math.Mod(math.Atan2(vel.East, vel.North)*180/math.Pi+360, 360)
 	}
 
-	u.Battery.Step(dt, u.speed, u.mode.Airborne())
+	u.Battery.Step(dt, f.speed[i], f.mode[i].Airborne())
 	u.GPS.Step(dt)
 }
 
@@ -304,11 +312,11 @@ func (u *UAV) seekWaypoint(dt float64) geo.ENU {
 		return d.Scale(u.cfg.CruiseSpeedMS / d.Norm())
 	}
 	// Mission complete.
-	switch u.mode {
+	switch u.Mode() {
 	case ModeMission:
-		u.mode = ModeHold
+		u.setMode(ModeHold)
 	case ModeReturnToBase:
-		u.mode = ModeLanding
+		u.setMode(ModeLanding)
 	}
 	return geo.ENU{}
 }
@@ -318,9 +326,9 @@ func (u *UAV) seekWaypoint(dt float64) geo.ENU {
 // world frame; during dropout it degrades to the true position (inertial
 // drift is neglected over the short horizons simulated here).
 func (u *UAV) believedENU() geo.ENU {
-	fix, ok := u.GPS.Fix(u.TruePosition(), u.altM, u.cfg.ID, 0)
+	fix, ok := u.GPS.Fix(u.TruePosition(), u.AltitudeM(), u.cfg.ID, 0)
 	if !ok {
-		return u.pos
+		return u.world.fleet.pos[u.idx]
 	}
 	return u.world.proj.ToENU(fix.Position)
 }

@@ -26,10 +26,20 @@ type World struct {
 	GustTauS    float64
 	gust        geo.ENU
 
-	proj   *geo.Projection
-	uavs   map[string]*UAV
-	order  []string // deterministic step order
-	faults []Fault
+	proj *geo.Projection
+	uavs map[string]*UAV
+	// fleet is the struct-of-arrays hot-state store (fleet.go);
+	// vehicles lists UAVs by fleet index (add order), seq by sorted id
+	// (the deterministic step order mirrored in order).
+	fleet    fleet
+	vehicles []*UAV
+	seq      []*UAV
+	order    []string // deterministic step order
+	faults   []Fault
+	// airborne counts vehicles in airborne modes; maintained by the
+	// mode setter (atomic: sharded physics may crash vehicles
+	// concurrently).
+	airborne atomic.Int64
 
 	pubs map[string]map[string]*rosbus.Publisher // uav -> topic -> pub
 
@@ -93,19 +103,46 @@ func (w *World) AddUAV(cfg UAVConfig) (*UAV, error) {
 		batt = DefaultBattery()
 	}
 	u := &UAV{
-		cfg:     cfg,
-		pos:     w.proj.ToENU(cfg.Home),
-		mode:    ModeIdle,
-		Battery: batt,
-		GPS:     NewGPS(w.Clock.Stream("gps/" + cfg.ID)),
-		Camera:  NewCamera(),
-		Comms:   NewComms(),
-		rotors:  make([]bool, cfg.Rotors),
-		world:   w,
+		cfg:    cfg,
+		idx:    len(w.vehicles),
+		GPS:    NewGPS(w.Clock.Stream("gps/" + cfg.ID)),
+		Camera: NewCamera(),
+		Comms:  NewComms(),
+		rotors: make([]bool, cfg.Rotors),
+		world:  w,
+	}
+	w.fleet.pos = append(w.fleet.pos, w.proj.ToENU(cfg.Home))
+	w.fleet.altM = append(w.fleet.altM, 0)
+	w.fleet.speed = append(w.fleet.speed, 0)
+	w.fleet.head = append(w.fleet.head, 0)
+	w.fleet.mode = append(w.fleet.mode, ModeIdle)
+	w.fleet.wpAltM = append(w.fleet.wpAltM, 0)
+	battCap := cap(w.fleet.batt)
+	w.fleet.batt = append(w.fleet.batt, *batt)
+	w.vehicles = append(w.vehicles, u)
+	if cap(w.fleet.batt) != battCap {
+		// The append moved the contiguous pack store: re-pin every
+		// vehicle's Battery pointer to its new slot.
+		for j, v := range w.vehicles {
+			v.Battery = &w.fleet.batt[j]
+		}
+	} else {
+		u.Battery = &w.fleet.batt[u.idx]
 	}
 	w.uavs[cfg.ID] = u
-	w.order = append(w.order, cfg.ID)
-	sort.Strings(w.order)
+	// Fleets are normally built in ascending id order; appending keeps
+	// that O(1). Out-of-order adds fall back to a resort.
+	if n := len(w.order); n == 0 || cfg.ID > w.order[n-1] {
+		w.order = append(w.order, cfg.ID)
+		w.seq = append(w.seq, u)
+	} else {
+		w.order = append(w.order, cfg.ID)
+		sort.Strings(w.order)
+		w.seq = w.seq[:0]
+		for _, id := range w.order {
+			w.seq = append(w.seq, w.uavs[id])
+		}
+	}
 
 	topics := map[string]string{
 		"gps":     gpsTopic(cfg.ID),
@@ -135,10 +172,8 @@ func (w *World) UAV(id string) (*UAV, error) {
 
 // UAVs returns the fleet in deterministic id order.
 func (w *World) UAVs() []*UAV {
-	out := make([]*UAV, 0, len(w.order))
-	for _, id := range w.order {
-		out = append(out, w.uavs[id])
-	}
+	out := make([]*UAV, len(w.seq))
+	copy(out, w.seq)
 	return out
 }
 
@@ -227,26 +262,16 @@ func CameraFailureFault(at float64, uav string) Fault {
 }
 
 // Step advances the whole world by dt seconds: injects due faults,
-// steps every vehicle in id order, then publishes telemetry.
+// steps every vehicle in id order, then publishes telemetry. It is the
+// serial composition of the BeginStep / StepRange / FinishStep phases
+// a cell-sharded caller drives itself.
 func (w *World) Step(dt float64) error {
-	if dt <= 0 {
-		return errors.New("uavsim: non-positive dt")
+	now, err := w.BeginStep(dt)
+	if err != nil {
+		return err
 	}
-	now := w.Clock.Now() + dt
-	// Run any clock events scheduled before now (keeps user callbacks
-	// in sync with vehicle stepping).
-	w.Clock.RunUntil(now)
-
-	for len(w.faults) > 0 && w.faults[0].At <= now {
-		f := w.faults[0]
-		w.faults = w.faults[1:]
-		f.Apply(w.uavs[f.UAV])
-	}
-	w.stepGust(dt)
-	for _, id := range w.order {
-		w.uavs[id].step(dt)
-	}
-	w.publishTelemetry(now)
+	w.StepRange(0, len(w.seq), dt)
+	w.FinishStep(now)
 	return nil
 }
 
@@ -289,8 +314,8 @@ func (w *World) stepGust(dt float64) {
 func (w *World) CurrentWind() geo.ENU { return w.Wind.Add(w.gust) }
 
 func (w *World) publishTelemetry(now float64) {
-	for _, id := range w.order {
-		u := w.uavs[id]
+	for _, u := range w.seq {
+		id := u.cfg.ID
 		pubs := w.pubs[id]
 
 		// A severed C2 link (jamming) carries no telemetry: downstream
@@ -304,17 +329,17 @@ func (w *World) publishTelemetry(now float64) {
 		// consumers correlating the two streams see same-tick data.
 		w.countPublish(pubs["status"].Publish(now, StatusReport{
 			UAV:       id,
-			Mode:      u.mode,
+			Mode:      u.Mode(),
 			Position:  u.TruePosition(),
-			AltitudeM: u.altM,
-			SpeedMS:   u.speed,
-			HeadingD:  u.head,
+			AltitudeM: u.AltitudeM(),
+			SpeedMS:   u.SpeedMS(),
+			HeadingD:  u.HeadingDeg(),
 			Waypoints: len(u.wps),
 			Stamp:     now,
 		}))
 		// A lost fix is still published, with Quality=GPSLost, so
 		// downstream monitors observe the dropout.
-		fix, _ := u.GPS.Fix(u.TruePosition(), u.altM, id, now)
+		fix, _ := u.GPS.Fix(u.TruePosition(), u.AltitudeM(), id, now)
 		w.countPublish(pubs["gps"].Publish(now, fix))
 		w.countPublish(pubs["battery"].Publish(now, u.Battery.State(id, now)))
 		w.countPublish(pubs["health"].Publish(now, HealthState{

@@ -307,6 +307,10 @@ type PlatformDrops = platform.DropCounters
 // DefaultPlatformConfig returns the experiment calibration (SESAME on).
 func DefaultPlatformConfig() PlatformConfig { return platform.DefaultConfig() }
 
+// AutoCells returns the cell count PlatformConfig.Cells = 0 resolves to
+// for an n-UAV fleet: one cell per 64 vehicles.
+func AutoCells(n int) int { return platform.AutoCells(n) }
+
 // NewPlatform builds a platform over an existing world and optional
 // detection scene.
 func NewPlatform(w *World, scene *Scene, cfg PlatformConfig) (*Platform, error) {
