@@ -14,6 +14,7 @@
 //	sesame-experiments -exp comms         # degraded-comms robustness matrix
 //	sesame-experiments -exp obsv          # observability self-measurement
 //	sesame-experiments -exp flightrec     # black-box crash/resume replay
+//	sesame-experiments -exp campaign      # Monte Carlo campaign engine smoke
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -144,9 +145,23 @@ func main() {
 		}
 		return nil
 	})
+	run("campaign", func() error {
+		r, err := experiments.RunCampaign(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		if !r.Identical {
+			return fmt.Errorf("resumed campaign outputs diverged from the uninterrupted sweep")
+		}
+		if !r.DigestMatch {
+			return fmt.Errorf("standalone rerun digest mismatch")
+		}
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

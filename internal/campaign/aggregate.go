@@ -1,0 +1,327 @@
+package campaign
+
+// The streaming aggregator: consumes results strictly in run order,
+// writes the per-run CSV and JSONL rows incrementally (no O(N) result
+// buffering), and folds each result into bounded per-group accumulators
+// (group = every grid axis except the seed). When the sweep completes
+// it materializes the risk-curve artefacts the paper's single-scenario
+// figures could not provide: mission-success probability and
+// detection-latency percentiles/ECDFs per link/fault condition.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Output file names inside a campaign directory.
+const (
+	RunsCSVName    = "runs.csv"
+	RunsJSONLName  = "runs.jsonl"
+	CurvesCSVName  = "risk_curves.csv"
+	ECDFCSVName    = "detect_ecdf.csv"
+	AggregatesName = "aggregates.json"
+)
+
+// runsHeader is the per-run CSV schema.
+var runsHeader = []string{
+	"index", "key", "seed", "fleet", "cells", "link", "fault",
+	"completed", "completion_s", "ticks", "decision", "availability",
+	"safety_detect_s", "security_detect_s",
+	"lost_link_events", "compromise_events",
+	"drops", "world_drops", "db_retries",
+	"link_offered", "link_delivered", "link_dropped", "digest",
+}
+
+// Aggregates is the aggregates.json schema: the campaign's risk
+// surface, one GroupStats row per aggregation group.
+type Aggregates struct {
+	Name       string       `json:"name"`
+	SpecDigest string       `json:"spec_digest"`
+	TotalRuns  int          `json:"total_runs"`
+	Groups     []GroupStats `json:"groups"`
+}
+
+// ReadAggregates loads dir/aggregates.json (written only when the
+// sweep ran to completion).
+func ReadAggregates(dir string) (Aggregates, error) {
+	var a Aggregates
+	data, err := os.ReadFile(filepath.Join(dir, AggregatesName))
+	if err != nil {
+		return a, err
+	}
+	err = json.Unmarshal(data, &a)
+	return a, err
+}
+
+// GroupStats is one aggregation group's streamed statistics — a row of
+// the risk surface.
+type GroupStats struct {
+	Group string `json:"group"`
+	Fleet int    `json:"fleet"`
+	Cells int    `json:"cells"`
+	Link  string `json:"link"`
+	Fault string `json:"fault"`
+
+	Runs             int     `json:"runs"`
+	Completed        int     `json:"completed"`
+	SuccessRate      float64 `json:"success_rate"`
+	MeanCompletionS  float64 `json:"mean_completion_s"` // over completed runs, -1 if none
+	MeanAvailability float64 `json:"mean_availability"`
+
+	// Detection-latency distributions (seconds), with miss counts for
+	// injected-but-never-detected faults. Percentiles are -1 when the
+	// group has no samples.
+	SafetyDetected   int     `json:"safety_detected"`
+	SafetyMissed     int     `json:"safety_missed"`
+	SafetyP50        float64 `json:"safety_p50"`
+	SafetyP90        float64 `json:"safety_p90"`
+	SafetyP95        float64 `json:"safety_p95"`
+	SecurityDetected int     `json:"security_detected"`
+	SecurityMissed   int     `json:"security_missed"`
+	SecurityP50      float64 `json:"security_p50"`
+	SecurityP90      float64 `json:"security_p90"`
+	SecurityP95      float64 `json:"security_p95"`
+}
+
+// groupAgg is the bounded accumulator behind one GroupStats row.
+type groupAgg struct {
+	fleet, cells int
+	link, fault  string
+
+	runs, completed int
+	sumCompletion   float64
+	sumAvail        float64
+
+	safety, security     *Reservoir
+	safetyMiss, secMiss  int
+	batteryInj, spoofInj bool
+}
+
+// aggregator owns every incremental output writer plus the per-group
+// accumulators.
+type aggregator struct {
+	dir  string
+	spec *Spec
+
+	runsCSV   *StreamCSV
+	jsonlFile *os.File
+	jsonl     *bufio.Writer
+
+	groups     map[string]*groupAgg
+	groupOrder []string
+
+	row []string // reused CSV row buffer
+}
+
+func newAggregator(dir string, spec *Spec) (*aggregator, error) {
+	runsCSV, err := CreateCSV(dir, RunsCSVName, runsHeader)
+	if err != nil {
+		return nil, err
+	}
+	jf, err := os.Create(filepath.Join(dir, RunsJSONLName))
+	if err != nil {
+		runsCSV.Close()
+		return nil, err
+	}
+	return &aggregator{
+		dir: dir, spec: spec,
+		runsCSV: runsCSV, jsonlFile: jf, jsonl: bufio.NewWriter(jf),
+		groups: map[string]*groupAgg{},
+		row:    make([]string, 0, len(runsHeader)),
+	}, nil
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+func i2s(v int) string     { return strconv.Itoa(v) }
+func u2s(v uint64) string  { return strconv.FormatUint(v, 10) }
+
+// emit streams one result (called in run order) into every output.
+func (a *aggregator) emit(res Result) error {
+	a.row = append(a.row[:0],
+		i2s(res.Index), res.Key, strconv.FormatInt(res.Seed, 10),
+		i2s(res.Fleet), i2s(res.Cells), res.Link, res.Fault,
+		strconv.FormatBool(res.Completed), f2s(res.CompletionS),
+		u2s(res.Ticks), res.Decision, f2s(res.Availability),
+		f2s(res.SafetyDetectS), f2s(res.SecurityDetectS),
+		i2s(res.LostLinkEvents), i2s(res.CompromiseEvents),
+		u2s(res.Drops), u2s(res.WorldDrops), u2s(res.DBRetries),
+		u2s(res.LinkOffered), u2s(res.LinkDelivered), u2s(res.LinkDropped),
+		res.Digest,
+	)
+	if err := a.runsCSV.WriteRow(a.row); err != nil {
+		return err
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	if _, err := a.jsonl.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	// One flushed line per run keeps the JSONL prefix complete on kill.
+	if err := a.jsonl.Flush(); err != nil {
+		return err
+	}
+	a.fold(res)
+	return nil
+}
+
+// fold accumulates the result into its group.
+func (a *aggregator) fold(res Result) {
+	key := fmt.Sprintf("f%d-c%d-%s-%s", res.Fleet, res.Cells, res.Link, res.Fault)
+	g, ok := a.groups[key]
+	if !ok {
+		g = &groupAgg{
+			fleet: res.Fleet, cells: res.Cells, link: res.Link, fault: res.Fault,
+			safety: NewReservoir(0), security: NewReservoir(0),
+		}
+		for _, f := range a.spec.Faults {
+			if f.Name == res.Fault {
+				g.batteryInj = f.BatteryAtS > 0
+				g.spoofInj = f.SpoofAtS > 0
+			}
+		}
+		a.groups[key] = g
+		a.groupOrder = append(a.groupOrder, key)
+	}
+	g.runs++
+	g.sumAvail += res.Availability
+	if res.Completed {
+		g.completed++
+		g.sumCompletion += res.CompletionS
+	}
+	if g.batteryInj {
+		if res.SafetyDetectS >= 0 {
+			g.safety.Add(res.SafetyDetectS)
+		} else {
+			g.safetyMiss++
+		}
+	}
+	if g.spoofInj {
+		if res.SecurityDetectS >= 0 {
+			g.security.Add(res.SecurityDetectS)
+		} else {
+			g.secMiss++
+		}
+	}
+}
+
+// pOr returns the reservoir percentile, -1 when empty (JSON-safe).
+func pOr(r *Reservoir, q float64) float64 {
+	if r.Count() == 0 {
+		return -1
+	}
+	return r.Percentile(q)
+}
+
+// stats materializes one group row.
+func (g *groupAgg) stats(key string) GroupStats {
+	s := GroupStats{
+		Group: key, Fleet: g.fleet, Cells: g.cells, Link: g.link, Fault: g.fault,
+		Runs: g.runs, Completed: g.completed,
+		MeanCompletionS: -1,
+		SafetyDetected:  g.safety.Count(), SafetyMissed: g.safetyMiss,
+		SafetyP50: pOr(g.safety, 0.50), SafetyP90: pOr(g.safety, 0.90), SafetyP95: pOr(g.safety, 0.95),
+		SecurityDetected: g.security.Count(), SecurityMissed: g.secMiss,
+		SecurityP50: pOr(g.security, 0.50), SecurityP90: pOr(g.security, 0.90), SecurityP95: pOr(g.security, 0.95),
+	}
+	if g.runs > 0 {
+		s.SuccessRate = float64(g.completed) / float64(g.runs)
+		s.MeanAvailability = g.sumAvail / float64(g.runs)
+	}
+	if g.completed > 0 {
+		s.MeanCompletionS = g.sumCompletion / float64(g.completed)
+	}
+	return s
+}
+
+// finalize writes the aggregate artefacts: risk_curves.csv,
+// detect_ecdf.csv and aggregates.json. Group order is first-seen order
+// over the in-order result stream, so it is deterministic.
+func (a *aggregator) finalize() error {
+	curves, err := CreateCSV(a.dir, CurvesCSVName, []string{
+		"group", "fleet", "cells", "link", "fault", "runs",
+		"success_rate", "mean_completion_s", "mean_availability",
+		"safety_detected", "safety_missed", "safety_p50", "safety_p90", "safety_p95",
+		"security_detected", "security_missed", "security_p50", "security_p90", "security_p95",
+	})
+	if err != nil {
+		return err
+	}
+	ecdf, err := CreateCSV(a.dir, ECDFCSVName, []string{"group", "metric", "latency_s", "p"})
+	if err != nil {
+		curves.Close()
+		return err
+	}
+	all := Aggregates{
+		Name:       a.spec.Name,
+		SpecDigest: a.spec.Digest(),
+		TotalRuns:  a.spec.Total(),
+		Groups:     make([]GroupStats, 0, len(a.groupOrder)),
+	}
+
+	for _, key := range a.groupOrder {
+		g := a.groups[key]
+		s := g.stats(key)
+		all.Groups = append(all.Groups, s)
+		err := curves.WriteRow([]string{
+			s.Group, i2s(s.Fleet), i2s(s.Cells), s.Link, s.Fault, i2s(s.Runs),
+			f2s(s.SuccessRate), f2s(s.MeanCompletionS), f2s(s.MeanAvailability),
+			i2s(s.SafetyDetected), i2s(s.SafetyMissed), f2s(s.SafetyP50), f2s(s.SafetyP90), f2s(s.SafetyP95),
+			i2s(s.SecurityDetected), i2s(s.SecurityMissed), f2s(s.SecurityP50), f2s(s.SecurityP90), f2s(s.SecurityP95),
+		})
+		if err != nil {
+			curves.Close()
+			ecdf.Close()
+			return err
+		}
+		// Two fixed metrics, emitted in a fixed order for determinism.
+		for _, m := range []struct {
+			name string
+			r    *Reservoir
+		}{{"safety", g.safety}, {"security", g.security}} {
+			for _, pt := range m.r.ECDF() {
+				if err := ecdf.WriteRow([]string{s.Group, m.name, f2s(pt.X), f2s(pt.P)}); err != nil {
+					curves.Close()
+					ecdf.Close()
+					return err
+				}
+			}
+		}
+	}
+	if err := curves.Close(); err != nil {
+		ecdf.Close()
+		return err
+	}
+	if err := ecdf.Close(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(a.dir, AggregatesName), append(data, '\n'), 0o644)
+}
+
+// close flushes and closes the incremental writers; when the sweep
+// completed it also writes the aggregate artefacts.
+func (a *aggregator) close(complete bool) error {
+	var firstErr error
+	if err := a.runsCSV.Close(); err != nil {
+		firstErr = err
+	}
+	if err := a.jsonl.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := a.jsonlFile.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if complete && firstErr == nil {
+		firstErr = a.finalize()
+	}
+	return firstErr
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"sesame/internal/linksim"
+)
+
+// benchSpec is the fixed grid every benchmark iteration sweeps:
+// 2 seeds x 2 links x 2 faults = 8 full platform missions.
+func benchSpec() Spec {
+	return Spec{
+		Name:      "bench",
+		SeedFrom:  1,
+		SeedCount: 2,
+		HorizonS:  240,
+		AreaSideM: 200,
+		Links: []LinkVariant{
+			{Name: "nominal"},
+			{Name: "lossy-10", Profile: linksim.Profile{DropProb: 0.10}},
+		},
+		Faults: []FaultVariant{
+			{Name: "none"},
+			{Name: "spoof-30", SpoofAtS: 30},
+		},
+	}
+}
+
+// BenchmarkCampaignThroughput measures end-to-end sweep throughput —
+// expansion, worker-pool execution, journaling and streamed
+// aggregation — at different pool sizes. The headline metric is
+// runs/sec; on a multi-core host the workers=NumCPU row scales with
+// run-level parallelism, on a single-core host it exposes the pool's
+// dispatch overhead instead.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	pools := []int{1, 4, runtime.NumCPU()}
+	for _, workers := range pools {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := benchSpec()
+			root := b.TempDir()
+			runs := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dir, err := os.MkdirTemp(root, "sweep-")
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := New(spec, Options{OutDir: dir, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum, err := eng.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !sum.Complete {
+					b.Fatalf("sweep incomplete: %+v", sum)
+				}
+				runs += sum.Executed
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}

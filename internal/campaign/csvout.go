@@ -1,0 +1,79 @@
+package campaign
+
+// CSV plumbing shared by the campaign's streaming writers and the
+// experiment reports' one-shot dumps. StreamCSV is the incremental
+// path — one flushed row per completed run, so a killed sweep leaves a
+// readable prefix on disk — and WriteCSVFile is the buffered
+// convenience built on it, which internal/experiments delegates to so
+// every CSV artefact in the repo is framed by one code path.
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+)
+
+// StreamCSV writes one CSV file incrementally: the header at creation,
+// then one flushed row per WriteRow.
+type StreamCSV struct {
+	f *os.File
+	w *csv.Writer
+}
+
+// CreateCSV creates (or truncates) dir/name and writes the header.
+func CreateCSV(dir, name string, header []string) (*StreamCSV, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	s := &StreamCSV{f: f, w: csv.NewWriter(f)}
+	if err := s.w.Write(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteRow appends one row and flushes it through to the file, so the
+// on-disk prefix is always a complete CSV.
+func (s *StreamCSV) WriteRow(row []string) error {
+	if err := s.w.Write(row); err != nil {
+		return err
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Close flushes and closes the file.
+func (s *StreamCSV) Close() error {
+	s.w.Flush()
+	werr := s.w.Error()
+	cerr := s.f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// WriteCSVFile writes a complete CSV (header + rows) to dir/name.
+func WriteCSVFile(dir, name string, header []string, rows [][]string) error {
+	s, err := CreateCSV(dir, name, header)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := s.WriteRow(row); err != nil {
+			s.Close()
+			return err
+		}
+	}
+	return s.Close()
+}

@@ -1,0 +1,196 @@
+package campaign
+
+// The resume machinery: a campaign directory holds a human-readable
+// manifest.json plus journal.rec, an append-only log of completed-run
+// results framed exactly like a flight recording (flightrec.AppendFrame
+// / flightrec.DecodeRecord — uvarint length ‖ type ‖ payload ‖ crc32).
+// A killed sweep resumes by replaying the journal: runs already logged
+// are served from it, everything else executes. The journal tolerates
+// a torn tail (process killed mid-append) by truncating back to the
+// last intact record before appending again.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sesame/internal/flightrec"
+)
+
+// Journal record types. The numbering is private to the journal — it
+// shares flightrec's framing, not its record vocabulary.
+const (
+	journalTypeManifest byte = 1
+	journalTypeRun      byte = 2
+)
+
+// journalMagic starts every campaign journal file.
+const journalMagic = "SESACMPJ"
+
+// JournalName is the journal's file name inside a campaign directory.
+const JournalName = "journal.rec"
+
+// ManifestName is the manifest's file name inside a campaign directory.
+const ManifestName = "manifest.json"
+
+// Manifest identifies a campaign on disk. It is both the first journal
+// record and the pretty-printed manifest.json, so either file alone
+// names the sweep it belongs to.
+type Manifest struct {
+	Name       string `json:"name"`
+	SpecDigest string `json:"spec_digest"`
+	TotalRuns  int    `json:"total_runs"`
+	Spec       Spec   `json:"spec"`
+}
+
+// ReadResults replays dir's journal and returns every intact completed
+// run keyed by run index — the read side of the resume machinery, also
+// used to cross-check a standalone RerunOne against the recorded digest.
+func ReadResults(dir string) (map[int]Result, error) {
+	_, completed, _, err := readJournal(dir)
+	if err != nil {
+		return nil, err
+	}
+	return completed, nil
+}
+
+// errNoJournal distinguishes "fresh directory" from real I/O errors.
+var errNoJournal = errors.New("campaign: no journal")
+
+// journal is the append handle for completed-run records.
+type journal struct {
+	f         *os.File
+	buf       []byte
+	appended  int
+	syncEvery int
+}
+
+// writeManifest writes manifest.json. The content is a pure function
+// of the spec (no timestamps, no host state), so rewriting it on
+// resume is byte-identical.
+func writeManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+// readJournal scans dir's journal, returning the manifest, every
+// intact run result keyed by run index, and the byte offset of the
+// last intact record (the torn-tail truncation point).
+func readJournal(dir string) (Manifest, map[int]Result, int64, error) {
+	var m Manifest
+	buf, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if errors.Is(err, os.ErrNotExist) {
+		return m, nil, 0, errNoJournal
+	}
+	if err != nil {
+		return m, nil, 0, err
+	}
+	if len(buf) < len(journalMagic) || string(buf[:len(journalMagic)]) != journalMagic {
+		return m, nil, 0, fmt.Errorf("campaign: %s is not a campaign journal", dir)
+	}
+	off := len(journalMagic)
+	completed := map[int]Result{}
+	haveManifest := false
+	for off < len(buf) {
+		rec, n, err := flightrec.DecodeRecord(buf[off:])
+		if err != nil {
+			// Torn tail: the process died mid-append. Everything before
+			// it is intact; the writer truncates back to here.
+			break
+		}
+		switch rec.Type {
+		case journalTypeManifest:
+			if err := json.Unmarshal(rec.Payload, &m); err != nil {
+				return m, nil, 0, fmt.Errorf("campaign: journal manifest: %w", err)
+			}
+			haveManifest = true
+		case journalTypeRun:
+			var res Result
+			if err := json.Unmarshal(rec.Payload, &res); err != nil {
+				return m, nil, 0, fmt.Errorf("campaign: journal run record: %w", err)
+			}
+			completed[res.Index] = res
+		}
+		off += n
+	}
+	if !haveManifest {
+		return m, nil, 0, fmt.Errorf("campaign: journal in %s has no manifest record", dir)
+	}
+	return m, completed, int64(off), nil
+}
+
+// createJournal starts a fresh journal with the manifest record.
+func createJournal(dir string, m Manifest, syncEvery int) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalName),
+		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &journal{f: f, syncEvery: syncEvery}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.buf = append(j.buf[:0], journalMagic...)
+	j.buf = flightrec.AppendFrame(j.buf, journalTypeManifest, payload)
+	if _, err := f.Write(j.buf); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// appendJournal reopens an existing journal for appending, truncated
+// back to intactLen to drop any torn tail.
+func appendJournal(dir string, intactLen int64, syncEvery int) (*journal, error) {
+	path := filepath.Join(dir, JournalName)
+	if err := os.Truncate(path, intactLen); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, syncEvery: syncEvery}, nil
+}
+
+// record appends one completed run, syncing every syncEvery appends so
+// a kill loses at most that many finished runs.
+func (j *journal) record(res Result) error {
+	payload, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	j.buf = flightrec.AppendFrame(j.buf[:0], journalTypeRun, payload)
+	if _, err := j.f.Write(j.buf); err != nil {
+		return err
+	}
+	j.appended++
+	if j.syncEvery > 0 && j.appended%j.syncEvery == 0 {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// close syncs and closes the journal; extra calls are no-ops.
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	j.f = nil
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

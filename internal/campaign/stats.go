@@ -1,0 +1,121 @@
+package campaign
+
+// Shared statistics kernels for streamed campaign results. These are
+// the one home for the quantile/ECDF math previously duplicated per
+// experiment file (internal/experiments used to carry its own
+// percentile helper); the campaign aggregator and the experiment
+// reports now share this code path.
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the q-quantile of xs (copied and sorted), using
+// the nearest-rank index int(q*(len-1)) — the exact convention the
+// experiment tables have always reported. Empty input returns NaN.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// ECDFPoint is one step of an empirical CDF: P(X <= X_i) = P.
+type ECDFPoint struct {
+	X float64
+	P float64
+}
+
+// ECDF returns the empirical distribution function of xs as one point
+// per distinct value, in ascending order.
+func ECDF(xs []float64) []ECDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := float64(len(s))
+	out := make([]ECDFPoint, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		// Collapse ties onto the last occurrence so P is right-continuous.
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, ECDFPoint{X: s[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// Reservoir accumulates a stream of samples in bounded memory with
+// deterministic decimation: while under capacity every sample is kept;
+// at capacity, every other retained sample is dropped and the keep
+// stride doubles, so the survivors are a uniform systematic subsample
+// of the stream. Feeding the same sequence always retains the same
+// subset — no randomness, so campaign aggregates are reproducible.
+type Reservoir struct {
+	cap    int
+	stride int // keep every stride-th sample
+	phase  int // samples seen since the last kept one
+	count  int // total samples offered
+	xs     []float64
+}
+
+// DefaultReservoirCap bounds a reservoir when NewReservoir is given a
+// non-positive capacity.
+const DefaultReservoirCap = 4096
+
+// NewReservoir returns an empty reservoir holding at most cap samples
+// (cap <= 0 selects DefaultReservoirCap; cap is rounded up to 2).
+func NewReservoir(cap int) *Reservoir {
+	if cap <= 0 {
+		cap = DefaultReservoirCap
+	}
+	if cap < 2 {
+		cap = 2
+	}
+	return &Reservoir{cap: cap, stride: 1}
+}
+
+// Add offers one sample to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.count++
+	r.phase++
+	if r.phase < r.stride {
+		return
+	}
+	r.phase = 0
+	if len(r.xs) == r.cap {
+		// Decimate: keep the even-indexed survivors, double the stride.
+		keep := r.xs[:0]
+		for i := 0; i < len(r.xs); i += 2 {
+			keep = append(keep, r.xs[i])
+		}
+		r.xs = keep
+		r.stride *= 2
+	}
+	r.xs = append(r.xs, x)
+}
+
+// Count returns how many samples were offered in total.
+func (r *Reservoir) Count() int { return r.count }
+
+// Values returns the retained samples in arrival order. The slice
+// aliases the reservoir; callers must not mutate it.
+func (r *Reservoir) Values() []float64 { return r.xs }
+
+// Percentile returns the q-quantile over the retained samples (NaN
+// when empty).
+func (r *Reservoir) Percentile(q float64) float64 { return Percentile(r.xs, q) }
+
+// ECDF returns the empirical CDF over the retained samples.
+func (r *Reservoir) ECDF() []ECDFPoint { return ECDF(r.xs) }

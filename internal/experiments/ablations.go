@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sesame/internal/campaign"
 	"sesame/internal/colloc"
 	"sesame/internal/geo"
 	"sesame/internal/safedrones"
@@ -88,7 +89,7 @@ func RunAblations(seed int64) (*AblationResult, error) {
 			null = append(null, d)
 		}
 		// 95th percentile threshold.
-		thr := percentile(null, 0.95)
+		thr := campaign.Percentile(null, 0.95)
 		var hits, falses int
 		start := time.Now()
 		evals := 0
@@ -229,18 +230,6 @@ func RunAblations(seed int64) (*AblationResult, error) {
 		res.Reconfig = append(res.Reconfig, ReconfigPoint{Time: ts, QuadPoF: pq, HexPoF: ph, RatioQ2H: ratio})
 	}
 	return res, nil
-}
-
-// percentile returns the q-quantile of xs (copied and sorted).
-func percentile(xs []float64, q float64) float64 {
-	s := append([]float64(nil), xs...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-	idx := int(q * float64(len(s)-1))
-	return s[idx]
 }
 
 // Print writes all four ablation tables.

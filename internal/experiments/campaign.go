@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"sesame/internal/campaign"
+	"sesame/internal/linksim"
+)
+
+// CampaignResult is the Monte Carlo campaign engine demonstration
+// (-exp campaign): a small seeded sweep is flown twice — once
+// uninterrupted and once killed after a few runs and resumed — and the
+// merged outputs must be byte-identical; one journaled run is then
+// re-executed standalone to prove the (seed, params) determinism gate.
+type CampaignResult struct {
+	Spec       campaign.Spec
+	TotalRuns  int
+	Workers    int
+	RunsPerSec float64
+
+	// Kill/resume outcome.
+	KilledAfter   int
+	ResumedRuns   int
+	FilesCompared []string
+	Identical     bool
+
+	// Standalone-rerun triage gate.
+	RerunIndex  int
+	RerunKey    string
+	DigestMatch bool
+
+	// Headline risk-surface excerpt.
+	Groups []campaign.GroupStats
+}
+
+// campaignSmokeSpec is the 3-seed × 3-link × 1-fault demo grid.
+func campaignSmokeSpec(seed int64) campaign.Spec {
+	return campaign.Spec{
+		Name:      "smoke",
+		SeedFrom:  seed,
+		SeedCount: 3,
+		HorizonS:  600,
+		AreaSideM: 250,
+		Links: []campaign.LinkVariant{
+			{Name: "nominal"},
+			{Name: "lossy-10", Profile: linksim.Profile{DropProb: 0.10}},
+			{Name: "blackout-45s", OutageStartS: 90, OutageDurS: 45},
+		},
+		Faults: []campaign.FaultVariant{
+			{Name: "spoof-30", SpoofAtS: 30},
+		},
+	}
+}
+
+// RunCampaign executes the campaign smoke: uninterrupted sweep,
+// kill-after-K + resume sweep, byte comparison, standalone rerun.
+func RunCampaign(seed int64) (*CampaignResult, error) {
+	spec := campaignSmokeSpec(seed)
+	res := &CampaignResult{Spec: spec, Workers: 2, KilledAfter: 4}
+
+	refDir, err := os.MkdirTemp("", "sesame-campaign-ref-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(refDir)
+	resDir, err := os.MkdirTemp("", "sesame-campaign-resume-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(resDir)
+
+	// Uninterrupted reference sweep.
+	eng, err := campaign.New(spec, campaign.Options{OutDir: refDir, Workers: res.Workers})
+	if err != nil {
+		return nil, err
+	}
+	res.TotalRuns = eng.Total()
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if !sum.Complete {
+		return nil, fmt.Errorf("reference sweep incomplete: %+v", sum)
+	}
+	res.RunsPerSec = sum.RunsPerSec
+
+	// Killed-and-resumed sweep.
+	eng, err = campaign.New(spec, campaign.Options{OutDir: resDir, Workers: res.Workers, MaxRuns: res.KilledAfter})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Run(context.Background()); err != nil {
+		return nil, err
+	}
+	eng, err = campaign.New(spec, campaign.Options{OutDir: resDir, Workers: res.Workers, Resume: true})
+	if err != nil {
+		return nil, err
+	}
+	sum, err = eng.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if !sum.Complete {
+		return nil, fmt.Errorf("resumed sweep incomplete: %+v", sum)
+	}
+	res.ResumedRuns = sum.Replayed
+
+	// Byte-compare the merged result set.
+	res.FilesCompared = []string{
+		campaign.RunsCSVName, campaign.RunsJSONLName,
+		campaign.CurvesCSVName, campaign.ECDFCSVName,
+		campaign.AggregatesName, campaign.ManifestName,
+	}
+	res.Identical = true
+	for _, name := range res.FilesCompared {
+		a, err := os.ReadFile(filepath.Join(refDir, name))
+		if err != nil {
+			return nil, err
+		}
+		b, err := os.ReadFile(filepath.Join(resDir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(a, b) {
+			res.Identical = false
+		}
+	}
+
+	// Triage gate: re-execute the middle run standalone.
+	res.RerunIndex = res.TotalRuns / 2
+	journaled, err := campaign.ReadResults(refDir)
+	if err != nil {
+		return nil, err
+	}
+	rerun, err := campaign.RerunOne(spec, res.RerunIndex)
+	if err != nil {
+		return nil, err
+	}
+	res.RerunKey = rerun.Key
+	if want, ok := journaled[res.RerunIndex]; ok {
+		res.DigestMatch = want.Digest == rerun.Digest
+	}
+
+	agg, err := campaign.ReadAggregates(refDir)
+	if err != nil {
+		return nil, err
+	}
+	res.Groups = agg.Groups
+	return res, nil
+}
+
+// Print writes the campaign demonstration report.
+func (r *CampaignResult) Print(w io.Writer) {
+	printf(w, "== Monte Carlo campaign engine (-exp campaign) ==\n")
+	printf(w, "Sweep: %d runs (%d seeds x %d links x %d faults), %d workers, %.0f runs/s\n",
+		r.TotalRuns, r.Spec.SeedCount, len(r.Spec.Links), len(r.Spec.Faults), r.Workers, r.RunsPerSec)
+	printf(w, "Kill/resume: killed after %d runs, resume replayed %d from the journal\n",
+		r.KilledAfter, r.ResumedRuns)
+	printf(w, "Merged outputs (%d files) byte-identical to uninterrupted sweep: %v\n",
+		len(r.FilesCompared), r.Identical)
+	printf(w, "Triage gate: run %d (%s) re-executed standalone, digest match: %v\n",
+		r.RerunIndex, r.RerunKey, r.DigestMatch)
+	printf(w, "\n%-28s %5s %8s %10s %12s %12s\n", "group", "runs", "success", "avail", "sec-p50(s)", "sec-p95(s)")
+	for _, g := range r.Groups {
+		printf(w, "%-28s %5d %7.0f%% %9.1f%% %12.1f %12.1f\n",
+			g.Group, g.Runs, g.SuccessRate*100, g.MeanAvailability*100, g.SecurityP50, g.SecurityP95)
+	}
+}

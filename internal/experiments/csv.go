@@ -1,32 +1,18 @@
 package experiments
 
 import (
-	"encoding/csv"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
+
+	"sesame/internal/campaign"
 )
 
-// writeCSV writes rows (with a header) to dir/name.
+// writeCSV writes rows (with a header) to dir/name. It delegates to
+// the campaign engine's shared CSV writer so every CSV artefact in the
+// repo — one-shot experiment dumps and streamed campaign outputs — is
+// produced by a single code path.
 func writeCSV(dir, name string, header []string, rows [][]string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.Create(filepath.Join(dir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	if err := w.WriteAll(rows); err != nil {
-		return err
-	}
-	w.Flush()
-	return w.Error()
+	return campaign.WriteCSVFile(dir, name, header, rows)
 }
 
 func f2s(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }

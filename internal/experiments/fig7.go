@@ -3,6 +3,7 @@ package experiments
 import (
 	"io"
 
+	"sesame/internal/campaign"
 	"sesame/internal/colloc"
 	"sesame/internal/geo"
 	"sesame/internal/uavsim"
@@ -138,7 +139,7 @@ func RunFig7Stats(n int) (*Fig7Stats, error) {
 	if stats.Landed > 0 {
 		stats.MeanErrM /= float64(stats.Landed)
 		stats.MeanDurS /= float64(stats.Landed)
-		stats.P95ErrM = percentile(errs, 0.95)
+		stats.P95ErrM = campaign.Percentile(errs, 0.95)
 	}
 	return stats, nil
 }

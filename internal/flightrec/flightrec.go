@@ -211,12 +211,7 @@ func (w *Writer) Append(typ byte, payload []byte) error {
 		}
 	}
 	start := len(w.buf)
-	w.buf = binary.AppendUvarint(w.buf, uint64(bodyLen))
-	bodyStart := len(w.buf)
-	w.buf = append(w.buf, typ)
-	w.buf = append(w.buf, payload...)
-	crc := crc32.ChecksumIEEE(w.buf[bodyStart:])
-	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
+	w.buf = AppendFrame(w.buf, typ, payload)
 	w.segSize += int64(len(w.buf) - start)
 	if len(w.buf) >= writeBufBytes {
 		return w.flush()
@@ -225,6 +220,20 @@ func (w *Writer) Append(typ byte, payload []byte) error {
 }
 
 const crcLen = 4
+
+// AppendFrame appends one framed record — uvarint length ‖ type ‖
+// payload ‖ crc32(body) — to buf and returns the extended slice. This
+// is the single framing code path: the segment Writer uses it for
+// every record, and external append-only logs (the campaign engine's
+// completed-run journal) reuse it so DecodeRecord reads them all.
+func AppendFrame(buf []byte, typ byte, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(1+len(payload)))
+	bodyStart := len(buf)
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	crc := crc32.ChecksumIEEE(buf[bodyStart:])
+	return binary.LittleEndian.AppendUint32(buf, crc)
+}
 
 // flush writes the buffered frames to the current segment file.
 func (w *Writer) flush() error {

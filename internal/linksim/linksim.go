@@ -31,15 +31,17 @@ import (
 var ErrLinkDown = errors.New("linksim: link down")
 
 // Profile sets the steady-state stochastic impairments of one link.
-// The zero Profile is a perfect link.
+// The zero Profile is a perfect link. The JSON tags are the campaign
+// sweep-spec serialization (omitempty keeps unimpaired axes out of
+// spec dumps and manifests).
 type Profile struct {
-	DropProb    float64 // P(frame silently lost)
-	DupProb     float64 // P(frame delivered twice)
-	DelayProb   float64 // P(frame queued and released later)
-	DelayMinS   float64 // uniform delay window, seconds
-	DelayMaxS   float64
-	ReorderProb float64 // P(frame held to swap with the next one)
-	HoldMaxS    float64 // fail-safe release for held frames (default 1s)
+	DropProb    float64 `json:"drop_prob,omitempty"`    // P(frame silently lost)
+	DupProb     float64 `json:"dup_prob,omitempty"`     // P(frame delivered twice)
+	DelayProb   float64 `json:"delay_prob,omitempty"`   // P(frame queued and released later)
+	DelayMinS   float64 `json:"delay_min_s,omitempty"`  // uniform delay window, seconds
+	DelayMaxS   float64 `json:"delay_max_s,omitempty"`  //
+	ReorderProb float64 `json:"reorder_prob,omitempty"` // P(frame held to swap with the next one)
+	HoldMaxS    float64 `json:"hold_max_s,omitempty"`   // fail-safe release for held frames (default 1s)
 }
 
 // LinkStats counts one link's frame fates. The conservation invariant
