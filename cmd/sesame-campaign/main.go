@@ -26,20 +26,24 @@ import (
 	"os"
 
 	"sesame/internal/campaign"
+	"sesame/internal/chaos"
 	"sesame/internal/linksim"
+	"sesame/internal/simclock"
 )
 
 // options carries every flag; parseArgs fills it so tests can drive
 // run without touching the process-global flag set.
 type options struct {
-	spec      string
-	out       string
-	resume    bool
-	workers   int
-	maxRuns   int
-	seed      int64
-	printSpec bool
-	every     int
+	spec       string
+	out        string
+	resume     bool
+	workers    int
+	maxRuns    int
+	seed       int64
+	printSpec  bool
+	every      int
+	chaosPath  string
+	runRetries int
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -54,6 +58,8 @@ func parseArgs(args []string) (options, error) {
 	fs.Int64Var(&o.seed, "seed", 1, "first seed of the demo grid (ignored with -spec)")
 	fs.BoolVar(&o.printSpec, "print-spec", false, "print the normalized spec as JSON and exit")
 	fs.IntVar(&o.every, "progress-every", 100, "print a progress line every N completed runs (0 = quiet)")
+	fs.StringVar(&o.chaosPath, "chaos", "", "inject worker failures from this chaos plan JSON (its workers rules; pass the same plan when resuming)")
+	fs.IntVar(&o.runRetries, "run-retries", 0, "re-execute a failing run up to N extra times, then quarantine it as status=failed instead of aborting (0 = fail fast)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -68,6 +74,9 @@ func parseArgs(args []string) (options, error) {
 	}
 	if o.maxRuns < 0 {
 		return o, fmt.Errorf("-max-runs %d: must be >= 0 (0 = no limit)", o.maxRuns)
+	}
+	if o.runRetries < 0 {
+		return o, fmt.Errorf("-run-retries %d: must be >= 0 (0 = fail fast)", o.runRetries)
 	}
 	return o, nil
 }
@@ -141,20 +150,42 @@ func run(opts options, out io.Writer) error {
 		return nil
 	}
 
-	done := 0
+	done, failed := 0, 0
 	engOpts := campaign.Options{
-		OutDir:  opts.out,
-		Workers: opts.workers,
-		Resume:  opts.resume,
-		MaxRuns: opts.maxRuns,
+		OutDir:     opts.out,
+		Workers:    opts.workers,
+		Resume:     opts.resume,
+		MaxRuns:    opts.maxRuns,
+		RunRetries: opts.runRetries,
+	}
+	if opts.chaosPath != "" {
+		data, err := os.ReadFile(opts.chaosPath)
+		if err != nil {
+			return err
+		}
+		plan, err := chaos.LoadPlan(data)
+		if err != nil {
+			return err
+		}
+		// Worker-failure decisions depend only on (plan seed, run index,
+		// attempt), so the clock seed is irrelevant; the layer just needs
+		// one to exist.
+		layer, err := chaos.New(simclock.New(0), plan)
+		if err != nil {
+			return err
+		}
+		engOpts.RunFaultHook = layer.WorkerFailure
+		fmt.Fprintf(out, "chaos armed from %s (plan seed %d, %d worker rules)\n",
+			opts.chaosPath, plan.Seed, len(plan.Workers))
 	}
 	var total int
-	if opts.every > 0 {
-		engOpts.OnResult = func(campaign.Result) {
-			done++
-			if done%opts.every == 0 {
-				fmt.Fprintf(out, "  %d/%d runs\n", done, total)
-			}
+	engOpts.OnResult = func(res campaign.Result) {
+		done++
+		if res.Failed() {
+			failed++
+		}
+		if opts.every > 0 && done%opts.every == 0 {
+			fmt.Fprintf(out, "  %d/%d runs\n", done, total)
 		}
 	}
 	eng, err := campaign.New(spec, engOpts)
@@ -171,6 +202,10 @@ func run(opts options, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "%d/%d runs done in %.1fs (%.0f runs/s): %d executed, %d replayed from journal\n",
 		sum.Emitted, sum.Total, sum.Elapsed.Seconds(), sum.RunsPerSec, sum.Executed, sum.Replayed)
+	if failed > 0 {
+		fmt.Fprintf(out, "%d runs quarantined (status=failed in %s/%s after exhausting %d retries)\n",
+			failed, opts.out, campaign.RunsCSVName, opts.runRetries)
+	}
 	if !sum.Complete {
 		fmt.Fprintf(out, "sweep stopped early; continue with: sesame-campaign -spec ... -out %s -resume\n", opts.out)
 		return nil

@@ -148,3 +148,96 @@ func TestKillResumeRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosKillResumeRoundTrip drives -chaos + -run-retries through
+// the CLI: one run quarantined after exhausting its retries, one
+// healed by a retry — and a sweep cut by -max-runs then resumed (same
+// plan passed again) must produce outputs byte-identical to the
+// uninterrupted chaos sweep.
+func TestChaosKillResumeRoundTrip(t *testing.T) {
+	specJSON := `{
+  "name": "chaos-cli",
+  "seed_from": 1,
+  "seed_count": 2,
+  "horizon_s": 240,
+  "area_side_m": 200,
+  "links": [{"name": "nominal"}, {"name": "lossy", "profile": {"drop_prob": 0.1}}],
+  "faults": [{"name": "spoof-30", "spoof_at_s": 30}]
+}`
+	planJSON := `{
+  "name": "worker-faults",
+  "seed": 13,
+  "workers": [
+    {"indices": [1], "attempts": 3},
+    {"indices": [2], "attempts": 1}
+  ]
+}`
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	plan := filepath.Join(dir, "plan.json")
+	for path, content := range map[string]string{spec: specJSON, plan: planJSON} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := filepath.Join(dir, "ref")
+	cut := filepath.Join(dir, "cut")
+
+	mustRun := func(args ...string) string {
+		t.Helper()
+		opts, err := parseArgs(args)
+		if err != nil {
+			t.Fatalf("parseArgs(%v): %v", args, err)
+		}
+		var out bytes.Buffer
+		if err := run(opts, &out); err != nil {
+			t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+		}
+		return out.String()
+	}
+
+	chaosArgs := []string{"-spec", spec, "-chaos", plan, "-run-retries", "2", "-workers", "2", "-progress-every", "0"}
+	refOut := mustRun(append(chaosArgs, "-out", ref)...)
+	if !strings.Contains(refOut, "chaos armed from") {
+		t.Fatalf("chaos banner missing:\n%s", refOut)
+	}
+	// Run 1 fails all 3 attempts (quarantined); run 2 heals on retry.
+	if !strings.Contains(refOut, "1 runs quarantined") {
+		t.Fatalf("quarantine summary missing:\n%s", refOut)
+	}
+
+	mustRun(append(chaosArgs, "-out", cut, "-max-runs", "2")...)
+	mustRun(append(chaosArgs, "-out", cut, "-resume")...)
+
+	for _, name := range []string{
+		campaign.RunsCSVName, campaign.RunsJSONLName,
+		campaign.CurvesCSVName, campaign.ECDFCSVName,
+		campaign.AggregatesName, campaign.ManifestName,
+	} {
+		a, err := os.ReadFile(filepath.Join(ref, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(cut, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between uninterrupted and resumed chaos sweep", name)
+		}
+	}
+
+	// The quarantined run is a status=failed row in the run log.
+	runsCSV, err := os.ReadFile(filepath.Join(ref, campaign.RunsCSVName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(runsCSV), "failed") {
+		t.Errorf("quarantined run missing from %s:\n%s", campaign.RunsCSVName, runsCSV)
+	}
+
+	// Retry flags must be rejected when invalid.
+	if _, err := parseArgs([]string{"-out", "d", "-run-retries", "-1"}); err == nil {
+		t.Error("negative -run-retries accepted")
+	}
+}

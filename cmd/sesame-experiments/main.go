@@ -15,6 +15,7 @@
 //	sesame-experiments -exp obsv          # observability self-measurement
 //	sesame-experiments -exp flightrec     # black-box crash/resume replay
 //	sesame-experiments -exp campaign      # Monte Carlo campaign engine smoke
+//	sesame-experiments -exp chaos         # deterministic chaos harness + degradation
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign|chaos")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -159,9 +160,23 @@ func main() {
 		}
 		return nil
 	})
+	run("chaos", func() error {
+		r, err := experiments.RunChaos(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		if !r.Transparent {
+			return fmt.Errorf("inert chaos layer perturbed the mission")
+		}
+		if !r.Reproducible {
+			return fmt.Errorf("chaos injections were not reproducible")
+		}
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign", "chaos":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

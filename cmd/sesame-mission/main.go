@@ -50,6 +50,7 @@ type options struct {
 	resumeTick    uint64
 	replay        string
 	debugAddr     string
+	chaosPath     string
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -73,6 +74,7 @@ func parseArgs(args []string) (options, error) {
 	fs.Uint64Var(&o.resumeTick, "resume-tick", 0, "resume from the newest checkpoint at or before this tick (0 = latest)")
 	fs.StringVar(&o.replay, "replay", "", "dump this black-box recording and exit (no simulation)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address")
+	fs.StringVar(&o.chaosPath, "chaos", "", "inject faults from this chaos plan JSON (deterministic per plan seed; pass the same plan when resuming)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -109,11 +111,14 @@ func run(opts options, out io.Writer) error {
 		return replayDump(opts.replay, out)
 	}
 
-	world, p, err := buildMission(opts)
+	world, p, chaosLayer, err := buildMission(opts)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+	if chaosLayer != nil {
+		fmt.Fprintf(out, "chaos armed from %s (plan seed %d)\n", opts.chaosPath, chaosLayer.Plan().Seed)
+	}
 
 	if opts.debugAddr != "" {
 		ln, err := startDebug(opts.debugAddr, p.Observability())
@@ -137,8 +142,12 @@ func run(opts options, out io.Writer) error {
 	}
 
 	if opts.record != "" {
+		recOpts := sesame.FlightRecorderOptions{}
+		if chaosLayer != nil {
+			recOpts = chaosLayer.RecorderOptions(recOpts)
+		}
 		rec, err := sesame.NewFlightRecorder(opts.record, opts.seed, p.ConfigDigest(),
-			opts.snapshotEvery, sesame.FlightRecorderOptions{})
+			opts.snapshotEvery, recOpts)
 		if err != nil {
 			return err
 		}
@@ -169,13 +178,22 @@ func run(opts options, out io.Writer) error {
 	if av, err := p.Availability(); err == nil {
 		fmt.Fprintf(out, "\nfleet availability: %.1f%%   mission decision: %s\n", av*100, p.Decision())
 	}
+	if chaosLayer != nil {
+		st := chaosLayer.Stats()
+		fmt.Fprintf(out, "chaos injections: %d total (%d monitor panics, %d monitor errors, %d latency spikes, %d bus, %d broker, %d db, %d recorder)\n",
+			st.Total(), st.MonitorPanics, st.MonitorErrors, st.MonitorLatency,
+			st.BusFailures, st.BrokerFailures, st.DBFailures, st.RecorderFaults)
+	}
 	return nil
 }
 
 // buildMission constructs the standard scenario — world, fleet, scene,
 // platform, mission start — exactly the same way every run of a given
-// option set does, which is what makes black-box resume possible.
-func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
+// option set does, which is what makes black-box resume possible. A
+// -chaos plan is part of the scenario: its injections are a pure
+// function of (plan seed, sim time), so rebuilding with the same plan
+// reproduces them.
+func buildMission(opts options) (*sesame.World, *sesame.Platform, *sesame.ChaosLayer, error) {
 	home := sesame.LatLng{Lat: 35.1856, Lng: 33.3823}
 	world := sesame.NewWorld(home, opts.seed)
 	// IDs u1..uN keep the default fleet (and the fault targets u1/u2)
@@ -183,7 +201,7 @@ func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
 	for i := 1; i <= opts.uavs; i++ {
 		id := fmt.Sprintf("u%d", i)
 		if _, err := world.AddUAV(sesame.UAVConfig{ID: id, Home: home, CruiseSpeedMS: 12}); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	area := missionArea(home)
@@ -193,12 +211,33 @@ func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
 		var err error
 		scene, err = sesame.NewRandomScene(area, opts.persons, 0.2, world, "scene")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
+
+	var chaosLayer *sesame.ChaosLayer
+	if opts.chaosPath != "" {
+		data, err := os.ReadFile(opts.chaosPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		plan, err := sesame.LoadChaosPlan(data)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if chaosLayer, err = sesame.NewChaosLayer(world, plan); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
 	cfg := sesame.DefaultPlatformConfig()
 	cfg.SESAME = opts.sesameOn
 	cfg.Cells = opts.cells
+	if chaosLayer != nil {
+		if mb := chaosLayer.MonitorBuilder(); mb != nil {
+			cfg.ExtraMonitors = append(cfg.ExtraMonitors, mb)
+		}
+	}
 	if opts.debugAddr != "" {
 		reg := sesame.NewObsvRegistry()
 		reg.SetTrace(sesame.NewObsvTraceRing(4096))
@@ -206,13 +245,16 @@ func buildMission(opts options) (*sesame.World, *sesame.Platform, error) {
 	}
 	p, err := sesame.NewPlatform(world, scene, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
+	}
+	if chaosLayer != nil {
+		sesame.ArmChaos(chaosLayer, world, p)
 	}
 	if err := p.StartMission(area); err != nil {
 		p.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return world, p, nil
+	return world, p, chaosLayer, nil
 }
 
 // missionArea is the 400 m survey square north-east of home.

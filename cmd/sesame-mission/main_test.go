@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -237,5 +238,96 @@ func TestDebugEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+// TestChaosMissionCLI drives the -chaos flag end to end: the armed
+// plan must announce itself and report injections, two identical
+// invocations must agree byte-for-byte on the final fleet status, and
+// a recorded chaos mission resumed mid-flight (same plan passed again)
+// must rejoin that status exactly.
+func TestChaosMissionCLI(t *testing.T) {
+	planPath := filepath.Join(t.TempDir(), "plan.json")
+	planJSON := `{
+  "name": "cli-smoke",
+  "seed": 7,
+  "monitors": [{"uav": "u1", "mode": "error", "window": {"from_s": 60, "to_s": 100}, "prob": 1}],
+  "bus": [{"match": "/uav/", "window": {"from_s": 30, "to_s": 200}, "prob": 0.05}],
+  "db": [{"window": {"to_s": 300}, "prob": 0.2}]
+}`
+	if err := os.WriteFile(planPath, []byte(planJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseArgs([]string{"-chaos", planPath}); err != nil {
+		t.Fatalf("-chaos flag rejected: %v", err)
+	}
+
+	base := options{
+		sesameOn: true, seed: 7, uavs: 3, spoofAt: 30, spoofUAV: "u2",
+		persons: 5, horizon: 400, every: 1e9, asJSON: true,
+		snapshotEvery: 25, chaosPath: planPath,
+	}
+	var first bytes.Buffer
+	if err := run(base, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "chaos armed from") {
+		t.Errorf("chaos banner missing:\n%s", first.String())
+	}
+	if !strings.Contains(first.String(), "chaos injections:") {
+		t.Errorf("chaos stats line missing:\n%s", first.String())
+	}
+	want := finalStatusJSON(t, first.String())
+
+	var second bytes.Buffer
+	if err := run(base, &second); err != nil {
+		t.Fatal(err)
+	}
+	if got := finalStatusJSON(t, second.String()); got != want {
+		t.Errorf("chaos mission not reproducible:\n got %s\nwant %s", got, want)
+	}
+
+	dir := filepath.Join(t.TempDir(), "box")
+	recOpts := base
+	recOpts.record = dir
+	var recorded bytes.Buffer
+	if err := run(recOpts, &recorded); err != nil {
+		t.Fatal(err)
+	}
+	if got := finalStatusJSON(t, recorded.String()); got != want {
+		t.Errorf("recording perturbed the chaos mission:\n got %s\nwant %s", got, want)
+	}
+
+	resOpts := base
+	resOpts.resume = dir
+	resOpts.resumeTick = 200
+	var resumed bytes.Buffer
+	if err := run(resOpts, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if got := finalStatusJSON(t, resumed.String()); got != want {
+		t.Errorf("resumed chaos mission diverges:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestChaosMissionRejectsBadPlan pins the loud-failure contract for
+// misspelled or invalid plan files.
+func TestChaosMissionRejectsBadPlan(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"typo.json":    `{"monitros": []}`,
+		"invalid.json": `{"monitors": [{"mode": "explode", "prob": 1}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(options{sesameOn: true, uavs: 3, horizon: 10, every: 1e9, chaosPath: path}, io.Discard); err == nil {
+			t.Errorf("%s: bad plan silently accepted", name)
+		}
+	}
+	if err := run(options{sesameOn: true, uavs: 3, horizon: 10, every: 1e9,
+		chaosPath: filepath.Join(dir, "missing.json")}, io.Discard); err == nil {
+		t.Error("missing plan file silently accepted")
 	}
 }

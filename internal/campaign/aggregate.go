@@ -34,6 +34,7 @@ var runsHeader = []string{
 	"lost_link_events", "compromise_events",
 	"drops", "world_drops", "db_retries",
 	"link_offered", "link_delivered", "link_dropped", "digest",
+	"status", "attempts",
 }
 
 // Aggregates is the aggregates.json schema: the campaign's risk
@@ -150,7 +151,7 @@ func (a *aggregator) emit(res Result) error {
 		i2s(res.LostLinkEvents), i2s(res.CompromiseEvents),
 		u2s(res.Drops), u2s(res.WorldDrops), u2s(res.DBRetries),
 		u2s(res.LinkOffered), u2s(res.LinkDelivered), u2s(res.LinkDropped),
-		res.Digest,
+		res.Digest, res.Status, i2s(res.Attempts),
 	)
 	if err := a.runsCSV.WriteRow(a.row); err != nil {
 		return err
@@ -170,8 +171,13 @@ func (a *aggregator) emit(res Result) error {
 	return nil
 }
 
-// fold accumulates the result into its group.
+// fold accumulates the result into its group. Quarantined runs carry
+// no mission outcome — they are rows of the run log, not samples of
+// the risk surface — so they are excluded from every aggregate.
 func (a *aggregator) fold(res Result) {
+	if res.Failed() {
+		return
+	}
 	key := fmt.Sprintf("f%d-c%d-%s-%s", res.Fleet, res.Cells, res.Link, res.Fault)
 	g, ok := a.groups[key]
 	if !ok {

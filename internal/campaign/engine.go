@@ -37,6 +37,18 @@ type Options struct {
 	// OnResult, when non-nil, observes every run result as it is
 	// emitted in run order (progress reporting, tests).
 	OnResult func(Result)
+	// RunRetries enables run-level graceful degradation: a failing run
+	// is re-executed up to RunRetries extra times, and one that
+	// exhausts its budget is journaled as a quarantined row
+	// (status=failed, attempts=N) instead of aborting the sweep. 0
+	// keeps the legacy fail-fast behaviour: the first run error kills
+	// the campaign.
+	RunRetries int
+	// RunFaultHook, when non-nil, is consulted before each execution
+	// attempt of each run (chaos injection, tests). A non-nil error
+	// counts as a failed attempt of that run. Deterministic hooks keyed
+	// on (index, attempt) keep resumed sweeps byte-identical.
+	RunFaultHook func(index, attempt int) error
 }
 
 // Summary reports one Run invocation.
@@ -88,6 +100,48 @@ func (e *Engine) Workers() int { return e.opts.Workers }
 type item struct {
 	res      Result
 	replayed bool // served from the journal, don't re-journal
+}
+
+// runWithRetry executes one grid point under the run-level retry
+// policy. Without RunRetries the first error propagates (fail-fast,
+// the pre-retry contract). With it, each failure burns one attempt;
+// a run that exhausts 1+RunRetries attempts is reduced to a
+// quarantined Result (status=failed) that flows through journal,
+// outputs and resume like any other row, so one poisoned grid point
+// cannot sink a million-run sweep. Journaled failed rows are replayed
+// as-is on resume — they are never retried again, which is what keeps
+// kill/resume byte-identical.
+func (e *Engine) runWithRetry(run Run, sc *scratch) (Result, error) {
+	attempts := 0
+	var lastErr error
+	for attempts <= e.opts.RunRetries {
+		attempts++
+		var err error
+		if hook := e.opts.RunFaultHook; hook != nil {
+			err = hook(run.Index, attempts)
+		}
+		var res Result
+		if err == nil {
+			res, err = executeRun(&e.spec, run, sc)
+		}
+		if err == nil {
+			if attempts > 1 {
+				res.Attempts = attempts
+			}
+			return res, nil
+		}
+		lastErr = err
+		if e.opts.RunRetries <= 0 {
+			return Result{}, err
+		}
+	}
+	return Result{
+		Index: run.Index, Key: run.Key(), Seed: run.Seed,
+		Fleet: run.Fleet, Cells: run.Cells,
+		Link: run.Link.Name, Fault: run.Fault.Name,
+		SafetyDetectS: -1, SecurityDetectS: -1,
+		Status: "failed", Attempts: attempts, Error: lastErr.Error(),
+	}, nil
 }
 
 // Run executes the sweep. Cancelling ctx stops dispatching new runs;
@@ -169,7 +223,7 @@ func (e *Engine) Run(ctx context.Context) (*Summary, error) {
 			defer workWG.Done()
 			sc := newScratch()
 			for run := range jobs {
-				res, err := executeRun(&e.spec, run, sc)
+				res, err := e.runWithRetry(run, sc)
 				if err != nil {
 					fail(fmt.Errorf("run %s: %w", run.Key(), err))
 					return

@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// flakyHook is a deterministic RunFaultHook: run 1 fails every
+// attempt, run 2 fails only its first. Keyed purely on (index,
+// attempt), so a resumed sweep re-injects identically.
+func flakyHook(index, attempt int) error {
+	switch {
+	case index == 1:
+		return fmt.Errorf("injected: run %d permanently down", index)
+	case index == 2 && attempt == 1:
+		return fmt.Errorf("injected: run %d flaky first attempt", index)
+	}
+	return nil
+}
+
+// TestRunRetriesQuarantine drives the run-level retry machinery: a
+// permanently failing run must be quarantined as a status=failed row
+// after exhausting its attempts, a transiently failing run must
+// succeed on retry, and neither may abort the sweep or leak into the
+// risk aggregates.
+func TestRunRetriesQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	var results []Result
+	sum := runCampaign(t, tinySpec(), Options{
+		OutDir: dir, Workers: 2, RunRetries: 2, RunFaultHook: flakyHook,
+		OnResult: func(r Result) { results = append(results, r) },
+	})
+	if !sum.Complete || sum.Emitted != 8 {
+		t.Fatalf("summary %+v, want complete with 8 emitted", sum)
+	}
+
+	q := results[1]
+	if !q.Failed() || q.Attempts != 3 {
+		t.Fatalf("run 1 = %+v, want status=failed after 3 attempts", q)
+	}
+	if !strings.Contains(q.Error, "permanently down") {
+		t.Errorf("run 1 error %q does not carry the injected failure", q.Error)
+	}
+	if q.Digest != "" || q.Completed {
+		t.Errorf("quarantined run carries mission results: %+v", q)
+	}
+	if q.Key != tinySpecKey(t, 1) {
+		t.Errorf("quarantined run key %q, want the expansion's", q.Key)
+	}
+
+	r := results[2]
+	if r.Failed() || r.Attempts != 2 {
+		t.Fatalf("run 2 = %+v, want success on attempt 2", r)
+	}
+	if r.Digest == "" {
+		t.Error("retried run lost its digest")
+	}
+	for _, i := range []int{0, 3, 4, 5, 6, 7} {
+		if results[i].Failed() || results[i].Attempts != 0 {
+			t.Errorf("untouched run %d = %+v, want clean single-attempt result", i, results[i])
+		}
+	}
+
+	// The quarantined run is a row of the run log, not a sample of the
+	// risk surface.
+	agg, err := ReadAggregates(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded := 0
+	for _, g := range agg.Groups {
+		folded += g.Runs
+	}
+	if folded != 7 {
+		t.Errorf("aggregates folded %d runs, want 7 (failed run excluded)", folded)
+	}
+}
+
+// tinySpecKey returns the expansion key of run index.
+func tinySpecKey(t *testing.T, index int) string {
+	t.Helper()
+	spec := tinySpec()
+	spec.Normalize()
+	return spec.Expand()[index].Key()
+}
+
+// TestRunRetriesResumeByteIdentical kills a retried sweep mid-flight
+// and resumes it: journaled quarantined rows must replay as-is (never
+// re-retried) and the merged outputs must be byte-identical to the
+// uninterrupted retried sweep.
+func TestRunRetriesResumeByteIdentical(t *testing.T) {
+	refDir := t.TempDir()
+	runCampaign(t, tinySpec(), Options{
+		OutDir: refDir, Workers: 2, RunRetries: 2, RunFaultHook: flakyHook,
+	})
+	ref := readOutputs(t, refDir)
+
+	dir := t.TempDir()
+	eng, err := New(tinySpec(), Options{
+		OutDir: dir, Workers: 2, MaxRuns: 3, RunRetries: 2, RunFaultHook: flakyHook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Complete || sum.Executed != 3 {
+		t.Fatalf("partial summary %+v, want 3 executed, incomplete", sum)
+	}
+	sum = runCampaign(t, tinySpec(), Options{
+		OutDir: dir, Workers: 2, Resume: true, RunRetries: 2, RunFaultHook: flakyHook,
+	})
+	if !sum.Complete || sum.Replayed != 3 {
+		t.Fatalf("resumed summary %+v, want complete with 3 replayed", sum)
+	}
+	compareOutputs(t, ref, readOutputs(t, dir))
+}
+
+// TestRunFailFastWithoutRetries pins the legacy contract: with no
+// retry budget the first run failure aborts the sweep.
+func TestRunFailFastWithoutRetries(t *testing.T) {
+	eng, err := New(tinySpec(), Options{
+		OutDir: t.TempDir(), Workers: 1,
+		RunFaultHook: func(index, attempt int) error {
+			if index == 0 {
+				return fmt.Errorf("injected: down")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "injected: down") {
+		t.Fatalf("Run error = %v, want the injected failure to fail fast", err)
+	}
+}

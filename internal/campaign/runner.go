@@ -58,7 +58,19 @@ type Result struct {
 	// Digest fingerprints the externally observable final state; a
 	// standalone re-execution from (seed, params) must reproduce it.
 	Digest string `json:"digest"`
+
+	// Status is "" for a normally executed run and "failed" for a run
+	// quarantined after exhausting its retry budget (Options.RunRetries).
+	// Attempts counts executions when more than one was needed; Error
+	// holds the final attempt's failure. All three are omitempty so
+	// campaigns without failures serialize byte-identically to before.
+	Status   string `json:"status,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
+
+// Failed reports whether the run was quarantined rather than executed.
+func (r Result) Failed() bool { return r.Status == "failed" }
 
 // scratch is per-worker reusable state: everything a run needs that
 // does not depend on the seed. Reusing it amortizes per-run setup

@@ -1,6 +1,7 @@
 package eddi
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -154,6 +155,34 @@ type ChainObserver interface {
 	MonitorDone(index int, m Runtime, elapsed time.Duration, events int, advice Advice, err error)
 }
 
+// MonitorPanicError reports a monitor whose Observe panicked. The
+// chain converts the panic into this error instead of letting it
+// unwind the scheduler, so one crashing monitor process-equivalent
+// cannot take down the platform and the failure stays attributable to
+// the monitor that caused it.
+type MonitorPanicError struct {
+	// Monitor is the Name() of the panicking monitor.
+	Monitor string
+	// Value is the recovered panic value.
+	Value interface{}
+}
+
+func (e *MonitorPanicError) Error() string {
+	return fmt.Sprintf("eddi: monitor %s panicked: %v", e.Monitor, e.Value)
+}
+
+// observeMonitor runs one Observe with panic containment: a panic is
+// recovered and returned as a *MonitorPanicError.
+func observeMonitor(m Runtime, s Snapshot) (events []Event, advice Advice, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			events, advice = nil, Advice{}
+			err = &MonitorPanicError{Monitor: m.Name(), Value: r}
+		}
+	}()
+	return m.Observe(s)
+}
+
 // RunChain observes the snapshot through each monitor in order,
 // sharing one Derived blackboard, and aggregates events and advice.
 // A Halt advice stops the chain. Errors abort with the monitor named.
@@ -176,13 +205,18 @@ func RunChainObserved(monitors []Runtime, s Snapshot, obs ChainObserver) (ChainR
 		prev = time.Now()
 	}
 	for i, m := range monitors {
-		events, advice, err := m.Observe(s)
+		events, advice, err := observeMonitor(m, s)
 		if obs != nil {
 			now := time.Now()
 			obs.MonitorDone(i, m, now.Sub(prev), len(events), advice, err)
 			prev = now
 		}
 		if err != nil {
+			var pe *MonitorPanicError
+			if errors.As(err, &pe) {
+				// Already attributed; don't double-wrap.
+				return res, err
+			}
 			return res, fmt.Errorf("eddi: monitor %s: %w", m.Name(), err)
 		}
 		res.Events = append(res.Events, events...)

@@ -173,3 +173,57 @@ func TestAdviceKindString(t *testing.T) {
 		}
 	}
 }
+
+// panicMonitor panics on every Observe.
+type panicMonitor struct{ name string }
+
+func (m *panicMonitor) Name() string { return m.name }
+
+func (m *panicMonitor) Observe(Snapshot) ([]Event, Advice, error) {
+	panic("monitor blew up")
+}
+
+// TestRunChainContainsPanic pins panic containment: a panicking
+// monitor becomes an attributed *MonitorPanicError instead of
+// unwinding the caller, and the chain aborts like any other monitor
+// error.
+func TestRunChainContainsPanic(t *testing.T) {
+	after := &fakeMonitor{name: "after"}
+	_, err := RunChain([]Runtime{&panicMonitor{name: "bomb"}, after}, Snapshot{UAV: "u1"})
+	var pe *MonitorPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *MonitorPanicError", err, err)
+	}
+	if pe.Monitor != "bomb" || pe.Value != "monitor blew up" {
+		t.Errorf("panic attribution = %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "bomb") || !strings.Contains(err.Error(), "monitor blew up") {
+		t.Errorf("error %q must name the monitor and the panic value", err)
+	}
+	if after.called {
+		t.Error("chain must abort on a contained panic")
+	}
+
+	// The observed variant reports the panic to the hook and returns it
+	// unwrapped (already attributed).
+	var hookErr error
+	obs := chainObserverFunc(func(index int, m Runtime, _ time.Duration, _ int, _ Advice, err error) {
+		if m.Name() == "bomb" {
+			hookErr = err
+		}
+	})
+	_, err = RunChainObserved([]Runtime{&panicMonitor{name: "bomb"}}, Snapshot{UAV: "u1"}, obs)
+	if !errors.As(err, &pe) {
+		t.Fatalf("observed err = %v, want *MonitorPanicError", err)
+	}
+	if !errors.As(hookErr, &pe) {
+		t.Errorf("observer hook saw %v, want the panic error", hookErr)
+	}
+}
+
+// chainObserverFunc adapts a function to ChainObserver.
+type chainObserverFunc func(int, Runtime, time.Duration, int, Advice, error)
+
+func (f chainObserverFunc) MonitorDone(index int, m Runtime, elapsed time.Duration, events int, advice Advice, err error) {
+	f(index, m, elapsed, events, advice, err)
+}

@@ -1,0 +1,147 @@
+package flightrec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// hookFailing returns a FaultHook failing exactly the ops whose flag
+// is currently set in fail.
+func hookFailing(fail map[string]bool) func(string) error {
+	return func(op string) error {
+		if fail[op] {
+			return errors.New("injected " + op + " failure")
+		}
+		return nil
+	}
+}
+
+// TestCloseReportsFlushError pins the swallowed-error fix: a buffer
+// that fails to flush during Close must surface that error even though
+// the descriptor closes cleanly.
+func TestCloseReportsFlushError(t *testing.T) {
+	fail := map[string]bool{}
+	w, err := OpenWriter(t.TempDir(), Header{Seed: 1}, Options{FaultHook: hookFailing(fail)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(TypeTick, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	fail["write"] = true // the record above is still buffered
+	err = w.Close()
+	if err == nil || !strings.Contains(err.Error(), "injected write failure") {
+		t.Fatalf("Close err = %v, want the flush failure", err)
+	}
+	if w.Err() == nil {
+		t.Error("flush failure not sticky after Close")
+	}
+	// A second Close reports the sticky error instead of a nil no-op.
+	if err := w.Close(); err == nil {
+		t.Error("repeated Close swallowed the sticky error")
+	}
+}
+
+// TestFaultHookCreate models a full disk at segment creation.
+func TestFaultHookCreate(t *testing.T) {
+	fail := map[string]bool{"create": true}
+	if _, err := OpenWriter(t.TempDir(), Header{Seed: 1}, Options{FaultHook: hookFailing(fail)}); err == nil ||
+		!strings.Contains(err.Error(), "injected create failure") {
+		t.Fatalf("OpenWriter err = %v, want injected create failure", err)
+	}
+	if _, err := NewRecorder(t.TempDir(), 1, "d", 10, Options{FaultHook: hookFailing(fail)}); err == nil {
+		t.Fatal("NewRecorder succeeded with a failing create hook")
+	}
+}
+
+// TestFaultHookSync pins sync injection: the error is reported but not
+// sticky (a later fsync may succeed), matching os.File.Sync semantics.
+func TestFaultHookSync(t *testing.T) {
+	fail := map[string]bool{}
+	w, err := OpenWriter(t.TempDir(), Header{Seed: 1}, Options{FaultHook: hookFailing(fail)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fail["sync"] = true
+	if err := w.Sync(); err == nil || !strings.Contains(err.Error(), "injected sync failure") {
+		t.Fatalf("Sync err = %v, want injected sync failure", err)
+	}
+	if w.Err() != nil {
+		t.Errorf("sync failure became sticky: %v", w.Err())
+	}
+	fail["sync"] = false
+	if err := w.Sync(); err != nil {
+		t.Errorf("recovered Sync err = %v", err)
+	}
+}
+
+// TestWriteFaultIsSticky pins the degraded-mode contract the platform
+// builds on: after the first failed flush, every further operation
+// returns the same root cause without touching the disk again.
+func TestWriteFaultIsSticky(t *testing.T) {
+	fail := map[string]bool{}
+	w, err := OpenWriter(t.TempDir(), Header{Seed: 1}, Options{FaultHook: hookFailing(fail)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fail["write"] = true
+	if err := w.Sync(); err == nil { // forces a flush of the buffered header
+		t.Fatal("Sync succeeded with a failing write hook")
+	}
+	first := w.Err()
+	if first == nil {
+		t.Fatal("write failure not sticky")
+	}
+	if err := w.Append(TypeTick, []byte("t")); !errors.Is(err, first) && err != first {
+		t.Errorf("Append after failure = %v, want the sticky %v", err, first)
+	}
+	if err := w.Sync(); err != first {
+		t.Errorf("Sync after failure = %v, want the sticky %v", err, first)
+	}
+}
+
+// TestCorruptSnapshotSkippedOnResume drives the corrupt-checkpoint
+// path end to end: a truncated snapshot payload is framed with a valid
+// CRC, so the reader stays aligned, rejects that checkpoint and falls
+// back to the newest intact one.
+func TestCorruptSnapshotSkippedOnResume(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := false
+	rec, err := NewRecorder(dir, 1, "d", 10, Options{
+		CorruptSnapshot: func(p []byte) []byte {
+			if !corrupt {
+				return p
+			}
+			return p[:len(p)/2]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Snapshot{Tick: 10, Time: 10, State: []byte(`{"ok":true}`)}
+	if err := rec.RecordSnapshot(good); err != nil {
+		t.Fatal(err)
+	}
+	corrupt = true
+	if err := rec.RecordSnapshot(Snapshot{Tick: 20, Time: 20, State: []byte(`{"ok":false}`)}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt = false
+	if err := rec.RecordTick([]byte("after")); err != nil { // stream stays aligned past the corrupt frame
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _, err := LatestSnapshot(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tick != good.Tick || string(snap.State) != string(good.State) {
+		t.Fatalf("LatestSnapshot = tick %d, want the intact checkpoint at tick %d", snap.Tick, good.Tick)
+	}
+}

@@ -129,6 +129,19 @@ type Options struct {
 	// DefaultSegmentBytes). A segment always holds at least its header
 	// and one record, so oversized records still land somewhere.
 	SegmentBytes int64
+
+	// FaultHook, if set, is consulted immediately before each physical
+	// file operation — op is "create", "write" or "sync" — and a
+	// non-nil return is treated exactly as that operation failing
+	// (chaos/fault-injection seam; never set in production use).
+	FaultHook func(op string) error
+
+	// CorruptSnapshot, if set, may rewrite a snapshot payload before it
+	// is framed (chaos seam for checkpoint-corruption testing): the
+	// returned bytes are recorded in place of the checkpoint. The frame
+	// CRC covers the corrupted bytes, so readers see a well-framed
+	// record whose content no longer decodes.
+	CorruptSnapshot func(payload []byte) []byte
 }
 
 // Writer is the append-only segment log writer. Append is the
@@ -177,6 +190,11 @@ func OpenWriter(dir string, h Header, opts Options) (*Writer, error) {
 }
 
 func (w *Writer) openSegment(idx uint32) error {
+	if w.opts.FaultHook != nil {
+		if err := w.opts.FaultHook("create"); err != nil {
+			return fmt.Errorf("flightrec: %w", err)
+		}
+	}
 	f, err := os.OpenFile(filepath.Join(w.dir, SegmentName(idx)),
 		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -243,7 +261,13 @@ func (w *Writer) flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	_, err := w.file.Write(w.buf)
+	var err error
+	if w.opts.FaultHook != nil {
+		err = w.opts.FaultHook("write")
+	}
+	if err == nil {
+		_, err = w.file.Write(w.buf)
+	}
 	w.buf = w.buf[:0]
 	if err != nil {
 		w.err = fmt.Errorf("flightrec: %w", err)
@@ -275,22 +299,38 @@ func (w *Writer) Sync() error {
 	if err := w.flush(); err != nil {
 		return err
 	}
+	if w.opts.FaultHook != nil {
+		if err := w.opts.FaultHook("sync"); err != nil {
+			return fmt.Errorf("flightrec: %w", err)
+		}
+	}
 	return w.file.Sync()
 }
 
 // Segments returns how many segments the writer has opened so far.
 func (w *Writer) Segments() int { return int(w.segIdx) + 1 }
 
-// Close flushes and closes the current segment.
+// Err returns the writer's sticky error: the first append/flush
+// failure, after which every further operation refuses to run. Callers
+// that keep a mission going on recorder failure (degraded mode) poll
+// this to surface the root cause.
+func (w *Writer) Err() error { return w.err }
+
+// Close flushes and closes the current segment. Both the final flush
+// error and the file close error are reported: a torn last buffer is
+// not swallowed just because the descriptor closed cleanly.
 func (w *Writer) Close() error {
 	if w.file == nil {
 		return w.err
 	}
-	_ = w.flush()
-	err := w.file.Close()
+	flushErr := w.flush()
+	closeErr := w.file.Close()
 	w.file = nil
-	if w.err == nil && err != nil {
-		w.err = fmt.Errorf("flightrec: %w", err)
+	if closeErr != nil {
+		closeErr = fmt.Errorf("flightrec: %w", closeErr)
 	}
-	return w.err
+	if w.err == nil && closeErr != nil {
+		w.err = closeErr
+	}
+	return errors.Join(flushErr, closeErr)
 }

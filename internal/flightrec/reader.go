@@ -178,7 +178,10 @@ func LatestSnapshot(dir string, maxTick uint64) (Snapshot, Header, error) {
 		}
 		snap, err := DecodeSnapshot(rec.Payload)
 		if err != nil {
-			break
+			// The frame's CRC was valid, so the stream is still aligned:
+			// this one checkpoint is unusable (e.g. written corrupt), not
+			// the recording. Skip it and keep the earlier ones eligible.
+			continue
 		}
 		if maxTick != 0 && snap.Tick > maxTick {
 			continue

@@ -109,8 +109,16 @@ func (r *Recorder) RecordBus(payload []byte) error { return r.w.Append(TypeBus, 
 
 // RecordSnapshot appends a full platform checkpoint.
 func (r *Recorder) RecordSnapshot(s Snapshot) error {
-	return r.w.Append(TypeSnapshot, EncodeSnapshot(s))
+	payload := EncodeSnapshot(s)
+	if r.w.opts.CorruptSnapshot != nil {
+		payload = r.w.opts.CorruptSnapshot(payload)
+	}
+	return r.w.Append(TypeSnapshot, payload)
 }
+
+// Err returns the underlying writer's sticky error (nil while the
+// recording is healthy).
+func (r *Recorder) Err() error { return r.w.Err() }
 
 // Sync flushes the recording to stable storage.
 func (r *Recorder) Sync() error { return r.w.Sync() }

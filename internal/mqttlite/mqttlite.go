@@ -148,6 +148,17 @@ func (b *Broker) SetFilter(f Filter) {
 	b.filter = f
 }
 
+// WrapFilter composes a new filter over whatever is currently
+// installed: the wrapper receives the previous filter (possibly nil)
+// and decides whether and how to delegate. Fault layers stack this way
+// — e.g. a chaos layer over a link simulator — instead of overwriting
+// each other through SetFilter.
+func (b *Broker) WrapFilter(wrap func(next Filter) Filter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter = wrap(b.filter)
+}
+
 // Publish routes payload to every matching subscription. With retain
 // set, the payload replaces the topic's retained message (an empty
 // payload clears it, per MQTT convention). A consumed (filtered)

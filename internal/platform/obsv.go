@@ -33,6 +33,16 @@ type platformMetrics struct {
 	monitorErrors  *obsv.Counter
 	monitorPanics  *obsv.Counter
 
+	// Degradation counters are registered lazily, on the first
+	// quarantine or recorder failure: runs that never degrade expose
+	// exactly the same metric families (and therefore the same
+	// Status.Observability maps and golden digests) as before this
+	// machinery existed. All accesses happen in the serial apply phase,
+	// so the lazy init needs no locking.
+	monitorQuarantines *obsv.Counter
+	recDegradedTotal   *obsv.Counter
+	recSkippedTotal    *obsv.Counter
+
 	// tick is written serially at the top of Tick and read by the
 	// concurrent observe-phase recorders for trace stamping.
 	tick atomic.Uint64
@@ -60,6 +70,33 @@ func newPlatformMetrics(reg *obsv.Registry) *platformMetrics {
 		monitorPanics: reg.Counter("sesame_monitor_panics_total",
 			"Monitor chain panics contained by the scheduler."),
 	}
+}
+
+// quarantines resolves the breaker-quarantine counter on first use.
+func (m *platformMetrics) quarantines() *obsv.Counter {
+	if m.monitorQuarantines == nil {
+		m.monitorQuarantines = m.reg.Counter("sesame_monitor_quarantines_total",
+			"Monitor chains quarantined by the scheduler's circuit breaker.")
+	}
+	return m.monitorQuarantines
+}
+
+// recorderDegraded resolves the recorder-degradation counter on first use.
+func (m *platformMetrics) recorderDegraded() *obsv.Counter {
+	if m.recDegradedTotal == nil {
+		m.recDegradedTotal = m.reg.Counter("sesame_recorder_degraded_total",
+			"Flight-recorder demotions to counting no-op after a persistent write failure.")
+	}
+	return m.recDegradedTotal
+}
+
+// recorderSkipped resolves the skipped-writes counter on first use.
+func (m *platformMetrics) recorderSkipped() *obsv.Counter {
+	if m.recSkippedTotal == nil {
+		m.recSkippedTotal = m.reg.Counter("sesame_recorder_skipped_writes_total",
+			"Recording operations suppressed while the flight recorder is degraded.")
+	}
+	return m.recSkippedTotal
 }
 
 // chainRecorder is one UAV's eddi.ChainObserver: handles for every

@@ -101,6 +101,17 @@ type Config struct {
 	// DBRetryBackoffS is the first retry backoff in sim seconds; each
 	// further attempt doubles it.
 	DBRetryBackoffS float64
+	// BreakerFailures is the per-UAV monitor circuit breaker: after
+	// this many consecutive monitor-chain failures (panics or errors)
+	// the chain is quarantined — skipped entirely, the vehicle held
+	// fail-safe — and re-probed after BreakerCooldownS. Values <= 0
+	// disable quarantine (every failure is still contained and counted,
+	// the chain just re-runs each tick).
+	BreakerFailures int
+	// BreakerCooldownS is the quarantine re-probe interval in sim
+	// seconds. A failed probe silently re-arms the cooldown; a clean
+	// probe closes the breaker and resumes normal monitoring.
+	BreakerCooldownS float64
 	// Observability mirrors the platform's data-path counters and hot-
 	// path latencies into the given registry (bus, broker, IDS, scheduler
 	// phases, per-monitor timings). Nil disables all instrumentation at
@@ -128,6 +139,8 @@ func DefaultConfig() Config {
 		LostLinkWindowS:  15,
 		DBRetryAttempts:  3,
 		DBRetryBackoffS:  2,
+		BreakerFailures:  3,
+		BreakerCooldownS: 30,
 	}
 }
 
@@ -196,9 +209,17 @@ type uavState struct {
 	// lostLink latches while the lost-link watchdog considers the link
 	// silent; it clears when telemetry resumes.
 	lostLink bool
-	// monitorPanicked latches after the first monitor-chain panic so
-	// the fail-safe event is emitted once.
+	// monitorPanicked latches after the first monitor-chain failure of
+	// a streak so the fail-safe incident event is emitted once; a clean
+	// chain run resets it.
 	monitorPanicked bool
+	// breakerFails counts consecutive monitor-chain failures; quarantined
+	// and probeAt are the circuit breaker's open state (chain skipped
+	// until the probe at probeAt). Written only in the serial apply
+	// phase, read by the concurrent observe phase of later ticks.
+	breakerFails int
+	quarantined  bool
+	probeAt      float64
 	// dbRetries is this UAV's pending database retry queue. Only the
 	// observe-phase worker that owns the UAV touches it, so no lock.
 	dbRetries []dbRetry
@@ -302,6 +323,14 @@ type Platform struct {
 	// ticks counts completed platform ticks — the flight recorder's
 	// checkpoint coordinate.
 	ticks uint64
+	// recDegraded latches after a persistent flight-recorder failure:
+	// recording demotes to a counting no-op (recSkipped operations
+	// skipped so far, recErr the root cause) instead of the sticky
+	// writer error poisoning every later tick. Surfaced in
+	// Status.Recorder and, lazily, as obsv counters.
+	recDegraded bool
+	recErr      error
+	recSkipped  uint64
 	// snapOwed defers a cadence checkpoint that landed on a tick with
 	// delayed frames still parked on the clock.
 	snapOwed bool

@@ -46,11 +46,17 @@ import (
 // observation is one UAV's observe-phase output.
 type observation struct {
 	result eddi.ChainResult
-	err    error
-	// panicked marks a monitor-chain panic caught by observeUAV; the
-	// apply phase converts it into a fail-safe Hold for the UAV.
+	// failed marks a contained monitor-chain failure (panic or error);
+	// the apply phase converts it into a fail-safe Hold and feeds the
+	// per-UAV circuit breaker.
+	failed bool
+	// panicked distinguishes a panic from a plain error (attribution in
+	// the incident event and the panic metric).
 	panicked bool
-	panicMsg string
+	failMsg  string
+	// quarantined marks a chain that was skipped because its breaker is
+	// open (no failure this tick — the chain never ran).
+	quarantined bool
 }
 
 // Tick advances the platform by one second: world physics, then the
@@ -351,31 +357,30 @@ func (p *Platform) observeFleet(snaps []eddi.Snapshot) []observation {
 }
 
 // observeUAV runs one UAV's telemetry reporting and monitor chain.
-// Safe to call concurrently for different UAVs. A panicking monitor is
-// contained here: it becomes a counted drop plus a fail-safe result
-// instead of killing the worker goroutine (and with it the process).
+// Safe to call concurrently for different UAVs. A failing monitor —
+// panic or error — is contained here: it becomes a counted drop plus a
+// fail-safe observation instead of killing the worker goroutine (and
+// with it the process) or aborting the tick. While the UAV's breaker
+// is open the chain is skipped entirely (telemetry keeps flowing), so
+// a persistently crashing monitor costs one skipped call per tick
+// instead of one contained panic per tick.
 func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
 	st := p.states[s.UAV]
 	defer func() {
+		// Backstop for panics outside the chain itself (the chain's own
+		// panics are converted to *eddi.MonitorPanicError upstream).
 		if r := recover(); r != nil {
 			st.drops.monitors.Add(1)
 			if st.recorder != nil {
 				st.recorder.recordPanic()
 			}
-			ob = observation{
-				result: eddi.ChainResult{
-					Advices: []eddi.Advice{{
-						Kind:   eddi.AdviceHold,
-						Reason: "monitor chain panicked; failing safe",
-						Halt:   true,
-					}},
-				},
-				panicked: true,
-				panicMsg: fmt.Sprint(r),
-			}
+			ob = observation{failed: true, panicked: true, failMsg: fmt.Sprint(r)}
 		}
 	}()
 	p.reportTelemetry(st, s.Time)
+	if st.quarantined && s.Time < st.probeAt {
+		return observation{quarantined: true}
+	}
 	// The typed-nil guard matters: a nil *chainRecorder in a non-nil
 	// interface would turn the observer path on for uninstrumented runs.
 	var result eddi.ChainResult
@@ -385,7 +390,20 @@ func (p *Platform) observeUAV(s eddi.Snapshot) (ob observation) {
 	} else {
 		result, err = eddi.RunChain(st.chain, s)
 	}
-	return observation{result: result, err: err}
+	if err != nil {
+		st.drops.monitors.Add(1)
+		ob = observation{failed: true, failMsg: err.Error()}
+		var pe *eddi.MonitorPanicError
+		if errors.As(err, &pe) {
+			ob.panicked = true
+			ob.failMsg = pe.Monitor + ": " + fmt.Sprint(pe.Value)
+			if st.recorder != nil {
+				st.recorder.recordPanic()
+			}
+		}
+		return ob
+	}
+	return observation{result: result}
 }
 
 // reportTelemetry is the §IV-A database path: every tick each UAV
@@ -462,26 +480,80 @@ func (p *Platform) drainDBRetries(st *uavState, now float64) {
 // apply executes one UAV's collected findings in fleet order: event
 // emission, mission management and flight actions.
 func (p *Platform) apply(id string, ob observation, now float64) error {
-	if ob.err != nil {
-		return ob.err
-	}
 	st := p.states[id]
 	u := st.uav
 
-	// A contained monitor panic fails the UAV safe: emit the event once,
-	// hold position, and skip the (unavailable) chain findings.
-	if ob.panicked {
+	// A contained monitor-chain failure fails the UAV safe: emit the
+	// incident once, hold position, skip the (unavailable) chain
+	// findings — and feed the circuit breaker. After BreakerFailures
+	// consecutive failures the chain is quarantined: skipped entirely
+	// until a re-probe after BreakerCooldownS, instead of re-failing
+	// every tick.
+	if ob.failed {
+		st.breakerFails++
 		if !st.monitorPanicked {
 			st.monitorPanicked = true
-			countIn(&p.drops.events, p.Coordinator.Emit(eddi.Event{
+			word := "error"
+			if ob.panicked {
+				word = "panic"
+			}
+			ev := eddi.Event{
 				Kind: eddi.KindSafety, UAV: id, Time: now, Severity: 1,
-				Summary: "monitor chain panic: " + ob.panicMsg + "; holding position fail-safe",
-			}))
+				Summary: "monitor chain " + word + ": " + ob.failMsg + "; holding position fail-safe",
+			}
+			countIn(&p.drops.events, p.Coordinator.Emit(ev))
+			p.recordEvent(ev)
+		}
+		if st.quarantined {
+			// Failed re-probe: re-arm the cooldown without a new event —
+			// one quarantine incident per continuous quarantine period.
+			st.probeAt = now + p.cfg.BreakerCooldownS
+		} else if k := p.cfg.BreakerFailures; k > 0 && st.breakerFails >= k {
+			st.quarantined = true
+			st.probeAt = now + p.cfg.BreakerCooldownS
+			if p.obs != nil {
+				p.obs.quarantines().Inc()
+			}
+			ev := eddi.Event{
+				Kind: eddi.KindSafety, UAV: id, Time: now, Severity: 1,
+				Summary: fmt.Sprintf("monitor chain quarantined after %d consecutive failures; re-probe in %.0fs",
+					st.breakerFails, p.cfg.BreakerCooldownS),
+			}
+			countIn(&p.drops.events, p.Coordinator.Emit(ev))
+			p.recordEvent(ev)
+			p.recordFault(now, id, "monitor-quarantine", ob.failMsg)
 		}
 		if u.Mode() == uavsim.ModeMission {
 			u.Hold()
 		}
 		return nil
+	}
+
+	// Breaker open: the chain was skipped this tick; keep holding until
+	// the next probe.
+	if ob.quarantined {
+		if u.Mode() == uavsim.ModeMission {
+			u.Hold()
+		}
+		return nil
+	}
+
+	// A clean chain run closes an open breaker (successful probe) and
+	// resets the consecutive-failure streak.
+	if st.quarantined {
+		st.quarantined = false
+		st.breakerFails = 0
+		st.monitorPanicked = false
+		st.probeAt = 0
+		ev := eddi.Event{
+			Kind: eddi.KindSafety, UAV: id, Time: now, Severity: 0.3,
+			Summary: "monitor chain recovered after quarantine; resuming normal monitoring",
+		}
+		countIn(&p.drops.events, p.Coordinator.Emit(ev))
+		p.recordEvent(ev)
+	} else if st.breakerFails != 0 {
+		st.breakerFails = 0
+		st.monitorPanicked = false
 	}
 
 	// Collaborative landing halted the chain: step the controller and

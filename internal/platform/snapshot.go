@@ -59,6 +59,8 @@ func (p *Platform) ConfigDigest() string {
 		LostLinkLand     bool       `json:"lost_link_land"`
 		DBRetryAttempts  int        `json:"db_retry_attempts"`
 		DBRetryBackoffS  float64    `json:"db_retry_backoff_s"`
+		BreakerFailures  int        `json:"breaker_failures"`
+		BreakerCooldownS float64    `json:"breaker_cooldown_s"`
 		Cells            int        `json:"cells"`
 	}{
 		SESAME:           c.SESAME,
@@ -73,6 +75,8 @@ func (p *Platform) ConfigDigest() string {
 		LostLinkLand:     c.LostLinkLand,
 		DBRetryAttempts:  c.DBRetryAttempts,
 		DBRetryBackoffS:  c.DBRetryBackoffS,
+		BreakerFailures:  c.BreakerFailures,
+		BreakerCooldownS: c.BreakerCooldownS,
 		Cells:            c.Cells,
 	}
 	data, err := json.Marshal(blob)
@@ -115,8 +119,14 @@ type uavCheckpoint struct {
 	LastTelemetryAt float64         `json:"last_telemetry_at"`
 	LostLink        bool            `json:"lost_link"`
 	MonitorPanicked bool            `json:"monitor_panicked"`
-	DBRetries       []dbRetry       `json:"db_retries"`
-	Monitors        []monitorBlob   `json:"monitors"`
+	// Circuit-breaker state (omitted while the breaker has never
+	// tripped, keeping chaos-off checkpoints byte-identical to older
+	// recordings).
+	BreakerFails int           `json:"breaker_fails,omitempty"`
+	Quarantined  bool          `json:"quarantined,omitempty"`
+	ProbeAt      float64       `json:"probe_at,omitempty"`
+	DBRetries    []dbRetry     `json:"db_retries"`
+	Monitors     []monitorBlob `json:"monitors"`
 }
 
 // PlatformSnapshot is the full checkpoint the flight recorder stores:
@@ -195,6 +205,9 @@ func (p *Platform) Checkpoint() (*PlatformSnapshot, error) {
 			LastTelemetryAt: st.lastTelemetryAt,
 			LostLink:        st.lostLink,
 			MonitorPanicked: st.monitorPanicked,
+			BreakerFails:    st.breakerFails,
+			Quarantined:     st.quarantined,
+			ProbeAt:         st.probeAt,
 			DBRetries:       append([]dbRetry(nil), st.dbRetries...),
 		}
 		for _, m := range st.chain {
@@ -298,6 +311,9 @@ func (p *Platform) RestoreCheckpoint(s *PlatformSnapshot) error {
 		st.lastTelemetryAt = uc.LastTelemetryAt
 		st.lostLink = uc.LostLink
 		st.monitorPanicked = uc.MonitorPanicked
+		st.breakerFails = uc.BreakerFails
+		st.quarantined = uc.Quarantined
+		st.probeAt = uc.ProbeAt
 		st.dbRetries = append(st.dbRetries[:0:0], uc.DBRetries...)
 		blobs := make(map[string]json.RawMessage, len(uc.Monitors))
 		for _, b := range uc.Monitors {
@@ -464,22 +480,64 @@ type adviceRecord struct {
 	Action string  `json:"action"`
 }
 
+// degradeRecorder demotes the flight recorder to a counting no-op
+// after a persistent write failure. Recording is forensic, not
+// flight-critical: a dead disk must not abort the mission, so instead
+// of propagating the writer's sticky error out of Tick the platform
+// latches degraded mode, emits one incident event into the EDDI
+// stream, and from then on only counts the operations it can no
+// longer persist (surfaced via Status and observability).
+func (p *Platform) degradeRecorder(now float64, err error) {
+	if p.recDegraded {
+		return
+	}
+	p.recDegraded = true
+	p.recErr = err
+	if p.obs != nil {
+		p.obs.recorderDegraded().Inc()
+	}
+	if len(p.order) > 0 {
+		ev := eddi.Event{
+			Kind: eddi.KindSafety, UAV: p.order[0], Time: now, Severity: 0.35,
+			Summary: "flight recorder degraded: " + err.Error() + "; mission continues without black-box recording",
+		}
+		countIn(&p.drops.events, p.Coordinator.Emit(ev))
+	}
+}
+
+// recSkip counts n recording operations suppressed while degraded.
+func (p *Platform) recSkip(n uint64) {
+	p.recSkipped += n
+	if p.obs != nil {
+		p.obs.recorderSkipped().Add(n)
+	}
+}
+
 // recordTick appends the per-tick summary, the bus summary and — every
 // SnapshotEvery ticks, deferred until the clock is quiescent — a full
 // checkpoint. Called by Tick after the pipeline completes; recording
 // runs entirely in the serial phase, so no synchronization is needed.
+// Writer failures degrade the recorder (see degradeRecorder) instead
+// of failing the tick; only checkpoint-serialization errors — platform
+// state bugs, not storage faults — still surface to the caller.
 func (p *Platform) recordTick() error {
 	rec := p.cfg.Recorder
 	now := p.World.Clock.Now()
+	if p.recDegraded {
+		p.recSkip(2) // tick + bus summaries
+		return nil
+	}
 	// The writer copies payloads into its own buffer, so recBuf is
 	// reusable immediately after each Record call.
 	p.recBuf = p.appendTickRecord(p.recBuf[:0], now)
 	if err := rec.RecordTick(p.recBuf); err != nil {
-		return err
+		p.degradeRecorder(now, err)
+		return nil
 	}
 	p.recBuf = p.appendBusRecord(p.recBuf[:0])
 	if err := rec.RecordBus(p.recBuf); err != nil {
-		return err
+		p.degradeRecorder(now, err)
+		return nil
 	}
 	if rec.ShouldSnapshot(p.ticks) {
 		p.snapOwed = true
@@ -497,7 +555,8 @@ func (p *Platform) recordTick() error {
 			return err
 		}
 		if err := rec.RecordSnapshot(flightrec.Snapshot{Tick: p.ticks, Time: now, State: state}); err != nil {
-			return err
+			p.degradeRecorder(now, err)
+			return nil
 		}
 		p.snapOwed = false
 	}
@@ -540,15 +599,21 @@ func (p *Platform) appendEventRecord(b []byte, ev eddi.Event) []byte {
 }
 
 // recordEvent appends an EDDI event to the recording (serial apply
-// phase). Write errors surface on the next RecordTick via the writer's
-// sticky error, so they are not checked here.
+// phase). A write error degrades the recorder rather than poisoning
+// the next RecordTick through the writer's sticky error.
 func (p *Platform) recordEvent(ev eddi.Event) {
 	rec := p.cfg.Recorder
 	if rec == nil {
 		return
 	}
+	if p.recDegraded {
+		p.recSkip(1)
+		return
+	}
 	p.recBuf = p.appendEventRecord(p.recBuf[:0], ev)
-	_ = rec.RecordEvent(p.recBuf)
+	if err := rec.RecordEvent(p.recBuf); err != nil {
+		p.degradeRecorder(ev.Time, err)
+	}
 }
 
 // recordFault marks a fault/attack/contingency in the recording.
@@ -557,8 +622,14 @@ func (p *Platform) recordFault(now float64, uav, kind, detail string) {
 	if rec == nil {
 		return
 	}
+	if p.recDegraded {
+		p.recSkip(1)
+		return
+	}
 	if data, err := json.Marshal(faultRecord{Time: now, UAV: uav, Kind: kind, Detail: detail}); err == nil {
-		_ = rec.RecordFault(data)
+		if err := rec.RecordFault(data); err != nil {
+			p.degradeRecorder(now, err)
+		}
 	}
 }
 
@@ -568,7 +639,13 @@ func (p *Platform) recordAdvice(now float64, uav, action string) {
 	if rec == nil {
 		return
 	}
+	if p.recDegraded {
+		p.recSkip(1)
+		return
+	}
 	if data, err := json.Marshal(adviceRecord{Time: now, UAV: uav, Action: action}); err == nil {
-		_ = rec.RecordAdvice(data)
+		if err := rec.RecordAdvice(data); err != nil {
+			p.degradeRecorder(now, err)
+		}
 	}
 }

@@ -30,6 +30,21 @@ type UAVStatus struct {
 	// for this UAV is; LinkLost marks a fired lost-link watchdog.
 	TelemetryAgeS float64 `json:"telemetry_age_s"`
 	LinkLost      bool    `json:"link_lost"`
+	// MonitorQuarantined marks a monitor chain the circuit breaker has
+	// taken out of rotation (omitted while healthy so chaos-free status
+	// snapshots — and their golden digests — are unchanged).
+	MonitorQuarantined bool `json:"monitor_quarantined,omitempty"`
+}
+
+// RecorderStatus reports the flight recorder's degradation state. It
+// only appears in Status after a persistent write failure has demoted
+// recording to a counting no-op.
+type RecorderStatus struct {
+	Degraded bool   `json:"degraded"`
+	Error    string `json:"error,omitempty"`
+	// SkippedWrites counts recording operations suppressed since the
+	// recorder degraded.
+	SkippedWrites uint64 `json:"skipped_writes"`
 }
 
 // Status is the full platform snapshot — the Fig. 4 view as data.
@@ -52,6 +67,9 @@ type Status struct {
 	// wall-clock sums or buckets). Absent when observability is off, so
 	// disabled runs serialize exactly as before.
 	Observability map[string]uint64 `json:"observability,omitempty"`
+	// Recorder surfaces flight-recorder degradation; nil (and absent)
+	// while recording is healthy or disabled.
+	Recorder *RecorderStatus `json:"recorder,omitempty"`
 }
 
 // Status captures a point-in-time snapshot of the fleet.
@@ -68,25 +86,33 @@ func (p *Platform) Status() Status {
 	if p.obs != nil {
 		s.Observability = p.obs.reg.CounterValues()
 	}
+	if p.recDegraded {
+		rs := &RecorderStatus{Degraded: true, SkippedWrites: p.recSkipped}
+		if p.recErr != nil {
+			rs.Error = p.recErr.Error()
+		}
+		s.Recorder = rs
+	}
 	for _, id := range p.order {
 		st := p.states[id]
 		u := st.uav
 		us := UAVStatus{
-			ID:            id,
-			Mode:          u.Mode().String(),
-			Action:        st.action.String(),
-			Position:      u.TruePosition(),
-			AltitudeM:     u.AltitudeM(),
-			SpeedMS:       u.SpeedMS(),
-			BatteryPct:    u.Battery.ChargePct,
-			BatteryTemp:   u.Battery.TempC,
-			PoF:           st.lastAssessment.PoF,
-			Reliability:   st.lastAssessment.Level.String(),
-			Waypoints:     u.RemainingWaypoints(),
-			CollocLand:    st.collocCtrl != nil,
-			Rescans:       st.rescans,
-			TelemetryAgeS: st.telemetryAge(now),
-			LinkLost:      st.lostLink,
+			ID:                 id,
+			Mode:               u.Mode().String(),
+			Action:             st.action.String(),
+			Position:           u.TruePosition(),
+			AltitudeM:          u.AltitudeM(),
+			SpeedMS:            u.SpeedMS(),
+			BatteryPct:         u.Battery.ChargePct,
+			BatteryTemp:        u.Battery.TempC,
+			PoF:                st.lastAssessment.PoF,
+			Reliability:        st.lastAssessment.Level.String(),
+			Waypoints:          u.RemainingWaypoints(),
+			CollocLand:         st.collocCtrl != nil,
+			Rescans:            st.rescans,
+			TelemetryAgeS:      st.telemetryAge(now),
+			LinkLost:           st.lostLink,
+			MonitorQuarantined: st.quarantined,
 		}
 		if st.hasUncert {
 			us.Uncertainty = st.uncertainty

@@ -183,6 +183,17 @@ func (b *Bus) SetFilter(f Filter) {
 	b.filter = f
 }
 
+// WrapFilter composes a new filter over whatever is currently
+// installed: the wrapper receives the previous filter (possibly nil)
+// and decides whether and how to delegate. Fault layers stack this way
+// — e.g. a chaos layer over a link simulator — instead of overwriting
+// each other through SetFilter.
+func (b *Bus) WrapFilter(wrap func(next Filter) Filter) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.filter = wrap(b.filter)
+}
+
 func (b *Bus) publish(msg Message) error {
 	if msg.Topic == "" {
 		return errors.New("rosbus: empty topic")

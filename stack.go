@@ -5,6 +5,7 @@ import (
 
 	"sesame/internal/assurance"
 	"sesame/internal/attacktree"
+	"sesame/internal/chaos"
 	"sesame/internal/colloc"
 	"sesame/internal/detection"
 	"sesame/internal/eddi"
@@ -422,6 +423,43 @@ func LatestFlightSnapshot(dir string, maxTick uint64) (FlightSnapshot, FlightRec
 // DecodeFlightSnapshot decodes a FlightRecordSnapshot record payload.
 func DecodeFlightSnapshot(payload []byte) (FlightSnapshot, error) {
 	return flightrec.DecodeSnapshot(payload)
+}
+
+// ---- Chaos engineering (internal/chaos) ----
+
+// ChaosPlan is a declarative, seeded fault-injection schedule: monitor
+// panics/errors/latency spikes, bus/broker publish failures, database
+// brownouts, recorder faults and campaign worker failures. Every
+// injection is a pure function of (plan seed, rule, sim time), so
+// chaos-on runs are bit-reproducible.
+type ChaosPlan = chaos.Plan
+
+// ChaosLayer executes a ChaosPlan against a running system.
+type ChaosLayer = chaos.Layer
+
+// ChaosStats counts the injections a layer performed.
+type ChaosStats = chaos.Stats
+
+// LoadChaosPlan parses and validates a JSON chaos plan; unknown fields
+// and trailing data are rejected.
+func LoadChaosPlan(data []byte) (ChaosPlan, error) { return chaos.LoadPlan(data) }
+
+// NewChaosLayer arms plan against the world's simulation clock. Append
+// the layer's MonitorBuilder() (when non-nil) to
+// PlatformConfig.ExtraMonitors before building the platform, then call
+// ArmChaos after.
+func NewChaosLayer(w *World, plan ChaosPlan) (*ChaosLayer, error) { return chaos.New(w.Clock, plan) }
+
+// ArmChaos attaches a chaos layer's bus, broker and mission-database
+// injectors to a built platform. Call it after any link-quality layer
+// so chaos drops are decided first, and before the mission starts so
+// injection windows cover the whole flight.
+func ArmChaos(l *ChaosLayer, w *World, p *Platform) {
+	l.AttachBus(w.Bus)
+	l.AttachBroker(p.Broker)
+	if hook := l.DBHook(ErrDatabaseUnavailable); hook != nil {
+		p.DB.SetFaultHook(hook)
+	}
 }
 
 // ---- Observability (internal/obsv) ----
