@@ -16,6 +16,7 @@
 //	sesame-experiments -exp flightrec     # black-box crash/resume replay
 //	sesame-experiments -exp campaign      # Monte Carlo campaign engine smoke
 //	sesame-experiments -exp chaos         # deterministic chaos harness + degradation
+//	sesame-experiments -exp scenarios     # declarative scenario generator determinism
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign|chaos")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign|chaos|scenarios")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -174,9 +175,20 @@ func main() {
 		}
 		return nil
 	})
+	run("scenarios", func() error {
+		r, err := experiments.RunScenarios(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		if !r.AllHold {
+			return fmt.Errorf("a generated scenario was not bit-reproducible")
+		}
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign", "chaos":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign", "chaos", "scenarios":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -11,6 +11,8 @@
 //	sesame-mission -battery-fault=60       # §V-A battery collapse at t=60
 //	sesame-mission -spoof=30 -spoof-uav=u2 # §V-C spoofing attack at t=30
 //	sesame-mission -uavs 128 -cells 0      # fleet-scale sharded run
+//	sesame-mission -scenario examples/scenarios/maritime_sar.json
+//	sesame-mission -scenario urban_canyon -seed 7  # generated archetype
 //	sesame-mission -record box/            # fly with the black box on
 //	sesame-mission -resume box/            # resume a crashed mission
 //	sesame-mission -replay box/            # dump a recording, no sim
@@ -51,6 +53,7 @@ type options struct {
 	replay        string
 	debugAddr     string
 	chaosPath     string
+	scenario      string
 }
 
 // parseArgs parses argv (without the program name) into options.
@@ -75,11 +78,25 @@ func parseArgs(args []string) (options, error) {
 	fs.StringVar(&o.replay, "replay", "", "dump this black-box recording and exit (no simulation)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "serve /metrics and /debug/pprof/ on this address")
 	fs.StringVar(&o.chaosPath, "chaos", "", "inject faults from this chaos plan JSON (deterministic per plan seed; pass the same plan when resuming)")
+	fs.StringVar(&o.scenario, "scenario", "", "fly a declarative scenario: a strict-JSON file (see examples/scenarios/) or a generator archetype (maritime_sar, urban_canyon, multi_site; seeded by -seed)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
 	if fs.NArg() > 0 {
 		return o, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.scenario != "" {
+		// A scenario declares its own fleet, faults, chaos and horizon;
+		// combining it with the classic scenario flags would silently
+		// ignore one side or the other.
+		switch {
+		case o.record != "" || o.resume != "" || o.replay != "":
+			return o, errors.New("-scenario does not combine with the black-box flags")
+		case o.chaosPath != "":
+			return o, errors.New("-scenario does not combine with -chaos (embed the plan in the scenario's chaos field)")
+		case o.batteryFault != 0 || o.spoofAt != 0:
+			return o, errors.New("-scenario does not combine with -battery-fault/-spoof (declare them in the scenario timeline)")
+		}
 	}
 	if o.record != "" && o.resume != "" && o.record == o.resume {
 		return o, errors.New("-record and -resume must name different directories (appending to the recording being resumed would corrupt it)")
@@ -109,6 +126,9 @@ func main() {
 func run(opts options, out io.Writer) error {
 	if opts.replay != "" {
 		return replayDump(opts.replay, out)
+	}
+	if opts.scenario != "" {
+		return runScenario(opts, out)
 	}
 
 	world, p, chaosLayer, err := buildMission(opts)
@@ -180,6 +200,87 @@ func run(opts options, out io.Writer) error {
 	}
 	if chaosLayer != nil {
 		st := chaosLayer.Stats()
+		fmt.Fprintf(out, "chaos injections: %d total (%d monitor panics, %d monitor errors, %d latency spikes, %d bus, %d broker, %d db, %d recorder)\n",
+			st.Total(), st.MonitorPanics, st.MonitorErrors, st.MonitorLatency,
+			st.BusFailures, st.BrokerFailures, st.DBFailures, st.RecorderFaults)
+	}
+	return nil
+}
+
+// loadScenario resolves the -scenario value: an existing file is
+// strict-parsed, anything else must name a generator archetype (seeded
+// by -seed). A scenario file's own seed always wins over -seed.
+func loadScenario(opts options) (*sesame.Scenario, error) {
+	if data, err := os.ReadFile(opts.scenario); err == nil {
+		return sesame.LoadScenario(data)
+	}
+	for _, arch := range sesame.ScenarioArchetypes() {
+		if arch == opts.scenario {
+			return sesame.GenerateScenario(opts.seed, arch)
+		}
+	}
+	return nil, fmt.Errorf("-scenario %q: not a readable file and not an archetype (known: %v)",
+		opts.scenario, sesame.ScenarioArchetypes())
+}
+
+// runScenario flies a declarative scenario end to end: the scenario
+// supplies world, fleet, faults, links and horizon; the flags only
+// choose the platform regime (-sesame, -cells) and reporting.
+func runScenario(opts options, out io.Writer) error {
+	sc, err := loadScenario(opts)
+	if err != nil {
+		return err
+	}
+
+	cfg := sesame.DefaultPlatformConfig()
+	cfg.SESAME = opts.sesameOn
+	cfg.Cells = opts.cells
+	if opts.debugAddr != "" {
+		reg := sesame.NewObsvRegistry()
+		reg.SetTrace(sesame.NewObsvTraceRing(4096))
+		cfg.Observability = reg
+	}
+	run, err := sesame.LaunchScenario(sc, cfg)
+	if err != nil {
+		return err
+	}
+	p, world := run.Platform, run.World
+	defer p.Close()
+	fmt.Fprintf(out, "scenario %s: %d UAVs, %d site(s), horizon %.0f s\n",
+		sc.Name, len(sc.Fleet), len(sc.Sites), sc.HorizonS)
+	if run.Chaos != nil {
+		fmt.Fprintf(out, "chaos armed from scenario (plan seed %d)\n", run.Chaos.Plan().Seed)
+	}
+
+	if opts.debugAddr != "" {
+		ln, err := startDebug(opts.debugAddr, p.Observability())
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "debug endpoints on http://%s/metrics and /debug/pprof/\n", ln.Addr())
+	}
+
+	end := world.Clock.Now() + sc.HorizonS
+	nextStatus := world.Clock.Now()
+	for world.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return err
+		}
+		if world.Clock.Now() >= nextStatus {
+			printStatus(out, p.Status(), opts.asJSON)
+			nextStatus += opts.every
+		}
+		if done(p) {
+			break
+		}
+	}
+	printStatus(out, p.Status(), opts.asJSON)
+	if av, err := p.Availability(); err == nil {
+		fmt.Fprintf(out, "\nfleet availability: %.1f%%   mission decision: %s\n", av*100, p.Decision())
+	}
+	if run.Chaos != nil {
+		st := run.Chaos.Stats()
 		fmt.Fprintf(out, "chaos injections: %d total (%d monitor panics, %d monitor errors, %d latency spikes, %d bus, %d broker, %d db, %d recorder)\n",
 			st.Total(), st.MonitorPanics, st.MonitorErrors, st.MonitorLatency,
 			st.BusFailures, st.BrokerFailures, st.DBFailures, st.RecorderFaults)

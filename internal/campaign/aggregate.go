@@ -26,7 +26,9 @@ const (
 	AggregatesName = "aggregates.json"
 )
 
-// runsHeader is the per-run CSV schema.
+// runsHeader is the per-run CSV schema. Campaigns using the scenarios
+// axis append a trailing "scenario" column; classic campaigns keep the
+// legacy schema byte-for-byte.
 var runsHeader = []string{
 	"index", "key", "seed", "fleet", "cells", "link", "fault",
 	"completed", "completion_s", "ticks", "decision", "availability",
@@ -61,11 +63,12 @@ func ReadAggregates(dir string) (Aggregates, error) {
 // GroupStats is one aggregation group's streamed statistics — a row of
 // the risk surface.
 type GroupStats struct {
-	Group string `json:"group"`
-	Fleet int    `json:"fleet"`
-	Cells int    `json:"cells"`
-	Link  string `json:"link"`
-	Fault string `json:"fault"`
+	Group    string `json:"group"`
+	Fleet    int    `json:"fleet"`
+	Cells    int    `json:"cells"`
+	Link     string `json:"link"`
+	Fault    string `json:"fault"`
+	Scenario string `json:"scenario,omitempty"`
 
 	Runs             int     `json:"runs"`
 	Completed        int     `json:"completed"`
@@ -92,6 +95,7 @@ type GroupStats struct {
 type groupAgg struct {
 	fleet, cells int
 	link, fault  string
+	scenario     string
 
 	runs, completed int
 	sumCompletion   float64
@@ -119,7 +123,11 @@ type aggregator struct {
 }
 
 func newAggregator(dir string, spec *Spec) (*aggregator, error) {
-	runsCSV, err := CreateCSV(dir, RunsCSVName, runsHeader)
+	header := runsHeader
+	if len(spec.Scenarios) > 0 {
+		header = append(append([]string(nil), runsHeader...), "scenario")
+	}
+	runsCSV, err := CreateCSV(dir, RunsCSVName, header)
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +161,9 @@ func (a *aggregator) emit(res Result) error {
 		u2s(res.LinkOffered), u2s(res.LinkDelivered), u2s(res.LinkDropped),
 		res.Digest, res.Status, i2s(res.Attempts),
 	)
+	if len(a.spec.Scenarios) > 0 {
+		a.row = append(a.row, res.Scenario)
+	}
 	if err := a.runsCSV.WriteRow(a.row); err != nil {
 		return err
 	}
@@ -179,11 +190,15 @@ func (a *aggregator) fold(res Result) {
 		return
 	}
 	key := fmt.Sprintf("f%d-c%d-%s-%s", res.Fleet, res.Cells, res.Link, res.Fault)
+	if res.Scenario != "" {
+		key += "-" + res.Scenario
+	}
 	g, ok := a.groups[key]
 	if !ok {
 		g = &groupAgg{
 			fleet: res.Fleet, cells: res.Cells, link: res.Link, fault: res.Fault,
-			safety: NewReservoir(0), security: NewReservoir(0),
+			scenario: res.Scenario,
+			safety:   NewReservoir(0), security: NewReservoir(0),
 		}
 		for _, f := range a.spec.Faults {
 			if f.Name == res.Fault {
@@ -228,7 +243,8 @@ func pOr(r *Reservoir, q float64) float64 {
 func (g *groupAgg) stats(key string) GroupStats {
 	s := GroupStats{
 		Group: key, Fleet: g.fleet, Cells: g.cells, Link: g.link, Fault: g.fault,
-		Runs: g.runs, Completed: g.completed,
+		Scenario: g.scenario,
+		Runs:     g.runs, Completed: g.completed,
 		MeanCompletionS: -1,
 		SafetyDetected:  g.safety.Count(), SafetyMissed: g.safetyMiss,
 		SafetyP50: pOr(g.safety, 0.50), SafetyP90: pOr(g.safety, 0.90), SafetyP95: pOr(g.safety, 0.95),
@@ -249,12 +265,16 @@ func (g *groupAgg) stats(key string) GroupStats {
 // detect_ecdf.csv and aggregates.json. Group order is first-seen order
 // over the in-order result stream, so it is deterministic.
 func (a *aggregator) finalize() error {
-	curves, err := CreateCSV(a.dir, CurvesCSVName, []string{
+	curvesHeader := []string{
 		"group", "fleet", "cells", "link", "fault", "runs",
 		"success_rate", "mean_completion_s", "mean_availability",
 		"safety_detected", "safety_missed", "safety_p50", "safety_p90", "safety_p95",
 		"security_detected", "security_missed", "security_p50", "security_p90", "security_p95",
-	})
+	}
+	if len(a.spec.Scenarios) > 0 {
+		curvesHeader = append(curvesHeader, "scenario")
+	}
+	curves, err := CreateCSV(a.dir, CurvesCSVName, curvesHeader)
 	if err != nil {
 		return err
 	}
@@ -274,12 +294,16 @@ func (a *aggregator) finalize() error {
 		g := a.groups[key]
 		s := g.stats(key)
 		all.Groups = append(all.Groups, s)
-		err := curves.WriteRow([]string{
+		row := []string{
 			s.Group, i2s(s.Fleet), i2s(s.Cells), s.Link, s.Fault, i2s(s.Runs),
 			f2s(s.SuccessRate), f2s(s.MeanCompletionS), f2s(s.MeanAvailability),
 			i2s(s.SafetyDetected), i2s(s.SafetyMissed), f2s(s.SafetyP50), f2s(s.SafetyP90), f2s(s.SafetyP95),
 			i2s(s.SecurityDetected), i2s(s.SecurityMissed), f2s(s.SecurityP50), f2s(s.SecurityP90), f2s(s.SecurityP95),
-		})
+		}
+		if len(a.spec.Scenarios) > 0 {
+			row = append(row, s.Scenario)
+		}
+		err := curves.WriteRow(row)
 		if err != nil {
 			curves.Close()
 			ecdf.Close()

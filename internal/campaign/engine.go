@@ -139,6 +139,7 @@ func (e *Engine) runWithRetry(run Run, sc *scratch) (Result, error) {
 		Index: run.Index, Key: run.Key(), Seed: run.Seed,
 		Fleet: run.Fleet, Cells: run.Cells,
 		Link: run.Link.Name, Fault: run.Fault.Name,
+		Scenario:      run.Scenario,
 		SafetyDetectS: -1, SecurityDetectS: -1,
 		Status: "failed", Attempts: attempts, Error: lastErr.Error(),
 	}, nil

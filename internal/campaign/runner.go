@@ -18,6 +18,7 @@ import (
 	"sesame/internal/geo"
 	"sesame/internal/linksim"
 	"sesame/internal/platform"
+	"sesame/internal/scenario"
 	"sesame/internal/uavsim"
 )
 
@@ -32,6 +33,9 @@ type Result struct {
 	Cells int    `json:"cells"`
 	Link  string `json:"link"`
 	Fault string `json:"fault"`
+	// Scenario is the generated archetype this run flew ("" for the
+	// classic mission, keeping legacy journals and JSONL byte-stable).
+	Scenario string `json:"scenario,omitempty"`
 
 	Completed    bool    `json:"completed"`
 	CompletionS  float64 `json:"completion_s"`
@@ -122,7 +126,11 @@ func executeRun(spec *Spec, run Run, sc *scratch) (Result, error) {
 		Index: run.Index, Key: run.Key(), Seed: run.Seed,
 		Fleet: run.Fleet, Cells: run.Cells,
 		Link: run.Link.Name, Fault: run.Fault.Name,
+		Scenario:      run.Scenario,
 		SafetyDetectS: -1, SecurityDetectS: -1,
+	}
+	if run.Scenario != "" {
+		return executeScenarioRun(spec, run, sc, res)
 	}
 
 	w := uavsim.NewWorld(defaultOrigin, run.Seed)
@@ -215,6 +223,63 @@ func executeRun(spec *Spec, run Run, sc *scratch) (Result, error) {
 		res.LinkOffered += s.Offered
 		res.LinkDelivered += s.Delivered
 		res.LinkDropped += s.Dropped
+	}
+
+	history := p.Coordinator.History("")
+	res.scanHistory(history, run, start)
+	res.Digest = missionDigest(sc, status, p.Decision().String(), history, res.Availability)
+	return res, nil
+}
+
+// executeScenarioRun flies one scenarios-axis grid point: the world,
+// fleet, link profiles and fault timeline all come from the generated
+// archetype — the (seed, archetype, fleet, cells) tuple fully
+// determines the run, so the bit-reproducibility contract is the same
+// as the classic path's.
+func executeScenarioRun(spec *Spec, run Run, sc *scratch, res Result) (Result, error) {
+	gen, err := scenario.GenerateN(run.Seed, run.Scenario, run.Fleet)
+	if err != nil {
+		return res, err
+	}
+	cfg := platform.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Cells = run.Cells
+	sr, err := platform.LaunchScenario(gen, cfg)
+	if err != nil {
+		return res, err
+	}
+	defer sr.Platform.Close()
+	p, w := sr.Platform, sr.World
+
+	start := w.Clock.Now()
+	end := start + gen.HorizonS
+	for w.Clock.Now() < end {
+		if err := p.Tick(); err != nil {
+			return res, err
+		}
+		if p.MissionComplete() {
+			res.Completed = true
+			break
+		}
+	}
+	res.CompletionS = w.Clock.Now() - start
+	res.Ticks = p.Ticks()
+	res.Decision = p.Decision().String()
+	if res.Availability, err = p.Availability(); err != nil {
+		return res, err
+	}
+	res.Availability = math.Round(res.Availability*1e12) / 1e12
+
+	status := p.Status()
+	res.Drops = status.Drops.Total()
+	res.WorldDrops = status.WorldDrops.TelemetryPublish
+	res.DBRetries = status.DBRetries.Scheduled
+	if sr.Links != nil {
+		for _, s := range sr.Links.Stats() {
+			res.LinkOffered += s.Offered
+			res.LinkDelivered += s.Delivered
+			res.LinkDropped += s.Dropped
+		}
 	}
 
 	history := p.Coordinator.History("")

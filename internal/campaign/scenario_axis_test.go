@@ -1,0 +1,246 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sesame/internal/flightrec"
+	"sesame/internal/scenario"
+)
+
+// scenarioSpec is the shared scenarios-axis sweep: 1 seed × 2
+// archetypes, each run flying a fully generated world to completion.
+func scenarioSpec() Spec {
+	return Spec{
+		Name:      "scen",
+		SeedFrom:  11,
+		SeedCount: 1,
+		Scenarios: []string{scenario.MaritimeSAR, scenario.UrbanCanyon},
+	}
+}
+
+func TestScenarioAxisExpand(t *testing.T) {
+	spec := scenarioSpec()
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	runs := spec.Expand()
+	if len(runs) != spec.Total() || len(runs) != 2 {
+		t.Fatalf("expanded %d runs, want 2", len(runs))
+	}
+	if got, want := runs[0].Key(), "s11-f3-c0-nominal-none-maritime_sar"; got != want {
+		t.Fatalf("first key %q, want %q", got, want)
+	}
+	if got := runs[1].GroupKey(); !strings.HasSuffix(got, "-urban_canyon") {
+		t.Fatalf("group key %q does not carry the scenario axis", got)
+	}
+
+	// The axis is opt-in: a legacy spec serializes without it, so
+	// pre-axis journals and spec digests stay valid.
+	legacy := tinySpec()
+	legacy.Normalize()
+	data, err := json.Marshal(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "scenarios") {
+		t.Fatalf("legacy spec serialization grew a scenarios field: %s", data)
+	}
+	if got, want := legacy.Expand()[0].Key(), "s1-f3-c0-nominal-none"; got != want {
+		t.Fatalf("legacy run key changed: %q, want %q", got, want)
+	}
+}
+
+func TestScenarioAxisValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Spec)
+		want string
+	}{
+		{"unknown-archetype", func(s *Spec) { s.Scenarios = []string{"alpine"} }, "unknown scenario archetype"},
+		{"duplicate", func(s *Spec) { s.Scenarios = append(s.Scenarios, scenario.MaritimeSAR) }, "duplicate scenario"},
+		{"with-links", func(s *Spec) { s.Links = []LinkVariant{{Name: "lossy"}} }, "replaces the links/faults"},
+		{"with-faults", func(s *Spec) { s.Faults = []FaultVariant{{Name: "battery", BatteryAtS: 60}} }, "replaces the links/faults"},
+		{"with-persons", func(s *Spec) { s.Persons = 5 }, "replaces persons"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := scenarioSpec()
+			tc.edit(&spec)
+			spec.Normalize()
+			err := spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioAxisCampaign flies a scenarios-axis sweep end to end:
+// the runs must complete, the per-run CSV must carry the scenario
+// column, the aggregates must group per archetype, and a standalone
+// rerun of a journaled run must reproduce its digest bit for bit.
+func TestScenarioAxisCampaign(t *testing.T) {
+	dir := t.TempDir()
+	spec := scenarioSpec()
+	sum := runCampaign(t, spec, Options{OutDir: dir, Workers: 2})
+	if !sum.Complete || sum.Emitted != 2 {
+		t.Fatalf("summary %+v, want complete with 2 emitted", sum)
+	}
+
+	csvData, err := os.ReadFile(filepath.Join(dir, RunsCSVName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(string(csvData), "\n", 2)[0]
+	if !strings.HasSuffix(header, ",scenario") {
+		t.Fatalf("runs.csv header %q lacks the trailing scenario column", header)
+	}
+
+	agg, err := ReadAggregates(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Groups) != 2 {
+		t.Fatalf("aggregates hold %d groups, want one per archetype", len(agg.Groups))
+	}
+	seen := map[string]bool{}
+	for _, g := range agg.Groups {
+		if g.Scenario == "" || !strings.HasSuffix(g.Group, "-"+g.Scenario) {
+			t.Fatalf("group %+v lacks its scenario identity", g)
+		}
+		seen[g.Scenario] = true
+	}
+	if !seen[scenario.MaritimeSAR] || !seen[scenario.UrbanCanyon] {
+		t.Fatalf("groups %v do not cover both archetypes", seen)
+	}
+
+	completed, err := ReadResults(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, want := range completed {
+		if want.Scenario == "" || want.Digest == "" {
+			t.Fatalf("journaled run %d = %+v, want scenario identity and digest", idx, want)
+		}
+		got, err := RerunOne(spec, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Digest != want.Digest {
+			t.Errorf("run %d (%s): standalone rerun digest %s != journaled %s",
+				idx, want.Key, got.Digest[:16], want.Digest[:16])
+		}
+	}
+}
+
+// TestScenarioAxisResumeByteIdentical kills a scenarios-axis sweep
+// after one run and resumes it: the merged outputs must be
+// byte-identical to the uninterrupted sweep's.
+func TestScenarioAxisResumeByteIdentical(t *testing.T) {
+	refDir := t.TempDir()
+	runCampaign(t, scenarioSpec(), Options{OutDir: refDir, Workers: 2})
+	ref := readOutputs(t, refDir)
+
+	dir := t.TempDir()
+	eng, err := New(scenarioSpec(), Options{OutDir: dir, Workers: 1, MaxRuns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Complete || sum.Executed != 1 {
+		t.Fatalf("partial summary %+v, want 1 executed, incomplete", sum)
+	}
+	sum = runCampaign(t, scenarioSpec(), Options{OutDir: dir, Workers: 2, Resume: true})
+	if !sum.Complete || sum.Replayed != 1 {
+		t.Fatalf("resumed summary %+v, want complete with 1 replayed", sum)
+	}
+	compareOutputs(t, ref, readOutputs(t, dir))
+}
+
+// lastJournaledRun decodes dir's journal and returns the final intact
+// run record — the row a kill would leave on the tail.
+func lastJournaledRun(t *testing.T, dir string) Result {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:len(journalMagic)]) != journalMagic {
+		t.Fatalf("%s is not a campaign journal", dir)
+	}
+	var last Result
+	found := false
+	for off := len(journalMagic); off < len(buf); {
+		rec, n, err := flightrec.DecodeRecord(buf[off:])
+		if err != nil {
+			break
+		}
+		if rec.Type == journalTypeRun {
+			if err := json.Unmarshal(rec.Payload, &last); err != nil {
+				t.Fatal(err)
+			}
+			found = true
+		}
+		off += n
+	}
+	if !found {
+		t.Fatal("journal holds no run records")
+	}
+	return last
+}
+
+// TestResumeAfterTrailingQuarantinedRow pins the resume edge case
+// where the journal's final record is a quarantined status=failed row:
+// the resumed sweep must replay it as-is (never re-retry it) and merge
+// byte-identically with an uninterrupted sweep.
+func TestResumeAfterTrailingQuarantinedRow(t *testing.T) {
+	hook := func(index, attempt int) error {
+		if index == 1 {
+			return fmt.Errorf("injected: run %d permanently down", index)
+		}
+		return nil
+	}
+	refDir := t.TempDir()
+	runCampaign(t, tinySpec(), Options{
+		OutDir: refDir, Workers: 2, RunRetries: 1, RunFaultHook: hook,
+	})
+	ref := readOutputs(t, refDir)
+
+	// One worker + MaxRuns=2 journals exactly runs 0 and 1 in order, so
+	// the quarantined row is the journal's last record.
+	dir := t.TempDir()
+	eng, err := New(tinySpec(), Options{
+		OutDir: dir, Workers: 1, MaxRuns: 2, RunRetries: 1, RunFaultHook: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Complete || sum.Executed != 2 {
+		t.Fatalf("partial summary %+v, want 2 executed, incomplete", sum)
+	}
+	if last := lastJournaledRun(t, dir); !last.Failed() || last.Index != 1 {
+		t.Fatalf("journal tail = %+v, want the quarantined run 1", last)
+	}
+
+	sum = runCampaign(t, tinySpec(), Options{
+		OutDir: dir, Workers: 2, Resume: true, RunRetries: 1, RunFaultHook: hook,
+	})
+	if !sum.Complete || sum.Replayed != 2 {
+		t.Fatalf("resumed summary %+v, want complete with 2 replayed (failed row never re-retried)", sum)
+	}
+	compareOutputs(t, ref, readOutputs(t, dir))
+}

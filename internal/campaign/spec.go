@@ -18,6 +18,7 @@ package campaign
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"regexp"
 	"strconv"
@@ -25,6 +26,7 @@ import (
 
 	"sesame/internal/geo"
 	"sesame/internal/linksim"
+	"sesame/internal/scenario"
 )
 
 // defaultOrigin anchors every campaign's mission area (Cyprus, where
@@ -80,6 +82,15 @@ type Spec struct {
 	Cells  []int          `json:"cells,omitempty"`
 	Links  []LinkVariant  `json:"links,omitempty"`
 	Faults []FaultVariant `json:"faults,omitempty"`
+	// Scenarios sweeps generated scenario archetypes
+	// (internal/scenario: maritime_sar, urban_canyon, multi_site)
+	// instead of the classic square-area mission. Each run builds its
+	// world from scenario.GenerateN(seed, archetype, fleet), so the
+	// scenario carries its own wind, visibility, link profiles and
+	// fault timeline — the Links/Faults axes (and Persons) must stay
+	// at their defaults when this axis is used. Empty keeps the classic
+	// mission and the spec's serialized bytes unchanged.
+	Scenarios []string `json:"scenarios,omitempty"`
 }
 
 // Run is one expanded grid point: the (seed, params) tuple that fully
@@ -91,18 +102,29 @@ type Run struct {
 	Cells int          `json:"cells"`
 	Link  LinkVariant  `json:"link"`
 	Fault FaultVariant `json:"fault"`
+	// Scenario is the generated-archetype point of the scenarios axis
+	// ("" on the classic mission path).
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // Key is the run's stable identity within its campaign, derived only
 // from the (seed, params) tuple.
 func (r Run) Key() string {
-	return fmt.Sprintf("s%d-f%d-c%d-%s-%s", r.Seed, r.Fleet, r.Cells, r.Link.Name, r.Fault.Name)
+	key := fmt.Sprintf("s%d-f%d-c%d-%s-%s", r.Seed, r.Fleet, r.Cells, r.Link.Name, r.Fault.Name)
+	if r.Scenario != "" {
+		key += "-" + r.Scenario
+	}
+	return key
 }
 
 // GroupKey identifies the run's aggregation group: every axis except
 // the seed. Risk curves are computed per group over the seed sweep.
 func (r Run) GroupKey() string {
-	return fmt.Sprintf("f%d-c%d-%s-%s", r.Fleet, r.Cells, r.Link.Name, r.Fault.Name)
+	key := fmt.Sprintf("f%d-c%d-%s-%s", r.Fleet, r.Cells, r.Link.Name, r.Fault.Name)
+	if r.Scenario != "" {
+		key += "-" + r.Scenario
+	}
+	return key
 }
 
 // variantName constrains axis names so run keys and CSV cells stay
@@ -216,6 +238,28 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("campaign: fault %q: negative injection time", f.Name)
 		}
 	}
+	if len(s.Scenarios) > 0 {
+		for _, name := range s.Scenarios {
+			if !scenario.KnownArchetype(name) {
+				return fmt.Errorf("campaign: unknown scenario archetype %q (known: %s)",
+					name, strings.Join(scenario.Archetypes(), ", "))
+			}
+			if seen["s:"+name] {
+				return fmt.Errorf("campaign: duplicate scenario archetype %q", name)
+			}
+			seen["s:"+name] = true
+		}
+		// A generated scenario carries its own link profiles, fault
+		// timeline and detection targets; crossing it with the classic
+		// axes would silently ignore them.
+		if len(s.Links) != 1 || s.Links[0] != (LinkVariant{Name: "nominal"}) ||
+			len(s.Faults) != 1 || s.Faults[0] != (FaultVariant{Name: "none"}) {
+			return errors.New("campaign: the scenarios axis replaces the links/faults axes (scenarios embed their own link and fault models)")
+		}
+		if s.Persons > 0 {
+			return errors.New("campaign: the scenarios axis replaces persons (scenarios scatter their own detection targets)")
+		}
+	}
 	return nil
 }
 
@@ -231,15 +275,25 @@ func (s *Spec) Digest() string {
 	return fmt.Sprintf("sha256:%x", sha256.Sum256(data))
 }
 
+// scenarioAxis returns the scenarios axis with the classic mission as
+// the single point when the axis is unused, so Expand and Total treat
+// both paths uniformly without changing legacy expansion order.
+func (s *Spec) scenarioAxis() []string {
+	if len(s.Scenarios) == 0 {
+		return []string{""}
+	}
+	return s.Scenarios
+}
+
 // Total returns the number of runs the spec expands to.
 func (s *Spec) Total() int {
-	return s.SeedCount * len(s.Fleets) * len(s.Cells) * len(s.Links) * len(s.Faults)
+	return s.SeedCount * len(s.Fleets) * len(s.Cells) * len(s.Links) * len(s.Faults) * len(s.scenarioAxis())
 }
 
 // Expand enumerates every grid point in deterministic order: seed
-// outermost, then fleet, cells, link, fault. Run indexes are the
-// resume journal's identity, so this order is part of the campaign's
-// on-disk contract.
+// outermost, then fleet, cells, link, fault, scenario. Run indexes are
+// the resume journal's identity, so this order is part of the
+// campaign's on-disk contract.
 func (s *Spec) Expand() []Run {
 	runs := make([]Run, 0, s.Total())
 	for si := 0; si < s.SeedCount; si++ {
@@ -247,14 +301,17 @@ func (s *Spec) Expand() []Run {
 			for _, cells := range s.Cells {
 				for _, link := range s.Links {
 					for _, fault := range s.Faults {
-						runs = append(runs, Run{
-							Index: len(runs),
-							Seed:  s.SeedFrom + int64(si),
-							Fleet: fleet,
-							Cells: cells,
-							Link:  link,
-							Fault: fault,
-						})
+						for _, scen := range s.scenarioAxis() {
+							runs = append(runs, Run{
+								Index:    len(runs),
+								Seed:     s.SeedFrom + int64(si),
+								Fleet:    fleet,
+								Cells:    cells,
+								Link:     link,
+								Fault:    fault,
+								Scenario: scen,
+							})
+						}
 					}
 				}
 			}

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sesame/internal/simclock"
+)
+
+// TestGeneratedPlanClassRegressions pins one previously-generated plan
+// per injection class. The generative property suites draw fresh plans
+// every run, which means a quiet change to GeneratePlan could stop a
+// whole class (say, latency monitors or snapshot corruption) from ever
+// being exercised again without any test noticing. Each subtest here
+// freezes a (seed → plan) pair that covers its class: the plan must
+// still contain the class, still validate, still arm, and still be the
+// exact bytes it was when pinned. A digest drift means generation
+// changed for plans the suites have already flown — regenerate the
+// pins deliberately (tmp program over seeds 0..N) and re-examine what
+// coverage moved.
+func TestGeneratedPlanClassRegressions(t *testing.T) {
+	uavs := []string{"u1", "u2", "u3"}
+	hasMode := func(p Plan, m string) bool {
+		for _, f := range p.Monitors {
+			if f.Mode == m {
+				return true
+			}
+		}
+		return false
+	}
+	hasRecOp := func(p Plan, corrupt bool) bool {
+		for _, f := range p.Recorder {
+			if (f.Op == OpCorruptSnapshot) == corrupt {
+				return true
+			}
+		}
+		return false
+	}
+	cases := []struct {
+		class  string
+		seed   int64
+		covers func(Plan) bool
+		digest string
+	}{
+		{"monitor-panic", 3, func(p Plan) bool { return hasMode(p, ModePanic) },
+			"53e247a6179dd69a7f0a231083fa520bfae2199e31a5956aa162b682041c2bde"},
+		{"monitor-error", 6, func(p Plan) bool { return hasMode(p, ModeError) },
+			"f2c6ff7e7576c2e259b82f5220b9a35ad9d22c62486b06be5936dbb1af36556c"},
+		{"monitor-latency", 9, func(p Plan) bool { return hasMode(p, ModeLatency) },
+			"13105688298f0f34e3aa18efe1e0603786630e9655198142195dbe15bd6a196c"},
+		{"bus", 0, func(p Plan) bool { return len(p.Bus) > 0 },
+			"80c34b84fc5991b6260cd82e14d2192185ccff42f889f7eaaf07d9c95266a09a"},
+		{"broker", 1, func(p Plan) bool { return len(p.Broker) > 0 },
+			"d3731a6ad3b7bd87e250fb7949404fc0265b145de33c9f2d64f80fd888ea90e1"},
+		{"db", 2, func(p Plan) bool { return len(p.DB) > 0 },
+			"9f17768c7170fa48446853dda0c64ccc3002bdfebfdd784406200b01524da6fd"},
+		{"recorder", 1, func(p Plan) bool { return hasRecOp(p, false) },
+			"d3731a6ad3b7bd87e250fb7949404fc0265b145de33c9f2d64f80fd888ea90e1"},
+		{"corrupt-snapshot", 9, func(p Plan) bool { return hasRecOp(p, true) },
+			"13105688298f0f34e3aa18efe1e0603786630e9655198142195dbe15bd6a196c"},
+		{"workers", 0, func(p Plan) bool { return len(p.Workers) > 0 },
+			"80c34b84fc5991b6260cd82e14d2192185ccff42f889f7eaaf07d9c95266a09a"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.class, func(t *testing.T) {
+			plan := GeneratePlan(rand.New(rand.NewSource(tc.seed)), uavs)
+			if !tc.covers(plan) {
+				t.Fatalf("seed %d no longer generates a %s fault", tc.seed, tc.class)
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("pinned plan no longer validates: %v", err)
+			}
+			if _, err := New(simclock.New(0), plan); err != nil {
+				t.Fatalf("pinned plan no longer arms: %v", err)
+			}
+			data, err := json.Marshal(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprintf("%x", sha256.Sum256(data)); got != tc.digest {
+				t.Errorf("seed %d plan drifted: digest %s, pinned %s", tc.seed, got, tc.digest)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package flightrec
 
 import (
 	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,49 @@ func TestCloseReportsFlushError(t *testing.T) {
 	// A second Close reports the sticky error instead of a nil no-op.
 	if err := w.Close(); err == nil {
 		t.Error("repeated Close swallowed the sticky error")
+	}
+}
+
+// TestCloseAfterLatchedError pins the degraded-mode shutdown contract
+// (regression for the errors.Join Close fix): once a write fault has
+// latched the sticky error, Close must still release the descriptor —
+// a mission that limped on without its recorder must not leak the
+// segment file — and must return the joined error exactly once. The
+// latched root cause surfaces through the first Close; repeats report
+// the sticky error without re-closing anything.
+func TestCloseAfterLatchedError(t *testing.T) {
+	fail := map[string]bool{}
+	w, err := OpenWriter(t.TempDir(), Header{Seed: 1}, Options{FaultHook: hookFailing(fail)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail["write"] = true
+	if err := w.Sync(); err == nil { // flushes the buffered header, latches
+		t.Fatal("Sync succeeded with a failing write hook")
+	}
+	sticky := w.Err()
+	if sticky == nil {
+		t.Fatal("write failure not sticky")
+	}
+
+	f := w.file // descriptor the first Close must release
+	first := w.Close()
+	if !errors.Is(first, sticky) {
+		t.Fatalf("Close = %v, want it to join the latched %v", first, sticky)
+	}
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("segment descriptor still open after degraded Close: Close = %v", err)
+	}
+
+	// The joined error was delivered exactly once: a second Close is a
+	// no-op that reports the sticky root cause, not a fresh join with a
+	// double-close failure.
+	second := w.Close()
+	if second != sticky {
+		t.Fatalf("second Close = %v, want the sticky %v unchanged", second, sticky)
+	}
+	if strings.Contains(second.Error(), "file already closed") {
+		t.Fatalf("second Close re-closed the descriptor: %v", second)
 	}
 }
 

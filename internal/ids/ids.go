@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -265,21 +266,30 @@ func (d *IDS) inspect(m rosbus.Message) {
 		if m.Stamp > d.lastSweep {
 			d.lastSweep = m.Stamp
 			d.mEvalSilence.Inc()
+			// Collect expired topics first and raise in sorted order: a
+			// fleet-wide outage silences several topics at the same stamp,
+			// and alert order must not depend on map iteration — the
+			// downstream security events are digested.
+			var silent []string
 			for topic, last := range d.lastSeen {
 				if topic == m.Topic {
 					continue
 				}
 				if m.Stamp-last > d.cfg.SilenceTimeoutS {
-					d.raise(Alert{
-						Type:   AlertLinkSilence,
-						UAV:    uavOf(topic),
-						Topic:  topic,
-						Detail: fmt.Sprintf("no traffic for %.0f s (timeout %.0f s)", m.Stamp-last, d.cfg.SilenceTimeoutS),
-						Stamp:  m.Stamp,
-					})
-					// Re-arm only after fresh traffic.
-					delete(d.lastSeen, topic)
+					silent = append(silent, topic)
 				}
+			}
+			sort.Strings(silent)
+			for _, topic := range silent {
+				d.raise(Alert{
+					Type:   AlertLinkSilence,
+					UAV:    uavOf(topic),
+					Topic:  topic,
+					Detail: fmt.Sprintf("no traffic for %.0f s (timeout %.0f s)", m.Stamp-d.lastSeen[topic], d.cfg.SilenceTimeoutS),
+					Stamp:  m.Stamp,
+				})
+				// Re-arm only after fresh traffic.
+				delete(d.lastSeen, topic)
 			}
 		}
 		if m.Stamp > d.lastSeen[m.Topic] {

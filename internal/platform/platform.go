@@ -35,6 +35,7 @@ import (
 	"sesame/internal/safedrones"
 	"sesame/internal/safeml"
 	"sesame/internal/sar"
+	"sesame/internal/scenario"
 	"sesame/internal/security"
 	"sesame/internal/sinadra"
 	"sesame/internal/uavsim"
@@ -124,6 +125,13 @@ type Config struct {
 	// a full checkpoint every Recorder.SnapshotEvery ticks. Nil disables
 	// recording at zero cost.
 	Recorder *flightrec.Recorder
+	// Scenario attaches the declarative mission description the
+	// platform runs (internal/scenario): its visibility profile
+	// overrides Visibility/UseThermalBelow at construction, and its
+	// digest joins ConfigDigest so a recording can never resume against
+	// a different mission description. Nil keeps the classic hand-wired
+	// missions byte-identical.
+	Scenario *scenario.Scenario
 }
 
 // DefaultConfig returns the experiment calibration with SESAME on.
@@ -364,6 +372,12 @@ func New(world *uavsim.World, scene *detection.Scene, cfg Config) (*Platform, er
 	}
 	if cfg.Origin == "" {
 		cfg.Origin = "127.0.0.1"
+	}
+	if cfg.Scenario != nil {
+		if v := cfg.Scenario.Visibility; v != nil {
+			cfg.Visibility = v.Value
+			cfg.UseThermalBelow = v.ThermalBelow
+		}
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -631,20 +645,69 @@ func (p *Platform) Monitors(id string) []string {
 	return names
 }
 
+// planner resolves the Task Manager's coverage algorithm.
+func (p *Platform) planner() sar.PathPlanner {
+	if p.cfg.CoveragePlanner != nil {
+		return p.cfg.CoveragePlanner
+	}
+	return sar.BoustrophedonPath
+}
+
 // StartMission plans the SAR coverage over area, takes the fleet off
 // and dispatches each UAV onto its strip.
 func (p *Platform) StartMission(area geo.Polygon) error {
 	if p.mission != nil {
 		return errors.New("platform: mission already started")
 	}
-	planner := p.cfg.CoveragePlanner
-	if planner == nil {
-		planner = sar.BoustrophedonPath
-	}
-	mission, err := sar.PlanMissionWith(area, p.order, p.cfg.SweepSpacingM, planner)
+	mission, err := sar.PlanMissionWith(area, p.order, p.cfg.SweepSpacingM, p.planner())
 	if err != nil {
 		return err
 	}
+	return p.launch(mission, area)
+}
+
+// StartMissionSites plans one mission over several disjoint sites: the
+// sorted fleet is split into contiguous groups, one per site, each
+// group's coverage planned independently, and the merged assignment
+// set behaves as one mission thereafter (failure redistribution
+// crosses site boundaries). A single area delegates to StartMission —
+// the classic path stays byte-identical.
+func (p *Platform) StartMissionSites(areas []geo.Polygon) error {
+	if len(areas) == 0 {
+		return errors.New("platform: no mission areas")
+	}
+	if len(areas) == 1 {
+		return p.StartMission(areas[0])
+	}
+	if p.mission != nil {
+		return errors.New("platform: mission already started")
+	}
+	if len(p.order) < len(areas) {
+		return fmt.Errorf("platform: %d sites need at least as many UAVs, have %d",
+			len(areas), len(p.order))
+	}
+	merged := &sar.Mission{Area: areas[0], Assignments: make(map[string]*sar.Task, len(p.order))}
+	k := len(areas)
+	for i, area := range areas {
+		lo, hi := i*len(p.order)/k, (i+1)*len(p.order)/k
+		m, err := sar.PlanMissionWith(area, p.order[lo:hi], p.cfg.SweepSpacingM, p.planner())
+		if err != nil {
+			return fmt.Errorf("platform: site %d: %w", i, err)
+		}
+		// Renumber tasks in fleet order so the merged plan — and every
+		// checkpoint embedding it — is independent of map iteration.
+		for _, id := range p.order[lo:hi] {
+			t := m.Assignments[id]
+			t.ID = len(merged.Assignments)
+			merged.Assignments[id] = t
+		}
+	}
+	return p.launch(merged, areas[0])
+}
+
+// launch takes the fleet off, climbs out and dispatches the planned
+// mission — the shared tail of StartMission and StartMissionSites.
+func (p *Platform) launch(mission *sar.Mission, area geo.Polygon) error {
 	avail, err := sar.NewAvailabilityTracker(p.World.Clock.Now(), p.order)
 	if err != nil {
 		return err
@@ -749,7 +812,11 @@ func (p *Platform) onSecurityEvent(ev security.Event) {
 			p.redispatch()
 		}
 	}
-	countIn(&p.drops.availability, p.avail.MarkDown(ev.UAV, p.World.Clock.Now()))
+	// A compromise can surface during the climb-out (the security bus is
+	// live before the mission dispatches), when no tracker exists yet.
+	if p.avail != nil {
+		countIn(&p.drops.availability, p.avail.MarkDown(ev.UAV, p.World.Clock.Now()))
+	}
 }
 
 // redispatch pushes waypoints newly appended by Redistribute to the

@@ -84,6 +84,11 @@ func (p *Platform) ConfigDigest() string {
 		// The blob is plain data; Marshal cannot fail on it.
 		panic(err)
 	}
+	// The scenario digest joins the hash only when a scenario is
+	// attached, so every pre-scenario recording keeps its digest.
+	if c.Scenario != nil {
+		data = append(data, "scenario="+c.Scenario.Digest()...)
+	}
 	return fmt.Sprintf("sha256:%x", sha256.Sum256(data))
 }
 

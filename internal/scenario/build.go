@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sesame/internal/detection"
+	"sesame/internal/geo"
+	"sesame/internal/linksim"
+	"sesame/internal/uavsim"
+)
+
+// This file turns a validated Scenario into running simulation pieces.
+// Every stochastic draw comes from the world's seeded clock streams in
+// a fixed order, so building the same scenario twice yields
+// bit-identical worlds — the property the conformance suite gates on.
+
+// pack converts the schema battery model into a uavsim pack, starting
+// from the default and overriding only the declared fields.
+func (b *Battery) pack() *uavsim.Battery {
+	p := uavsim.DefaultBattery()
+	if b.EnduranceMin > 0 {
+		p.BaseDrainPctPerS = 100.0 / (b.EnduranceMin * 60)
+	}
+	if b.NominalVoltage > 0 {
+		p.NominalVoltage = b.NominalVoltage
+	}
+	if b.SpeedDrainFactor > 0 {
+		p.SpeedDrainFactor = b.SpeedDrainFactor
+	}
+	return p
+}
+
+// BuildWorld constructs the seeded world with the scenario's wind
+// field and heterogeneous fleet. Vehicles launch from the origin.
+func (s *Scenario) BuildWorld() (*uavsim.World, error) {
+	w := uavsim.NewWorld(s.Origin.LatLng(), s.Seed)
+	if s.Wind != nil {
+		w.Wind = geo.ENU{East: s.Wind.EastMS, North: s.Wind.NorthMS}
+		w.GustSigmaMS = s.Wind.GustSigmaMS
+		w.GustTauS = s.Wind.GustTauS
+	}
+	for _, v := range s.Fleet {
+		cfg := uavsim.UAVConfig{
+			ID:            v.ID,
+			Home:          s.Origin.LatLng(),
+			Kind:          uavsim.VehicleKind(v.Kind),
+			CruiseSpeedMS: v.CruiseSpeedMS,
+			ClimbRateMS:   v.ClimbRateMS,
+			MinSpeedMS:    v.MinSpeedMS,
+			TurnRateDegS:  v.TurnRateDegS,
+			Rotors:        v.Rotors,
+		}
+		if v.Battery != nil {
+			cfg.Battery = v.Battery.pack()
+		}
+		if _, err := w.AddUAV(cfg); err != nil {
+			return nil, fmt.Errorf("scenario: fleet %s: %w", v.ID, err)
+		}
+	}
+	return w, nil
+}
+
+// BuildScene scatters the scenario's persons over its sites, dealing
+// them round-robin (sites earlier in the list get the remainder). The
+// draw order is fixed — one named stream per site — so the scene is
+// part of the deterministic world. Returns nil when Persons is zero.
+func (s *Scenario) BuildScene(w *uavsim.World) (*detection.Scene, error) {
+	if s.Persons == 0 {
+		return nil, nil
+	}
+	scene := &detection.Scene{Area: s.Sites[0].Polygon()}
+	next := 0
+	for i, site := range s.Sites {
+		n := s.Persons / len(s.Sites)
+		if i < s.Persons%len(s.Sites) {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		sub, err := detection.NewRandomScene(site.Polygon(), n, s.CriticalProb,
+			w.Clock.Stream(fmt.Sprintf("scenario/scene/%d", i)))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sites[%d]: %w", i, err)
+		}
+		for _, p := range sub.Persons {
+			p.ID = next
+			next++
+			scene.Persons = append(scene.Persons, p)
+		}
+	}
+	return scene, nil
+}
+
+// ApplyLinks installs the scenario's link-quality rules on an attached
+// linksim layer. Outage windows are relative to start (mission start),
+// matching the timeline convention. Rules apply in declaration order;
+// a later profile for the same vehicle overwrites an earlier one.
+func (s *Scenario) ApplyLinks(layer *linksim.Layer, start float64) {
+	for _, rule := range s.Links {
+		ids := []string{rule.UAV}
+		if rule.UAV == "" {
+			ids = s.FleetIDs()
+		}
+		for _, id := range ids {
+			lk := layer.Link(id)
+			lk.SetProfile(rule.Profile)
+			if rule.OutageToS > rule.OutageFromS {
+				lk.AddOutage(start+rule.OutageFromS, start+rule.OutageToS)
+			}
+		}
+	}
+}
+
+// ScheduleTimeline registers every timeline event as a world fault,
+// offset from start (mission start).
+func (s *Scenario) ScheduleTimeline(w *uavsim.World, start float64) error {
+	for i, ev := range s.Timeline {
+		at := start + ev.AtS
+		var f uavsim.Fault
+		switch ev.Kind {
+		case EventBatteryCollapse:
+			f = uavsim.BatteryCollapseFault(at, ev.UAV, ev.TempC, ev.ChargePct)
+		case EventGPSSpoof:
+			f = uavsim.GPSSpoofFault(at, ev.UAV, ev.BearingDeg, ev.DriftMS)
+		case EventRotorFailure:
+			f = uavsim.RotorFailureFault(at, ev.UAV, ev.Rotor)
+		case EventCommsFailure:
+			f = uavsim.CommsFailureFault(at, ev.UAV)
+		case EventCameraFailure:
+			f = uavsim.CameraFailureFault(at, ev.UAV)
+		default:
+			return fmt.Errorf("scenario: timeline[%d]: unknown kind %q", i, ev.Kind)
+		}
+		if err := w.ScheduleFault(f); err != nil {
+			return fmt.Errorf("scenario: timeline[%d]: %w", i, err)
+		}
+	}
+	return nil
+}

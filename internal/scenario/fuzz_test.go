@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioParse throws arbitrary bytes at the strict loader. The
+// contract under fuzz: Load never panics, and anything it accepts is
+// fully valid — it re-validates, re-serializes, and reloads to an
+// identical digest (no parse/serialize asymmetry a campaign manifest
+// could smuggle state through).
+func FuzzScenarioParse(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{}`),
+		[]byte(`{"name":"x","seed":1,"origin":{"lat":35,"lng":33},"horizon_s":60,` +
+			`"sites":[{"area":[{"lat":35.001,"lng":33.001},{"lat":35.001,"lng":33.002},` +
+			`{"lat":35.002,"lng":33.002}]}],"fleet":[{"id":"u1"}]}`),
+		[]byte(`{"name":"x","unknown_field":true}`),
+		[]byte(`{"name":"x"} trailing`),
+		[]byte(`{"name":"x","horizon_s":1e999}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`null`),
+	}
+	for _, arch := range Archetypes() {
+		if sc, err := Generate(1, arch); err == nil {
+			if data, err := json.Marshal(sc); err == nil {
+				seeds = append(seeds, data)
+			}
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Load(data)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Load accepted a scenario Validate rejects: %v", err)
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not serialize: %v", err)
+		}
+		back, err := Load(out)
+		if err != nil {
+			t.Fatalf("accepted scenario does not reload: %v", err)
+		}
+		if back.Digest() != sc.Digest() {
+			t.Fatalf("round trip changed digest: %s != %s", back.Digest(), sc.Digest())
+		}
+	})
+}

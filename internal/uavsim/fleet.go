@@ -23,6 +23,14 @@ type fleet struct {
 	head   []float64
 	mode   []FlightMode
 	wpAltM []float64
+	// cruise, climb and minSpd are the per-vehicle kinematic parameters
+	// — heterogeneous fleets mix airframes, so the step kernel reads
+	// them from the store instead of chasing each vehicle's config.
+	// minSpd is the fixed-wing stall floor; 0 marks a hover-capable
+	// airframe and selects the multirotor dynamics everywhere.
+	cruise []float64
+	climb  []float64
+	minSpd []float64
 	// batt stores the battery packs contiguously; each UAV.Battery
 	// points into this slice and AddUAV re-pins the pointers whenever
 	// an append reallocates the backing array.

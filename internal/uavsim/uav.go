@@ -8,16 +8,38 @@ import (
 	"sesame/internal/geo"
 )
 
+// VehicleKind selects the airframe dynamics model.
+type VehicleKind string
+
+const (
+	// KindMultirotor is the hover-capable default (the paper's M300).
+	KindMultirotor VehicleKind = "multirotor"
+	// KindFixedWing models a fixed-wing survey aircraft: it cannot
+	// hover, so it must keep at least MinSpeedMS of airspeed, loiters in
+	// Hold mode instead of hovering, and lands on a moving approach.
+	KindFixedWing VehicleKind = "fixed_wing"
+)
+
 // UAVConfig parameterizes a vehicle.
 type UAVConfig struct {
 	ID string
 	// Home is the launch/return point.
 	Home geo.LatLng
+	// Kind selects the airframe model; empty means KindMultirotor, which
+	// keeps every pre-heterogeneous fleet bit-identical.
+	Kind VehicleKind
 	// CruiseSpeedMS is the horizontal mission speed.
 	CruiseSpeedMS float64
 	// ClimbRateMS is the vertical speed for altitude changes.
 	ClimbRateMS float64
-	// Rotors is the motor count (quad=4, hex=6; the M300 is a quad).
+	// MinSpeedMS is the fixed-wing stall floor: the vehicle never flies
+	// slower while airborne (default 60% of cruise). Ignored (zero) for
+	// multirotors.
+	MinSpeedMS float64
+	// TurnRateDegS bounds the fixed-wing loiter turn rate (default 15).
+	TurnRateDegS float64
+	// Rotors is the motor count (quad=4, hex=6; the M300 is a quad; a
+	// fixed-wing defaults to a single pusher prop).
 	Rotors int
 	// Battery overrides the default pack when non-nil. The pack is
 	// copied into the world's contiguous battery store; mutate it via
@@ -54,6 +76,15 @@ type UAV struct {
 
 // ID returns the vehicle id.
 func (u *UAV) ID() string { return u.cfg.ID }
+
+// Kind returns the airframe kind.
+func (u *UAV) Kind() VehicleKind { return u.cfg.Kind }
+
+// CruiseSpeedMS returns the configured mission speed (SoA slot).
+func (u *UAV) CruiseSpeedMS() float64 { return u.world.fleet.cruise[u.idx] }
+
+// MinSpeedMS returns the stall floor (0 for hover-capable airframes).
+func (u *UAV) MinSpeedMS() float64 { return u.world.fleet.minSpd[u.idx] }
 
 // Mode returns the current flight mode.
 func (u *UAV) Mode() FlightMode { return u.world.fleet.mode[u.idx] }
@@ -225,7 +256,9 @@ func (u *UAV) EmergencyLand() {
 const waypointCaptureM = 1.5
 
 // step advances the vehicle by dt seconds, reading and writing the
-// world's struct-of-arrays slots for this vehicle.
+// world's struct-of-arrays slots for this vehicle. The kinematic
+// parameters (cruise, climb, stall floor) live in the fleet store, so a
+// heterogeneous fleet's tick still walks contiguous memory.
 func (u *UAV) step(dt float64) {
 	f := &u.world.fleet
 	i := u.idx
@@ -240,29 +273,42 @@ func (u *UAV) step(dt float64) {
 
 	var vel geo.ENU
 	climb := 0.0
+	minSpd := f.minSpd[i]
 
 	if u.GuidanceOverride != nil && f.mode[i].Airborne() {
 		vel = u.GuidanceOverride(u, dt)
-		if n := vel.Norm(); n > u.cfg.CruiseSpeedMS && n > 0 {
-			vel = vel.Scale(u.cfg.CruiseSpeedMS / n)
+		if n := vel.Norm(); n > f.cruise[i] && n > 0 {
+			vel = vel.Scale(f.cruise[i] / n)
 		}
 	} else {
 		switch f.mode[i] {
 		case ModeMission, ModeReturnToBase:
 			vel = u.seekWaypoint(dt)
 		case ModeHold:
-			// hover
+			// A multirotor hovers; a fixed-wing cannot, so it loiters:
+			// minimum airspeed along a heading that advances at the
+			// configured turn rate, tracing a circle around the hold point.
+			if minSpd > 0 {
+				vel = u.forwardVel(minSpd, u.cfg.TurnRateDegS*dt)
+			}
 		case ModeLanding:
-			climb = -u.cfg.ClimbRateMS
+			climb = -f.climb[i]
+			if minSpd > 0 {
+				// Fixed-wing approach: descend while keeping stall margin.
+				vel = u.forwardVel(minSpd, 0)
+			}
 		case ModeEmergencyLanding:
-			climb = -2 * u.cfg.ClimbRateMS
+			climb = -2 * f.climb[i]
+			if minSpd > 0 {
+				vel = u.forwardVel(minSpd, 0)
+			}
 		}
 	}
 
 	// Altitude tracking for non-landing airborne modes.
 	if m := f.mode[i]; m == ModeMission || m == ModeHold || m == ModeReturnToBase {
 		dAlt := f.wpAltM[i] - f.altM[i]
-		maxStep := u.cfg.ClimbRateMS * dt
+		maxStep := f.climb[i] * dt
 		if math.Abs(dAlt) <= maxStep {
 			f.altM[i] = f.wpAltM[i]
 		} else if dAlt > 0 {
@@ -293,23 +339,45 @@ func (u *UAV) step(dt float64) {
 	u.GPS.Step(dt)
 }
 
+// forwardVel returns the velocity of magnitude speed along the current
+// heading advanced by turnDeg — the fixed-wing motion primitive for
+// loiter and approach legs.
+func (u *UAV) forwardVel(speed, turnDeg float64) geo.ENU {
+	hd := (u.world.fleet.head[u.idx] + turnDeg) * math.Pi / 180
+	return geo.ENU{East: speed * math.Sin(hd), North: speed * math.Cos(hd)}
+}
+
 // seekWaypoint returns the velocity toward the current waypoint,
 // consuming it on capture. Navigation uses the position the vehicle
 // BELIEVES it has: under GPS spoofing the believed position is the
 // spoofed one, so the true track deviates — exactly the Fig. 6 effect.
+// A fixed-wing never drops below its stall floor, so its capture radius
+// widens to one step of minimum-speed travel (it overshoots rather than
+// decelerating onto the point).
 func (u *UAV) seekWaypoint(dt float64) geo.ENU {
+	f := &u.world.fleet
+	cruise := f.cruise[u.idx]
+	minSpd := f.minSpd[u.idx]
+	capture := waypointCaptureM
+	if r := minSpd * dt; r > capture {
+		capture = r
+	}
 	for len(u.wps) > 0 {
 		believed := u.believedENU()
 		d := u.wps[0].Sub(believed)
-		if d.Norm() <= waypointCaptureM {
+		if d.Norm() <= capture {
 			u.wps = u.wps[1:]
 			continue
 		}
-		maxTravel := u.cfg.CruiseSpeedMS * dt
+		maxTravel := cruise * dt
 		if d.Norm() <= maxTravel {
-			return d.Scale(1 / dt)
+			vel := d.Scale(1 / dt)
+			if n := vel.Norm(); minSpd > 0 && n < minSpd && n > 0 {
+				vel = vel.Scale(minSpd / n)
+			}
+			return vel
 		}
-		return d.Scale(u.cfg.CruiseSpeedMS / d.Norm())
+		return d.Scale(cruise / d.Norm())
 	}
 	// Mission complete.
 	switch u.Mode() {

@@ -89,14 +89,41 @@ func (w *World) AddUAV(cfg UAVConfig) (*UAV, error) {
 	if !cfg.Home.Valid() {
 		return nil, fmt.Errorf("uavsim: invalid home for %q", cfg.ID)
 	}
-	if cfg.CruiseSpeedMS <= 0 {
-		cfg.CruiseSpeedMS = 10
-	}
-	if cfg.ClimbRateMS <= 0 {
-		cfg.ClimbRateMS = 3
-	}
-	if cfg.Rotors <= 0 {
-		cfg.Rotors = 4
+	switch cfg.Kind {
+	case "", KindMultirotor:
+		cfg.Kind = KindMultirotor
+		cfg.MinSpeedMS = 0
+		if cfg.CruiseSpeedMS <= 0 {
+			cfg.CruiseSpeedMS = 10
+		}
+		if cfg.ClimbRateMS <= 0 {
+			cfg.ClimbRateMS = 3
+		}
+		if cfg.Rotors <= 0 {
+			cfg.Rotors = 4
+		}
+	case KindFixedWing:
+		if cfg.CruiseSpeedMS <= 0 {
+			cfg.CruiseSpeedMS = 18
+		}
+		if cfg.ClimbRateMS <= 0 {
+			cfg.ClimbRateMS = 2.5
+		}
+		if cfg.MinSpeedMS <= 0 {
+			cfg.MinSpeedMS = 0.6 * cfg.CruiseSpeedMS
+		}
+		if cfg.MinSpeedMS > cfg.CruiseSpeedMS {
+			return nil, fmt.Errorf("uavsim: %s: stall floor %.1f m/s above cruise %.1f m/s",
+				cfg.ID, cfg.MinSpeedMS, cfg.CruiseSpeedMS)
+		}
+		if cfg.TurnRateDegS <= 0 {
+			cfg.TurnRateDegS = 15
+		}
+		if cfg.Rotors <= 0 {
+			cfg.Rotors = 1
+		}
+	default:
+		return nil, fmt.Errorf("uavsim: %s: unknown vehicle kind %q", cfg.ID, cfg.Kind)
 	}
 	batt := cfg.Battery
 	if batt == nil {
@@ -117,6 +144,9 @@ func (w *World) AddUAV(cfg UAVConfig) (*UAV, error) {
 	w.fleet.head = append(w.fleet.head, 0)
 	w.fleet.mode = append(w.fleet.mode, ModeIdle)
 	w.fleet.wpAltM = append(w.fleet.wpAltM, 0)
+	w.fleet.cruise = append(w.fleet.cruise, cfg.CruiseSpeedMS)
+	w.fleet.climb = append(w.fleet.climb, cfg.ClimbRateMS)
+	w.fleet.minSpd = append(w.fleet.minSpd, cfg.MinSpeedMS)
 	battCap := cap(w.fleet.batt)
 	w.fleet.batt = append(w.fleet.batt, *batt)
 	w.vehicles = append(w.vehicles, u)

@@ -19,6 +19,7 @@ import (
 	"sesame/internal/platform"
 	"sesame/internal/safeml"
 	"sesame/internal/sar"
+	"sesame/internal/scenario"
 	"sesame/internal/security"
 	"sesame/internal/sinadra"
 	"sesame/internal/statdist"
@@ -460,6 +461,48 @@ func ArmChaos(l *ChaosLayer, w *World, p *Platform) {
 	if hook := l.DBHook(ErrDatabaseUnavailable); hook != nil {
 		p.DB.SetFaultHook(hook)
 	}
+}
+
+// ---- Declarative scenarios (internal/scenario) ----
+
+// Scenario is a declarative mission description: search areas, wind,
+// visibility, a heterogeneous fleet with battery models, link-quality
+// profiles, a fault/attack timeline and an optional chaos plan. Load
+// one from strict JSON or generate one from a seeded archetype, then
+// fly it with LaunchScenario.
+type Scenario = scenario.Scenario
+
+// ScenarioRun bundles everything LaunchScenario built: world,
+// platform, link layer and chaos layer.
+type ScenarioRun = platform.ScenarioRun
+
+// Scenario archetypes for GenerateScenario.
+const (
+	ScenarioMaritimeSAR = scenario.MaritimeSAR
+	ScenarioUrbanCanyon = scenario.UrbanCanyon
+	ScenarioMultiSite   = scenario.MultiSite
+)
+
+// LoadScenario parses and validates a JSON scenario; unknown fields,
+// trailing data and out-of-range values are rejected.
+func LoadScenario(data []byte) (*Scenario, error) { return scenario.Load(data) }
+
+// GenerateScenario draws a valid scenario from the seeded archetype
+// family — a pure function of (seed, archetype).
+func GenerateScenario(seed int64, archetype string) (*Scenario, error) {
+	return scenario.Generate(seed, archetype)
+}
+
+// ScenarioArchetypes lists the generator's archetype names.
+func ScenarioArchetypes() []string { return scenario.Archetypes() }
+
+// LaunchScenario builds a scenario into a running mission: world,
+// scene, platform, link layer, chaos layer and fault timeline, with
+// the mission started over every declared site. Drive the returned
+// platform's tick loop to the scenario horizon, and Close the platform
+// when done.
+func LaunchScenario(sc *Scenario, cfg PlatformConfig) (*ScenarioRun, error) {
+	return platform.LaunchScenario(sc, cfg)
 }
 
 // ---- Observability (internal/obsv) ----
