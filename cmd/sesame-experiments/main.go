@@ -17,6 +17,7 @@
 //	sesame-experiments -exp campaign      # Monte Carlo campaign engine smoke
 //	sesame-experiments -exp chaos         # deterministic chaos harness + degradation
 //	sesame-experiments -exp scenarios     # declarative scenario generator determinism
+//	sesame-experiments -exp missionhost   # multi-tenant mission host determinism + load
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign|chaos|scenarios")
+	exp := flag.String("exp", "all", "experiment to run: all|fig1|fig5|accuracy|fig6|fig7|ablations|patterns|night|comms|obsv|flightrec|campaign|chaos|scenarios|missionhost")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csvDir := flag.String("csv", "", "when set, also write raw series as CSV files into this directory")
 	flag.Parse()
@@ -186,9 +187,20 @@ func main() {
 		}
 		return nil
 	})
+	run("missionhost", func() error {
+		r, err := experiments.RunMissionHost(*seed)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		if !r.Match {
+			return fmt.Errorf("hosted mission diverged from the standalone run")
+		}
+		return nil
+	})
 
 	switch *exp {
-	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign", "chaos", "scenarios":
+	case "all", "fig1", "fig5", "accuracy", "fig6", "fig7", "ablations", "patterns", "night", "comms", "obsv", "flightrec", "campaign", "chaos", "scenarios", "missionhost":
 	default:
 		fmt.Fprintf(os.Stderr, "sesame-experiments: unknown experiment %q\n", *exp)
 		os.Exit(2)

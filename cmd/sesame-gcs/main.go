@@ -12,13 +12,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"sesame"
@@ -35,10 +41,30 @@ type gcs struct {
 	rec    *sesame.FlightRecorder
 	recDir string
 	// The platform is not internally synchronized, so one mutex
-	// serializes ticks against status/event requests. The metrics
-	// registry IS internally synchronized: /metrics and /debug/* are
-	// served without the lock and stay responsive mid-tick.
+	// serializes ticks against anything reading platform state. The
+	// JSON feed itself is served from the copy-on-write snapshot below,
+	// so status/event requests never take this lock; the metrics
+	// registry is internally synchronized and lock-free too.
 	mu sync.Mutex
+	// feed is the latest published view of the mission: the rendered
+	// status document plus the EDDI history, swapped in atomically
+	// after every tick. Readers load the pointer and never block.
+	feed atomic.Pointer[feedView]
+}
+
+// feedView is one copy-on-write publication of the mission feed.
+type feedView struct {
+	status []byte // rendered "/" document, trailing newline included
+	events []feedEvent
+}
+
+// feedEvent mirrors the EDDI event wire format of the "/events" route.
+type feedEvent struct {
+	Kind     string  `json:"kind"`
+	UAV      string  `json:"uav"`
+	Time     float64 `json:"time"`
+	Severity float64 `json:"severity"`
+	Summary  string  `json:"summary"`
 }
 
 // gcsOptions carries every flag; parseArgs fills it so tests can build
@@ -51,6 +77,14 @@ type gcsOptions struct {
 	tickMS   int
 	spoofAt  float64
 	blackbox string
+	// Multi-mission host mode (-multi): serve a mission registry
+	// instead of one hardwired demo mission.
+	multi       bool
+	parkDir     string
+	maxLive     int
+	maxMissions int
+	tickBudget  int
+	idleRounds  int
 }
 
 // parseArgs parses argv (without the program name) into gcsOptions.
@@ -64,6 +98,12 @@ func parseArgs(args []string) (gcsOptions, error) {
 	fs.IntVar(&o.tickMS, "tick-ms", 200, "wall-clock milliseconds per simulated second")
 	fs.Float64Var(&o.spoofAt, "spoof", 0, "inject a spoofing attack on u2 at this mission time (0 = off)")
 	fs.StringVar(&o.blackbox, "blackbox", "", "record the mission into this black-box directory and serve /blackbox")
+	fs.BoolVar(&o.multi, "multi", false, "serve a multi-mission host (POST /missions) instead of the single demo mission")
+	fs.StringVar(&o.parkDir, "park-dir", "", "directory for parked mission checkpoints (-multi; empty = temporary)")
+	fs.IntVar(&o.maxLive, "max-live", 64, "missions kept in memory at once (-multi)")
+	fs.IntVar(&o.maxMissions, "max-missions", 4096, "registry capacity (-multi)")
+	fs.IntVar(&o.tickBudget, "tick-budget", 1, "simulation ticks per mission per round (-multi)")
+	fs.IntVar(&o.idleRounds, "idle-rounds", 0, "park unwatched missions after this many idle rounds (-multi; 0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -75,6 +115,12 @@ func parseArgs(args []string) (gcsOptions, error) {
 	}
 	if o.cells < 0 {
 		return o, fmt.Errorf("-cells %d: must be >= 0 (0 = auto)", o.cells)
+	}
+	if o.multi && (o.spoofAt > 0 || o.blackbox != "") {
+		return o, fmt.Errorf("-multi hosts declarative missions; -spoof and -blackbox only apply to the single demo mission")
+	}
+	if o.multi && (o.maxLive < 1 || o.maxMissions < 1 || o.tickBudget < 1 || o.idleRounds < 0) {
+		return o, fmt.Errorf("-max-live, -max-missions and -tick-budget must be >= 1, -idle-rounds >= 0")
 	}
 	return o, nil
 }
@@ -138,7 +184,30 @@ func newGCS(o gcsOptions) (*gcs, error) {
 		p.SetRecorder(rec)
 		g.rec, g.recDir = rec, o.blackbox
 	}
+	if err := g.publishFeed(); err != nil {
+		p.Close()
+		return nil, err
+	}
 	return g, nil
+}
+
+// publishFeed renders the current platform state into a fresh feedView
+// and swaps it in. Callers must hold g.mu (or own the platform
+// exclusively, as newGCS does).
+func (g *gcs) publishFeed() error {
+	status, err := json.Marshal(g.p.Status())
+	if err != nil {
+		return err
+	}
+	view := &feedView{status: append(status, '\n')}
+	for _, ev := range g.p.Coordinator.History("") {
+		view.events = append(view.events, feedEvent{
+			Kind: ev.Kind.String(), UAV: ev.UAV, Time: ev.Time,
+			Severity: ev.Severity, Summary: ev.Summary,
+		})
+	}
+	g.feed.Store(view)
+	return nil
 }
 
 // incidentWindow is the /blackbox response: the recording identity
@@ -226,17 +295,44 @@ func (g *gcs) blackboxHandler(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(win)
 }
 
-// tick advances the simulation by one step under the platform lock.
+// tick advances the simulation by one step under the platform lock and
+// publishes a fresh copy-on-write feed snapshot.
 func (g *gcs) tick() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.p.Tick()
+	if err := g.p.Tick(); err != nil {
+		return err
+	}
+	return g.publishFeed()
 }
 
-// handler merges the platform's JSON feed (served under the tick
-// mutex) with the UI page and the lock-free observability routes.
+// serveStatus writes the published status document — the same bytes
+// the platform's own handler would encode, without touching the tick
+// mutex.
+func (g *gcs) serveStatus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(g.feed.Load().status)
+}
+
+// serveEvents writes the EDDI history from the published feed,
+// filtered by the optional ?uav= parameter. An empty history encodes
+// as null, exactly like the platform handler's nil slice did.
+func (g *gcs) serveEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	uav := r.URL.Query().Get("uav")
+	var out []feedEvent
+	for _, ev := range g.feed.Load().events {
+		if uav == "" || ev.UAV == uav {
+			out = append(out, ev)
+		}
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handler merges the mission's JSON feed (served lock-free from the
+// copy-on-write snapshot) with the UI page and the observability
+// routes.
 func (g *gcs) handler() http.Handler {
-	inner := sesame.PlatformHandler(g.p)
 	debug := sesame.ObsvDebugMux(g.reg)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch {
@@ -247,10 +343,10 @@ func (g *gcs) handler() http.Handler {
 			g.blackboxHandler(w, r)
 		case r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/"):
 			debug.ServeHTTP(w, r)
+		case r.URL.Path == "/events":
+			g.serveEvents(w, r)
 		default:
-			g.mu.Lock()
-			defer g.mu.Unlock()
-			inner.ServeHTTP(w, r)
+			g.serveStatus(w)
 		}
 	})
 }
@@ -260,33 +356,168 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-
-	g, err := newGCS(opts)
-	if err != nil {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := serve(opts, os.Stdout, stop); err != nil {
 		fail(err)
 	}
-	defer g.p.Close()
-	if g.rec != nil {
-		defer func() { _ = g.rec.Close() }()
-	}
+}
 
-	// Drive the simulation in the background; HTTP reads snapshots.
+// shutdownTimeout bounds how long a stopping station waits for open
+// HTTP connections (including SSE streams) to drain.
+const shutdownTimeout = 10 * time.Second
+
+// serve binds the listen address and runs the station until the
+// process is told to stop. A signal on stop triggers a graceful
+// shutdown — simulation halted, state flushed to disk, connections
+// drained — and serve returns nil so the process exits 0.
+func serve(opts gcsOptions, out io.Writer, stop <-chan os.Signal) error {
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	if opts.multi {
+		return serveMulti(opts, ln, out, stop)
+	}
+	return serveSingle(opts, ln, out, stop)
+}
+
+// serveSingle runs the classic one-mission station: a background
+// goroutine ticks the simulation, HTTP serves the published feed. On
+// stop the ticker halts, the black box (if any) is flushed and closed,
+// and open connections drain.
+func serveSingle(opts gcsOptions, ln net.Listener, out io.Writer, stop <-chan os.Signal) error {
+	g, err := newGCS(opts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer g.p.Close()
+
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
 	go func() {
+		defer close(tickDone)
 		ticker := time.NewTicker(time.Duration(opts.tickMS) * time.Millisecond)
 		defer ticker.Stop()
-		for range ticker.C {
-			if err := g.tick(); err != nil {
-				fmt.Fprintln(os.Stderr, "sesame-gcs: tick:", err)
+		for {
+			select {
+			case <-tickStop:
 				return
+			case <-ticker.C:
+				if err := g.tick(); err != nil {
+					fmt.Fprintln(os.Stderr, "sesame-gcs: tick:", err)
+					return
+				}
 			}
 		}
 	}()
 
-	fmt.Printf("sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/%s)\n",
-		opts.addr, map[bool]string{true: ", /blackbox"}[g.rec != nil])
-	if err := http.ListenAndServe(opts.addr, g.handler()); err != nil {
-		fail(err)
+	srv := &http.Server{Handler: g.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "sesame-gcs: serving fleet status on %s (/, /events, /ui, /metrics, /debug/pprof/%s)\n",
+		ln.Addr(), map[bool]string{true: ", /blackbox"}[g.rec != nil])
+
+	select {
+	case err := <-errCh:
+		close(tickStop)
+		<-tickDone
+		return err
+	case <-stop:
 	}
+	close(tickStop)
+	<-tickDone
+	if g.rec != nil {
+		if err := g.rec.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sesame-gcs: black box close:", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-errCh // http.ErrServerClosed
+	fmt.Fprintln(out, "sesame-gcs: stopped")
+	return nil
+}
+
+// serveMulti runs the multi-tenant mission host: the registry API plus
+// the observability routes, with a background round loop driving every
+// live mission on the shared worker pool. On stop the round loop
+// halts, every live mission is checkpointed to the park directory, SSE
+// streams close, and connections drain — a later start with the same
+// -park-dir recovers the fleet.
+func serveMulti(opts gcsOptions, ln net.Listener, out io.Writer, stop <-chan os.Signal) error {
+	reg := sesame.NewObsvRegistry()
+	host, err := sesame.NewMissionHost(sesame.MissionHostConfig{
+		ParkDir:       opts.parkDir,
+		MaxLive:       opts.maxLive,
+		MaxMissions:   opts.maxMissions,
+		TickBudget:    opts.tickBudget,
+		IdleRounds:    opts.idleRounds,
+		Observability: reg,
+	})
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer host.Close()
+
+	debug := sesame.ObsvDebugMux(reg)
+	api := host.Handler()
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+			debug.ServeHTTP(w, r)
+			return
+		}
+		api.ServeHTTP(w, r)
+	})
+
+	roundStop := make(chan struct{})
+	roundDone := make(chan struct{})
+	go func() {
+		defer close(roundDone)
+		ticker := time.NewTicker(time.Duration(opts.tickMS) * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-roundStop:
+				return
+			case <-ticker.C:
+				host.Round()
+			}
+		}
+	}()
+
+	srv := &http.Server{Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(out, "sesame-gcs: hosting missions on %s (/missions, /metrics, /debug/pprof/)\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		close(roundStop)
+		<-roundDone
+		return err
+	case <-stop:
+	}
+	close(roundStop)
+	<-roundDone
+	// Park every live mission first: this also closes all subscriber
+	// channels, so blocked SSE handlers return and Shutdown can drain.
+	if err := host.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "sesame-gcs: mission host shutdown:", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-errCh // http.ErrServerClosed
+	fmt.Fprintln(out, "sesame-gcs: stopped")
+	return nil
 }
 
 // uiPage is the minimal Fig. 4 web GUI: fleet tracks on a canvas plus

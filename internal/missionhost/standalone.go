@@ -1,0 +1,27 @@
+package missionhost
+
+// FlyStandalone builds a Spec and flies it uninterrupted in a
+// dedicated single-mission loop — exactly what a standalone process
+// would run — and returns the mission digest. It is the reference a
+// hosted run of the same Spec must reproduce bit-identically.
+func FlyStandalone(spec Spec) (string, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	h := &Host{cfg: Config{}}
+	b, err := spec.build(h.platformCfg(spec))
+	if err != nil {
+		return "", err
+	}
+	defer b.p.Close()
+	for b.world.Clock.Now() < b.end {
+		if err := b.p.Tick(); err != nil {
+			return "", err
+		}
+		if b.p.MissionComplete() {
+			break
+		}
+	}
+	return MissionDigest(b.p), nil
+}

@@ -14,6 +14,7 @@ import (
 	"sesame/internal/hiphops"
 	"sesame/internal/ids"
 	"sesame/internal/linksim"
+	"sesame/internal/missionhost"
 	"sesame/internal/mqttlite"
 	"sesame/internal/obsv"
 	"sesame/internal/platform"
@@ -504,6 +505,45 @@ func ScenarioArchetypes() []string { return scenario.Archetypes() }
 func LaunchScenario(sc *Scenario, cfg PlatformConfig) (*ScenarioRun, error) {
 	return platform.LaunchScenario(sc, cfg)
 }
+
+// ---- Multi-tenant mission host (internal/missionhost) ----
+
+// MissionHost is the multi-tenant mission registry: thousands of
+// independently seeded missions ticked with per-mission budgets on a
+// shared bounded worker pool, watched through copy-on-write snapshots,
+// with idle missions parked to disk and rehydrated transparently.
+type MissionHost = missionhost.Host
+
+// MissionHostConfig bounds a MissionHost: worker pool size, live-set
+// capacity, registry capacity, tick budgets, idle parking and the
+// rendered-status LRU cache.
+type MissionHostConfig = missionhost.Config
+
+// MissionSpec declares one hosted mission: a classic demo fleet, a
+// seeded scenario archetype, or an embedded scenario document.
+type MissionSpec = missionhost.Spec
+
+// MissionInfo is a mission's registry directory entry.
+type MissionInfo = missionhost.Info
+
+// MissionSnapshot is one published copy-on-write view of a hosted
+// mission; watchers read it without touching any tick lock.
+type MissionSnapshot = missionhost.Snapshot
+
+// MissionSubscriber is a bounded drop-oldest snapshot queue feeding
+// one watcher.
+type MissionSubscriber = missionhost.Subscriber
+
+// MissionHostStats snapshots the host's counters.
+type MissionHostStats = missionhost.Stats
+
+// NewMissionHost builds a mission host, recovering any missions parked
+// under the configured park directory.
+func NewMissionHost(cfg MissionHostConfig) (*MissionHost, error) { return missionhost.New(cfg) }
+
+// ParseMissionSpec parses a strict-JSON mission spec: unknown fields,
+// trailing data and out-of-range values are rejected.
+func ParseMissionSpec(data []byte) (MissionSpec, error) { return missionhost.ParseSpec(data) }
 
 // ---- Observability (internal/obsv) ----
 
